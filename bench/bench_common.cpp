@@ -1,0 +1,179 @@
+#include "bench_common.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "tensor/prune.hpp"
+
+namespace stonne::bench {
+
+std::vector<Fig1Layer>
+fig1Layers()
+{
+    std::vector<Fig1Layer> layers;
+
+    auto conv = [](index_t r, index_t c, index_t k, index_t xy,
+                   index_t g, index_t pad) {
+        Conv2dShape s;
+        s.R = r;
+        s.S = r;
+        s.C = c;
+        s.K = k;
+        s.G = g;
+        s.X = xy;
+        s.Y = xy;
+        s.padding = pad;
+        return s;
+    };
+
+    // Squeezenet: squeeze (1x1 bottleneck) and expand (3x3) convs.
+    layers.push_back({"S-SC", LayerSpec::convolution(
+        "squeeze", conv(1, 64, 16, 13, 1, 0))});
+    layers.push_back({"S-EC", LayerSpec::convolution(
+        "expand", conv(3, 16, 64, 13, 1, 1))});
+    // Mobilenets: factorized (depthwise) conv and the classifier.
+    layers.push_back({"M-FC", LayerSpec::convolution(
+        "factorized", conv(3, 128, 128, 14, 128, 1))});
+    layers.push_back({"M-L", LayerSpec::linear("m_fc", 1, 512, 100)});
+    // Resnets-50: regular 3x3 conv and the classifier.
+    layers.push_back({"R-C", LayerSpec::convolution(
+        "res_conv", conv(3, 64, 64, 14, 1, 1))});
+    layers.push_back({"R-L", LayerSpec::linear("r_fc", 1, 1024, 100)});
+    // BERT: a transformer score GEMM and a feed-forward linear.
+    layers.push_back({"B-TR", LayerSpec::gemmLayer("attn", 48, 48, 128)});
+    layers.push_back({"B-L", LayerSpec::linear("b_ff", 48, 128, 256)});
+    return layers;
+}
+
+LayerData
+makeLayerData(const LayerSpec &layer, double sparsity, std::uint64_t seed,
+              double jitter)
+{
+    Rng rng(seed);
+    LayerData d;
+    switch (layer.kind) {
+      case LayerKind::Convolution: {
+        const Conv2dShape &c = layer.conv;
+        d.input = Tensor({c.N, c.C, c.X, c.Y});
+        d.weights = Tensor({c.K, c.cPerGroup(), c.R, c.S});
+        d.bias = Tensor({c.K});
+        break;
+      }
+      case LayerKind::Linear: {
+        const GemmDims g = layer.gemm;
+        d.input = Tensor({g.n, g.k});
+        d.weights = Tensor({g.m, g.k});
+        d.bias = Tensor({g.m});
+        break;
+      }
+      case LayerKind::Gemm:
+      case LayerKind::SparseGemm: {
+        const GemmDims g = layer.gemm;
+        d.input = Tensor({g.k, g.n});   // B operand
+        d.weights = Tensor({g.m, g.k}); // A operand
+        break;
+      }
+      case LayerKind::MaxPool: {
+        const Conv2dShape &c = layer.conv;
+        d.input = Tensor({c.N, c.C, c.X, c.Y});
+        break;
+      }
+    }
+    d.input.fillUniform(rng, 0.0f, 1.0f);
+    if (!d.weights.empty()) {
+        d.weights.fillNormal(rng, 0.0f, 0.2f);
+        if (sparsity > 0.0)
+            pruneFiltersWithJitter(d.weights, sparsity, jitter, rng);
+    }
+    if (!d.bias.empty())
+        d.bias.fillUniform(rng, -0.05f, 0.05f);
+    return d;
+}
+
+SimulationResult
+runLayer(Stonne &st, const LayerSpec &layer, const LayerData &data)
+{
+    switch (layer.kind) {
+      case LayerKind::Convolution:
+        st.configureConv(layer);
+        break;
+      case LayerKind::Linear:
+        st.configureLinear(layer);
+        break;
+      case LayerKind::Gemm:
+        st.configureDmm(layer);
+        break;
+      case LayerKind::SparseGemm:
+        st.configureSpmm(layer);
+        break;
+      case LayerKind::MaxPool:
+        st.configureMaxPool(layer);
+        break;
+    }
+    st.configureData(data.input, data.weights, data.bias);
+    return st.runOperation();
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != headers_.size(),
+            "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::printf("| ");
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::printf("%-*s | ", static_cast<int>(widths[c]),
+                        cells[c].c_str());
+        std::printf("\n");
+    };
+    line(headers_);
+    std::size_t total = 1;
+    for (const auto w : widths)
+        total += w + 3;
+    std::string sep(total, '-');
+    std::printf("%s\n", sep.c_str());
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::num(count_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace stonne::bench

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure benchmark binaries.
+ *
+ * Each binary in bench/ regenerates one table or figure of the paper
+ * (see DESIGN.md section 4): it runs the relevant simulations through
+ * google-benchmark (one iteration per configuration — the metric is the
+ * simulated cycle count, not wall time) and then prints the
+ * paper-formatted rows/series.
+ *
+ * The eight Figure 1 layers (S-SC, S-EC, M-FC, M-L, R-C, R-L, B-TR,
+ * B-L) are the representative layer types of Squeezenet, Mobilenets,
+ * Resnets-50 and BERT, at the Bench scale of the model zoo.
+ */
+
+#ifndef STONNE_BENCH_BENCH_COMMON_HPP
+#define STONNE_BENCH_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+#include "controller/layer.hpp"
+#include "engine/stonne_api.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stonne::bench {
+
+/** One of the eight representative DNN layers of Figure 1. */
+struct Fig1Layer {
+    std::string tag;  //!< paper notation, e.g. "S-SC"
+    LayerSpec spec;
+};
+
+/** The eight Figure 1 layers at Bench scale. */
+std::vector<Fig1Layer> fig1Layers();
+
+/** Operand bundle for one layer. */
+struct LayerData {
+    Tensor input;
+    Tensor weights;
+    Tensor bias;
+};
+
+/**
+ * Deterministic synthetic operands for a layer, with the weights
+ * magnitude-pruned to `sparsity` (0 keeps them dense). `jitter` spreads
+ * the per-filter density as real pruned networks do (Fig 7b).
+ */
+LayerData makeLayerData(const LayerSpec &layer, double sparsity,
+                        std::uint64_t seed, double jitter = 0.15);
+
+/**
+ * Run one layer on an accelerator instance via the STONNE API,
+ * dispatching on the layer kind.
+ */
+SimulationResult runLayer(Stonne &st, const LayerSpec &layer,
+                          const LayerData &data);
+
+/** Simple fixed-width table printer for the paper-style output. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+    static std::string num(double v, int precision = 2);
+    static std::string num(count_t v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner. */
+void banner(const std::string &title);
+
+} // namespace stonne::bench
+
+#endif // STONNE_BENCH_BENCH_COMMON_HPP

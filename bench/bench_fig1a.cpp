@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 1a: cycle-level STONNE (ST) vs the SCALE-Sim-style analytical
+ * model (AM) for an output-stationary systolic array, over the eight
+ * representative DNN layers and PE arrays of 16x16, 32x32 and 64x64.
+ *
+ * Expected shape (paper): the two agree almost exactly for rigid
+ * arrays — analytical models are fine until flexibility or irregular
+ * computation appears (Figs 1b / 1c).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "analytical/scalesim_model.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace stonne;
+using namespace stonne::bench;
+
+struct Row {
+    cycle_t st = 0;
+    cycle_t am = 0;
+};
+
+std::map<std::pair<index_t, std::string>, Row> g_rows;
+
+void
+runConfig(benchmark::State &state, const Fig1Layer &layer, index_t dim)
+{
+    Row row;
+    for (auto _ : state) {
+        Stonne st(HardwareConfig::tpuLike(dim * dim));
+        const LayerData data = makeLayerData(layer.spec, 0.0, 42);
+        const SimulationResult r = runLayer(st, layer.spec, data);
+        row.st = r.cycles;
+        row.am = analytical::scaleSimOsCycles(layer.spec, dim, dim);
+    }
+    state.counters["st_cycles"] = static_cast<double>(row.st);
+    state.counters["am_cycles"] = static_cast<double>(row.am);
+    g_rows[{dim, layer.tag}] = row;
+}
+
+void
+printFigure()
+{
+    for (const index_t dim : {16, 32, 64}) {
+        banner("Figure 1a — OS systolic " + std::to_string(dim) + "x" +
+               std::to_string(dim) + " (ST vs AM cycles)");
+        TablePrinter t({"layer", "ST cycles", "AM cycles", "ST/AM"});
+        for (const auto &layer : fig1Layers()) {
+            const Row &r = g_rows[{dim, layer.tag}];
+            t.addRow({layer.tag, TablePrinter::num(r.st),
+                      TablePrinter::num(r.am),
+                      TablePrinter::num(static_cast<double>(r.st) /
+                                        static_cast<double>(r.am))});
+        }
+        t.print();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const index_t dim : {16, 32, 64}) {
+        for (const auto &layer : stonne::bench::fig1Layers()) {
+            benchmark::RegisterBenchmark(
+                ("fig1a/" + std::to_string(dim) + "x" +
+                 std::to_string(dim) + "/" + layer.tag)
+                    .c_str(),
+                [layer, dim](benchmark::State &s) {
+                    runConfig(s, layer, dim);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 1b: cycle-level STONNE vs MAERI's analytical model for a
+ * 128-multiplier flexible dense accelerator as the Global Buffer
+ * bandwidth drops from 128 to 64 to 32 elements/cycle.
+ *
+ * Expected shape (paper): near-perfect agreement at full bandwidth
+ * (avg 1.03 % difference), growing divergence as bandwidth drops — up
+ * to ~400 % at 32 elements/cycle (M-FC), because the analytical model
+ * cannot see the serialization stalls in the distribution and
+ * reduction networks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "analytical/maeri_model.hpp"
+#include "bench_common.hpp"
+#include "controller/mapper.hpp"
+
+namespace {
+
+using namespace stonne;
+using namespace stonne::bench;
+
+constexpr index_t kMs = 128;
+
+struct Row {
+    cycle_t st = 0;
+    cycle_t am = 0;
+};
+
+std::map<std::pair<index_t, std::string>, Row> g_rows;
+
+void
+runConfig(benchmark::State &state, const Fig1Layer &layer, index_t bw)
+{
+    Row row;
+    for (auto _ : state) {
+        const HardwareConfig cfg = HardwareConfig::maeriLike(kMs, bw);
+        Stonne st(cfg);
+        const LayerData data = makeLayerData(layer.spec, 0.0, 42);
+        const SimulationResult r = runLayer(st, layer.spec, data);
+        row.st = r.cycles;
+        const Tile tile = Mapper(kMs).generateTile(layer.spec);
+        row.am = analytical::maeriCycles(layer.spec, tile, cfg);
+    }
+    state.counters["st_cycles"] = static_cast<double>(row.st);
+    state.counters["am_cycles"] = static_cast<double>(row.am);
+    g_rows[{bw, layer.tag}] = row;
+}
+
+void
+printFigure()
+{
+    for (const index_t bw : {128, 64, 32}) {
+        banner("Figure 1b — MAERI-like 128 MS, bandwidth " +
+               std::to_string(bw) + " elems/cycle (ST vs AM cycles)");
+        TablePrinter t({"layer", "ST cycles", "AM cycles", "ST/AM"});
+        double sum_ratio = 0.0;
+        for (const auto &layer : fig1Layers()) {
+            const Row &r = g_rows[{bw, layer.tag}];
+            const double ratio = static_cast<double>(r.st) /
+                static_cast<double>(r.am);
+            sum_ratio += ratio;
+            t.addRow({layer.tag, TablePrinter::num(r.st),
+                      TablePrinter::num(r.am),
+                      TablePrinter::num(ratio)});
+        }
+        t.addRow({"avg", "", "",
+                  TablePrinter::num(sum_ratio /
+                                    static_cast<double>(
+                                        fig1Layers().size()))});
+        t.print();
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const index_t bw : {128, 64, 32}) {
+        for (const auto &layer : stonne::bench::fig1Layers()) {
+            benchmark::RegisterBenchmark(
+                ("fig1b/bw" + std::to_string(bw) + "/" + layer.tag)
+                    .c_str(),
+                [layer, bw](benchmark::State &s) {
+                    runConfig(s, layer, bw);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Use case 1 (Figures 5a/5b/5c): full-model inference of the seven
+ * Table I DNN models on TPU-like, MAERI-like and SIGMA-like
+ * accelerators with 256 processing elements.
+ *
+ * Expected shape (paper): MAERI outperforms the TPU on average (largest
+ * win on Mobilenets, smallest on Resnets-50); SIGMA beats MAERI thanks
+ * to sparsity support; energy is dominated by the reduction network
+ * (TPU > MAERI > SIGMA share); area is dominated by the Global Buffer,
+ * with TPU < SIGMA < MAERI totals.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+
+namespace {
+
+using namespace stonne;
+using namespace stonne::bench;
+
+const char *kArchNames[3] = {"TPU", "MAERI", "SIGMA"};
+
+HardwareConfig
+archConfig(int arch)
+{
+    switch (arch) {
+      case 0: return HardwareConfig::tpuLike(256);
+      case 1: return HardwareConfig::maeriLike(256, 128);
+      default: return HardwareConfig::sigmaLike(256, 128);
+    }
+}
+
+std::map<std::pair<int, ModelId>, SimulationResult> g_results;
+
+void
+runConfig(benchmark::State &state, ModelId id, int arch)
+{
+    SimulationResult total;
+    for (auto _ : state) {
+        const DnnModel model = buildModel(id, ModelScale::Bench);
+        const Tensor input = makeModelInput(id, ModelScale::Bench);
+        ModelRunner runner(model, archConfig(arch));
+        runner.run(input);
+        total = runner.total();
+    }
+    state.counters["cycles"] = static_cast<double>(total.cycles);
+    state.counters["energy_uJ"] = total.energy.total();
+    g_results[{arch, id}] = total;
+}
+
+void
+printFigures()
+{
+    banner("Figure 5a — inference cycles (7 models x 3 architectures)");
+    {
+        TablePrinter t({"model", "TPU", "MAERI", "SIGMA",
+                        "TPU/MAERI", "MAERI/SIGMA"});
+        double sum_tpu_maeri = 0.0, sum_maeri_sigma = 0.0;
+        for (const ModelId id : allModels()) {
+            const auto &tpu = g_results[{0, id}];
+            const auto &maeri = g_results[{1, id}];
+            const auto &sigma = g_results[{2, id}];
+            const double tm = static_cast<double>(tpu.cycles) /
+                static_cast<double>(maeri.cycles);
+            const double ms = static_cast<double>(maeri.cycles) /
+                static_cast<double>(sigma.cycles);
+            sum_tpu_maeri += tm;
+            sum_maeri_sigma += ms;
+            t.addRow({modelShortName(id),
+                      TablePrinter::num(tpu.cycles),
+                      TablePrinter::num(maeri.cycles),
+                      TablePrinter::num(sigma.cycles),
+                      TablePrinter::num(tm), TablePrinter::num(ms)});
+        }
+        t.addRow({"avg", "", "", "",
+                  TablePrinter::num(sum_tpu_maeri / 7.0),
+                  TablePrinter::num(sum_maeri_sigma / 7.0)});
+        t.print();
+    }
+
+    banner("Figure 5b — energy (uJ) breakdown GB / DN / MN / RN");
+    {
+        TablePrinter t({"model", "arch", "GB", "DN", "MN", "RN",
+                        "static", "total", "RN share %"});
+        for (const ModelId id : allModels()) {
+            for (int arch = 0; arch < 3; ++arch) {
+                const EnergyBreakdown &e = g_results[{arch, id}].energy;
+                const double on_chip =
+                    e.gb_uj + e.dn_uj + e.mn_uj + e.rn_uj;
+                t.addRow({modelShortName(id), kArchNames[arch],
+                          TablePrinter::num(e.gb_uj),
+                          TablePrinter::num(e.dn_uj),
+                          TablePrinter::num(e.mn_uj),
+                          TablePrinter::num(e.rn_uj),
+                          TablePrinter::num(e.static_uj),
+                          TablePrinter::num(e.total()),
+                          TablePrinter::num(100.0 * e.rn_uj / on_chip,
+                                            1)});
+            }
+        }
+        t.print();
+        // Cross-model averages the paper quotes.
+        double totals[3] = {0, 0, 0}, rn_share[3] = {0, 0, 0};
+        for (const ModelId id : allModels()) {
+            for (int arch = 0; arch < 3; ++arch) {
+                const EnergyBreakdown &e = g_results[{arch, id}].energy;
+                totals[arch] += e.total();
+                rn_share[arch] += e.rn_uj /
+                    (e.gb_uj + e.dn_uj + e.mn_uj + e.rn_uj);
+            }
+        }
+        std::printf("\navg RN share: TPU %.0f%%  MAERI %.0f%%  "
+                    "SIGMA %.0f%%\n",
+                    100.0 * rn_share[0] / 7.0, 100.0 * rn_share[1] / 7.0,
+                    100.0 * rn_share[2] / 7.0);
+        std::printf("total energy: SIGMA/MAERI %.2f  SIGMA/TPU %.2f  "
+                    "(paper: SIGMA uses ~0.30x MAERI, ~0.46x TPU)\n",
+                    totals[2] / totals[1], totals[2] / totals[0]);
+    }
+
+    banner("Figure 5c — area (um^2) breakdown");
+    {
+        TablePrinter t({"arch", "GB", "DN", "MN", "RN", "total",
+                        "GB share %"});
+        double totals[3];
+        for (int arch = 0; arch < 3; ++arch) {
+            const AreaBreakdown a =
+                g_results[{arch, allModels()[0]}].area;
+            totals[arch] = a.total();
+            t.addRow({kArchNames[arch], TablePrinter::num(a.gb_um2, 0),
+                      TablePrinter::num(a.dn_um2, 0),
+                      TablePrinter::num(a.mn_um2, 0),
+                      TablePrinter::num(a.rn_um2, 0),
+                      TablePrinter::num(a.total(), 0),
+                      TablePrinter::num(100.0 * a.gb_um2 / a.total(),
+                                        1)});
+        }
+        t.print();
+        std::printf("\narea ratios: SIGMA/MAERI %.2f  TPU/MAERI %.2f  "
+                    "TPU/SIGMA %.2f\n",
+                    totals[2] / totals[1], totals[0] / totals[1],
+                    totals[0] / totals[2]);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int arch = 0; arch < 3; ++arch) {
+        for (const ModelId id : allModels()) {
+            benchmark::RegisterBenchmark(
+                (std::string("fig5/") + kArchNames[arch] + "/" +
+                 modelShortName(id))
+                    .c_str(),
+                [id, arch](benchmark::State &s) {
+                    runConfig(s, id, arch);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigures();
+    return 0;
+}

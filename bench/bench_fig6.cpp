@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Use case 2 (Figures 6a-6d): SNAPEA vs the baseline (same pipeline
+ * without the negative-detection logic) on the four purely
+ * convolutional models, 64 multipliers, 64 elements/cycle.
+ *
+ * Expected shape (paper): ~35 % average speedup, ~21 % energy saving,
+ * ~30 % fewer operations and ~16 % fewer memory accesses; Squeezenet
+ * shows the largest reductions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+
+namespace {
+
+using namespace stonne;
+using namespace stonne::bench;
+
+std::map<std::pair<ModelId, bool>, SimulationResult> g_results;
+
+void
+runConfig(benchmark::State &state, ModelId id, bool early_exit)
+{
+    SimulationResult total;
+    for (auto _ : state) {
+        const DnnModel model = buildModel(id, ModelScale::Bench);
+        const Tensor input = makeModelInput(id, ModelScale::Bench);
+        ModelRunner runner(model, HardwareConfig::snapeaLike(64, 64));
+        runner.setSnapeaEarlyExit(early_exit);
+        runner.run(input);
+        total = runner.total();
+    }
+    state.counters["cycles"] = static_cast<double>(total.cycles);
+    state.counters["ops"] = static_cast<double>(total.macs);
+    g_results[{id, early_exit}] = total;
+}
+
+void
+printFigures()
+{
+    banner("Figures 6a-6d — SNAPEA vs baseline (A, S, V, R)");
+    TablePrinter t({"model", "speedup (6a)", "norm energy (6b)",
+                    "ops ratio (6c)", "mem ratio (6d)",
+                    "skipped MACs"});
+    double sum_speedup = 0.0, sum_energy = 0.0, sum_ops = 0.0,
+        sum_mem = 0.0;
+    const auto models = cnnModels();
+    for (const ModelId id : models) {
+        const SimulationResult &base = g_results[{id, false}];
+        const SimulationResult &snap = g_results[{id, true}];
+        const double speedup = static_cast<double>(base.cycles) /
+            static_cast<double>(snap.cycles);
+        const double energy = snap.energy.total() / base.energy.total();
+        const double ops = static_cast<double>(snap.macs) /
+            static_cast<double>(base.macs);
+        const double mem = static_cast<double>(snap.mem_accesses) /
+            static_cast<double>(base.mem_accesses);
+        sum_speedup += speedup;
+        sum_energy += energy;
+        sum_ops += ops;
+        sum_mem += mem;
+        t.addRow({modelShortName(id), TablePrinter::num(speedup),
+                  TablePrinter::num(energy), TablePrinter::num(ops),
+                  TablePrinter::num(mem),
+                  TablePrinter::num(snap.skipped_macs)});
+    }
+    const auto n = static_cast<double>(models.size());
+    t.addRow({"avg", TablePrinter::num(sum_speedup / n),
+              TablePrinter::num(sum_energy / n),
+              TablePrinter::num(sum_ops / n),
+              TablePrinter::num(sum_mem / n), ""});
+    t.print();
+    std::printf("\npaper: ~1.35x speedup, ~0.79x energy, ~0.70x ops, "
+                "~0.84x memory accesses on average\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const ModelId id : stonne::cnnModels()) {
+        for (const bool early : {false, true}) {
+            benchmark::RegisterBenchmark(
+                (std::string("fig6/") + modelShortName(id) + "/" +
+                 (early ? "snapea" : "baseline"))
+                    .c_str(),
+                [id, early](benchmark::State &s) {
+                    runConfig(s, id, early);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFigures();
+    return 0;
+}

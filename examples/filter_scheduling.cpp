@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Use case 3 in miniature: static filter scheduling on a sparse
+ * accelerator. Shows the round packing of NS / RDM / LFF on a pruned
+ * layer and the resulting runtime/utilization difference — the
+ * front-end extension of the paper's Figure 8/9.
+ */
+
+#include <cstdio>
+
+#include "controller/scheduler.hpp"
+#include "engine/stonne_api.hpp"
+#include "tensor/prune.hpp"
+#include "tensor/sparse.hpp"
+
+using namespace stonne;
+
+int
+main()
+{
+    // A pruned layer's filter matrix: 48 filters over a 96-long dot
+    // product at ~80 % sparsity, with realistic per-filter spread.
+    const index_t m = 48, k = 96, n = 64;
+    Rng rng(5);
+    Tensor a({m, k});
+    a.fillUniform(rng);
+    pruneFiltersWithJitter(a, 0.8, 0.25, rng);
+    Tensor b({k, n});
+    b.fillUniform(rng);
+
+    const auto sizes = rowNnzSizes(CsrMatrix::fromDense(a));
+    std::printf("filter sizes (nnz): ");
+    for (const index_t s : sizes)
+        std::printf("%lld ", static_cast<long long>(s));
+    std::printf("\n\n");
+
+    std::printf("%-6s %8s %12s %10s %14s\n", "policy", "rounds",
+                "cycles", "util %", "avg filters/rd");
+    for (const auto policy :
+         {SchedulingPolicy::None, SchedulingPolicy::Random,
+          SchedulingPolicy::LargestFirst}) {
+        const auto rounds = packRounds(sizes, 64, policy, 3);
+
+        Stonne st(HardwareConfig::sigmaLike(64, 32));
+        st.setSchedulingPolicy(policy, 3);
+        st.configureSpmm(LayerSpec::sparseGemm("spmm", m, n, k));
+        st.configureData(b, a);
+        const SimulationResult r = st.runOperation();
+
+        std::printf("%-6s %8zu %12llu %10.1f %14.1f\n",
+                    schedulingPolicyName(policy), rounds.size(),
+                    static_cast<unsigned long long>(r.cycles),
+                    100.0 * r.ms_utilization,
+                    averageFiltersPerRound(rounds));
+    }
+
+    std::printf("\nExpected shape (paper, Fig 9): LFF packs tighter and "
+                "runs faster; RDM buys nothing.\n");
+    return 0;
+}

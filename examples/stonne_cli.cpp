@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The STONNE User Interface (Section III): a prompt with well-defined
+ * commands to load layer and tile parameters onto a selected simulator
+ * instance and run it with random tensors — faster than wiring up the
+ * full DL front-end, for rapid prototyping and debugging.
+ *
+ * Works interactively or scripted:
+ *   echo "create maeri 128 64
+ *         conv 3 3 16 32 1 1 16 16 1 1
+ *         run" | ./stonne_cli
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "engine/stonne_api.hpp"
+#include "tensor/prune.hpp"
+
+using namespace stonne;
+
+namespace {
+
+struct CliState {
+    std::unique_ptr<Stonne> stonne;
+    LayerSpec layer;
+    bool layer_set = false;
+    std::optional<Tile> tile;
+    double sparsity = 0.0;
+    SchedulingPolicy policy = SchedulingPolicy::None;
+    std::uint64_t seed = 42;
+};
+
+void
+printHelp()
+{
+    std::printf(
+        "commands:\n"
+        "  create <tpu|maeri|sigma|snapea> [ms] [bw]  new instance\n"
+        "  load <path>                     instance from stonne_hw.cfg\n"
+        "  conv R S C K G N X Y stride pad configure a convolution\n"
+        "  gemm M N K                      configure a dense GEMM\n"
+        "  spmm M N K                      configure a sparse GEMM\n"
+        "  linear N IN OUT                 configure a linear layer\n"
+        "  tile TR TS TC TG TK TN TX TY    explicit tile (else auto)\n"
+        "  sparsity <ratio>                prune weights to the ratio\n"
+        "  policy <NS|RDM|LFF>             sparse filter scheduling\n"
+        "  seed <n>                        RNG seed for random tensors\n"
+        "  run                             simulate the configured op\n"
+        "  config                          show the hardware config\n"
+        "  help / quit\n");
+}
+
+void
+runOp(CliState &st)
+{
+    if (!st.stonne) {
+        std::printf("error: no instance; use 'create' first\n");
+        return;
+    }
+    if (!st.layer_set) {
+        std::printf("error: no layer configured\n");
+        return;
+    }
+
+    Rng rng(st.seed);
+    Tensor input, weights, bias;
+    switch (st.layer.kind) {
+      case LayerKind::Convolution: {
+        const Conv2dShape &c = st.layer.conv;
+        input = Tensor({c.N, c.C, c.X, c.Y});
+        weights = Tensor({c.K, c.cPerGroup(), c.R, c.S});
+        bias = Tensor({c.K});
+        st.stonne->configureConv(st.layer, st.tile);
+        break;
+      }
+      case LayerKind::Linear: {
+        const GemmDims g = st.layer.gemm;
+        input = Tensor({g.n, g.k});
+        weights = Tensor({g.m, g.k});
+        bias = Tensor({g.m});
+        st.stonne->configureLinear(st.layer, st.tile);
+        break;
+      }
+      case LayerKind::Gemm: {
+        const GemmDims g = st.layer.gemm;
+        input = Tensor({g.k, g.n});
+        weights = Tensor({g.m, g.k});
+        st.stonne->configureDmm(st.layer, st.tile);
+        break;
+      }
+      case LayerKind::SparseGemm: {
+        const GemmDims g = st.layer.gemm;
+        input = Tensor({g.k, g.n});
+        weights = Tensor({g.m, g.k});
+        st.stonne->configureSpmm(st.layer);
+        break;
+      }
+      case LayerKind::MaxPool:
+        std::printf("error: use the model runner for pooling\n");
+        return;
+    }
+    input.fillUniform(rng, 0.0f, 1.0f);
+    weights.fillNormal(rng, 0.0f, 0.2f);
+    if (st.sparsity > 0.0)
+        pruneFiltersWithJitter(weights, st.sparsity, 0.15, rng);
+    if (!bias.empty())
+        bias.fillUniform(rng, -0.1f, 0.1f);
+
+    st.stonne->setSchedulingPolicy(st.policy, st.seed);
+    st.stonne->configureData(std::move(input), std::move(weights),
+                             std::move(bias));
+    const SimulationResult r = st.stonne->runOperation();
+    std::printf("%s\n",
+                OutputModule::summary(st.stonne->config(), r)
+                    .dump().c_str());
+}
+
+bool
+handle(CliState &st, const std::string &line)
+{
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd[0] == '#')
+        return true;
+
+    try {
+        if (cmd == "quit" || cmd == "exit") {
+            return false;
+        } else if (cmd == "help") {
+            printHelp();
+        } else if (cmd == "create") {
+            std::string kind;
+            index_t ms = 256, bw = 128;
+            in >> kind;
+            if (!(in >> ms))
+                ms = 256;
+            if (!(in >> bw))
+                bw = kind == "tpu" ? ms : 128;
+            HardwareConfig cfg;
+            if (kind == "tpu")
+                cfg = HardwareConfig::tpuLike(ms);
+            else if (kind == "maeri")
+                cfg = HardwareConfig::maeriLike(ms, bw);
+            else if (kind == "sigma")
+                cfg = HardwareConfig::sigmaLike(ms, bw);
+            else if (kind == "snapea")
+                cfg = HardwareConfig::snapeaLike(ms, bw);
+            else
+                fatal("unknown preset '", kind, "'");
+            st.stonne = std::make_unique<Stonne>(cfg);
+            std::printf("created %s: %lld MS, bw %lld\n",
+                        cfg.name.c_str(), static_cast<long long>(ms),
+                        static_cast<long long>(cfg.dn_bandwidth));
+        } else if (cmd == "load") {
+            std::string path;
+            in >> path;
+            st.stonne = std::make_unique<Stonne>(path);
+            std::printf("loaded %s\n", path.c_str());
+        } else if (cmd == "conv") {
+            Conv2dShape c;
+            in >> c.R >> c.S >> c.C >> c.K >> c.G >> c.N >> c.X >> c.Y >>
+                c.stride >> c.padding;
+            st.layer = LayerSpec::convolution("cli_conv", c);
+            st.layer_set = true;
+            std::printf("conv configured: %lld MACs\n",
+                        static_cast<long long>(st.layer.macs()));
+        } else if (cmd == "gemm" || cmd == "spmm") {
+            index_t m, n, k;
+            in >> m >> n >> k;
+            st.layer = cmd == "gemm"
+                ? LayerSpec::gemmLayer("cli_gemm", m, n, k)
+                : LayerSpec::sparseGemm("cli_spmm", m, n, k);
+            st.layer_set = true;
+        } else if (cmd == "linear") {
+            index_t n, c, k;
+            in >> n >> c >> k;
+            st.layer = LayerSpec::linear("cli_linear", n, c, k);
+            st.layer_set = true;
+        } else if (cmd == "tile") {
+            Tile t;
+            in >> t.t_r >> t.t_s >> t.t_c >> t.t_g >> t.t_k >> t.t_n >>
+                t.t_x >> t.t_y;
+            st.tile = t;
+            std::printf("%s\n", t.toString().c_str());
+        } else if (cmd == "sparsity") {
+            in >> st.sparsity;
+        } else if (cmd == "policy") {
+            std::string p;
+            in >> p;
+            st.policy = p == "LFF" ? SchedulingPolicy::LargestFirst
+                      : p == "RDM" ? SchedulingPolicy::Random
+                                   : SchedulingPolicy::None;
+        } else if (cmd == "seed") {
+            in >> st.seed;
+        } else if (cmd == "run") {
+            runOp(st);
+        } else if (cmd == "config") {
+            if (st.stonne)
+                std::printf("%s",
+                            st.stonne->config().toConfigText().c_str());
+            else
+                std::printf("no instance\n");
+        } else {
+            std::printf("unknown command '%s' (try 'help')\n",
+                        cmd.c_str());
+        }
+    } catch (const std::exception &e) {
+        std::printf("error: %s\n", e.what());
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("STONNE user interface — 'help' for commands\n");
+    CliState st;
+    std::string line;
+    while (true) {
+        std::printf("stonne> ");
+        std::fflush(stdout);
+        if (!std::getline(std::cin, line))
+            break;
+        if (!handle(st, line))
+            break;
+    }
+    return 0;
+}

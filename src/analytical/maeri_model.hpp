@@ -1,0 +1,28 @@
+/**
+ * @file
+ * MAERI's analytical performance model (bandwidth-oblivious).
+ *
+ * Reimplements the analytical model the MAERI authors provide: given a
+ * tile configuration, steady-state throughput is one psum per virtual
+ * neuron per cycle, plus the ideal weight reconfiguration time. The
+ * model assumes the distribution and reduction networks never conflict —
+ * accurate at full bandwidth, but it misses the serialization stalls a
+ * cycle-level simulator captures when bandwidth drops (Figure 1b shows
+ * up to 400 % underestimation at 32 elements/cycle).
+ */
+
+#ifndef STONNE_ANALYTICAL_MAERI_MODEL_HPP
+#define STONNE_ANALYTICAL_MAERI_MODEL_HPP
+
+#include "common/config.hpp"
+#include "controller/tile.hpp"
+
+namespace stonne::analytical {
+
+/** Analytical cycles for a layer on a MAERI-like flexible accelerator. */
+cycle_t maeriCycles(const LayerSpec &layer, const Tile &tile,
+                    const HardwareConfig &cfg);
+
+} // namespace stonne::analytical
+
+#endif // STONNE_ANALYTICAL_MAERI_MODEL_HPP

@@ -1,0 +1,37 @@
+#include "analytical/scalesim_model.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne::analytical {
+
+cycle_t
+scaleSimOsCycles(const GemmDims &g, index_t rows, index_t cols)
+{
+    fatalIf(rows <= 0 || cols <= 0, "array dimensions must be positive");
+    fatalIf(g.m <= 0 || g.n <= 0 || g.k <= 0, "GEMM dims must be positive");
+
+    cycle_t total = 0;
+    for (index_t m0 = 0; m0 < g.m; m0 += rows) {
+        const index_t mt = std::min(rows, g.m - m0);
+        for (index_t n0 = 0; n0 < g.n; n0 += cols) {
+            const index_t nt = std::min(cols, g.n - n0);
+            // Wavefront (K + mt + nt - 2) plus the injection/drain
+            // register stages of the modelled array (the RTL-validated
+            // per-tile cost of Table V is K + ar + ac + 2).
+            total += static_cast<cycle_t>(g.k + mt + nt + 2);
+        }
+    }
+    return total;
+}
+
+cycle_t
+scaleSimOsCycles(const LayerSpec &layer, index_t rows, index_t cols)
+{
+    const GemmDims g = layer.gemmView();
+    // Grouped convolutions run one GEMM per group.
+    const index_t groups =
+        layer.kind == LayerKind::Convolution ? layer.conv.G : 1;
+    return static_cast<cycle_t>(groups) * scaleSimOsCycles(g, rows, cols);
+}
+
+} // namespace stonne::analytical

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * SCALE-Sim-style analytical model of an output-stationary systolic array.
+ *
+ * SCALE-Sim computes runtime with closed-form expressions over the array
+ * dimensions and the GEMM shape: per output tile of (ar x ac) PEs running
+ * a K-long dot product, the wavefront takes K + ar + ac - 2 cycles, and
+ * tiles execute back to back. Figure 1a of the paper shows this matches
+ * cycle-level simulation almost perfectly for rigid arrays — the point
+ * being that analytical models are fine *until* the architecture gets
+ * flexible or the computation irregular.
+ */
+
+#ifndef STONNE_ANALYTICAL_SCALESIM_MODEL_HPP
+#define STONNE_ANALYTICAL_SCALESIM_MODEL_HPP
+
+#include "controller/layer.hpp"
+
+namespace stonne::analytical {
+
+/**
+ * Analytical cycle count for C(M x N) = A(M x K) * B(K x N) on an
+ * output-stationary (rows x cols) systolic array.
+ */
+cycle_t scaleSimOsCycles(const GemmDims &g, index_t rows, index_t cols);
+
+/** Convenience overload lowering any layer through its GEMM view. */
+cycle_t scaleSimOsCycles(const LayerSpec &layer, index_t rows, index_t cols);
+
+} // namespace stonne::analytical
+
+#endif // STONNE_ANALYTICAL_SCALESIM_MODEL_HPP

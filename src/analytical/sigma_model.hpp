@@ -1,0 +1,35 @@
+/**
+ * @file
+ * SIGMA's analytical performance model (average-sparsity-based).
+ *
+ * Reimplements the analytical model the SIGMA authors provide: the MK
+ * stationary matrix's *average* row density determines how many rows fit
+ * per mapping round, and every round streams the KN columns at ideal
+ * bandwidth. Because the model only sees the average, it cannot capture
+ * how the actual distribution of zeros shapes the cluster sizes — the
+ * effect Figure 1c shows diverging up to 92 % at 90 % sparsity, where
+ * real packing leaves switches idle that the average-based model assumes
+ * busy.
+ */
+
+#ifndef STONNE_ANALYTICAL_SIGMA_MODEL_HPP
+#define STONNE_ANALYTICAL_SIGMA_MODEL_HPP
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace stonne::analytical {
+
+/**
+ * Analytical cycles for a sparse GEMM C(M x N) = A(M x K) * B(K x N)
+ * on a SIGMA-like accelerator.
+ *
+ * @param total_nnz non-zeros of the stationary MK operand (the model
+ *        only knows the aggregate, not the distribution)
+ */
+cycle_t sigmaCycles(index_t m, index_t n, index_t k, index_t total_nnz,
+                    const HardwareConfig &cfg);
+
+} // namespace stonne::analytical
+
+#endif // STONNE_ANALYTICAL_SIGMA_MODEL_HPP

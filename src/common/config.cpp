@@ -1,0 +1,348 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+const char *
+dnTypeName(DnType t)
+{
+    switch (t) {
+      case DnType::Tree:         return "TREE";
+      case DnType::Benes:        return "BENES";
+      case DnType::PointToPoint: return "POP";
+    }
+    return "?";
+}
+
+const char *
+mnTypeName(MnType t)
+{
+    switch (t) {
+      case MnType::Linear:   return "LINEAR";
+      case MnType::Disabled: return "DISABLED";
+    }
+    return "?";
+}
+
+const char *
+rnTypeName(RnType t)
+{
+    switch (t) {
+      case RnType::Art:    return "ART";
+      case RnType::ArtAcc: return "ART_ACC";
+      case RnType::Fan:    return "FAN";
+      case RnType::Linear: return "LINEAR";
+    }
+    return "?";
+}
+
+const char *
+controllerTypeName(ControllerType t)
+{
+    switch (t) {
+      case ControllerType::Dense:  return "DENSE";
+      case ControllerType::Sparse: return "SPARSE";
+      case ControllerType::Snapea: return "SNAPEA";
+    }
+    return "?";
+}
+
+const char *
+dataflowName(Dataflow d)
+{
+    switch (d) {
+      case Dataflow::OutputStationary: return "OS";
+      case Dataflow::WeightStationary: return "WS";
+      case Dataflow::InputStationary:  return "IS";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isPow2(index_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return s;
+}
+
+} // namespace
+
+void
+HardwareConfig::validate() const
+{
+    fatalIf(!isPow2(ms_size), "ms_size must be a power of two, got ",
+            ms_size);
+    fatalIf(dn_bandwidth <= 0 || dn_bandwidth > ms_size,
+            "dn_bandwidth must lie in [1, ms_size], got ", dn_bandwidth);
+    fatalIf(rn_bandwidth <= 0 || rn_bandwidth > ms_size,
+            "rn_bandwidth must lie in [1, ms_size], got ", rn_bandwidth);
+    fatalIf(fifo_capacity <= 0, "fifo_capacity must be positive");
+    fatalIf(gb_size_kib <= 0, "gb_size_kib must be positive");
+    fatalIf(dram_bandwidth_gbps <= 0, "dram bandwidth must be positive");
+    fatalIf(clock_ghz <= 0, "clock frequency must be positive");
+
+    // Controller / substrate compatibility (Section IV-B: "the configured
+    // memory controller must always be compatible with the hardware
+    // substrate selected to be modelled").
+    const bool sparse = controller_type == ControllerType::Sparse;
+    fatalIf(sparse && dn_type == DnType::PointToPoint,
+            "a sparse controller cannot drive a systolic point-to-point DN");
+    fatalIf(sparse && rn_type == RnType::Linear,
+            "a sparse controller needs a cluster-capable RN (ART or FAN)");
+    fatalIf(dn_type == DnType::PointToPoint && rn_type != RnType::Linear,
+            "the systolic point-to-point DN pairs with a linear RN");
+    fatalIf(controller_type == ControllerType::Snapea &&
+            dn_type == DnType::PointToPoint,
+            "the SNAPEA controller extends the flexible dense pipeline");
+}
+
+HardwareConfig
+HardwareConfig::tpuLike(index_t pes)
+{
+    HardwareConfig c;
+    c.name = "TPU";
+    c.dn_type = DnType::PointToPoint;
+    c.mn_type = MnType::Linear;
+    c.rn_type = RnType::Linear;
+    c.controller_type = ControllerType::Dense;
+    c.dataflow = Dataflow::OutputStationary;
+    c.ms_size = pes;
+    // A systolic array requires full bandwidth along its edges.
+    c.dn_bandwidth = pes;
+    c.rn_bandwidth = pes;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::maeriLike(index_t ms, index_t bw)
+{
+    HardwareConfig c;
+    c.name = "MAERI";
+    c.dn_type = DnType::Tree;
+    c.mn_type = MnType::Linear;
+    c.rn_type = RnType::ArtAcc;
+    c.controller_type = ControllerType::Dense;
+    c.dataflow = Dataflow::OutputStationary;
+    c.ms_size = ms;
+    c.dn_bandwidth = bw;
+    c.rn_bandwidth = bw;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::sigmaLike(index_t ms, index_t bw)
+{
+    HardwareConfig c;
+    c.name = "SIGMA";
+    c.dn_type = DnType::Benes;
+    c.mn_type = MnType::Disabled;
+    c.rn_type = RnType::Fan;
+    c.controller_type = ControllerType::Sparse;
+    c.dataflow = Dataflow::WeightStationary;
+    c.ms_size = ms;
+    c.dn_bandwidth = bw;
+    c.rn_bandwidth = bw;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::snapeaLike(index_t ms, index_t bw)
+{
+    HardwareConfig c = maeriLike(ms, bw);
+    c.name = "SNAPEA";
+    c.controller_type = ControllerType::Snapea;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::shiDianNaoLike(index_t pes)
+{
+    HardwareConfig c = tpuLike(pes);
+    c.name = "ShiDianNao";
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::flexibleArtDist(index_t ms, index_t bw)
+{
+    HardwareConfig c = maeriLike(ms, bw);
+    c.name = "MAERI-DIST";
+    c.rn_type = RnType::Art;
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::parse(const std::string &text)
+{
+    HardwareConfig c;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty() || line[0] == '[')
+            continue;
+        std::size_t eq = line.find('=');
+        fatalIf(eq == std::string::npos,
+                "config line ", lineno, " is not key = value: '", line, "'");
+        std::string key = upper(trim(line.substr(0, eq)));
+        std::string val = trim(line.substr(eq + 1));
+        std::string uval = upper(val);
+
+        auto as_int = [&]() -> index_t {
+            try {
+                return static_cast<index_t>(std::stoll(val));
+            } catch (const std::exception &) {
+                fatal("config key ", key, " expects an integer, got '",
+                      val, "'");
+            }
+        };
+        auto as_double = [&]() -> double {
+            try {
+                return std::stod(val);
+            } catch (const std::exception &) {
+                fatal("config key ", key, " expects a number, got '",
+                      val, "'");
+            }
+        };
+
+        if (key == "NAME") {
+            c.name = val;
+        } else if (key == "DN_TYPE") {
+            if (uval == "TREE") c.dn_type = DnType::Tree;
+            else if (uval == "BENES") c.dn_type = DnType::Benes;
+            else if (uval == "POP" || uval == "POINT_TO_POINT")
+                c.dn_type = DnType::PointToPoint;
+            else fatal("unknown DN_TYPE '", val, "'");
+        } else if (key == "MN_TYPE") {
+            if (uval == "LINEAR") c.mn_type = MnType::Linear;
+            else if (uval == "DISABLED") c.mn_type = MnType::Disabled;
+            else fatal("unknown MN_TYPE '", val, "'");
+        } else if (key == "RN_TYPE") {
+            if (uval == "ART") c.rn_type = RnType::Art;
+            else if (uval == "ART_ACC") c.rn_type = RnType::ArtAcc;
+            else if (uval == "FAN") c.rn_type = RnType::Fan;
+            else if (uval == "LINEAR") c.rn_type = RnType::Linear;
+            else fatal("unknown RN_TYPE '", val, "'");
+        } else if (key == "CONTROLLER" || key == "MEM_CONTROLLER") {
+            if (uval == "DENSE") c.controller_type = ControllerType::Dense;
+            else if (uval == "SPARSE")
+                c.controller_type = ControllerType::Sparse;
+            else if (uval == "SNAPEA")
+                c.controller_type = ControllerType::Snapea;
+            else fatal("unknown CONTROLLER '", val, "'");
+        } else if (key == "DATAFLOW") {
+            if (uval == "OS") c.dataflow = Dataflow::OutputStationary;
+            else if (uval == "WS") c.dataflow = Dataflow::WeightStationary;
+            else if (uval == "IS") c.dataflow = Dataflow::InputStationary;
+            else fatal("unknown DATAFLOW '", val, "'");
+        } else if (key == "SPARSE_FORMAT") {
+            if (uval == "CSR") c.sparse_format = SparseFormat::Csr;
+            else if (uval == "BITMAP") c.sparse_format = SparseFormat::Bitmap;
+            else fatal("unknown SPARSE_FORMAT '", val, "'");
+        } else if (key == "MS_SIZE" || key == "NUM_MS") {
+            c.ms_size = as_int();
+        } else if (key == "DN_BANDWIDTH") {
+            c.dn_bandwidth = as_int();
+        } else if (key == "RN_BANDWIDTH") {
+            c.rn_bandwidth = as_int();
+        } else if (key == "FIFO_CAPACITY") {
+            c.fifo_capacity = as_int();
+        } else if (key == "ACCUMULATOR_SIZE") {
+            c.accumulator_size = as_int();
+        } else if (key == "GB_SIZE_KIB") {
+            c.gb_size_kib = as_int();
+        } else if (key == "DRAM_BANDWIDTH_GBPS") {
+            c.dram_bandwidth_gbps = as_double();
+        } else if (key == "DRAM_LATENCY_CYCLES") {
+            c.dram_latency_cycles = as_int();
+        } else if (key == "CLOCK_GHZ") {
+            c.clock_ghz = as_double();
+        } else if (key == "ENERGY_TABLE") {
+            c.energy_table_path = val;
+        } else if (key == "AREA_TABLE") {
+            c.area_table_path = val;
+        } else if (key == "DATA_TYPE") {
+            if (uval == "FP8") c.data_type = DataType::FP8;
+            else if (uval == "FP16") c.data_type = DataType::FP16;
+            else if (uval == "INT8") c.data_type = DataType::INT8;
+            else if (uval == "FP32") c.data_type = DataType::FP32;
+            else fatal("unknown DATA_TYPE '", val, "'");
+        } else {
+            fatal("unknown config key '", key, "' at line ", lineno);
+        }
+    }
+    c.validate();
+    return c;
+}
+
+HardwareConfig
+HardwareConfig::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open hardware configuration file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+std::string
+HardwareConfig::toConfigText() const
+{
+    std::ostringstream os;
+    os << "name = " << name << "\n"
+       << "dn_type = " << dnTypeName(dn_type) << "\n"
+       << "mn_type = " << mnTypeName(mn_type) << "\n"
+       << "rn_type = " << rnTypeName(rn_type) << "\n"
+       << "controller = " << controllerTypeName(controller_type) << "\n"
+       << "dataflow = " << dataflowName(dataflow) << "\n"
+       << "sparse_format = "
+       << (sparse_format == SparseFormat::Csr ? "CSR" : "BITMAP") << "\n"
+       << "ms_size = " << ms_size << "\n"
+       << "dn_bandwidth = " << dn_bandwidth << "\n"
+       << "rn_bandwidth = " << rn_bandwidth << "\n"
+       << "fifo_capacity = " << fifo_capacity << "\n"
+       << "accumulator_size = " << accumulator_size << "\n"
+       << "gb_size_kib = " << gb_size_kib << "\n"
+       << "dram_bandwidth_gbps = " << dram_bandwidth_gbps << "\n"
+       << "dram_latency_cycles = " << dram_latency_cycles << "\n"
+       << "clock_ghz = " << clock_ghz << "\n"
+       << "data_type = " << dataTypeName(data_type) << "\n";
+    if (!energy_table_path.empty())
+        os << "energy_table = " << energy_table_path << "\n";
+    if (!area_table_path.empty())
+        os << "area_table = " << area_table_path << "\n";
+    return os.str();
+}
+
+} // namespace stonne

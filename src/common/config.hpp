@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Hardware configuration of a simulated accelerator instance.
+ *
+ * This is the in-memory form of the `stonne_hw.cfg` file from the paper:
+ * it selects one implementation for each of the three on-chip network
+ * fabrics (DN / MN / RN), the memory controller, and sizes the memory
+ * hierarchy. Presets reproduce the Table IV compositions (TPU-like,
+ * MAERI-like, SIGMA-like) plus the SNAPEA extension of use case 2.
+ */
+
+#ifndef STONNE_COMMON_CONFIG_HPP
+#define STONNE_COMMON_CONFIG_HPP
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Distribution network implementations (Section IV-A.1). */
+enum class DnType {
+    Tree,         //!< MAERI-style binary distribution tree
+    Benes,        //!< SIGMA-style non-blocking Benes network
+    PointToPoint, //!< systolic-array injection links (TPU)
+};
+
+/** Multiplier network implementations (Section IV-A.2). */
+enum class MnType {
+    Linear,   //!< forwarding links between neighbours (MAERI, TPU)
+    Disabled, //!< no forwarding links, pure GEMM (SIGMA, SpArch)
+};
+
+/** Reduction network implementations (Section IV-A.3). */
+enum class RnType {
+    Art,       //!< augmented reduction tree, 3:1 adders (MAERI)
+    ArtAcc,    //!< ART with accumulation buffer at the collection point
+    Fan,       //!< forwarding adder network, 2:1 adders (SIGMA)
+    Linear,    //!< linear reduction (TPU, Eyeriss, ShiDianNao)
+};
+
+/** Memory controller implementations (Section IV-B). */
+enum class ControllerType {
+    Dense,  //!< mRNA-style fixed-tile orchestration
+    Sparse, //!< CSR/bitmap GEMM with variable cluster sizes
+    Snapea, //!< dense + sign-sorted weights + early negative cut-off
+};
+
+/** Loop-order dataflow implemented by the memory controllers. */
+enum class Dataflow {
+    OutputStationary,
+    WeightStationary,
+    InputStationary,
+};
+
+/** Sparse matrix encoding accepted by the sparse controller. */
+enum class SparseFormat {
+    Csr,
+    Bitmap,
+};
+
+const char *dnTypeName(DnType t);
+const char *mnTypeName(MnType t);
+const char *rnTypeName(RnType t);
+const char *controllerTypeName(ControllerType t);
+const char *dataflowName(Dataflow d);
+
+/** Full description of one simulated accelerator instance. */
+struct HardwareConfig {
+    std::string name = "custom";
+
+    DnType dn_type = DnType::Tree;
+    MnType mn_type = MnType::Linear;
+    RnType rn_type = RnType::ArtAcc;
+    ControllerType controller_type = ControllerType::Dense;
+    Dataflow dataflow = Dataflow::OutputStationary;
+    SparseFormat sparse_format = SparseFormat::Csr;
+
+    /** Number of multiplier switches (processing elements). */
+    index_t ms_size = 256;
+
+    /**
+     * Elements per cycle the Global Buffer can feed into the DN
+     * (read ports) and absorb from the RN (write ports).
+     */
+    index_t dn_bandwidth = 128;
+    index_t rn_bandwidth = 128;
+
+    /** Per-switch FIFO capacity, in elements. */
+    index_t fifo_capacity = 8;
+
+    /** Accumulation buffer entries for the ART+ACC collection point. */
+    index_t accumulator_size = 256;
+
+    /** Global Buffer capacity in KiB (paper use cases: 108 KB). */
+    index_t gb_size_kib = 108;
+
+    /** Off-chip DRAM bandwidth, GB/s aggregated over modules. */
+    double dram_bandwidth_gbps = 512.0;
+
+    /** DRAM access latency in cycles. */
+    index_t dram_latency_cycles = 100;
+
+    /** Clock frequency in GHz (timing reports only). */
+    double clock_ghz = 1.0;
+
+    /** Numeric format of DNN parameters in simulated memory. */
+    DataType data_type = DataType::FP8;
+
+    /** Optional energy-table file (empty = per-datatype defaults). */
+    std::string energy_table_path;
+
+    /** Optional area-table file (empty = per-datatype defaults). */
+    std::string area_table_path;
+
+    /** Validate the composition, throwing FatalError on conflicts. */
+    void validate() const;
+
+    /** TPU-like OS systolic array (Table IV column 1). */
+    static HardwareConfig tpuLike(index_t pes = 256);
+
+    /** MAERI-like flexible dense accelerator (Table IV column 2). */
+    static HardwareConfig maeriLike(index_t ms = 256, index_t bw = 128);
+
+    /** SIGMA-like flexible sparse accelerator (Table IV column 3). */
+    static HardwareConfig sigmaLike(index_t ms = 256, index_t bw = 128);
+
+    /** SNAPEA extension of the dense pipeline (use case 2). */
+    static HardwareConfig snapeaLike(index_t ms = 64, index_t bw = 64);
+
+    /**
+     * ShiDianNao-like output-stationary array (8x8 MACs in the
+     * original): the same systolic composition as the TPU at a
+     * vision-sensor scale.
+     */
+    static HardwareConfig shiDianNaoLike(index_t pes = 64);
+
+    /**
+     * Flexible dense accelerator with the plain ART (no accumulation
+     * buffer): psums from folded dot products round-trip through the
+     * GB (the ART+DIST collection style of Section IV-A.3).
+     */
+    static HardwareConfig flexibleArtDist(index_t ms = 256,
+                                          index_t bw = 128);
+
+    /** Parse a `stonne_hw.cfg`-style key = value configuration string. */
+    static HardwareConfig parse(const std::string &text);
+
+    /** Load and parse a configuration file from disk. */
+    static HardwareConfig parseFile(const std::string &path);
+
+    /** Serialize back to key = value form. */
+    std::string toConfigText() const;
+};
+
+} // namespace stonne
+
+#endif // STONNE_COMMON_CONFIG_HPP

@@ -1,0 +1,195 @@
+#include "common/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeInt(std::int64_t i)
+{
+    JsonValue v;
+    v.kind_ = Kind::Int;
+    v.int_ = i;
+    return v;
+}
+
+JsonValue
+JsonValue::makeUint(std::uint64_t i)
+{
+    return makeInt(static_cast<std::int64_t>(i));
+}
+
+JsonValue
+JsonValue::makeDouble(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Double;
+    v.double_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue &
+JsonValue::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    panicIf(kind_ != Kind::Object, "operator[] on non-object json value");
+    for (auto &m : members_)
+        if (m.first == key)
+            return m.second;
+    members_.emplace_back(key, JsonValue());
+    return members_.back().second;
+}
+
+JsonValue &
+JsonValue::append(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    panicIf(kind_ != Kind::Array, "append on non-array json value");
+    array_.push_back(std::move(v));
+    return array_.back();
+}
+
+void JsonValue::set(const std::string &k, std::int64_t v)
+{ (*this)[k] = makeInt(v); }
+void JsonValue::set(const std::string &k, std::uint64_t v)
+{ (*this)[k] = makeUint(v); }
+void JsonValue::set(const std::string &k, double v)
+{ (*this)[k] = makeDouble(v); }
+void JsonValue::set(const std::string &k, const std::string &v)
+{ (*this)[k] = makeString(v); }
+void JsonValue::set(const std::string &k, const char *v)
+{ (*this)[k] = makeString(v); }
+void JsonValue::set(const std::string &k, bool v)
+{ (*this)[k] = makeBool(v); }
+
+void
+JsonValue::escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    out += '"';
+}
+
+void
+JsonValue::dumpInto(std::string &out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    const std::string pad_close(static_cast<std::size_t>(indent * depth), ' ');
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Int: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+        out += buf;
+        break;
+      }
+      case Kind::Double: {
+        char buf[64];
+        if (std::isfinite(double_))
+            std::snprintf(buf, sizeof(buf), "%.6g", double_);
+        else
+            std::snprintf(buf, sizeof(buf), "null");
+        out += buf;
+        break;
+      }
+      case Kind::String:
+        escapeInto(out, string_);
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            out += pad;
+            array_[i].dumpInto(out, indent, depth + 1);
+            if (i + 1 < array_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad_close + "]";
+        break;
+      case Kind::Object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            out += pad;
+            escapeInto(out, members_[i].first);
+            out += ": ";
+            members_[i].second.dumpInto(out, indent, depth + 1);
+            if (i + 1 < members_.size())
+                out += ',';
+            out += '\n';
+        }
+        out += pad_close + "}";
+        break;
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpInto(out, indent, 0);
+    return out;
+}
+
+} // namespace stonne

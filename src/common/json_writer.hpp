@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON emitter for the output module's stats summary file.
+ *
+ * Supports exactly what the output module needs: nested objects, arrays,
+ * string/number/bool values, and stable insertion order. No parsing.
+ */
+
+#ifndef STONNE_COMMON_JSON_WRITER_HPP
+#define STONNE_COMMON_JSON_WRITER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stonne {
+
+/** A JSON value tree with insertion-ordered object members. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    JsonValue() : kind_(Kind::Null) {}
+
+    static JsonValue makeBool(bool b);
+    static JsonValue makeInt(std::int64_t v);
+    static JsonValue makeUint(std::uint64_t v);
+    static JsonValue makeDouble(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    Kind kind() const { return kind_; }
+
+    /** Object member access, creating the member when absent. */
+    JsonValue &operator[](const std::string &key);
+
+    /** Append to an array value. */
+    JsonValue &append(JsonValue v);
+
+    /** Serialize with 2-space indentation. */
+    std::string dump(int indent = 2) const;
+
+    // Convenience setters keeping call sites terse.
+    void set(const std::string &k, std::int64_t v);
+    void set(const std::string &k, std::uint64_t v);
+    void set(const std::string &k, double v);
+    void set(const std::string &k, const std::string &v);
+    void set(const std::string &k, const char *v);
+    void set(const std::string &k, bool v);
+
+  private:
+    void dumpInto(std::string &out, int indent, int depth) const;
+    static void escapeInto(std::string &out, const std::string &s);
+
+    Kind kind_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_COMMON_JSON_WRITER_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic random number generation for synthetic weights and inputs.
+ *
+ * Every experiment in this reproduction is seeded so that test and bench
+ * results are exactly reproducible across runs and machines.
+ */
+
+#ifndef STONNE_COMMON_RNG_HPP
+#define STONNE_COMMON_RNG_HPP
+
+#include <cstdint>
+#include <random>
+
+namespace stonne {
+
+/** Thin deterministic wrapper around std::mt19937_64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x570AA1u) : gen_(seed) {}
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo = -1.0f, float hi = 1.0f)
+    {
+        std::uniform_real_distribution<float> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Gaussian float. */
+    float
+    normal(float mean = 0.0f, float stddev = 1.0f)
+    {
+        std::normal_distribution<float> d(mean, stddev);
+        return d(gen_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    integer(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> d(lo, hi);
+        return d(gen_);
+    }
+
+    /** Bernoulli draw. */
+    bool
+    chance(double p)
+    {
+        std::bernoulli_distribution d(p);
+        return d(gen_);
+    }
+
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_COMMON_RNG_HPP

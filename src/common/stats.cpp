@@ -1,0 +1,91 @@
+#include "common/stats.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+const char *
+statGroupName(StatGroup g)
+{
+    switch (g) {
+      case StatGroup::GlobalBuffer:        return "GB";
+      case StatGroup::DistributionNetwork: return "DN";
+      case StatGroup::MultiplierNetwork:   return "MN";
+      case StatGroup::ReductionNetwork:    return "RN";
+      case StatGroup::Dram:                return "DRAM";
+      case StatGroup::Other:               return "OTHER";
+    }
+    return "?";
+}
+
+StatCounter &
+StatsRegistry::counter(const std::string &name, StatGroup group)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        StatCounter &c = counters_[it->second];
+        panicIf(c.group != group,
+                "stat counter ", name, " re-registered in another group");
+        return c;
+    }
+    index_[name] = counters_.size();
+    counters_.push_back(StatCounter{name, group, 0});
+    return counters_.back();
+}
+
+count_t
+StatsRegistry::value(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? 0 : counters_[it->second].value;
+}
+
+count_t
+StatsRegistry::groupTotal(StatGroup g) const
+{
+    count_t total = 0;
+    for (const auto &c : counters_)
+        if (c.group == g)
+            total += c.value;
+    return total;
+}
+
+std::vector<count_t>
+StatsRegistry::snapshot() const
+{
+    std::vector<count_t> v;
+    v.reserve(counters_.size());
+    for (const auto &c : counters_)
+        v.push_back(c.value);
+    return v;
+}
+
+StatsRegistry
+StatsRegistry::delta(const std::vector<count_t> &before) const
+{
+    StatsRegistry d;
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+        const count_t prev = i < before.size() ? before[i] : 0;
+        panicIf(counters_[i].value < prev,
+                "stat counter ", counters_[i].name, " went backwards");
+        d.counter(counters_[i].name, counters_[i].group).value =
+            counters_[i].value - prev;
+    }
+    return d;
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &c : counters_)
+        c.value = 0;
+}
+
+void
+StatsRegistry::clear()
+{
+    counters_.clear();
+    index_.clear();
+}
+
+} // namespace stonne

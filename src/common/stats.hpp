@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Activity-counter registry used by every simulated hardware component.
+ *
+ * STONNE's output module reports two artifacts: a JSON summary and a
+ * "counter file" with per-component activity counts (multiplications, adder
+ * firings, link traversals, SRAM accesses, ...). The table-based energy
+ * model consumes those counts. This registry is the in-memory form of the
+ * counter file: a flat map of hierarchical counter names to counts, grouped
+ * by architectural component so energy can be broken down into GB / DN /
+ * MN / RN as in Figure 5b of the paper.
+ */
+
+#ifndef STONNE_COMMON_STATS_HPP
+#define STONNE_COMMON_STATS_HPP
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stonne {
+
+/**
+ * Architectural component groups used for energy breakdowns.
+ * Matches the breakdown of Figure 5b: Global Buffer, Distribution
+ * Network, Multiplier Network, Reduction Network (+ DRAM, not plotted).
+ */
+enum class StatGroup {
+    GlobalBuffer,
+    DistributionNetwork,
+    MultiplierNetwork,
+    ReductionNetwork,
+    Dram,
+    Other,
+};
+
+/** Name of a stat group as used in reports. */
+const char *statGroupName(StatGroup g);
+
+/** One named activity counter. */
+struct StatCounter {
+    std::string name;   //!< hierarchical name, e.g. "mn.mult_ops"
+    StatGroup group;    //!< component group for energy breakdowns
+    count_t value = 0;
+};
+
+/**
+ * Registry of activity counters for one accelerator instance.
+ *
+ * Components obtain counters at construction time and bump them with
+ * add(); lookups by name are only used by tests and the output module.
+ */
+class StatsRegistry
+{
+  public:
+    /**
+     * Get (creating if needed) the counter with the given name/group.
+     * The returned reference stays valid for the registry's lifetime:
+     * counters live in a deque so later registrations never move them.
+     */
+    StatCounter &counter(const std::string &name, StatGroup group);
+
+    /** Value of a counter, 0 when it has never been registered. */
+    count_t value(const std::string &name) const;
+
+    /** Sum of all counters in a group. */
+    count_t groupTotal(StatGroup g) const;
+
+    /** All counters in registration order. */
+    const std::deque<StatCounter> &counters() const { return counters_; }
+
+    /** Snapshot of all counter values in registration order. */
+    std::vector<count_t> snapshot() const;
+
+    /**
+     * Registry holding this registry's counters minus an earlier
+     * snapshot — the activity of one operation. Counters registered
+     * after the snapshot keep their full value.
+     */
+    StatsRegistry delta(const std::vector<count_t> &before) const;
+
+    /** Reset every counter to zero (keeps registrations). */
+    void reset();
+
+    /** Zero-state: no counters registered at all. */
+    void clear();
+
+  private:
+    std::deque<StatCounter> counters_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_COMMON_STATS_HPP

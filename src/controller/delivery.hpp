@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cycle-by-cycle delivery of a fetch list through GB read ports + DN.
+ *
+ * Shared by all memory controllers: per cycle the Global Buffer grants up
+ * to its read bandwidth, the distribution network injects up to its own
+ * bandwidth, and the controller retries the remainder — the stall
+ * mechanism that separates STONNE's timing from the analytical models.
+ */
+
+#ifndef STONNE_CONTROLLER_DELIVERY_HPP
+#define STONNE_CONTROLLER_DELIVERY_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "mem/global_buffer.hpp"
+#include "network/unit.hpp"
+
+namespace stonne {
+
+/**
+ * Count elements of sorted `cur` absent from sorted `prev` — the
+ * operands that must come from the GB rather than from the multiplier
+ * network's neighbour-forwarding links.
+ */
+inline index_t
+countFresh(const std::vector<std::int64_t> &cur,
+           const std::vector<std::int64_t> &prev)
+{
+    index_t fresh = 0;
+    std::size_t i = 0, j = 0;
+    while (i < cur.size()) {
+        if (j >= prev.size() || cur[i] < prev[j]) {
+            ++fresh;
+            ++i;
+        } else if (cur[i] == prev[j]) {
+            ++i;
+            ++j;
+        } else {
+            ++j;
+        }
+    }
+    return fresh;
+}
+
+/**
+ * Stream `count` elements of the same kind/fanout from the GB through
+ * the DN, cycle by cycle.
+ * @return the number of cycles the delivery occupied.
+ */
+inline cycle_t
+deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
+                index_t fanout, PackageKind kind)
+{
+    panicIf(count < 0, "negative delivery count");
+    cycle_t cycles = 0;
+    index_t remaining = count;
+    while (remaining > 0) {
+        gb.nextCycle();
+        dn.cycle();
+        const index_t want = std::min(remaining, dn.bandwidth());
+        const index_t granted = gb.readBulk(want);
+        const index_t sent = dn.injectBulk(granted, fanout, kind);
+        panicIf(sent <= 0, "delivery made no progress in a cycle");
+        remaining -= sent;
+        ++cycles;
+    }
+    return cycles;
+}
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_DELIVERY_HPP

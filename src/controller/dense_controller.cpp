@@ -1,0 +1,628 @@
+#include "controller/dense_controller.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/logging.hpp"
+#include "controller/delivery.hpp"
+#include "network/dn_popn.hpp"
+#include "network/rn_linear.hpp"
+#include "network/systolic.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+
+namespace {
+
+index_t
+blocks(index_t total, index_t t)
+{
+    return (total + t - 1) / t;
+}
+
+} // namespace
+
+DenseController::DenseController(const HardwareConfig &cfg,
+                                 DistributionNetwork &dn,
+                                 MultiplierArray &mn, ReductionNetwork &rn,
+                                 GlobalBuffer &gb, Dram &dram)
+    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
+      mapper_(cfg.ms_size)
+{
+    cfg_.validate();
+}
+
+float
+DenseController::convOutputValue(const Conv2dShape &shape,
+                                 const Tensor &input, const Tensor &weights,
+                                 const Tensor &bias, index_t n, index_t ko,
+                                 index_t ox, index_t oy)
+{
+    const index_t cg = shape.cPerGroup();
+    const index_t g = ko / shape.kPerGroup();
+    const float *in = input.data();
+    const float *w = weights.data() + ko * cg * shape.R * shape.S;
+    const index_t in_c_stride = shape.X * shape.Y;
+    const index_t in_n_stride = shape.C * in_c_stride;
+
+    float acc = 0.0f;
+    for (index_t c = 0; c < cg; ++c) {
+        const float *in_c =
+            in + n * in_n_stride + (g * cg + c) * in_c_stride;
+        for (index_t r = 0; r < shape.R; ++r) {
+            const index_t ix = ox * shape.stride + r - shape.padding;
+            if (ix < 0 || ix >= shape.X) {
+                w += shape.S;
+                continue;
+            }
+            const float *in_row = in_c + ix * shape.Y;
+            for (index_t s = 0; s < shape.S; ++s, ++w) {
+                const index_t iy = oy * shape.stride + s - shape.padding;
+                if (iy < 0 || iy >= shape.Y)
+                    continue;
+                acc += *w * in_row[iy];
+            }
+        }
+    }
+    return acc + (bias.empty() ? 0.0f : bias.at(ko));
+}
+
+ControllerResult
+DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
+                                 const Tensor &input, const Tensor &weights,
+                                 const Tensor &bias, Tensor &output)
+{
+    shape.validate();
+    const index_t cg = shape.cPerGroup();
+    const index_t kg = shape.kPerGroup();
+    const index_t xo = shape.outX();
+    const index_t yo = shape.outY();
+    const index_t window = shape.R * shape.S * cg;
+    const index_t vn = tile.vnSize();
+    const index_t folds = tile.folds(window);
+    const bool folding = folds > 1;
+    const index_t bpe = bytesPerElement(cfg_.data_type);
+
+    ControllerResult res;
+    const count_t mem0 = gb_.totalReads() + gb_.totalWrites();
+    const count_t mult0 = mn_.multOps();
+
+    const index_t nbx = blocks(xo, tile.t_x);
+    const index_t nby = blocks(yo, tile.t_y);
+    const index_t nbn = blocks(shape.N, tile.t_n);
+    const index_t total_steps = nbn * nbx * nby;
+
+    // Loop order follows the configured dataflow (Section IV-B):
+    //  - OS: position chunks sized to the accumulator, so psums stay at
+    //    the collection point until complete.
+    //  - WS: each weight fold streams over ALL positions before the
+    //    next fold loads — weights are fetched exactly once, but psums
+    //    beyond the accumulator capacity round-trip through the GB.
+    //  - IS: like OS, but activations stay resident in the array across
+    //    filter blocks; only the first filter block fetches them.
+    const index_t outs_per_step = tile.numVns();
+    index_t steps_per_chunk = total_steps;
+    if (folding && rn_.supportsAccumulation() &&
+        cfg_.dataflow != Dataflow::WeightStationary) {
+        steps_per_chunk = std::max<index_t>(
+            1, cfg_.accumulator_size / outs_per_step);
+    }
+    // Psums spill to the GB when they outlive the accumulator: always
+    // for the plain ART+DIST, and for WS whenever a fold's outputs
+    // exceed the buffer.
+    const bool psum_spill = folding &&
+        (!rn_.supportsAccumulation() ||
+         (cfg_.dataflow == Dataflow::WeightStationary &&
+          steps_per_chunk * outs_per_step > cfg_.accumulator_size));
+    const bool input_stationary =
+        cfg_.dataflow == Dataflow::InputStationary;
+
+    // Helper: cycles to push n outputs through the RN collection bus.
+    auto write_drain = [&](index_t n) {
+        cycle_t c = 0;
+        while (n > 0) {
+            gb_.nextCycle();
+            n -= gb_.writeBulk(n);
+            ++c;
+        }
+        return c;
+    };
+
+    // Stage the input activations: traffic is accounted, but the
+    // cycles are hidden by the double-buffered prefetch (the previous
+    // layer's execution overlaps the first tile's transfer).
+    (void)dram_.transferCycles(
+        std::min(input.size(), gb_.capacityElements() / 2) * bpe);
+
+    // Per-step fetch list (lane-tagged for multicast accounting) and
+    // the previous step's absolute-coordinate footprint: an element
+    // already present anywhere in the array can reach its consumer over
+    // the neighbour-forwarding links instead of the GB.
+    std::vector<std::int64_t> fetch, prev_abs, cur_abs;
+    cycle_t prev_block_cycles = 0;
+
+    // Pipeline fill: the multiply/reduce/collect pipeline fills once and
+    // stays full across folds and filter blocks (weights and operands
+    // stream continuously).
+    res.cycles += 1 +
+        static_cast<cycle_t>(rn_.latency(std::min(vn, window))) + 1;
+
+    // Weight reconfiguration is double-buffered: the next fold's
+    // weights stream while the current fold computes, so only the
+    // excess over the previous fold's compute time is exposed.
+    cycle_t prev_fold_cycles = 0;
+
+    for (index_t g0 = 0; g0 < shape.G; g0 += tile.t_g) {
+        const index_t tg = std::min(tile.t_g, shape.G - g0);
+        for (index_t k0 = 0; k0 < kg; k0 += tile.t_k) {
+            const index_t tk = std::min(tile.t_k, kg - k0);
+            cycle_t block_cycles = 0;
+
+            // Next weight tile staged from the DRAM prefetch stream
+            // behind the previous block's compute.
+            res.cycles += dram_.streamingStall(tg * tk * window * bpe,
+                                               prev_block_cycles);
+
+            for (index_t chunk0 = 0; chunk0 < total_steps;
+                 chunk0 += steps_per_chunk) {
+                const index_t chunk_len =
+                    std::min(steps_per_chunk, total_steps - chunk0);
+                index_t chunk_outputs = 0;
+
+                for (index_t f = 0; f < folds; ++f) {
+                    const index_t e0 = f * vn;
+                    const index_t len = std::min(vn, window - e0);
+
+                    // Weight reconfiguration: tg*tk*len distinct values,
+                    // multicast across the position clusters; only the
+                    // part the previous fold's compute could not hide
+                    // is exposed.
+                    const cycle_t w_cycles = deliverElements(
+                        dn_, gb_, tg * tk * len,
+                        tile.t_n * tile.t_x * tile.t_y,
+                        PackageKind::Weight);
+                    block_cycles += w_cycles > prev_fold_cycles
+                        ? w_cycles - prev_fold_cycles : 0;
+                    cycle_t fold_cycles = 0;
+
+                    bool have_prev = false;
+                    for (index_t si = 0; si < chunk_len; ++si) {
+                        const index_t s = chunk0 + si;
+                        const index_t yb = s % nby;
+                        const index_t xb = (s / nby) % nbx;
+                        const index_t nb = s / (nby * nbx);
+                        const index_t y0p = yb * tile.t_y;
+                        const index_t x0p = xb * tile.t_x;
+                        const index_t n0p = nb * tile.t_n;
+                        const index_t ty = std::min(tile.t_y, yo - y0p);
+                        const index_t tx = std::min(tile.t_x, xo - x0p);
+                        const index_t tn =
+                            std::min(tile.t_n, shape.N - n0p);
+
+                        // Fetch list: in-bounds input coordinates of this
+                        // fold slice across all mapped positions. Filters
+                        // share inputs (multicast across tk), so k does
+                        // not appear in the coordinates. Different
+                        // position lanes map the same element to
+                        // different leaf offsets, so the tree cannot
+                        // merge them into one multicast: coordinates are
+                        // tagged per lane, and only the lane's own
+                        // sliding-window overlap is reused (over the LMN
+                        // forwarding links).
+                        fetch.clear();
+                        index_t lane = 0;
+                        for (index_t g = g0; g < g0 + tg; ++g) {
+                            for (index_t n = n0p; n < n0p + tn; ++n) {
+                                for (index_t x = x0p; x < x0p + tx; ++x) {
+                                    for (index_t y = y0p; y < y0p + ty;
+                                         ++y, ++lane) {
+                                        for (index_t e = e0; e < e0 + len;
+                                             ++e) {
+                                            const index_t c =
+                                                e / (shape.R * shape.S);
+                                            const index_t rem =
+                                                e % (shape.R * shape.S);
+                                            const index_t r = rem / shape.S;
+                                            const index_t s2 =
+                                                rem % shape.S;
+                                            const index_t ix =
+                                                x * shape.stride + r -
+                                                shape.padding;
+                                            const index_t iy =
+                                                y * shape.stride + s2 -
+                                                shape.padding;
+                                            if (ix < 0 || ix >= shape.X ||
+                                                iy < 0 || iy >= shape.Y)
+                                                continue;
+                                            const std::int64_t code =
+                                                ((n * shape.C +
+                                                  g * cg + c) * shape.X +
+                                                 ix) * shape.Y + iy;
+                                            fetch.push_back(
+                                                (lane << 44) | code);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        std::sort(fetch.begin(), fetch.end());
+                        fetch.erase(
+                            std::unique(fetch.begin(), fetch.end()),
+                            fetch.end());
+                        const auto distinct =
+                            static_cast<index_t>(fetch.size());
+
+                        constexpr std::int64_t kAbsMask =
+                            (std::int64_t{1} << 44) - 1;
+                        cur_abs.clear();
+                        for (const std::int64_t code : fetch)
+                            cur_abs.push_back(code & kAbsMask);
+                        std::sort(cur_abs.begin(), cur_abs.end());
+                        cur_abs.erase(std::unique(cur_abs.begin(),
+                                                  cur_abs.end()),
+                                      cur_abs.end());
+
+                        // Spatio-temporal reuse over the LMN forwarding
+                        // links: operands already in the array from the
+                        // previous step reach their consumer through
+                        // neighbour links instead of the GB.
+                        index_t fresh = distinct;
+                        if (input_stationary && k0 > 0) {
+                            // IS dataflow: this position chunk's inputs
+                            // were pinned by the first filter block.
+                            fresh = 0;
+                        } else if (mn_.hasForwardingLinks() && have_prev &&
+                            yb > 0) {
+                            fresh = 0;
+                            for (const std::int64_t code : fetch) {
+                                if (!std::binary_search(
+                                        prev_abs.begin(),
+                                        prev_abs.end(),
+                                        code & kAbsMask))
+                                    ++fresh;
+                            }
+                            mn_.forwardOperands(distinct - fresh);
+                        }
+
+                        cycle_t dl = deliverElements(dn_, gb_, fresh, tk,
+                                                     PackageKind::Input);
+
+                        const index_t active_vns = tg * tk * tn * tx * ty;
+                        mn_.fireMultipliers(
+                            std::min(active_vns * len, cfg_.ms_size));
+                        res.macs +=
+                            static_cast<count_t>(active_vns * len);
+                        for (index_t v = 0; v < active_vns; ++v)
+                            rn_.reduceCluster(len);
+
+                        cycle_t drain = 0;
+                        if (folding) {
+                            if (!psum_spill) {
+                                rn_.accumulate(active_vns);
+                            } else {
+                                // ART+DIST or an overflowing WS fold:
+                                // psums round-trip through the GB and
+                                // re-enter via the MN forwarders.
+                                drain = write_drain(active_vns);
+                                mn_.forwardPsums(active_vns);
+                                if (f > 0)
+                                    dl += deliverElements(
+                                        dn_, gb_, active_vns, 1,
+                                        PackageKind::Psum);
+                            }
+                        } else {
+                            drain = write_drain(active_vns);
+                        }
+                        if (f + 1 == folds)
+                            chunk_outputs += active_vns;
+
+                        fold_cycles += std::max<cycle_t>(
+                            {1, dl, drain});
+                        prev_abs.swap(cur_abs);
+                        have_prev = true;
+                    }
+                    block_cycles += fold_cycles;
+                    prev_fold_cycles = fold_cycles;
+                }
+
+                if (folding && !psum_spill)
+                    block_cycles += write_drain(chunk_outputs);
+            }
+
+            prev_block_cycles = block_cycles;
+            res.cycles += block_cycles;
+        }
+    }
+
+    // Functional results: every output reduced in canonical order so the
+    // simulator output bit-matches the CPU reference.
+    for (index_t n = 0; n < shape.N; ++n)
+        for (index_t ko = 0; ko < shape.K; ++ko)
+            for (index_t ox = 0; ox < xo; ++ox)
+                for (index_t oy = 0; oy < yo; ++oy)
+                    output.at(n, ko, ox, oy) = convOutputValue(
+                        shape, input, weights, bias, n, ko, ox, oy);
+
+    res.mem_accesses = gb_.totalReads() + gb_.totalWrites() - mem0;
+    res.ms_utilization = res.cycles > 0
+        ? static_cast<double>(mn_.multOps() - mult0) /
+          (static_cast<double>(cfg_.ms_size) *
+           static_cast<double>(res.cycles))
+        : 0.0;
+    return res;
+}
+
+ControllerResult
+DenseController::runGemmSystolic(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    auto *popn = dynamic_cast<PointToPointNetwork *>(&dn_);
+    auto *lrn = dynamic_cast<LinearReductionNetwork *>(&rn_);
+    fatalIf(!popn || !lrn,
+            "the systolic pipeline needs a point-to-point DN and a "
+            "linear RN");
+
+    // Square array: ms_size = rows * cols.
+    index_t rows = 1;
+    while (rows * rows < cfg_.ms_size)
+        rows <<= 1;
+    const index_t cols = cfg_.ms_size / rows;
+    fatalIf(gb_.readBandwidth() < rows + cols,
+            "a systolic array requires full edge bandwidth (",
+            rows + cols, " elements/cycle), configured ",
+            gb_.readBandwidth());
+
+    const count_t mem0 = gb_.totalReads() + gb_.totalWrites();
+    const count_t mult0 = mn_.multOps();
+    const index_t bpe = bytesPerElement(cfg_.data_type);
+
+    ControllerResult res;
+    // Operand staging overlaps the previous operation (double
+    // buffering); traffic is still accounted.
+    (void)dram_.transferCycles(
+        std::min(a.size() + b.size(), gb_.capacityElements()) * bpe);
+
+    SystolicArray array(rows, cols, *popn, mn_, *lrn, gb_);
+    const SystolicResult sr = array.run(a, b, c);
+    res.cycles += sr.cycles;
+    res.macs = sr.macs;
+    res.mem_accesses = gb_.totalReads() + gb_.totalWrites() - mem0;
+    res.ms_utilization = res.cycles > 0
+        ? static_cast<double>(mn_.multOps() - mult0) /
+          (static_cast<double>(cfg_.ms_size) *
+           static_cast<double>(res.cycles))
+        : 0.0;
+    return res;
+}
+
+ControllerResult
+DenseController::runConvSystolic(const Conv2dShape &shape,
+                                 const Tensor &input, const Tensor &weights,
+                                 const Tensor &bias, Tensor &output)
+{
+    ControllerResult res;
+    for (index_t g = 0; g < shape.G; ++g) {
+        const Tensor a = filtersToMatrix(weights, shape, g);
+        const Tensor b = im2col(input, shape, g);
+        Tensor c({a.dim(0), b.dim(1)});
+        ControllerResult r = runGemmSystolic(a, b, c);
+        if (!bias.empty()) {
+            const index_t k0 = g * shape.kPerGroup();
+            for (index_t k = 0; k < c.dim(0); ++k)
+                for (index_t j = 0; j < c.dim(1); ++j)
+                    c.at(k, j) += bias.at(k0 + k);
+        }
+        col2im(c, shape, g, output);
+        res.merge(r);
+    }
+    return res;
+}
+
+ControllerResult
+DenseController::runConvolution(const LayerSpec &layer, const Tile &tile,
+                                const Tensor &input, const Tensor &weights,
+                                const Tensor &bias, Tensor &output)
+{
+    fatalIf(layer.kind != LayerKind::Convolution,
+            "runConvolution expects a convolution layer");
+    layer.validate();
+    const Conv2dShape &c = layer.conv;
+    fatalIf(output.rank() != 4 || output.dim(0) != c.N ||
+            output.dim(1) != c.K || output.dim(2) != c.outX() ||
+            output.dim(3) != c.outY(),
+            "convolution output tensor shape mismatch");
+
+    if (cfg_.dn_type == DnType::PointToPoint)
+        return runConvSystolic(c, input, weights, bias, output);
+
+    tile.validate(layer, cfg_.ms_size);
+    return runConvFlexible(c, tile, input, weights, bias, output);
+}
+
+ControllerResult
+DenseController::runGemm(const LayerSpec &layer, const Tile &tile,
+                         const Tensor &a, const Tensor &b, Tensor &c)
+{
+    layer.validate();
+    const GemmDims g = layer.gemmView();
+    fatalIf(a.rank() != 2 || a.dim(0) != g.m || a.dim(1) != g.k,
+            "GEMM operand A shape mismatch");
+    fatalIf(b.rank() != 2 || b.dim(0) != g.k || b.dim(1) != g.n,
+            "GEMM operand B shape mismatch");
+    fatalIf(c.rank() != 2 || c.dim(0) != g.m || c.dim(1) != g.n,
+            "GEMM output shape mismatch");
+
+    if (cfg_.dn_type == DnType::PointToPoint)
+        return runGemmSystolic(a, b, c);
+
+    // Map the GEMM onto the convolution pipeline: M filters of a
+    // 1x1x(K)-element window over an input of K channels and N output
+    // columns. Tensors alias the GEMM operands (same row-major layout).
+    Conv2dShape shape;
+    shape.R = 1;
+    shape.S = 1;
+    shape.C = g.k;
+    shape.K = g.m;
+    shape.G = 1;
+    shape.N = 1;
+    shape.X = 1;
+    shape.Y = g.n;
+
+    Tile conv_tile;
+    conv_tile.t_c = tile.t_c;
+    conv_tile.t_k = tile.t_k;
+    conv_tile.t_y = tile.t_y;
+
+    const Tensor input = b.reshaped({1, g.k, 1, g.n});
+    const Tensor weights = a.reshaped({g.m, g.k, 1, 1});
+    Tensor out({1, g.m, 1, g.n});
+    ControllerResult r = runConvFlexible(shape, conv_tile, input, weights,
+                                         Tensor(), out);
+    c = out.reshaped({g.m, g.n});
+    return r;
+}
+
+ControllerResult
+DenseController::runLinear(const LayerSpec &layer, const Tile &tile,
+                           const Tensor &input, const Tensor &weights,
+                           const Tensor &bias, Tensor &output)
+{
+    fatalIf(layer.kind != LayerKind::Linear,
+            "runLinear expects a linear layer");
+    layer.validate();
+    const GemmDims g = layer.gemm; // m = out features, n = batch, k = in
+    fatalIf(input.rank() != 2 || input.dim(0) != g.n || input.dim(1) != g.k,
+            "linear input shape mismatch");
+    fatalIf(weights.rank() != 2 || weights.dim(0) != g.m ||
+            weights.dim(1) != g.k,
+            "linear weight shape mismatch");
+    fatalIf(output.rank() != 2 || output.dim(0) != g.n ||
+            output.dim(1) != g.m,
+            "linear output shape mismatch");
+
+    // B = input^T so columns are batch samples.
+    Tensor b({g.k, g.n});
+    for (index_t i = 0; i < g.n; ++i)
+        for (index_t j = 0; j < g.k; ++j)
+            b.at(j, i) = input.at(i, j);
+
+    Tensor c({g.m, g.n});
+    LayerSpec as_gemm =
+        LayerSpec::gemmLayer(layer.name + ".gemm", g.m, g.n, g.k);
+    ControllerResult r = runGemm(as_gemm, tile, weights, b, c);
+
+    for (index_t i = 0; i < g.n; ++i)
+        for (index_t j = 0; j < g.m; ++j)
+            output.at(i, j) =
+                c.at(j, i) + (bias.empty() ? 0.0f : bias.at(j));
+    return r;
+}
+
+ControllerResult
+DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
+                            Tensor &output)
+{
+    fatalIf(layer.kind != LayerKind::MaxPool,
+            "runMaxPool expects a max-pooling layer");
+    fatalIf(cfg_.dn_type == DnType::PointToPoint,
+            "max pooling is not mappable on the systolic composition");
+    layer.validate();
+
+    const Conv2dShape &c = layer.conv;
+    const index_t w = layer.pool_window;
+    const index_t st = layer.pool_stride;
+    const index_t xo = (c.X - w) / st + 1;
+    const index_t yo = (c.Y - w) / st + 1;
+    fatalIf(output.rank() != 4 || output.dim(0) != c.N ||
+            output.dim(1) != c.C || output.dim(2) != xo ||
+            output.dim(3) != yo,
+            "max pool output tensor shape mismatch");
+
+    const Tile tile = mapper_.generateTile(layer);
+    const index_t vn = tile.t_c;            // window slice per cluster
+    const index_t tk = tile.t_k;            // channels in parallel
+    const index_t ty = tile.t_y;            // positions in parallel
+    const index_t window = w * w;
+    const index_t folds = (window + vn - 1) / vn;
+
+    ControllerResult res;
+    const count_t mem0 = gb_.totalReads() + gb_.totalWrites();
+    const count_t mult0 = mn_.multOps();
+
+    auto write_drain = [&](index_t n) {
+        cycle_t cyc = 0;
+        while (n > 0) {
+            gb_.nextCycle();
+            n -= gb_.writeBulk(n);
+            ++cyc;
+        }
+        return cyc;
+    };
+
+    const index_t positions = c.N * xo * yo;
+    std::vector<std::int64_t> fetch, prev_fetch;
+
+    for (index_t c0 = 0; c0 < c.C; c0 += tk) {
+        const index_t tkc = std::min(tk, c.C - c0);
+        bool have_prev = false;
+        for (index_t p0 = 0; p0 < positions; p0 += ty) {
+            const index_t typ = std::min(ty, positions - p0);
+            cycle_t dl_total = 0;
+            for (index_t f = 0; f < folds; ++f) {
+                const index_t e0 = f * vn;
+                const index_t len = std::min(vn, window - e0);
+                fetch.clear();
+                index_t lane = 0;
+                for (index_t ch = c0; ch < c0 + tkc; ++ch) {
+                    for (index_t p = p0; p < p0 + typ; ++p, ++lane) {
+                        const index_t n = p / (xo * yo);
+                        const index_t ox = (p / yo) % xo;
+                        const index_t oy = p % yo;
+                        for (index_t e = e0; e < e0 + len; ++e) {
+                            const index_t r = e / w;
+                            const index_t s2 = e % w;
+                            const std::int64_t code =
+                                ((n * c.C + ch) * c.X + ox * st + r) *
+                                c.Y + oy * st + s2;
+                            fetch.push_back((lane << 44) | code);
+                        }
+                    }
+                }
+                std::sort(fetch.begin(), fetch.end());
+                fetch.erase(std::unique(fetch.begin(), fetch.end()),
+                            fetch.end());
+                const auto distinct = static_cast<index_t>(fetch.size());
+                index_t fresh = distinct;
+                if (mn_.hasForwardingLinks() && have_prev && st < w) {
+                    fresh = countFresh(fetch, prev_fetch);
+                    mn_.forwardOperands(distinct - fresh);
+                }
+                dl_total += deliverElements(dn_, gb_, fresh, 1,
+                                            PackageKind::Input);
+                const index_t clusters = tkc * typ;
+                for (index_t v = 0; v < clusters; ++v)
+                    rn_.reduceCluster(len);
+                if (folds > 1 && rn_.supportsAccumulation())
+                    rn_.accumulate(clusters);
+                prev_fetch.swap(fetch);
+                have_prev = true;
+            }
+            const cycle_t drain = write_drain(tkc * typ);
+            res.cycles += std::max<cycle_t>({1, dl_total, drain});
+        }
+    }
+    res.cycles += 1 + static_cast<cycle_t>(rn_.latency(std::min(vn, window)))
+        + 1;
+
+    output = ref::maxPool2d(input, w, st);
+
+    res.mem_accesses = gb_.totalReads() + gb_.totalWrites() - mem0;
+    res.ms_utilization = res.cycles > 0
+        ? static_cast<double>(mn_.multOps() - mult0) /
+          (static_cast<double>(cfg_.ms_size) *
+           static_cast<double>(res.cycles))
+        : 0.0;
+    return res;
+}
+
+} // namespace stonne

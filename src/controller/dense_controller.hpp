@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Dense memory controller (Section IV-B).
+ *
+ * Orchestrates data based on a fixed tile partition (mRNA-style): the
+ * Tile defines clusters (virtual neurons) of T_R*T_S*T_C multipliers and
+ * T_G*T_K*T_N*T_X'*T_Y' clusters mapped simultaneously. Folding iterates
+ * a cluster over a larger dot product, accumulating psums at the RN
+ * collection point (ART+ACC / FAN / LRN) or round-tripping them through
+ * the GB for the plain ART+DIST.
+ *
+ * The controller implements both the flexible pipeline (tree / Benes DN)
+ * and the rigid systolic pipeline (point-to-point DN) — the composition
+ * is selected from the hardware configuration, as in Table IV.
+ *
+ * Timing is simulated cycle by cycle: each compute step's fetch list is
+ * deduplicated against multicast (sharing across T_K clusters) and
+ * neighbour-forwarding reuse (LMN sliding window), then streamed through
+ * the bandwidth-limited GB/DN pipeline. Functional values bit-match the
+ * CPU reference because every output is reduced in canonical
+ * (channel, row, column) order.
+ */
+
+#ifndef STONNE_CONTROLLER_DENSE_CONTROLLER_HPP
+#define STONNE_CONTROLLER_DENSE_CONTROLLER_HPP
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "controller/mapper.hpp"
+#include "controller/result.hpp"
+#include "mem/dram.hpp"
+#include "mem/global_buffer.hpp"
+#include "network/mn_array.hpp"
+#include "network/unit.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stonne {
+
+/** mRNA-style fixed-tile dense memory controller. */
+class DenseController
+{
+  public:
+    DenseController(const HardwareConfig &cfg, DistributionNetwork &dn,
+                    MultiplierArray &mn, ReductionNetwork &rn,
+                    GlobalBuffer &gb, Dram &dram);
+
+    /**
+     * Run a convolution layer.
+     * @param input (N, C, X, Y); @param weights (K, C/G, R, S)
+     * @param bias (K) or empty; @param output out, (N, K, X', Y')
+     */
+    ControllerResult runConvolution(const LayerSpec &layer, const Tile &tile,
+                                    const Tensor &input,
+                                    const Tensor &weights, const Tensor &bias,
+                                    Tensor &output);
+
+    /** Run a dense GEMM: c(M x N) = a(M x K) * b(K x N). */
+    ControllerResult runGemm(const LayerSpec &layer, const Tile &tile,
+                             const Tensor &a, const Tensor &b, Tensor &c);
+
+    /**
+     * Run a fully-connected layer.
+     * @param input (N, C); @param weights (K, C); @param bias (K) or
+     * empty; @param output out, (N, K)
+     */
+    ControllerResult runLinear(const LayerSpec &layer, const Tile &tile,
+                               const Tensor &input, const Tensor &weights,
+                               const Tensor &bias, Tensor &output);
+
+    /**
+     * Run max pooling on the flexible fabric (MAX-configured RN
+     * clusters). Unsupported on the systolic composition.
+     * @param input (N, C, X, Y); @param output out, (N, C, X', Y')
+     */
+    ControllerResult runMaxPool(const LayerSpec &layer, const Tensor &input,
+                                Tensor &output);
+
+    const Mapper &mapper() const { return mapper_; }
+
+  protected:
+    /** Flexible-pipeline convolution (tree / Benes DN). */
+    ControllerResult runConvFlexible(const Conv2dShape &shape,
+                                     const Tile &tile, const Tensor &input,
+                                     const Tensor &weights,
+                                     const Tensor &bias, Tensor &output);
+
+    /** Rigid systolic convolution (im2col + OS array). */
+    ControllerResult runConvSystolic(const Conv2dShape &shape,
+                                     const Tensor &input,
+                                     const Tensor &weights,
+                                     const Tensor &bias, Tensor &output);
+
+    /** Systolic GEMM with stats plumbing. */
+    ControllerResult runGemmSystolic(const Tensor &a, const Tensor &b,
+                                     Tensor &c);
+
+    /** Canonical-order dot product of one output window. */
+    static float convOutputValue(const Conv2dShape &shape,
+                                 const Tensor &input, const Tensor &weights,
+                                 const Tensor &bias, index_t n, index_t ko,
+                                 index_t ox, index_t oy);
+
+    const HardwareConfig &config() const { return cfg_; }
+    DistributionNetwork &dn() { return dn_; }
+    MultiplierArray &mn() { return mn_; }
+    ReductionNetwork &rn() { return rn_; }
+    GlobalBuffer &gb() { return gb_; }
+    Dram &dram() { return dram_; }
+
+  private:
+    HardwareConfig cfg_;
+    DistributionNetwork &dn_;
+    MultiplierArray &mn_;
+    ReductionNetwork &rn_;
+    GlobalBuffer &gb_;
+    Dram &dram_;
+    Mapper mapper_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_DENSE_CONTROLLER_HPP

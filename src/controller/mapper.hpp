@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Mapper: generates tile configurations and reconfiguration signals.
+ *
+ * The paper's Mapper inspects the configured microarchitecture modules
+ * and the DNN layer type/shape, and produces the signals the
+ * Configuration Unit uses to set up the fabrics at runtime (mRNA-style
+ * mapping space). Here the mapper both auto-generates a good tile when
+ * the user supplies none and derives the per-layer mapping signals the
+ * engines consume.
+ */
+
+#ifndef STONNE_CONTROLLER_MAPPER_HPP
+#define STONNE_CONTROLLER_MAPPER_HPP
+
+#include "controller/tile.hpp"
+
+namespace stonne {
+
+/** Signals derived from a (layer, tile) pair for the engines. */
+struct MappingSignals {
+    index_t vn_size = 1;     //!< cluster dot-product slice
+    index_t num_vns = 1;     //!< clusters mapped at once
+    index_t folds = 1;       //!< folding steps to cover the window
+    index_t window = 1;      //!< full dot-product length (R*S*Cg / K)
+    bool folding = false;    //!< whether psum accumulation is needed
+    index_t used_ms = 1;     //!< multiplier switches occupied
+    double ms_utilization = 0.0; //!< used_ms / ms_size
+};
+
+/** Tile generator + signal derivation. */
+class Mapper
+{
+  public:
+    explicit Mapper(index_t ms_size);
+
+    /**
+     * Choose a tile for the layer: maximize mapped clusters with the
+     * whole window per cluster when it fits; otherwise map one
+     * ms_size-wide cluster and fold.
+     */
+    Tile generateTile(const LayerSpec &layer) const;
+
+    /** Derive engine signals from an explicit (layer, tile) pair. */
+    MappingSignals signals(const LayerSpec &layer, const Tile &tile) const;
+
+    index_t msSize() const { return ms_size_; }
+
+  private:
+    index_t ms_size_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_MAPPER_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Result of one operation executed by a memory controller.
+ */
+
+#ifndef STONNE_CONTROLLER_RESULT_HPP
+#define STONNE_CONTROLLER_RESULT_HPP
+
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Timing and activity summary of one accelerated operation. */
+struct ControllerResult {
+    cycle_t cycles = 0;          //!< total clock cycles
+    count_t macs = 0;            //!< multiply-accumulates performed
+    count_t skipped_macs = 0;    //!< MACs avoided (sparsity / SNAPEA)
+    count_t mem_accesses = 0;    //!< GB reads + writes of this operation
+    double ms_utilization = 0.0; //!< time-weighted multiplier occupancy
+
+    /** Merge another operation's result into this one (sequential). */
+    void
+    merge(const ControllerResult &o)
+    {
+        const double weighted = ms_utilization * static_cast<double>(cycles) +
+            o.ms_utilization * static_cast<double>(o.cycles);
+        cycles += o.cycles;
+        macs += o.macs;
+        skipped_macs += o.skipped_macs;
+        mem_accesses += o.mem_accesses;
+        ms_utilization =
+            cycles > 0 ? weighted / static_cast<double>(cycles) : 0.0;
+    }
+};
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_RESULT_HPP

@@ -1,0 +1,125 @@
+#include "controller/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+const char *
+schedulingPolicyName(SchedulingPolicy p)
+{
+    switch (p) {
+      case SchedulingPolicy::None:         return "NS";
+      case SchedulingPolicy::Random:       return "RDM";
+      case SchedulingPolicy::LargestFirst: return "LFF";
+    }
+    return "?";
+}
+
+std::vector<SparseRound>
+packRounds(const std::vector<index_t> &row_nnz, index_t ms_size,
+           SchedulingPolicy policy, std::uint64_t seed)
+{
+    fatalIf(ms_size <= 0, "packRounds needs a positive array size");
+    const auto rows = static_cast<index_t>(row_nnz.size());
+
+    // Scheduled visiting order of the filters. Fully pruned filters
+    // (zero non-zeros) never occupy switches and are dropped here; the
+    // controller emits their all-zero outputs directly.
+    std::vector<index_t> order;
+    order.reserve(static_cast<std::size_t>(rows));
+    for (index_t r = 0; r < rows; ++r)
+        if (row_nnz[static_cast<std::size_t>(r)] > 0)
+            order.push_back(r);
+
+    switch (policy) {
+      case SchedulingPolicy::None:
+        break;
+      case SchedulingPolicy::Random: {
+        std::mt19937_64 gen(seed);
+        std::shuffle(order.begin(), order.end(), gen);
+        break;
+      }
+      case SchedulingPolicy::LargestFirst:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](index_t a, index_t b) {
+                             return row_nnz[static_cast<std::size_t>(a)] >
+                                    row_nnz[static_cast<std::size_t>(b)];
+                         });
+        break;
+    }
+
+    const bool fill_search = policy == SchedulingPolicy::LargestFirst;
+
+    std::vector<SparseRound> rounds;
+    std::vector<bool> used(order.size(), false);
+    std::size_t cursor = 0;
+
+    while (cursor < order.size()) {
+        if (used[cursor]) {
+            ++cursor;
+            continue;
+        }
+        SparseRound round;
+        index_t capacity = ms_size;
+
+        // A filter larger than the whole array folds: dedicate full
+        // rounds to ms_size-wide chunks; the final partial chunk opens
+        // a round that can still host other filters.
+        const index_t head = order[cursor];
+        index_t head_nnz = row_nnz[static_cast<std::size_t>(head)];
+        index_t offset = 0;
+        while (head_nnz - offset > ms_size) {
+            SparseRound full;
+            full.segments.push_back(
+                SparseSegment{head, offset, ms_size, false});
+            full.nnz = ms_size;
+            rounds.push_back(std::move(full));
+            offset += ms_size;
+        }
+        round.segments.push_back(SparseSegment{
+            head, offset, head_nnz - offset, true});
+        if (offset == 0)
+            ++round.whole_filters;
+        capacity -= head_nnz - offset;
+        round.nnz += head_nnz - offset;
+        used[cursor] = true;
+
+        // Fill the remaining switches.
+        for (std::size_t i = cursor + 1;
+             i < order.size() && capacity > 0; ++i) {
+            if (used[i])
+                continue;
+            const index_t r = order[i];
+            const index_t nnz = row_nnz[static_cast<std::size_t>(r)];
+            if (nnz <= capacity) {
+                round.segments.push_back(SparseSegment{r, 0, nnz, true});
+                round.nnz += nnz;
+                ++round.whole_filters;
+                capacity -= nnz;
+                used[i] = true;
+            } else if (!fill_search) {
+                // NS / RDM close the round at the first misfit.
+                break;
+            }
+        }
+        rounds.push_back(std::move(round));
+    }
+    return rounds;
+}
+
+double
+averageFiltersPerRound(const std::vector<SparseRound> &rounds)
+{
+    if (rounds.empty())
+        return 0.0;
+    count_t whole = 0;
+    for (const auto &r : rounds)
+        whole += static_cast<count_t>(r.whole_filters);
+    return static_cast<double>(whole) / static_cast<double>(rounds.size());
+}
+
+} // namespace stonne

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Static filter scheduling for sparse accelerators (use case 3).
+ *
+ * When filters are pruned, their non-zero sizes vary wildly (Fig 7b);
+ * the order in which the sparse controller maps them onto the multiplier
+ * switches determines how many fit per round and thus the compute
+ * utilization. The paper studies three static policies:
+ *  - NS  (No Scheduling): natural order, close the round at the first
+ *    filter that does not fit.
+ *  - RDM (Random): shuffled order, same packing rule.
+ *  - LFF (Largest Filter First): always pick the largest remaining
+ *    filter that fits, then fill the leftover switches with as many
+ *    filters as possible in descending size order.
+ *
+ * Filters larger than the array fold across consecutive rounds.
+ */
+
+#ifndef STONNE_CONTROLLER_SCHEDULER_HPP
+#define STONNE_CONTROLLER_SCHEDULER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Static filter scheduling policies of use case 3. */
+enum class SchedulingPolicy {
+    None,         //!< NS: natural order
+    Random,       //!< RDM: shuffled order
+    LargestFirst, //!< LFF: descending size with gap filling
+};
+
+const char *schedulingPolicyName(SchedulingPolicy p);
+
+/** One contiguous chunk of a filter's non-zeros mapped in a round. */
+struct SparseSegment {
+    index_t row = 0;    //!< filter (CSR row) index
+    index_t begin = 0;  //!< offset into the row's non-zeros
+    index_t len = 0;    //!< non-zeros mapped in this round
+    bool last = false;  //!< whether this chunk completes the filter
+};
+
+/** One mapping round: the segments sharing the array simultaneously. */
+struct SparseRound {
+    std::vector<SparseSegment> segments;
+    index_t nnz = 0;          //!< multiplier switches occupied
+    index_t whole_filters = 0; //!< filters entirely mapped this round
+};
+
+/**
+ * Pack filters (given their nnz sizes) into mapping rounds.
+ *
+ * @param row_nnz per-filter non-zero count, natural order
+ * @param ms_size multiplier switches available
+ * @param policy scheduling policy deciding order and gap filling
+ * @param seed RNG seed for the Random policy
+ */
+std::vector<SparseRound> packRounds(const std::vector<index_t> &row_nnz,
+                                    index_t ms_size, SchedulingPolicy policy,
+                                    std::uint64_t seed = 1);
+
+/**
+ * Average number of *whole* filters simultaneously mapped per round
+ * (the Figure 7a metric).
+ */
+double averageFiltersPerRound(const std::vector<SparseRound> &rounds);
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_SCHEDULER_HPP

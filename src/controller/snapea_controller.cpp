@@ -1,0 +1,344 @@
+#include "controller/snapea_controller.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "controller/delivery.hpp"
+#include "controller/tile.hpp"
+
+namespace stonne {
+
+index_t
+SnapeaReorderTable::maxLength() const
+{
+    index_t m = 0;
+    for (const auto &ord : order)
+        m = std::max(m, static_cast<index_t>(ord.size()));
+    return m;
+}
+
+SnapeaReorderTable
+SnapeaReorderTable::build(const Tensor &weights)
+{
+    fatalIf(weights.rank() != 4, "reorder table expects rank-4 weights");
+    const index_t k = weights.dim(0);
+    const index_t window = weights.dim(1) * weights.dim(2) * weights.dim(3);
+
+    SnapeaReorderTable t;
+    t.order.resize(static_cast<std::size_t>(k));
+    t.first_negative.resize(static_cast<std::size_t>(k));
+    for (index_t f = 0; f < k; ++f) {
+        auto &ord = t.order[static_cast<std::size_t>(f)];
+        const float *w = weights.data() + f * window;
+        for (index_t i = 0; i < window; ++i)
+            if (w[i] != 0.0f)
+                ord.push_back(i);
+        // Positives first (largest first), then negatives with the
+        // largest magnitude first: once only negatives remain, the
+        // psum should cross zero as early as possible.
+        std::stable_sort(ord.begin(), ord.end(),
+                         [w](index_t a, index_t b) {
+                             const bool pa = w[a] > 0.0f;
+                             const bool pb = w[b] > 0.0f;
+                             if (pa != pb)
+                                 return pa;
+                             return pa ? w[a] > w[b] : w[a] < w[b];
+                         });
+        auto first_neg = static_cast<index_t>(ord.size());
+        for (std::size_t i = 0; i < ord.size(); ++i) {
+            if (w[ord[i]] < 0.0f) {
+                first_neg = static_cast<index_t>(i);
+                break;
+            }
+        }
+        t.first_negative[static_cast<std::size_t>(f)] = first_neg;
+    }
+    return t;
+}
+
+SnapeaController::SnapeaController(const HardwareConfig &cfg,
+                                   DistributionNetwork &dn,
+                                   MultiplierArray &mn, ReductionNetwork &rn,
+                                   GlobalBuffer &gb, Dram &dram)
+    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
+      mapper_(cfg.ms_size)
+{
+    cfg_.validate();
+    fatalIf(cfg_.controller_type != ControllerType::Snapea,
+            "SNAPEA controller instantiated for a ",
+            controllerTypeName(cfg_.controller_type), " configuration");
+}
+
+ControllerResult
+SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
+                                 const Tensor &weights, const Tensor &bias,
+                                 const SnapeaReorderTable &table,
+                                 bool early_exit, Tensor &output)
+{
+    fatalIf(layer.kind != LayerKind::Convolution,
+            "SNAPEA controller runs convolutions");
+    layer.validate();
+    const Conv2dShape &shape = layer.conv;
+    const index_t cg = shape.cPerGroup();
+    const index_t kg = shape.kPerGroup();
+    const index_t xo = shape.outX();
+    const index_t yo = shape.outY();
+    const index_t window = shape.R * shape.S * cg;
+    fatalIf(static_cast<index_t>(table.order.size()) != shape.K,
+            "reorder table filter count mismatch");
+    fatalIf(output.rank() != 4 || output.dim(0) != shape.N ||
+            output.dim(1) != shape.K || output.dim(2) != xo ||
+            output.dim(3) != yo,
+            "SNAPEA output tensor shape mismatch");
+
+    // SNAPEA mapping: each window streams through a short vector lane
+    // (kVectorWidth MACs per check) so the single-bit sign check fires
+    // periodically; the remaining switches run more windows in
+    // parallel.
+    constexpr index_t kVectorWidth = 8;
+    const index_t vn = std::min<index_t>(window, kVectorWidth);
+    index_t lane_budget = std::max<index_t>(1, cfg_.ms_size / vn);
+    auto take = [&lane_budget](index_t limit) {
+        const index_t v =
+            std::max<index_t>(1, std::min(lane_budget, limit));
+        lane_budget = std::max<index_t>(1, lane_budget / v);
+        return v;
+    };
+    Tile tile;
+    tile.t_r = 1;
+    tile.t_s = 1;
+    tile.t_c = vn;
+    tile.t_k = take(kg);
+    tile.t_y = take(yo);
+    tile.t_x = take(xo);
+    tile.t_n = take(shape.N);
+    tile.t_g = take(shape.G);
+    // Streams cover only the non-zero weights (pruned weights are
+    // dropped statically by the reorder table).
+    const index_t max_stream = std::max<index_t>(1, table.maxLength());
+    const index_t folds = (max_stream + vn - 1) / vn;
+    const index_t bpe = bytesPerElement(cfg_.data_type);
+
+    ControllerResult res;
+    const count_t mem0 = gb_.totalReads() + gb_.totalWrites();
+    const count_t mult0 = mn_.multOps();
+
+    // Traffic accounted; the cold-start transfer is hidden by the
+    // double-buffered prefetch.
+    (void)dram_.transferCycles(
+        std::min(input.size() + weights.size(),
+                 gb_.capacityElements()) * bpe);
+
+    auto write_drain = [&](index_t n) {
+        cycle_t c = 0;
+        while (n > 0) {
+            gb_.nextCycle();
+            n -= gb_.writeBulk(n);
+            ++c;
+        }
+        return c;
+    };
+
+    auto blocks = [](index_t total, index_t t) {
+        return (total + t - 1) / t;
+    };
+    const index_t nbx = blocks(xo, tile.t_x);
+    const index_t nby = blocks(yo, tile.t_y);
+    const index_t nbn = blocks(shape.N, tile.t_n);
+    const index_t total_steps = nbn * nbx * nby;
+
+    // Per-cluster state within one step: one virtual neuron per mapped
+    // (filter, position) pair.
+    struct VnState {
+        index_t ko = 0;           //!< global filter index
+        index_t n = 0, ox = 0, oy = 0;
+        float psum = 0.0f;
+        bool active = true;
+    };
+    std::vector<VnState> vns;
+    std::vector<std::int64_t> fetch;
+
+    for (index_t g0 = 0; g0 < shape.G; g0 += tile.t_g) {
+        const index_t tg = std::min(tile.t_g, shape.G - g0);
+        for (index_t k0 = 0; k0 < kg; k0 += tile.t_k) {
+            const index_t tk = std::min(tile.t_k, kg - k0);
+            for (index_t s = 0; s < total_steps; ++s) {
+                const index_t yb = s % nby;
+                const index_t xb = (s / nby) % nbx;
+                const index_t nb = s / (nby * nbx);
+                const index_t y0p = yb * tile.t_y;
+                const index_t x0p = xb * tile.t_x;
+                const index_t n0p = nb * tile.t_n;
+                const index_t ty = std::min(tile.t_y, yo - y0p);
+                const index_t tx = std::min(tile.t_x, xo - x0p);
+                const index_t tn = std::min(tile.t_n, shape.N - n0p);
+
+                vns.clear();
+                for (index_t g = g0; g < g0 + tg; ++g)
+                    for (index_t k = k0; k < k0 + tk; ++k)
+                        for (index_t n = n0p; n < n0p + tn; ++n)
+                            for (index_t x = x0p; x < x0p + tx; ++x)
+                                for (index_t y = y0p; y < y0p + ty; ++y) {
+                                    VnState v;
+                                    v.ko = g * kg + k;
+                                    v.n = n;
+                                    v.ox = x;
+                                    v.oy = y;
+                                    v.psum = bias.empty()
+                                        ? 0.0f : bias.at(v.ko);
+                                    vns.push_back(v);
+                                }
+
+                // Pipeline fill for this step's reduction clusters.
+                res.cycles += 1 +
+                    static_cast<cycle_t>(
+                        rn_.latency(std::min(vn, window))) + 1;
+
+                for (index_t f = 0; f < folds; ++f) {
+                    const index_t e0 = f * vn;
+
+                    // Which filters still stream weights this fold?
+                    index_t streaming_filters = 0;
+                    index_t stream_elems = 0;
+                    {
+                        index_t last_ko = -1;
+                        for (const VnState &v : vns) {
+                            if (!v.active || v.ko == last_ko)
+                                continue;
+                            const auto len_k = static_cast<index_t>(
+                                table.order[static_cast<std::size_t>(
+                                    v.ko)].size());
+                            if (e0 >= len_k)
+                                continue;
+                            ++streaming_filters;
+                            stream_elems +=
+                                std::min(vn, len_k - e0);
+                            last_ko = v.ko;
+                        }
+                    }
+                    if (streaming_filters == 0)
+                        break;
+
+                    // Sorted-order gather of this fold's activations for
+                    // every active window, deduplicated (shared inputs
+                    // multicast through the DN).
+                    fetch.clear();
+                    index_t active_vns = 0;
+                    for (VnState &v : vns) {
+                        if (!v.active)
+                            continue;
+                        const auto &ord = table.order[
+                            static_cast<std::size_t>(v.ko)];
+                        const auto len_k =
+                            static_cast<index_t>(ord.size());
+                        if (e0 >= len_k)
+                            continue;
+                        ++active_vns;
+                        const index_t g = v.ko / kg;
+                        const index_t e_end =
+                            std::min(e0 + vn, len_k);
+                        for (index_t e = e0; e < e_end; ++e) {
+                            const index_t we =
+                                ord[static_cast<std::size_t>(e)];
+                            const index_t c = we / (shape.R * shape.S);
+                            const index_t rem = we % (shape.R * shape.S);
+                            const index_t r = rem / shape.S;
+                            const index_t s2 = rem % shape.S;
+                            const index_t ix =
+                                v.ox * shape.stride + r - shape.padding;
+                            const index_t iy =
+                                v.oy * shape.stride + s2 - shape.padding;
+                            if (ix < 0 || ix >= shape.X || iy < 0 ||
+                                iy >= shape.Y)
+                                continue;
+                            fetch.push_back(
+                                ((v.n * shape.C + g * cg + c) * shape.X +
+                                 ix) * shape.Y + iy);
+                        }
+                    }
+                    std::sort(fetch.begin(), fetch.end());
+                    fetch.erase(std::unique(fetch.begin(), fetch.end()),
+                                fetch.end());
+
+                    cycle_t dl = deliverElements(
+                        dn_, gb_, stream_elems, tn * tx * ty,
+                        PackageKind::Weight);
+                    dl += deliverElements(
+                        dn_, gb_, static_cast<index_t>(fetch.size()), 1,
+                        PackageKind::Input);
+
+                    // Compute and sign-check.
+                    index_t fired = 0;
+                    for (VnState &v : vns) {
+                        if (!v.active)
+                            continue;
+                        const auto &ord = table.order[
+                            static_cast<std::size_t>(v.ko)];
+                        const auto len_k =
+                            static_cast<index_t>(ord.size());
+                        if (e0 >= len_k)
+                            continue;
+                        const index_t g = v.ko / kg;
+                        const float *w = weights.data() + v.ko * window;
+                        const index_t e_end =
+                            std::min(e0 + vn, len_k);
+                        for (index_t e = e0; e < e_end; ++e) {
+                            const index_t we =
+                                ord[static_cast<std::size_t>(e)];
+                            const index_t c = we / (shape.R * shape.S);
+                            const index_t rem = we % (shape.R * shape.S);
+                            const index_t r = rem / shape.S;
+                            const index_t s2 = rem % shape.S;
+                            const index_t ix =
+                                v.ox * shape.stride + r - shape.padding;
+                            const index_t iy =
+                                v.oy * shape.stride + s2 - shape.padding;
+                            float x = 0.0f;
+                            if (ix >= 0 && ix < shape.X && iy >= 0 &&
+                                iy < shape.Y)
+                                x = input.at(v.n, g * cg + c, ix, iy);
+                            v.psum += w[we] * x;
+                        }
+                        fired += e_end - e0;
+                        rn_.reduceCluster(e_end - e0);
+
+                        // Exact-mode cut-off: only negative weights left
+                        // and a non-positive psum can never recover
+                        // (activations are non-negative).
+                        if (early_exit && e_end < len_k &&
+                            e_end >= table.first_negative[
+                                static_cast<std::size_t>(v.ko)] &&
+                            v.psum <= 0.0f) {
+                            v.active = false;
+                            res.skipped_macs += static_cast<count_t>(
+                                len_k - e_end);
+                        }
+                    }
+                    mn_.fireMultipliers(std::min(fired, cfg_.ms_size));
+                    res.macs += static_cast<count_t>(fired);
+                    rn_.accumulate(active_vns);
+
+                    res.cycles += std::max<cycle_t>(1, dl);
+                }
+
+                // Drain: every mapped window emits its psum (cut windows
+                // emit the non-positive value the ReLU will zero).
+                res.cycles += write_drain(
+                    static_cast<index_t>(vns.size()));
+                for (const VnState &v : vns)
+                    output.at(v.n, v.ko, v.ox, v.oy) = v.psum;
+            }
+        }
+    }
+
+    res.mem_accesses = gb_.totalReads() + gb_.totalWrites() - mem0;
+    res.ms_utilization = res.cycles > 0
+        ? static_cast<double>(mn_.multOps() - mult0) /
+          (static_cast<double>(cfg_.ms_size) *
+           static_cast<double>(res.cycles))
+        : 0.0;
+    return res;
+}
+
+} // namespace stonne

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Sparse memory controller (Section IV-B) — SIGMA-style SpMM.
+ *
+ * Runs GEMM operations over compressed (CSR or bitmap) stationary MK
+ * matrices. Unlike the dense controller's fixed tiles, cluster sizes here
+ * follow the *actual* distribution of non-zeros: filters are packed into
+ * mapping rounds (see scheduler.hpp), the Benes network loads the
+ * stationary non-zeros and multicasts the streaming KN operands, and the
+ * FAN reduces each variable-size cluster. This data dependence is exactly
+ * what Figure 1c shows analytical models cannot capture.
+ */
+
+#ifndef STONNE_CONTROLLER_SPARSE_CONTROLLER_HPP
+#define STONNE_CONTROLLER_SPARSE_CONTROLLER_HPP
+
+#include "common/config.hpp"
+#include "controller/result.hpp"
+#include "controller/scheduler.hpp"
+#include "mem/dram.hpp"
+#include "mem/global_buffer.hpp"
+#include "network/mn_array.hpp"
+#include "network/unit.hpp"
+#include "tensor/sparse.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stonne {
+
+/** SIGMA-style sparse memory controller. */
+class SparseController
+{
+  public:
+    SparseController(const HardwareConfig &cfg, DistributionNetwork &dn,
+                     MultiplierArray &mn, ReductionNetwork &rn,
+                     GlobalBuffer &gb, Dram &dram);
+
+    /**
+     * Run a sparse-dense GEMM: c(M x N) = a(M x K, CSR) * b(K x N).
+     *
+     * @param policy static filter scheduling policy (use case 3)
+     * @param skip_zero_activations also exploit sparsity in b (skip
+     *        multiplications whose streaming operand is exactly zero)
+     * @param seed RNG seed for the Random policy
+     */
+    ControllerResult runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
+                             SchedulingPolicy policy = SchedulingPolicy::None,
+                             bool skip_zero_activations = false,
+                             std::uint64_t seed = 1);
+
+    /** Bitmap-format front door: converts and runs the CSR path. */
+    ControllerResult runSpMM(const BitmapMatrix &a, const Tensor &b,
+                             Tensor &c,
+                             SchedulingPolicy policy = SchedulingPolicy::None,
+                             bool skip_zero_activations = false,
+                             std::uint64_t seed = 1);
+
+    /** Dense front door: compresses a dense MK operand first. */
+    ControllerResult runSpMMDense(const Tensor &a, const Tensor &b,
+                                  Tensor &c,
+                                  SchedulingPolicy policy =
+                                      SchedulingPolicy::None,
+                                  bool skip_zero_activations = false,
+                                  std::uint64_t seed = 1);
+
+    /** Rounds the last runSpMM call executed (inspection / Fig 7). */
+    const std::vector<SparseRound> &lastRounds() const { return rounds_; }
+
+  private:
+    HardwareConfig cfg_;
+    DistributionNetwork &dn_;
+    MultiplierArray &mn_;
+    ReductionNetwork &rn_;
+    GlobalBuffer &gb_;
+    Dram &dram_;
+    std::vector<SparseRound> rounds_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_SPARSE_CONTROLLER_HPP

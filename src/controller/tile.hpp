@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tile: the fixed compute partition the dense controller orchestrates.
+ *
+ * The paper defines Tile(T_R, T_S, T_C, T_G, T_K, T_N, T_X', T_Y') where
+ * T_R x T_S x T_C is the slice of the filter mapped to one cluster (the
+ * dot-product / virtual-neuron size) and T_G x T_K x T_N x T_X' x T_Y' is
+ * the number of clusters mapped simultaneously. When the cluster is
+ * smaller than the filter, folding iterates the cluster over the filter
+ * and psums accumulate at inter-step boundaries (Section IV-B).
+ */
+
+#ifndef STONNE_CONTROLLER_TILE_HPP
+#define STONNE_CONTROLLER_TILE_HPP
+
+#include <string>
+
+#include "controller/layer.hpp"
+
+namespace stonne {
+
+/** Fixed tile partition for the dense memory controller. */
+struct Tile {
+    index_t t_r = 1;  //!< filter rows per cluster
+    index_t t_s = 1;  //!< filter columns per cluster
+    index_t t_c = 1;  //!< channels per cluster
+    index_t t_g = 1;  //!< groups in parallel
+    index_t t_k = 1;  //!< filters in parallel
+    index_t t_n = 1;  //!< batch elements in parallel
+    index_t t_x = 1;  //!< output rows in parallel (T_X')
+    index_t t_y = 1;  //!< output columns in parallel (T_Y')
+
+    /** Cluster (virtual neuron) size: the mapped dot-product length. */
+    index_t vnSize() const { return t_r * t_s * t_c; }
+
+    /** Clusters mapped simultaneously. */
+    index_t numVns() const { return t_g * t_k * t_n * t_x * t_y; }
+
+    /** Multiplier switches the tile occupies. */
+    index_t usedMs() const { return vnSize() * numVns(); }
+
+    /** Folding steps needed to cover a window of `window` elements. */
+    index_t
+    folds(index_t window) const
+    {
+        const index_t vn = vnSize();
+        return (window + vn - 1) / vn;
+    }
+
+    /** Validate against a layer and an array size (FatalError on abuse). */
+    void validate(const LayerSpec &layer, index_t ms_size) const;
+
+    std::string toString() const;
+};
+
+} // namespace stonne
+
+#endif // STONNE_CONTROLLER_TILE_HPP

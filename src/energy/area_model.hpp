@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table-based area model (28 nm, Section III Output module).
+ *
+ * Area is computed from the architectural parameters and a per-instance
+ * cost table, mirroring the paper's methodology. The constants are
+ * calibrated to reproduce Figure 5c's structure: the Global Buffer SRAM
+ * dominates (70-82 % of total area), ART's 3:1 adder nodes are larger
+ * than FAN's 2:1 adders (SIGMA ~13 % smaller than MAERI), and the
+ * systolic TPU composition is the leanest.
+ */
+
+#ifndef STONNE_ENERGY_AREA_MODEL_HPP
+#define STONNE_ENERGY_AREA_MODEL_HPP
+
+#include <string>
+
+#include "common/config.hpp"
+
+namespace stonne {
+
+/** Per-instance area costs in um^2 (28 nm). */
+struct AreaTable {
+    double mult_um2 = 400.0;        //!< FP8 multiplier switch
+    double adder2_um2 = 250.0;      //!< 2:1 adder node (FAN)
+    double adder3_um2 = 500.0;      //!< 3:1 adder node + horizontal link
+    double accumulator_um2 = 150.0; //!< accumulator entry / OS register
+    double tree_switch_um2 = 60.0;  //!< distribution-tree switch
+    double benes_switch_um2 = 20.0; //!< tiny 2x2 Benes switch
+    double pop_link_um2 = 15.0;     //!< point-to-point injection link
+    double gb_um2_per_kib = 6500.0; //!< SRAM macro per KiB
+
+    static AreaTable forDataType(DataType t);
+
+    /**
+     * Parse a `key = value` area table. Keys: mult_um2, adder2_um2,
+     * adder3_um2, accumulator_um2, tree_switch_um2, benes_switch_um2,
+     * pop_link_um2, gb_um2_per_kib.
+     */
+    static AreaTable parse(const std::string &text);
+
+    /** Load a table file from disk. */
+    static AreaTable parseFile(const std::string &path);
+};
+
+/** Component-level area split (um^2). */
+struct AreaBreakdown {
+    double gb_um2 = 0.0;
+    double dn_um2 = 0.0;
+    double mn_um2 = 0.0;
+    double rn_um2 = 0.0;
+
+    double total() const { return gb_um2 + dn_um2 + mn_um2 + rn_um2; }
+};
+
+/** Computes area from the architectural parameters. */
+class AreaModel
+{
+  public:
+    AreaModel(const HardwareConfig &cfg, AreaTable table);
+
+    explicit AreaModel(const HardwareConfig &cfg)
+        : AreaModel(cfg, AreaTable::forDataType(cfg.data_type)) {}
+
+    AreaBreakdown compute() const;
+
+    const AreaTable &table() const { return table_; }
+
+  private:
+    HardwareConfig cfg_;
+    AreaTable table_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_ENERGY_AREA_MODEL_HPP

@@ -1,0 +1,171 @@
+#include "energy/energy_model.hpp"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "energy/area_model.hpp"
+
+namespace stonne {
+
+namespace detail {
+
+/** Shared `key = value` table parser for energy/area tables. */
+void
+parseDoubleTable(const std::string &text,
+                 const std::function<bool(const std::string &, double)>
+                     &assign)
+{
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::string key, eq;
+        double value = 0.0;
+        if (!(ls >> key))
+            continue;
+        fatalIf(!(ls >> eq >> value) || eq != "=",
+                "table line ", lineno, ": expected 'key = value'");
+        fatalIf(value < 0.0, "table line ", lineno,
+                ": costs must be non-negative");
+        fatalIf(!assign(key, value), "table line ", lineno,
+                ": unknown key '", key, "'");
+    }
+}
+
+} // namespace detail
+
+EnergyTable
+EnergyTable::forDataType(DataType t)
+{
+    EnergyTable e;
+    double scale = 1.0;
+    switch (t) {
+      case DataType::FP8:
+        scale = 1.0;
+        break;
+      case DataType::INT8:
+        scale = 0.8;
+        break;
+      case DataType::FP16:
+        scale = 1.9;
+        break;
+      case DataType::FP32:
+        scale = 3.5;
+        break;
+    }
+    e.mult_pj *= scale;
+    e.switch_hop_pj *= scale;
+    e.link_hop_pj *= scale;
+    e.gb_read_pj *= scale;
+    e.gb_write_pj *= scale;
+    return e;
+}
+
+EnergyTable
+EnergyTable::parse(const std::string &text)
+{
+    EnergyTable t;
+    detail::parseDoubleTable(text, [&](const std::string &k, double v) {
+        if (k == "mult_pj") t.mult_pj = v;
+        else if (k == "adder2_pj") t.adder2_pj = v;
+        else if (k == "adder3_pj") t.adder3_pj = v;
+        else if (k == "accumulator_pj") t.accumulator_pj = v;
+        else if (k == "switch_hop_pj") t.switch_hop_pj = v;
+        else if (k == "link_hop_pj") t.link_hop_pj = v;
+        else if (k == "gb_read_pj") t.gb_read_pj = v;
+        else if (k == "gb_write_pj") t.gb_write_pj = v;
+        else if (k == "dram_byte_pj") t.dram_byte_pj = v;
+        else if (k == "leak_pj_um2_cycle") t.leak_pj_um2_cycle = v;
+        else return false;
+        return true;
+    });
+    return t;
+}
+
+EnergyTable
+EnergyTable::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open energy table '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse(ss.str());
+}
+
+EnergyModel::EnergyModel(const HardwareConfig &cfg, EnergyTable table)
+    : cfg_(cfg), table_(table),
+      total_area_um2_(AreaModel(cfg).compute().total())
+{
+}
+
+EnergyBreakdown
+EnergyModel::compute(const StatsRegistry &stats, cycle_t cycles) const
+{
+    EnergyBreakdown e;
+    const double pj_to_uj = 1e-6;
+
+    const bool art = cfg_.rn_type == RnType::Art ||
+                     cfg_.rn_type == RnType::ArtAcc;
+    const double adder_pj = art ? table_.adder3_pj : table_.adder2_pj;
+
+    for (const StatCounter &c : stats.counters()) {
+        const auto v = static_cast<double>(c.value);
+        double pj = 0.0;
+        if (c.name == "mn.mult_ops")
+            pj = v * table_.mult_pj;
+        else if (c.name == "mn.forward_ops" || c.name == "mn.psum_forwards")
+            pj = v * table_.link_hop_pj;
+        else if (c.name == "rn.adder_ops")
+            pj = v * adder_pj;
+        else if (c.name == "rn.accumulator_ops")
+            pj = v * table_.accumulator_pj;
+        else if (c.name == "rn.horizontal_hops" ||
+                 c.name == "rn.forward_hops")
+            pj = v * table_.link_hop_pj;
+        else if (c.name == "dn.switch_hops")
+            pj = v * table_.switch_hop_pj;
+        else if (c.name == "dn.link_hops")
+            pj = v * table_.link_hop_pj;
+        else if (c.name == "gb.reads")
+            pj = v * table_.gb_read_pj;
+        else if (c.name == "gb.writes")
+            pj = v * table_.gb_write_pj;
+        else if (c.name == "dram.bytes")
+            pj = v * table_.dram_byte_pj;
+        else
+            continue; // package/stall counters carry no energy
+
+        switch (c.group) {
+          case StatGroup::GlobalBuffer:
+            e.gb_uj += pj * pj_to_uj;
+            break;
+          case StatGroup::DistributionNetwork:
+            e.dn_uj += pj * pj_to_uj;
+            break;
+          case StatGroup::MultiplierNetwork:
+            e.mn_uj += pj * pj_to_uj;
+            break;
+          case StatGroup::ReductionNetwork:
+            e.rn_uj += pj * pj_to_uj;
+            break;
+          case StatGroup::Dram:
+            e.dram_uj += pj * pj_to_uj;
+            break;
+          case StatGroup::Other:
+            break;
+        }
+    }
+
+    e.static_uj = static_cast<double>(cycles) * total_area_um2_ *
+        table_.leak_pj_um2_cycle * pj_to_uj;
+    return e;
+}
+
+} // namespace stonne

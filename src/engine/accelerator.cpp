@@ -1,0 +1,130 @@
+#include "engine/accelerator.hpp"
+
+#include "common/logging.hpp"
+#include "network/dn_benes.hpp"
+#include "network/dn_popn.hpp"
+#include "network/dn_tree.hpp"
+#include "network/rn_fan.hpp"
+#include "network/rn_linear.hpp"
+#include "network/rn_tree.hpp"
+
+namespace stonne {
+
+Accelerator::Accelerator(const HardwareConfig &cfg)
+    : cfg_(cfg)
+{
+    cfg_.validate();
+
+    gb_ = std::make_unique<GlobalBuffer>(
+        cfg_.gb_size_kib, cfg_.dn_bandwidth, cfg_.rn_bandwidth,
+        bytesPerElement(cfg_.data_type), stats_);
+    dram_ = std::make_unique<Dram>(cfg_.dram_bandwidth_gbps, cfg_.clock_ghz,
+                                   cfg_.dram_latency_cycles, stats_);
+
+    switch (cfg_.dn_type) {
+      case DnType::Tree:
+        dn_ = std::make_unique<TreeDistributionNetwork>(
+            cfg_.ms_size, cfg_.dn_bandwidth, stats_);
+        break;
+      case DnType::Benes:
+        dn_ = std::make_unique<BenesDistributionNetwork>(
+            cfg_.ms_size, cfg_.dn_bandwidth, stats_);
+        break;
+      case DnType::PointToPoint:
+        dn_ = std::make_unique<PointToPointNetwork>(
+            cfg_.ms_size, cfg_.dn_bandwidth, stats_);
+        break;
+    }
+
+    mn_ = std::make_unique<MultiplierArray>(cfg_.ms_size, cfg_.mn_type,
+                                            stats_);
+
+    switch (cfg_.rn_type) {
+      case RnType::Art:
+        rn_ = std::make_unique<ArtReductionNetwork>(
+            cfg_.ms_size, false, cfg_.accumulator_size, stats_);
+        break;
+      case RnType::ArtAcc:
+        rn_ = std::make_unique<ArtReductionNetwork>(
+            cfg_.ms_size, true, cfg_.accumulator_size, stats_);
+        break;
+      case RnType::Fan:
+        rn_ = std::make_unique<FanReductionNetwork>(cfg_.ms_size, stats_);
+        break;
+      case RnType::Linear:
+        rn_ = std::make_unique<LinearReductionNetwork>(cfg_.ms_size,
+                                                       stats_);
+        break;
+    }
+
+    switch (cfg_.controller_type) {
+      case ControllerType::Dense:
+        dense_ = std::make_unique<DenseController>(cfg_, *dn_, *mn_, *rn_,
+                                                   *gb_, *dram_);
+        break;
+      case ControllerType::Sparse:
+        sparse_ = std::make_unique<SparseController>(cfg_, *dn_, *mn_,
+                                                     *rn_, *gb_, *dram_);
+        break;
+      case ControllerType::Snapea:
+        snapea_ = std::make_unique<SnapeaController>(cfg_, *dn_, *mn_,
+                                                     *rn_, *gb_, *dram_);
+        break;
+    }
+}
+
+Accelerator::~Accelerator() = default;
+
+DenseController &
+Accelerator::denseController()
+{
+    fatalIf(!dense_, "this composition uses a ",
+            controllerTypeName(cfg_.controller_type),
+            " controller, not the dense controller");
+    return *dense_;
+}
+
+SparseController &
+Accelerator::sparseController()
+{
+    fatalIf(!sparse_, "this composition uses a ",
+            controllerTypeName(cfg_.controller_type),
+            " controller, not the sparse controller");
+    return *sparse_;
+}
+
+SnapeaController &
+Accelerator::snapeaController()
+{
+    fatalIf(!snapea_, "this composition uses a ",
+            controllerTypeName(cfg_.controller_type),
+            " controller, not the SNAPEA controller");
+    return *snapea_;
+}
+
+bool
+Accelerator::supportsMaxPool() const
+{
+    return cfg_.controller_type == ControllerType::Dense &&
+           cfg_.dn_type != DnType::PointToPoint;
+}
+
+void
+Accelerator::cycle()
+{
+    dn_->cycle();
+    mn_->cycle();
+    rn_->cycle();
+    gb_->nextCycle();
+}
+
+void
+Accelerator::reset()
+{
+    dn_->reset();
+    mn_->reset();
+    rn_->reset();
+    stats_.reset();
+}
+
+} // namespace stonne

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Accelerator: the top class of the simulation engine (Figure 4).
+ *
+ * Builds the configured microarchitecture — one distribution network,
+ * one multiplier network, one reduction network, the Global Buffer, the
+ * DRAM model and the memory controller — from the hardware configuration
+ * (the Configuration Unit role), owns them, and exposes them to the
+ * STONNE API. Iterating every component's cycle() emulates the
+ * cycle-by-cycle microarchitectural behaviour.
+ */
+
+#ifndef STONNE_ENGINE_ACCELERATOR_HPP
+#define STONNE_ENGINE_ACCELERATOR_HPP
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "controller/dense_controller.hpp"
+#include "controller/snapea_controller.hpp"
+#include "controller/sparse_controller.hpp"
+#include "mem/dram.hpp"
+#include "mem/global_buffer.hpp"
+#include "network/mn_array.hpp"
+#include "network/unit.hpp"
+
+namespace stonne {
+
+/** Composes and owns one simulated accelerator instance. */
+class Accelerator : public Unit
+{
+  public:
+    explicit Accelerator(const HardwareConfig &cfg);
+    ~Accelerator() override;
+
+    Accelerator(const Accelerator &) = delete;
+    Accelerator &operator=(const Accelerator &) = delete;
+
+    const HardwareConfig &config() const { return cfg_; }
+    StatsRegistry &stats() { return stats_; }
+    const StatsRegistry &stats() const { return stats_; }
+
+    DistributionNetwork &dn() { return *dn_; }
+    MultiplierArray &mn() { return *mn_; }
+    ReductionNetwork &rn() { return *rn_; }
+    GlobalBuffer &gb() { return *gb_; }
+    Dram &dram() { return *dram_; }
+
+    /** The dense controller (valid for Dense compositions). */
+    DenseController &denseController();
+
+    /** The sparse controller (valid for Sparse compositions). */
+    SparseController &sparseController();
+
+    /** The SNAPEA controller (valid for Snapea compositions). */
+    SnapeaController &snapeaController();
+
+    /** Whether ConfigureMaxPool can map onto this composition. */
+    bool supportsMaxPool() const;
+
+    void cycle() override;
+    void reset() override;
+    std::string name() const override { return "accelerator"; }
+
+  private:
+    HardwareConfig cfg_;
+    StatsRegistry stats_;
+    std::unique_ptr<GlobalBuffer> gb_;
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<DistributionNetwork> dn_;
+    std::unique_ptr<MultiplierArray> mn_;
+    std::unique_ptr<ReductionNetwork> rn_;
+    std::unique_ptr<DenseController> dense_;
+    std::unique_ptr<SparseController> sparse_;
+    std::unique_ptr<SnapeaController> snapea_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_ENGINE_ACCELERATOR_HPP

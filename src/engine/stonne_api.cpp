@@ -1,0 +1,319 @@
+#include "engine/stonne_api.hpp"
+
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "tensor/im2col.hpp"
+
+namespace stonne {
+
+void
+SimulationResult::merge(const SimulationResult &o)
+{
+    const double weighted =
+        ms_utilization * static_cast<double>(cycles) +
+        o.ms_utilization * static_cast<double>(o.cycles);
+    cycles += o.cycles;
+    time_ms += o.time_ms;
+    macs += o.macs;
+    skipped_macs += o.skipped_macs;
+    mem_accesses += o.mem_accesses;
+    ms_utilization =
+        cycles > 0 ? weighted / static_cast<double>(cycles) : 0.0;
+    energy.gb_uj += o.energy.gb_uj;
+    energy.dn_uj += o.energy.dn_uj;
+    energy.mn_uj += o.energy.mn_uj;
+    energy.rn_uj += o.energy.rn_uj;
+    energy.dram_uj += o.energy.dram_uj;
+    energy.static_uj += o.energy.static_uj;
+}
+
+Stonne::Stonne(const HardwareConfig &cfg)
+    : accel_(std::make_unique<Accelerator>(cfg)),
+      energy_model_(cfg,
+                    cfg.energy_table_path.empty()
+                        ? EnergyTable::forDataType(cfg.data_type)
+                        : EnergyTable::parseFile(cfg.energy_table_path)),
+      area_model_(cfg,
+                  cfg.area_table_path.empty()
+                      ? AreaTable::forDataType(cfg.data_type)
+                      : AreaTable::parseFile(cfg.area_table_path))
+{
+}
+
+Stonne::Stonne(const std::string &cfg_path)
+    : Stonne(HardwareConfig::parseFile(cfg_path))
+{
+}
+
+Stonne::~Stonne() = default;
+
+void
+Stonne::configureConv(const LayerSpec &layer, std::optional<Tile> tile)
+{
+    fatalIf(layer.kind != LayerKind::Convolution,
+            "ConfigureCONV expects a convolution layer spec");
+    layer.validate();
+    layer_ = layer;
+    tile_ = tile;
+    op_pending_ = true;
+    data_bound_ = false;
+}
+
+void
+Stonne::configureLinear(const LayerSpec &layer, std::optional<Tile> tile)
+{
+    fatalIf(layer.kind != LayerKind::Linear,
+            "ConfigureLinear expects a linear layer spec");
+    layer.validate();
+    layer_ = layer;
+    tile_ = tile;
+    op_pending_ = true;
+    data_bound_ = false;
+}
+
+void
+Stonne::configureDmm(const LayerSpec &layer, std::optional<Tile> tile)
+{
+    fatalIf(layer.kind != LayerKind::Gemm,
+            "ConfigureDMM expects a GEMM layer spec");
+    layer.validate();
+    layer_ = layer;
+    tile_ = tile;
+    op_pending_ = true;
+    data_bound_ = false;
+}
+
+void
+Stonne::configureSpmm(const LayerSpec &layer)
+{
+    fatalIf(layer.kind != LayerKind::SparseGemm,
+            "ConfigureSpMM expects a sparse GEMM layer spec");
+    fatalIf(accel_->config().controller_type != ControllerType::Sparse,
+            "ConfigureSpMM needs a sparse-controller composition");
+    layer.validate();
+    layer_ = layer;
+    tile_.reset();
+    op_pending_ = true;
+    data_bound_ = false;
+}
+
+void
+Stonne::configureMaxPool(const LayerSpec &layer)
+{
+    fatalIf(layer.kind != LayerKind::MaxPool,
+            "ConfigureMaxPool expects a max-pooling layer spec");
+    fatalIf(!accel_->supportsMaxPool(),
+            "this composition cannot map max pooling; run it natively");
+    layer.validate();
+    layer_ = layer;
+    tile_.reset();
+    op_pending_ = true;
+    data_bound_ = false;
+}
+
+void
+Stonne::configureData(Tensor input, Tensor weights, Tensor bias)
+{
+    fatalIf(!op_pending_,
+            "ConfigureData issued before any Configure* instruction");
+    input_ = std::move(input);
+    weights_ = std::move(weights);
+    bias_ = std::move(bias);
+    data_bound_ = true;
+}
+
+void
+Stonne::setSchedulingPolicy(SchedulingPolicy policy, std::uint64_t seed)
+{
+    policy_ = policy;
+    policy_seed_ = seed;
+}
+
+SimulationResult
+Stonne::finishOperation(const ControllerResult &cr,
+                        const std::vector<count_t> &before)
+{
+    SimulationResult r;
+    r.layer_name = layer_.name;
+    r.accelerator = accel_->config().name;
+    r.cycles = cr.cycles;
+    r.time_ms = static_cast<double>(cr.cycles) /
+        (accel_->config().clock_ghz * 1e6);
+    r.macs = cr.macs;
+    r.skipped_macs = cr.skipped_macs;
+    r.mem_accesses = cr.mem_accesses;
+    r.ms_utilization = cr.ms_utilization;
+    const StatsRegistry delta = accel_->stats().delta(before);
+    r.energy = energy_model_.compute(delta, cr.cycles);
+    r.area = area_model_.compute();
+    total_cycles_ += cr.cycles;
+    op_pending_ = false;
+    data_bound_ = false;
+    last_result_ = r;
+    return r;
+}
+
+void
+Stonne::writeReports(const std::string &prefix) const
+{
+    OutputModule::writeFile(
+        prefix + ".json",
+        OutputModule::summary(config(), last_result_).dump() + "\n");
+    OutputModule::writeFile(prefix + ".counters",
+                            OutputModule::counterFile(stats()));
+}
+
+SimulationResult
+Stonne::runOperation()
+{
+    fatalIf(!op_pending_, "RunOperation issued with no configured op");
+    fatalIf(!data_bound_, "RunOperation issued before ConfigureData");
+
+    const HardwareConfig &cfg = accel_->config();
+    const std::vector<count_t> before = accel_->stats().snapshot();
+    ControllerResult cr;
+
+    switch (layer_.kind) {
+      case LayerKind::Convolution: {
+        const Conv2dShape &c = layer_.conv;
+        output_ = Tensor({c.N, c.K, c.outX(), c.outY()});
+        if (cfg.controller_type == ControllerType::Dense) {
+            const Tile tile = tile_ ? *tile_ :
+                accel_->denseController().mapper().generateTile(layer_);
+            cr = accel_->denseController().runConvolution(
+                layer_, tile, input_, weights_, bias_, output_);
+        } else if (cfg.controller_type == ControllerType::Snapea) {
+            const SnapeaReorderTable table =
+                SnapeaReorderTable::build(weights_);
+            cr = accel_->snapeaController().runConvolution(
+                layer_, input_, weights_, bias_, table,
+                snapea_early_exit_, output_);
+        } else {
+            // Sparse composition: lower the convolution to one SpMM
+            // through im2col (Section IV-B). Grouped convolutions
+            // become a block-diagonal stationary matrix — off-group
+            // weights are zeros, and zeros are free on a sparse
+            // accelerator, so all groups share the array.
+            const index_t window = c.R * c.S * c.cPerGroup();
+            const index_t kg = c.kPerGroup();
+            const GemmDims gd = layer_.gemmView();
+
+            Tensor a({c.K, c.G * window});
+            Tensor b({c.G * window, gd.n});
+            for (index_t g = 0; g < c.G; ++g) {
+                const Tensor ag = filtersToMatrix(weights_, c, g);
+                for (index_t k = 0; k < kg; ++k)
+                    for (index_t e = 0; e < window; ++e)
+                        a.at(g * kg + k, g * window + e) = ag.at(k, e);
+                const Tensor bg = im2col(input_, c, g);
+                for (index_t e = 0; e < window; ++e)
+                    for (index_t j = 0; j < gd.n; ++j)
+                        b.at(g * window + e, j) = bg.at(e, j);
+            }
+            Tensor out({c.K, gd.n});
+            cr = accel_->sparseController().runSpMMDense(
+                a, b, out, policy_, skip_zero_b_, policy_seed_);
+            if (!bias_.empty())
+                for (index_t k = 0; k < c.K; ++k)
+                    for (index_t j = 0; j < gd.n; ++j)
+                        out.at(k, j) += bias_.at(k);
+            // Scatter back per group (col2im consumes per-group rows).
+            for (index_t g = 0; g < c.G; ++g) {
+                Tensor og({kg, gd.n});
+                for (index_t k = 0; k < kg; ++k)
+                    for (index_t j = 0; j < gd.n; ++j)
+                        og.at(k, j) = out.at(g * kg + k, j);
+                col2im(og, c, g, output_);
+            }
+        }
+        break;
+      }
+      case LayerKind::Linear: {
+        const GemmDims g = layer_.gemm;
+        output_ = Tensor({g.n, g.m});
+        if (cfg.controller_type == ControllerType::Sparse) {
+            // Stationary sparse weights, streamed transposed inputs.
+            Tensor b({g.k, g.n});
+            for (index_t i = 0; i < g.n; ++i)
+                for (index_t j = 0; j < g.k; ++j)
+                    b.at(j, i) = input_.at(i, j);
+            Tensor out({g.m, g.n});
+            cr = accel_->sparseController().runSpMMDense(
+                weights_, b, out, policy_, skip_zero_b_, policy_seed_);
+            for (index_t i = 0; i < g.n; ++i)
+                for (index_t j = 0; j < g.m; ++j)
+                    output_.at(i, j) = out.at(j, i) +
+                        (bias_.empty() ? 0.0f : bias_.at(j));
+        } else if (cfg.controller_type == ControllerType::Snapea) {
+            // SNAPEA applies to ReLU-gated convolutions; linear layers
+            // run through the same pipeline without the cut-off, as a
+            // 1x1 convolution over a (1, K, 1, N) activation map.
+            Conv2dShape shape;
+            shape.C = g.k;
+            shape.K = g.m;
+            shape.Y = g.n;
+            Tensor in({g.k, g.n});
+            for (index_t i = 0; i < g.n; ++i)
+                for (index_t j = 0; j < g.k; ++j)
+                    in.at(j, i) = input_.at(i, j);
+            const Tensor in4 = in.reshaped({1, g.k, 1, g.n});
+            const Tensor w4 = weights_.reshaped({g.m, g.k, 1, 1});
+            Tensor out({1, g.m, 1, g.n});
+            const LayerSpec as_conv =
+                LayerSpec::convolution(layer_.name + ".as_conv", shape);
+            const SnapeaReorderTable table = SnapeaReorderTable::build(w4);
+            cr = accel_->snapeaController().runConvolution(
+                as_conv, in4, w4, bias_, table, false, out);
+            for (index_t i = 0; i < g.n; ++i)
+                for (index_t j = 0; j < g.m; ++j)
+                    output_.at(i, j) = out.at(0, j, 0, i);
+        } else {
+            const Tile tile = tile_ ? *tile_ :
+                accel_->denseController().mapper().generateTile(layer_);
+            cr = accel_->denseController().runLinear(
+                layer_, tile, input_, weights_, bias_, output_);
+        }
+        break;
+      }
+      case LayerKind::Gemm: {
+        const GemmDims g = layer_.gemm;
+        output_ = Tensor({g.m, g.n});
+        if (cfg.controller_type == ControllerType::Sparse) {
+            cr = accel_->sparseController().runSpMMDense(
+                weights_, input_, output_, policy_, skip_zero_b_,
+                policy_seed_);
+        } else {
+            fatalIf(cfg.controller_type == ControllerType::Snapea,
+                    "ConfigureDMM is not defined for the SNAPEA "
+                    "composition");
+            const Tile tile = tile_ ? *tile_ :
+                accel_->denseController().mapper().generateTile(layer_);
+            cr = accel_->denseController().runGemm(layer_, tile, weights_,
+                                                   input_, output_);
+        }
+        break;
+      }
+      case LayerKind::SparseGemm: {
+        const GemmDims g = layer_.gemm;
+        output_ = Tensor({g.m, g.n});
+        cr = accel_->sparseController().runSpMMDense(
+            weights_, input_, output_, policy_, skip_zero_b_,
+            policy_seed_);
+        break;
+      }
+      case LayerKind::MaxPool: {
+        const Conv2dShape &c = layer_.conv;
+        const index_t xo = (c.X - layer_.pool_window) / layer_.pool_stride
+            + 1;
+        const index_t yo = (c.Y - layer_.pool_window) / layer_.pool_stride
+            + 1;
+        output_ = Tensor({c.N, c.C, xo, yo});
+        cr = accel_->denseController().runMaxPool(layer_, input_, output_);
+        break;
+      }
+    }
+
+    return finishOperation(cr, before);
+}
+
+} // namespace stonne

@@ -1,0 +1,82 @@
+#include "frontend/dnn_layer.hpp"
+
+namespace stonne {
+
+const char *
+opTypeName(OpType t)
+{
+    switch (t) {
+      case OpType::Conv2d:        return "Conv2d";
+      case OpType::Linear:        return "Linear";
+      case OpType::MaxPool2d:     return "MaxPool2d";
+      case OpType::GlobalAvgPool: return "GlobalAvgPool";
+      case OpType::ReLU:          return "ReLU";
+      case OpType::AddResidual:   return "AddResidual";
+      case OpType::Concat:        return "Concat";
+      case OpType::Flatten:       return "Flatten";
+      case OpType::Softmax:       return "Softmax";
+      case OpType::LogSoftmax:    return "LogSoftmax";
+      case OpType::LayerNorm:     return "LayerNorm";
+      case OpType::SelfAttention: return "SelfAttention";
+    }
+    return "?";
+}
+
+double
+DnnModel::measuredWeightSparsity() const
+{
+    index_t zeros = 0, total = 0;
+    auto tally = [&](const Tensor &t) {
+        total += t.size();
+        zeros += t.size() - t.nnz();
+    };
+    for (const DnnLayer &l : layers) {
+        if (l.op != OpType::Conv2d && l.op != OpType::Linear &&
+            l.op != OpType::SelfAttention)
+            continue;
+        if (!l.weights.empty())
+            tally(l.weights);
+        for (const Tensor &w : l.extra_weights)
+            tally(w);
+    }
+    return total > 0
+        ? static_cast<double>(zeros) / static_cast<double>(total)
+        : 0.0;
+}
+
+index_t
+DnnModel::totalMacs() const
+{
+    index_t macs = 0;
+    for (const DnnLayer &l : layers) {
+        switch (l.op) {
+          case OpType::Conv2d:
+          case OpType::Linear:
+            macs += l.spec.macs();
+            break;
+          case OpType::SelfAttention: {
+            const AttentionSpec &a = l.attention;
+            // QKV + output projections plus the two score GEMMs.
+            macs += 4 * a.seq_len * a.d_model * a.d_model;
+            macs += 2 * a.seq_len * a.seq_len * a.d_model;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return macs;
+}
+
+index_t
+DnnModel::offloadableLayers() const
+{
+    index_t n = 0;
+    for (const DnnLayer &l : layers)
+        if (l.op == OpType::Conv2d || l.op == OpType::Linear ||
+            l.op == OpType::SelfAttention || l.op == OpType::MaxPool2d)
+            ++n;
+    return n;
+}
+
+} // namespace stonne

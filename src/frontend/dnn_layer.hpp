@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mini DL-framework layer graph — the PyTorch stand-in (Input Module).
+ *
+ * The paper connects STONNE to PyTorch/Caffe so complete, unmodified DNN
+ * models can run with the compute-intensive operations offloaded to the
+ * simulated accelerator and the rest executed natively. This header
+ * defines the equivalent self-contained graph representation: a mostly
+ * sequential list of operations with explicit routing for residual
+ * connections (ResNet), channel concatenation (SqueezeNet fire modules)
+ * and self-attention (BERT).
+ */
+
+#ifndef STONNE_FRONTEND_DNN_LAYER_HPP
+#define STONNE_FRONTEND_DNN_LAYER_HPP
+
+#include <string>
+#include <vector>
+
+#include "controller/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stonne {
+
+/** Operations a model graph can contain. */
+enum class OpType {
+    Conv2d,        //!< offloaded (ConfigureCONV)
+    Linear,        //!< offloaded (ConfigureLinear)
+    MaxPool2d,     //!< offloaded when the composition supports it
+    GlobalAvgPool, //!< native
+    ReLU,          //!< native
+    AddResidual,   //!< native; adds a saved earlier output
+    Concat,        //!< native; channel-concatenates a saved output
+    Flatten,       //!< native reshape
+    Softmax,       //!< native
+    LogSoftmax,    //!< native
+    LayerNorm,     //!< native
+    SelfAttention, //!< composite; its GEMMs are offloaded (ConfigureDMM)
+};
+
+const char *opTypeName(OpType t);
+
+/** Self-attention block parameters (BERT encoder). */
+struct AttentionSpec {
+    index_t seq_len = 1;
+    index_t d_model = 1;
+    index_t heads = 1;
+
+    index_t headDim() const { return d_model / heads; }
+};
+
+/** One node of the model graph. */
+struct DnnLayer {
+    /** Sentinel for input_from / operand_from: the model's input. */
+    static constexpr int kFromModelInput = -2;
+
+    std::string name;
+    OpType op = OpType::ReLU;
+
+    /** Accelerator-facing spec for Conv2d / Linear / MaxPool2d. */
+    LayerSpec spec;
+
+    /** Attention parameters for SelfAttention. */
+    AttentionSpec attention;
+
+    /** Primary parameters (conv filters, linear weights, Wq). */
+    Tensor weights;
+    Tensor bias;
+
+    /** Extra parameter sets (SelfAttention: Wk, Wv, Wo + biases). */
+    std::vector<Tensor> extra_weights;
+    std::vector<Tensor> extra_bias;
+
+    /**
+     * Input routing: -1 takes the previous layer's output,
+     * kFromModelInput takes the model input, any other value the saved
+     * output of the layer with that index.
+     */
+    int input_from = -1;
+
+    /** For AddResidual / Concat: index of the saved second operand
+     *  (or kFromModelInput). */
+    int operand_from = -1;
+
+    /** Whether later layers reference this layer's output. */
+    bool save_output = false;
+};
+
+/** A complete model: a named graph plus its pruning metadata. */
+struct DnnModel {
+    std::string name;
+    double target_weight_sparsity = 0.0;
+    std::vector<DnnLayer> layers;
+
+    /** Measured sparsity across all conv/linear/attention weights. */
+    double measuredWeightSparsity() const;
+
+    /** Total dense MACs of the offloadable layers. */
+    index_t totalMacs() const;
+
+    /** Count of layers that would be offloaded to an accelerator. */
+    index_t offloadableLayers() const;
+};
+
+} // namespace stonne
+
+#endif // STONNE_FRONTEND_DNN_LAYER_HPP

@@ -1,0 +1,213 @@
+#include "frontend/model_loader.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "frontend/model_builder.hpp"
+
+namespace stonne {
+
+namespace {
+
+/** Parsed `key=value` arguments of one statement. */
+class Args
+{
+  public:
+    Args(std::istringstream &in, int lineno) : lineno_(lineno)
+    {
+        std::string tok;
+        while (in >> tok) {
+            const std::size_t eq = tok.find('=');
+            fatalIf(eq == std::string::npos || eq == 0,
+                    "model line ", lineno, ": expected key=value, got '",
+                    tok, "'");
+            kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+        }
+    }
+
+    index_t
+    integer(const std::string &key, index_t fallback) const
+    {
+        auto it = kv_.find(key);
+        if (it == kv_.end())
+            return fallback;
+        try {
+            return static_cast<index_t>(std::stoll(it->second));
+        } catch (const std::exception &) {
+            fatal("model line ", lineno_, ": key '", key,
+                  "' expects an integer, got '", it->second, "'");
+        }
+    }
+
+    index_t
+    required(const std::string &key) const
+    {
+        fatalIf(kv_.find(key) == kv_.end(), "model line ", lineno_,
+                ": missing required key '", key, "'");
+        return integer(key, 0);
+    }
+
+    std::string
+    text(const std::string &key, const std::string &fallback = "") const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? fallback : it->second;
+    }
+
+  private:
+    std::map<std::string, std::string> kv_;
+    int lineno_;
+};
+
+} // namespace
+
+DnnModel
+loadModelFromText(const std::string &text, std::uint64_t default_seed)
+{
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+
+    std::string model_name = "model";
+    double sparsity = 0.0;
+    std::uint64_t seed = default_seed;
+    std::unique_ptr<ModelBuilder> b;
+    std::map<std::string, int> labels;
+    bool has_input = false;
+
+    auto resolve = [&](const std::string &label, int lno) -> int {
+        if (label == "input")
+            return DnnLayer::kFromModelInput;
+        auto it = labels.find(label);
+        fatalIf(it == labels.end(), "model line ", lno,
+                ": unknown label '", label, "'");
+        return it->second;
+    };
+    auto builder = [&]() -> ModelBuilder & {
+        fatalIf(!b, "model line ", lineno,
+                ": an 'input' statement must come first");
+        return *b;
+    };
+    auto maybe_save = [&](const Args &args, int layer_idx) {
+        const std::string label = args.text("save");
+        if (!label.empty()) {
+            builder().markSaved(layer_idx);
+            labels[label] = layer_idx;
+        }
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::string op;
+        if (!(ls >> op))
+            continue;
+
+        if (op == "model") {
+            ls >> model_name;
+        } else if (op == "sparsity") {
+            fatalIf(!(ls >> sparsity) || sparsity < 0.0 || sparsity >= 1.0,
+                    "model line ", lineno,
+                    ": sparsity expects a ratio in [0, 1)");
+            fatalIf(b != nullptr, "model line ", lineno,
+                    ": sparsity must precede the input statement");
+        } else if (op == "seed") {
+            fatalIf(!(ls >> seed), "model line ", lineno,
+                    ": seed expects an integer");
+            fatalIf(b != nullptr, "model line ", lineno,
+                    ": seed must precede the input statement");
+        } else if (op == "input") {
+            index_t c = 0, x = 0, y = 0;
+            fatalIf(!(ls >> c >> x >> y), "model line ", lineno,
+                    ": input expects <channels> <X> <Y>");
+            b = std::make_unique<ModelBuilder>(model_name, sparsity,
+                                               seed);
+            b->setInput(c, x, y);
+            has_input = true;
+        } else if (op == "input2d") {
+            index_t rows = 0, feats = 0;
+            fatalIf(!(ls >> rows >> feats), "model line ", lineno,
+                    ": input2d expects <rows> <features>");
+            b = std::make_unique<ModelBuilder>(model_name, sparsity,
+                                               seed);
+            b->setInput2d(rows, feats);
+            has_input = true;
+        } else if (op == "conv") {
+            const Args args(ls, lineno);
+            const std::string from = args.text("from");
+            const int idx = builder().conv(
+                args.text("name", "conv"), args.required("out"),
+                args.required("kernel"), args.integer("stride", 1),
+                args.integer("pad", 0), args.integer("groups", 1),
+                from.empty() ? -1 : resolve(from, lineno));
+            maybe_save(args, idx);
+        } else if (op == "linear") {
+            const Args args(ls, lineno);
+            const int idx = builder().linear(args.text("name", "linear"),
+                                             args.required("out"));
+            maybe_save(args, idx);
+        } else if (op == "attention") {
+            const Args args(ls, lineno);
+            const int idx = builder().attention(
+                args.text("name", "attention"), args.required("heads"));
+            maybe_save(args, idx);
+        } else if (op == "maxpool") {
+            const Args args(ls, lineno);
+            const int idx = builder().maybeMaxPool(
+                args.required("window"), args.required("stride"));
+            maybe_save(args, idx);
+        } else if (op == "relu" || op == "gap" || op == "flatten" ||
+                   op == "softmax" || op == "logsoftmax" ||
+                   op == "layernorm") {
+            const Args args(ls, lineno);
+            int idx = -1;
+            if (op == "relu")
+                idx = builder().relu();
+            else if (op == "gap")
+                idx = builder().globalAvgPool();
+            else if (op == "flatten")
+                idx = builder().flatten();
+            else if (op == "softmax")
+                idx = builder().softmax();
+            else if (op == "logsoftmax")
+                idx = builder().logSoftmax();
+            else
+                idx = builder().layerNorm();
+            maybe_save(args, idx);
+        } else if (op == "add" || op == "concat") {
+            const Args args(ls, lineno);
+            const std::string with = args.text("with");
+            fatalIf(with.empty(), "model line ", lineno, ": '", op,
+                    "' requires with=<label>");
+            const int operand = resolve(with, lineno);
+            const int idx = op == "add"
+                ? builder().addResidual(operand)
+                : builder().concat(operand);
+            maybe_save(args, idx);
+        } else {
+            fatal("model line ", lineno, ": unknown op '", op, "'");
+        }
+    }
+
+    fatalIf(!has_input, "model description has no input statement");
+    fatalIf(b->last() < 0, "model description has no layers");
+    return b->finish();
+}
+
+DnnModel
+loadModelFromFile(const std::string &path, std::uint64_t default_seed)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open model description '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return loadModelFromText(ss.str(), default_seed);
+}
+
+} // namespace stonne

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Full-model runner: drives complete DNN inference through the STONNE
+ * API, layer by layer (the execution flow of Figure 2b).
+ *
+ * Compute-intensive operations (convolutions, linear layers, the GEMMs
+ * inside self-attention, optionally max pooling) are offloaded to the
+ * simulated accelerator; everything else (ReLU, softmax, layer norm,
+ * residual adds, reshapes) runs natively, exactly as the paper's
+ * modified PyTorch does. runNative() is the pure-CPU reference path used
+ * for functional validation.
+ */
+
+#ifndef STONNE_FRONTEND_RUNNER_HPP
+#define STONNE_FRONTEND_RUNNER_HPP
+
+#include <vector>
+
+#include "engine/stonne_api.hpp"
+#include "frontend/dnn_layer.hpp"
+
+namespace stonne {
+
+/** Record of one operation executed during a simulated inference. */
+struct LayerRunRecord {
+    std::string name;
+    OpType op;
+    bool offloaded = false;
+    SimulationResult sim; //!< valid when offloaded
+};
+
+/** Runs a DnnModel on a simulated accelerator instance. */
+class ModelRunner
+{
+  public:
+    /**
+     * @param model the network (must outlive the runner)
+     * @param cfg hardware configuration of the simulated accelerator
+     */
+    ModelRunner(const DnnModel &model, const HardwareConfig &cfg);
+
+    /** Simulated inference: offloads to the accelerator. */
+    Tensor run(const Tensor &input);
+
+    /** Native CPU inference (the functional golden path). */
+    Tensor runNative(const Tensor &input) const;
+
+    /** Per-operation records of the last run(). */
+    const std::vector<LayerRunRecord> &records() const { return records_; }
+
+    /** Aggregated simulation result of the last run(). */
+    SimulationResult total() const;
+
+    /** Sparse-controller filter scheduling policy (use case 3). */
+    void setSchedulingPolicy(SchedulingPolicy policy,
+                             std::uint64_t seed = 1);
+
+    /** SNAPEA early cut-off (use case 2); applied only to ReLU-gated
+     *  convolutions. */
+    void setSnapeaEarlyExit(bool enabled) { snapea_early_exit_ = enabled; }
+
+    /** Offload max pooling when the composition supports it. */
+    void setOffloadPooling(bool enabled) { offload_pooling_ = enabled; }
+
+    Stonne &stonne() { return stonne_; }
+
+  private:
+    Tensor forward(const Tensor &input, bool simulate,
+                   std::vector<LayerRunRecord> *records) const;
+
+    const DnnModel &model_;
+    mutable Stonne stonne_;
+    std::vector<LayerRunRecord> records_;
+    bool snapea_early_exit_ = true;
+    bool offload_pooling_ = true;
+};
+
+} // namespace stonne
+
+#endif // STONNE_FRONTEND_RUNNER_HPP

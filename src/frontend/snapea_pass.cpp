@@ -1,0 +1,71 @@
+#include "frontend/snapea_pass.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+std::vector<SnapeaReorderTable>
+buildSnapeaTables(const DnnModel &model)
+{
+    std::vector<SnapeaReorderTable> tables;
+    for (const DnnLayer &l : model.layers)
+        if (l.op == OpType::Conv2d)
+            tables.push_back(SnapeaReorderTable::build(l.weights));
+    return tables;
+}
+
+SnapeaLayerEstimate
+estimateCutSavings(const LayerSpec &layer, const Tensor &input,
+                   const Tensor &weights, const Tensor &bias,
+                   const SnapeaReorderTable &table)
+{
+    fatalIf(layer.kind != LayerKind::Convolution,
+            "SNAPEA estimates apply to convolutions");
+    const Conv2dShape &c = layer.conv;
+    const index_t cg = c.cPerGroup();
+    const index_t kg = c.kPerGroup();
+    const index_t window = c.R * c.S * cg;
+    const index_t xo = c.outX(), yo = c.outY();
+
+    SnapeaLayerEstimate est;
+    est.layer = layer.name;
+
+    for (index_t n = 0; n < c.N; ++n) {
+        for (index_t ko = 0; ko < c.K; ++ko) {
+            const index_t g = ko / kg;
+            const auto &ord = table.order[static_cast<std::size_t>(ko)];
+            const auto stream = static_cast<index_t>(ord.size());
+            const index_t first_neg =
+                table.first_negative[static_cast<std::size_t>(ko)];
+            const float *w = weights.data() + ko * window;
+            for (index_t ox = 0; ox < xo; ++ox) {
+                for (index_t oy = 0; oy < yo; ++oy) {
+                    est.total_macs += static_cast<count_t>(stream);
+                    float psum = bias.empty() ? 0.0f : bias.at(ko);
+                    for (index_t e = 0; e < stream; ++e) {
+                        if (e >= first_neg && psum <= 0.0f) {
+                            est.skippable_macs +=
+                                static_cast<count_t>(stream - e);
+                            break;
+                        }
+                        const index_t we =
+                            ord[static_cast<std::size_t>(e)];
+                        const index_t ch = we / (c.R * c.S);
+                        const index_t rem = we % (c.R * c.S);
+                        const index_t r = rem / c.S;
+                        const index_t s = rem % c.S;
+                        const index_t ix = ox * c.stride + r - c.padding;
+                        const index_t iy = oy * c.stride + s - c.padding;
+                        float x = 0.0f;
+                        if (ix >= 0 && ix < c.X && iy >= 0 && iy < c.Y)
+                            x = input.at(n, g * cg + ch, ix, iy);
+                        psum += w[we] * x;
+                    }
+                }
+            }
+        }
+    }
+    return est;
+}
+
+} // namespace stonne

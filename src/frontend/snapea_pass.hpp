@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SNAPEA prior-simulation pass — use case 2's front-end extension.
+ *
+ * The paper adds a function to the input module that statically reorders
+ * weights by sign (building the index table the new memory controller
+ * consumes) before simulation starts. The table itself lives with the
+ * controller (SnapeaReorderTable); this pass adds the front-end side:
+ * building tables for whole models and estimating how much computation
+ * the exact-mode cut-off will save for a given input.
+ */
+
+#ifndef STONNE_FRONTEND_SNAPEA_PASS_HPP
+#define STONNE_FRONTEND_SNAPEA_PASS_HPP
+
+#include <vector>
+
+#include "controller/snapea_controller.hpp"
+#include "frontend/dnn_layer.hpp"
+
+namespace stonne {
+
+/** Per-convolution-layer outcome of the SNAPEA pass. */
+struct SnapeaLayerEstimate {
+    std::string layer;
+    count_t total_macs = 0;
+    count_t skippable_macs = 0;
+
+    double
+    cutFraction() const
+    {
+        return total_macs > 0
+            ? static_cast<double>(skippable_macs) /
+              static_cast<double>(total_macs)
+            : 0.0;
+    }
+};
+
+/** Build reorder tables for every convolution layer of a model. */
+std::vector<SnapeaReorderTable> buildSnapeaTables(const DnnModel &model);
+
+/**
+ * Walk one convolution with the exact-mode cut rule and report how many
+ * MACs it would skip for the given input (an upper bound on SNAPEA's
+ * savings at infinite granularity; the controller checks per fold).
+ */
+SnapeaLayerEstimate estimateCutSavings(const LayerSpec &layer,
+                                       const Tensor &input,
+                                       const Tensor &weights,
+                                       const Tensor &bias,
+                                       const SnapeaReorderTable &table);
+
+} // namespace stonne
+
+#endif // STONNE_FRONTEND_SNAPEA_PASS_HPP

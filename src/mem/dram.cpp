@@ -1,0 +1,50 @@
+#include "mem/dram.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+Dram::Dram(double bandwidth_gbps, double clock_ghz, index_t latency_cycles,
+           StatsRegistry &stats)
+    : bytes_per_cycle_(bandwidth_gbps / clock_ghz),
+      latency_cycles_(latency_cycles),
+      bytes_(&stats.counter("dram.bytes", StatGroup::Dram)),
+      accesses_(&stats.counter("dram.accesses", StatGroup::Dram))
+{
+    fatalIf(bandwidth_gbps <= 0, "dram bandwidth must be positive");
+    fatalIf(clock_ghz <= 0, "clock must be positive");
+    fatalIf(latency_cycles < 0, "dram latency must be non-negative");
+}
+
+cycle_t
+Dram::transferCycles(index_t bytes)
+{
+    if (bytes <= 0)
+        return 0;
+    bytes_->value += static_cast<count_t>(bytes);
+    ++accesses_->value;
+    const auto serialization = static_cast<cycle_t>(
+        std::ceil(static_cast<double>(bytes) / bytes_per_cycle_));
+    return static_cast<cycle_t>(latency_cycles_) + serialization;
+}
+
+cycle_t
+Dram::stagingStall(index_t bytes, cycle_t compute_cycles)
+{
+    const cycle_t transfer = transferCycles(bytes);
+    return transfer > compute_cycles ? transfer - compute_cycles : 0;
+}
+
+cycle_t
+Dram::streamingStall(index_t bytes, cycle_t compute_cycles)
+{
+    const cycle_t transfer = transferCycles(bytes);
+    const auto lat = static_cast<cycle_t>(latency_cycles_);
+    const cycle_t serialization = transfer > lat ? transfer - lat : 0;
+    return serialization > compute_cycles
+        ? serialization - compute_cycles : 0;
+}
+
+} // namespace stonne

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Off-chip DRAM model with double-buffered prefetch.
+ *
+ * Substitutes DRAMsim3 from the paper: a bandwidth + fixed-latency model.
+ * The memory controllers stage tiles into the Global Buffer with double
+ * buffering, so a transfer for iteration i+1 overlaps the compute of
+ * iteration i; compute only stalls when the transfer takes longer than
+ * the overlapped compute, which is the behaviour the paper's HBM2
+ * configuration (2 x 256 GB/s) was chosen to avoid.
+ */
+
+#ifndef STONNE_MEM_DRAM_HPP
+#define STONNE_MEM_DRAM_HPP
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Bandwidth/latency DRAM with double-buffered tile prefetch timing. */
+class Dram
+{
+  public:
+    /**
+     * @param bandwidth_gbps aggregate bandwidth across modules
+     * @param clock_ghz accelerator clock (converts GB/s to bytes/cycle)
+     * @param latency_cycles fixed access latency
+     * @param stats registry receiving traffic counters
+     */
+    Dram(double bandwidth_gbps, double clock_ghz, index_t latency_cycles,
+         StatsRegistry &stats);
+
+    /** Bytes the DRAM can deliver per accelerator cycle. */
+    double bytesPerCycle() const { return bytes_per_cycle_; }
+
+    /**
+     * Cycles to transfer `bytes` (latency + serialization).
+     * Counts the traffic.
+     */
+    cycle_t transferCycles(index_t bytes);
+
+    /**
+     * Double-buffer staging: given that the previous compute chunk took
+     * `compute_cycles`, return the extra stall cycles the next tile's
+     * transfer adds (0 when fully hidden). Includes the access latency:
+     * use for isolated transfers.
+     */
+    cycle_t stagingStall(index_t bytes, cycle_t compute_cycles);
+
+    /**
+     * Streaming staging: like stagingStall but for a continuous
+     * prefetch stream of consecutive tiles, where the access latency is
+     * pipelined away and only serialization bandwidth can stall.
+     */
+    cycle_t streamingStall(index_t bytes, cycle_t compute_cycles);
+
+    count_t bytesTransferred() const { return bytes_->value; }
+
+  private:
+    double bytes_per_cycle_;
+    index_t latency_cycles_;
+    StatCounter *bytes_;
+    StatCounter *accesses_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_MEM_DRAM_HPP

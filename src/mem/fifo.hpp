@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bounded FIFO with activity accounting.
+ *
+ * Every switch in the simulated fabrics buffers data in small FIFOs; the
+ * output module reports FIFO activity counts, and back-pressure (a full
+ * downstream FIFO) is what creates the pipeline stalls the analytical
+ * models miss.
+ */
+
+#ifndef STONNE_MEM_FIFO_HPP
+#define STONNE_MEM_FIFO_HPP
+
+#include <deque>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Bounded FIFO of T with push/pop counters and high-water tracking. */
+template <typename T>
+class Fifo
+{
+  public:
+    explicit Fifo(index_t capacity = 8) : capacity_(capacity)
+    {
+        fatalIf(capacity <= 0, "fifo capacity must be positive");
+    }
+
+    bool full() const
+    {
+        return static_cast<index_t>(q_.size()) >= capacity_;
+    }
+
+    bool empty() const { return q_.empty(); }
+
+    index_t size() const { return static_cast<index_t>(q_.size()); }
+
+    index_t capacity() const { return capacity_; }
+
+    /** Push; panics when full (callers must check full() first). */
+    void
+    push(T v)
+    {
+        panicIf(full(), "push on a full fifo");
+        q_.push_back(std::move(v));
+        ++pushes_;
+        if (static_cast<index_t>(q_.size()) > high_water_)
+            high_water_ = static_cast<index_t>(q_.size());
+    }
+
+    /** Pop the head; panics when empty. */
+    T
+    pop()
+    {
+        panicIf(empty(), "pop on an empty fifo");
+        T v = std::move(q_.front());
+        q_.pop_front();
+        ++pops_;
+        return v;
+    }
+
+    /** Peek the head without consuming it. */
+    const T &
+    front() const
+    {
+        panicIf(empty(), "front on an empty fifo");
+        return q_.front();
+    }
+
+    count_t pushes() const { return pushes_; }
+    count_t pops() const { return pops_; }
+    index_t highWater() const { return high_water_; }
+
+    void
+    clear()
+    {
+        q_.clear();
+    }
+
+  private:
+    index_t capacity_;
+    std::deque<T> q_;
+    count_t pushes_ = 0;
+    count_t pops_ = 0;
+    index_t high_water_ = 0;
+};
+
+} // namespace stonne
+
+#endif // STONNE_MEM_FIFO_HPP

@@ -1,0 +1,64 @@
+#include "mem/global_buffer.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+GlobalBuffer::GlobalBuffer(index_t size_kib, index_t read_bandwidth,
+                           index_t write_bandwidth,
+                           index_t bytes_per_element, StatsRegistry &stats)
+    : capacity_elements_(size_kib * 1024 / bytes_per_element),
+      read_bandwidth_(read_bandwidth),
+      write_bandwidth_(write_bandwidth),
+      reads_(&stats.counter("gb.reads", StatGroup::GlobalBuffer)),
+      writes_(&stats.counter("gb.writes", StatGroup::GlobalBuffer))
+{
+    fatalIf(size_kib <= 0, "global buffer size must be positive");
+    fatalIf(read_bandwidth <= 0 || write_bandwidth <= 0,
+            "global buffer bandwidth must be positive");
+}
+
+void
+GlobalBuffer::nextCycle()
+{
+    reads_left_ = read_bandwidth_;
+    writes_left_ = write_bandwidth_;
+}
+
+void
+GlobalBuffer::read()
+{
+    panicIf(reads_left_ <= 0, "GB read beyond per-cycle bandwidth");
+    --reads_left_;
+    ++reads_->value;
+}
+
+void
+GlobalBuffer::write()
+{
+    panicIf(writes_left_ <= 0, "GB write beyond per-cycle bandwidth");
+    --writes_left_;
+    ++writes_->value;
+}
+
+index_t
+GlobalBuffer::readBulk(index_t n)
+{
+    panicIf(n < 0, "negative GB bulk read");
+    const index_t granted = n < reads_left_ ? n : reads_left_;
+    reads_left_ -= granted;
+    reads_->value += static_cast<count_t>(granted);
+    return granted;
+}
+
+index_t
+GlobalBuffer::writeBulk(index_t n)
+{
+    panicIf(n < 0, "negative GB bulk write");
+    const index_t granted = n < writes_left_ ? n : writes_left_;
+    writes_left_ -= granted;
+    writes_->value += static_cast<count_t>(granted);
+    return granted;
+}
+
+} // namespace stonne

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * On-chip Global Buffer (GB) model.
+ *
+ * The GB is the on-chip SRAM every accelerator in the paper shares. It is
+ * modelled at element granularity: per cycle it can serve up to
+ * `read_bandwidth` element reads into the distribution network and absorb
+ * up to `write_bandwidth` element writes from the reduction network. All
+ * accesses are counted for the energy model; capacity determines how much
+ * of a layer tile must be staged from DRAM (double buffering).
+ */
+
+#ifndef STONNE_MEM_GLOBAL_BUFFER_HPP
+#define STONNE_MEM_GLOBAL_BUFFER_HPP
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Per-cycle bandwidth-limited SRAM with access accounting. */
+class GlobalBuffer
+{
+  public:
+    /**
+     * @param size_kib capacity in KiB
+     * @param read_bandwidth element reads per cycle
+     * @param write_bandwidth element writes per cycle
+     * @param bytes_per_element storage width of one element
+     * @param stats registry receiving access counters
+     */
+    GlobalBuffer(index_t size_kib, index_t read_bandwidth,
+                 index_t write_bandwidth, index_t bytes_per_element,
+                 StatsRegistry &stats);
+
+    /** Begin a new cycle: replenish the per-cycle bandwidth budgets. */
+    void nextCycle();
+
+    /** Whether another read can issue this cycle. */
+    bool canRead() const { return reads_left_ > 0; }
+
+    /** Whether another write can issue this cycle. */
+    bool canWrite() const { return writes_left_ > 0; }
+
+    /** Consume one read slot and count the access. */
+    void read();
+
+    /** Consume one write slot and count the access. */
+    void write();
+
+    /** Read slots remaining this cycle. */
+    index_t readsLeft() const { return reads_left_; }
+
+    /** Write slots remaining this cycle. */
+    index_t writesLeft() const { return writes_left_; }
+
+    /** Consume up to n read slots; returns how many were granted. */
+    index_t readBulk(index_t n);
+
+    /** Consume up to n write slots; returns how many were granted. */
+    index_t writeBulk(index_t n);
+
+    /** Capacity in elements. */
+    index_t capacityElements() const { return capacity_elements_; }
+
+    index_t readBandwidth() const { return read_bandwidth_; }
+    index_t writeBandwidth() const { return write_bandwidth_; }
+
+    count_t totalReads() const { return reads_->value; }
+    count_t totalWrites() const { return writes_->value; }
+
+  private:
+    index_t capacity_elements_;
+    index_t read_bandwidth_;
+    index_t write_bandwidth_;
+    index_t reads_left_ = 0;
+    index_t writes_left_ = 0;
+    StatCounter *reads_;
+    StatCounter *writes_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_MEM_GLOBAL_BUFFER_HPP

@@ -1,0 +1,102 @@
+#include "network/dn_benes.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+namespace {
+
+index_t
+log2Ceil(index_t v)
+{
+    index_t l = 0;
+    index_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace
+
+BenesDistributionNetwork::BenesDistributionNetwork(index_t ms_size,
+                                                   index_t bandwidth,
+                                                   StatsRegistry &stats)
+    : DistributionNetwork(ms_size, bandwidth),
+      levels_(2 * log2Ceil(ms_size) + 1),
+      packages_(&stats.counter("dn.packages",
+                               StatGroup::DistributionNetwork)),
+      switch_hops_(&stats.counter("dn.switch_hops",
+                                  StatGroup::DistributionNetwork)),
+      link_hops_(&stats.counter("dn.link_hops",
+                                StatGroup::DistributionNetwork)),
+      stalls_(&stats.counter("dn.stalls", StatGroup::DistributionNetwork))
+{
+    fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
+            "Benes DN needs a power-of-two number of endpoints");
+    fatalIf(bandwidth <= 0 || bandwidth > ms_size,
+            "Benes DN bandwidth out of range");
+}
+
+bool
+BenesDistributionNetwork::inject(const DataPackage &pkg)
+{
+    panicIf(pkg.dest_lo < 0 || pkg.dest_hi > ms_size_ ||
+            pkg.dest_lo >= pkg.dest_hi,
+            "Benes DN package with invalid destination range");
+
+    if (issued_this_cycle_ >= bandwidth_) {
+        ++stalls_->value;
+        return false;
+    }
+
+    ++issued_this_cycle_;
+    ++packages_->value;
+    // Every delivery crosses all levels; multicast replicates inside the
+    // fabric so the last levels fan out to `fanout` endpoints.
+    const index_t hops = levels_ + (pkg.fanout() - 1);
+    switch_hops_->value += static_cast<count_t>(hops);
+    link_hops_->value += static_cast<count_t>(hops + pkg.fanout());
+    return true;
+}
+
+index_t
+BenesDistributionNetwork::injectBulk(index_t n, index_t fanout,
+                                     PackageKind kind)
+{
+    (void)kind;
+    panicIf(n < 0 || fanout <= 0 || fanout > ms_size_,
+            "Benes DN bulk injection with invalid arguments");
+    const index_t accepted =
+        std::min(n, bandwidth_ - issued_this_cycle_);
+    if (accepted <= 0) {
+        if (n > 0)
+            ++stalls_->value;
+        return 0;
+    }
+    issued_this_cycle_ += accepted;
+    packages_->value += static_cast<count_t>(accepted);
+    const index_t hops = levels_ + (fanout - 1);
+    switch_hops_->value += static_cast<count_t>(accepted * hops);
+    link_hops_->value += static_cast<count_t>(accepted * (hops + fanout));
+    if (accepted < n)
+        ++stalls_->value;
+    return accepted;
+}
+
+void
+BenesDistributionNetwork::cycle()
+{
+    issued_this_cycle_ = 0;
+}
+
+void
+BenesDistributionNetwork::reset()
+{
+    cycle();
+}
+
+} // namespace stonne

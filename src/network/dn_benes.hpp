@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Benes Network (BN) distribution fabric — SIGMA-style.
+ *
+ * An N-input N-output non-blocking topology with 2*log2(N) + 1 levels of
+ * N/2 tiny 2x2 switches. Because the network is non-blocking, any set of
+ * at most `bandwidth` packages with disjoint destinations can be routed
+ * in a single cycle — unlike the tree there are no structural range
+ * conflicts, only the bandwidth limit. The price is paid in energy and
+ * area: every traversal crosses all 2*log2(N) + 1 switch levels.
+ */
+
+#ifndef STONNE_NETWORK_DN_BENES_HPP
+#define STONNE_NETWORK_DN_BENES_HPP
+
+#include <vector>
+
+#include "network/unit.hpp"
+
+namespace stonne {
+
+/** SIGMA-style non-blocking Benes distribution network. */
+class BenesDistributionNetwork : public DistributionNetwork
+{
+  public:
+    BenesDistributionNetwork(index_t ms_size, index_t bandwidth,
+                             StatsRegistry &stats);
+
+    bool inject(const DataPackage &pkg) override;
+    index_t injectBulk(index_t n, index_t fanout,
+                       PackageKind kind) override;
+
+    void cycle() override;
+    void reset() override;
+    std::string name() const override { return "dn_benes"; }
+
+    /** Switch levels: 2*log2(N) + 1. */
+    index_t levels() const { return levels_; }
+
+    /** Total 2x2 switches in the fabric (area model input). */
+    index_t switchCount() const { return levels_ * (ms_size_ / 2); }
+
+    count_t packagesDelivered() const { return packages_->value; }
+    count_t stalls() const { return stalls_->value; }
+
+  private:
+    index_t levels_;
+    index_t issued_this_cycle_ = 0;
+    StatCounter *packages_;
+    StatCounter *switch_hops_;
+    StatCounter *link_hops_;
+    StatCounter *stalls_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_NETWORK_DN_BENES_HPP

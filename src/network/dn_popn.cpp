@@ -1,0 +1,76 @@
+#include "network/dn_popn.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+PointToPointNetwork::PointToPointNetwork(index_t ms_size, index_t bandwidth,
+                                         StatsRegistry &stats)
+    : DistributionNetwork(ms_size, bandwidth),
+      packages_(&stats.counter("dn.packages",
+                               StatGroup::DistributionNetwork)),
+      link_hops_(&stats.counter("dn.link_hops",
+                                StatGroup::DistributionNetwork)),
+      stalls_(&stats.counter("dn.stalls", StatGroup::DistributionNetwork))
+{
+    fatalIf(ms_size <= 0, "point-to-point DN needs endpoints");
+    fatalIf(bandwidth <= 0 || bandwidth > ms_size,
+            "point-to-point DN bandwidth out of range");
+}
+
+bool
+PointToPointNetwork::inject(const DataPackage &pkg)
+{
+    panicIf(pkg.dest_lo < 0 || pkg.dest_hi > ms_size_ ||
+            pkg.dest_lo >= pkg.dest_hi,
+            "point-to-point DN package with invalid destination range");
+    fatalIf(pkg.fanout() != 1,
+            "point-to-point DN only supports unicast delivery");
+
+    if (issued_this_cycle_ >= bandwidth_) {
+        ++stalls_->value;
+        return false;
+    }
+    ++issued_this_cycle_;
+    ++packages_->value;
+    ++link_hops_->value;
+    return true;
+}
+
+index_t
+PointToPointNetwork::injectBulk(index_t n, index_t fanout, PackageKind kind)
+{
+    (void)kind;
+    panicIf(n < 0, "point-to-point DN bulk injection with invalid count");
+    fatalIf(fanout != 1,
+            "point-to-point DN only supports unicast delivery");
+    const index_t accepted =
+        std::min(n, bandwidth_ - issued_this_cycle_);
+    if (accepted <= 0) {
+        if (n > 0)
+            ++stalls_->value;
+        return 0;
+    }
+    issued_this_cycle_ += accepted;
+    packages_->value += static_cast<count_t>(accepted);
+    link_hops_->value += static_cast<count_t>(accepted);
+    if (accepted < n)
+        ++stalls_->value;
+    return accepted;
+}
+
+void
+PointToPointNetwork::cycle()
+{
+    issued_this_cycle_ = 0;
+}
+
+void
+PointToPointNetwork::reset()
+{
+    cycle();
+}
+
+} // namespace stonne

@@ -1,0 +1,119 @@
+#include "network/dn_tree.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+namespace {
+
+index_t
+log2Ceil(index_t v)
+{
+    index_t l = 0;
+    index_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace
+
+TreeDistributionNetwork::TreeDistributionNetwork(index_t ms_size,
+                                                 index_t bandwidth,
+                                                 StatsRegistry &stats)
+    : DistributionNetwork(ms_size, bandwidth),
+      levels_(log2Ceil(ms_size)),
+      packages_(&stats.counter("dn.packages",
+                               StatGroup::DistributionNetwork)),
+      switch_hops_(&stats.counter("dn.switch_hops",
+                                  StatGroup::DistributionNetwork)),
+      link_hops_(&stats.counter("dn.link_hops",
+                                StatGroup::DistributionNetwork)),
+      stalls_(&stats.counter("dn.stalls", StatGroup::DistributionNetwork))
+{
+    fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
+            "tree DN needs a power-of-two number of leaves");
+    fatalIf(bandwidth <= 0 || bandwidth > ms_size,
+            "tree DN bandwidth out of range");
+}
+
+index_t
+TreeDistributionNetwork::traversalSwitches(index_t fanout) const
+{
+    // A multicast to a contiguous range of `fanout` leaves activates the
+    // switches of the spanning subtree: roughly one path down from the
+    // root (levels_) plus one switch per additional covered leaf.
+    return levels_ + (fanout - 1);
+}
+
+bool
+TreeDistributionNetwork::inject(const DataPackage &pkg)
+{
+    panicIf(pkg.dest_lo < 0 || pkg.dest_hi > ms_size_ ||
+            pkg.dest_lo >= pkg.dest_hi,
+            "tree DN package with invalid destination range");
+
+    if (issued_this_cycle_ >= bandwidth_) {
+        ++stalls_->value;
+        return false;
+    }
+    // One package per leaf per cycle: overlapping ranges conflict on the
+    // shared subtree links.
+    for (const auto &r : ranges_this_cycle_) {
+        if (pkg.dest_lo < r.second && r.first < pkg.dest_hi) {
+            ++stalls_->value;
+            return false;
+        }
+    }
+
+    ++issued_this_cycle_;
+    ranges_this_cycle_.emplace_back(pkg.dest_lo, pkg.dest_hi);
+    ++packages_->value;
+    const index_t hops = traversalSwitches(pkg.fanout());
+    switch_hops_->value += static_cast<count_t>(hops);
+    link_hops_->value += static_cast<count_t>(hops + pkg.fanout());
+    return true;
+}
+
+index_t
+TreeDistributionNetwork::injectBulk(index_t n, index_t fanout,
+                                    PackageKind kind)
+{
+    (void)kind;
+    panicIf(n < 0 || fanout <= 0 || fanout > ms_size_,
+            "tree DN bulk injection with invalid arguments");
+    const index_t accepted =
+        std::min(n, bandwidth_ - issued_this_cycle_);
+    if (accepted <= 0) {
+        if (n > 0)
+            ++stalls_->value;
+        return 0;
+    }
+    issued_this_cycle_ += accepted;
+    packages_->value += static_cast<count_t>(accepted);
+    const index_t hops = traversalSwitches(fanout);
+    switch_hops_->value += static_cast<count_t>(accepted * hops);
+    link_hops_->value += static_cast<count_t>(accepted * (hops + fanout));
+    if (accepted < n)
+        ++stalls_->value;
+    return accepted;
+}
+
+void
+TreeDistributionNetwork::cycle()
+{
+    issued_this_cycle_ = 0;
+    ranges_this_cycle_.clear();
+}
+
+void
+TreeDistributionNetwork::reset()
+{
+    cycle();
+}
+
+} // namespace stonne

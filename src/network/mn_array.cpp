@@ -1,0 +1,56 @@
+#include "network/mn_array.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+MultiplierArray::MultiplierArray(index_t ms_size, MnType type,
+                                 StatsRegistry &stats)
+    : ms_size_(ms_size), type_(type),
+      mult_ops_(&stats.counter("mn.mult_ops",
+                               StatGroup::MultiplierNetwork)),
+      forward_ops_(&stats.counter("mn.forward_ops",
+                                  StatGroup::MultiplierNetwork)),
+      psum_forwards_(&stats.counter("mn.psum_forwards",
+                                    StatGroup::MultiplierNetwork))
+{
+    fatalIf(ms_size <= 0, "multiplier array needs at least one switch");
+}
+
+void
+MultiplierArray::fireMultipliers(index_t n)
+{
+    panicIf(n < 0 || n > ms_size_, "fired ", n,
+            " multipliers on an array of ", ms_size_);
+    mult_ops_->value += static_cast<count_t>(n);
+}
+
+void
+MultiplierArray::forwardOperands(index_t n)
+{
+    panicIf(type_ != MnType::Linear,
+            "operand forwarding on a network without forwarding links");
+    // Each switch has two neighbour links (systolic arrays forward both
+    // operands per cycle), so up to 2 * ms_size hops per cycle.
+    panicIf(n < 0 || n > 2 * ms_size_, "invalid forwarding count ", n);
+    forward_ops_->value += static_cast<count_t>(n);
+}
+
+void
+MultiplierArray::forwardPsums(index_t n)
+{
+    panicIf(n < 0 || n > ms_size_, "invalid psum forward count ", n);
+    psum_forwards_->value += static_cast<count_t>(n);
+}
+
+void
+MultiplierArray::cycle()
+{
+}
+
+void
+MultiplierArray::reset()
+{
+}
+
+} // namespace stonne

@@ -1,0 +1,76 @@
+#include "network/rn_fan.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+namespace {
+
+index_t
+log2Ceil(index_t v)
+{
+    index_t l = 0;
+    index_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace
+
+FanReductionNetwork::FanReductionNetwork(index_t ms_size,
+                                         StatsRegistry &stats)
+    : ReductionNetwork(ms_size),
+      adder_ops_(&stats.counter("rn.adder_ops",
+                                StatGroup::ReductionNetwork)),
+      accumulator_ops_(&stats.counter("rn.accumulator_ops",
+                                      StatGroup::ReductionNetwork)),
+      forward_hops_(&stats.counter("rn.forward_hops",
+                                   StatGroup::ReductionNetwork))
+{
+    fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
+            "FAN needs a power-of-two number of leaves");
+}
+
+index_t
+FanReductionNetwork::reduceCluster(index_t cluster_size)
+{
+    panicIf(cluster_size <= 0 || cluster_size > ms_size_,
+            "FAN cluster size ", cluster_size, " out of range");
+    if (cluster_size == 1)
+        return 0;
+    adder_ops_->value += static_cast<count_t>(cluster_size - 1);
+    // Clusters not aligned to a subtree boundary route operands through
+    // forwarding links instead of 3:1 fusion.
+    if ((cluster_size & (cluster_size - 1)) != 0)
+        ++forward_hops_->value;
+    return latency(cluster_size);
+}
+
+index_t
+FanReductionNetwork::latency(index_t cluster_size) const
+{
+    panicIf(cluster_size <= 0, "latency of an empty cluster");
+    return log2Ceil(cluster_size);
+}
+
+void
+FanReductionNetwork::accumulate(index_t n)
+{
+    panicIf(n < 0, "invalid accumulation count");
+    accumulator_ops_->value += static_cast<count_t>(n);
+}
+
+void
+FanReductionNetwork::cycle()
+{
+}
+
+void
+FanReductionNetwork::reset()
+{
+}
+
+} // namespace stonne

@@ -1,0 +1,51 @@
+#include "network/rn_linear.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+LinearReductionNetwork::LinearReductionNetwork(index_t ms_size,
+                                               StatsRegistry &stats)
+    : ReductionNetwork(ms_size),
+      adder_ops_(&stats.counter("rn.adder_ops",
+                                StatGroup::ReductionNetwork))
+{
+    fatalIf(ms_size <= 0, "linear RN needs at least one element");
+}
+
+index_t
+LinearReductionNetwork::reduceCluster(index_t cluster_size)
+{
+    panicIf(cluster_size <= 0 || cluster_size > ms_size_,
+            "linear RN cluster size ", cluster_size, " out of range");
+    if (cluster_size == 1)
+        return 0;
+    adder_ops_->value += static_cast<count_t>(cluster_size - 1);
+    return latency(cluster_size);
+}
+
+index_t
+LinearReductionNetwork::latency(index_t cluster_size) const
+{
+    panicIf(cluster_size <= 0, "latency of an empty cluster");
+    return cluster_size - 1;
+}
+
+void
+LinearReductionNetwork::accumulate(index_t n)
+{
+    panicIf(n < 0, "invalid accumulation count");
+    adder_ops_->value += static_cast<count_t>(n);
+}
+
+void
+LinearReductionNetwork::cycle()
+{
+}
+
+void
+LinearReductionNetwork::reset()
+{
+}
+
+} // namespace stonne

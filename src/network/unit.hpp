@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Base component abstractions of the STONNE simulation engine.
+ *
+ * Mirrors the paper's Figure 4 class diagram: every hardware component is
+ * a Unit with a cycle() method; the Accelerator ticks every configured
+ * component once per clock. The three fabric families (DN / MN / RN) each
+ * have an abstract base whose concrete topologies are selected at runtime
+ * from the hardware configuration.
+ */
+
+#ifndef STONNE_NETWORK_UNIT_HPP
+#define STONNE_NETWORK_UNIT_HPP
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** What a package travelling through a distribution network carries. */
+enum class PackageKind {
+    Weight, //!< stationary operand headed for a multiplier register
+    Input,  //!< streaming operand headed for a multiplier FIFO
+    Psum,   //!< partial sum forwarded to the RN for folding support
+};
+
+/**
+ * One element travelling through a fabric. The destination is a
+ * contiguous multiplier-switch range [dest_lo, dest_hi): unicast when the
+ * range has one element, multicast otherwise, broadcast when it spans the
+ * whole array.
+ */
+struct DataPackage {
+    float value = 0.0f;
+    index_t dest_lo = 0;
+    index_t dest_hi = 1;
+    PackageKind kind = PackageKind::Input;
+
+    index_t fanout() const { return dest_hi - dest_lo; }
+};
+
+/** A clocked hardware component. */
+class Unit
+{
+  public:
+    virtual ~Unit() = default;
+
+    /** Advance the component by one clock edge. */
+    virtual void cycle() = 0;
+
+    /** Return the component to its post-configuration state. */
+    virtual void reset() = 0;
+
+    /** Component instance name used in stats. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Abstract distribution network: moves packages from the Global Buffer
+ * read ports to the multiplier switches.
+ *
+ * Per cycle, at most `bandwidth()` packages can be injected; concrete
+ * topologies add their own structural constraints (e.g. a point-to-point
+ * network rejects multicasts, a tree rejects overlapping leaf ranges in
+ * the same cycle). Successful injections are delivered within the cycle
+ * (single-cycle delivery as in the MAERI and SIGMA fabrics).
+ */
+class DistributionNetwork : public Unit
+{
+  public:
+    DistributionNetwork(index_t ms_size, index_t bandwidth)
+        : ms_size_(ms_size), bandwidth_(bandwidth) {}
+
+    /**
+     * Attempt to inject a package this cycle.
+     * @return false when the per-cycle bandwidth is exhausted or the
+     *         topology has a structural conflict; the caller retries the
+     *         same package next cycle (a stall).
+     */
+    virtual bool inject(const DataPackage &pkg) = 0;
+
+    /**
+     * Inject up to `n` same-kind packages of identical fanout with
+     * controller-guaranteed disjoint destinations (the common case for
+     * a memory controller streaming a fetch list).
+     * @return how many packages were accepted this cycle.
+     */
+    virtual index_t injectBulk(index_t n, index_t fanout,
+                               PackageKind kind) = 0;
+
+    index_t msSize() const { return ms_size_; }
+    index_t bandwidth() const { return bandwidth_; }
+
+  protected:
+    index_t ms_size_;
+    index_t bandwidth_;
+};
+
+/**
+ * Abstract reduction network: collapses the per-multiplier products of a
+ * cluster (virtual neuron) into one value.
+ *
+ * The engine asks for the latency and adder activity of reducing one
+ * cluster; concrete topologies differ in adder arity, pipeline depth and
+ * whether arbitrary cluster boundaries are supported.
+ */
+class ReductionNetwork : public Unit
+{
+  public:
+    explicit ReductionNetwork(index_t ms_size) : ms_size_(ms_size) {}
+
+    /**
+     * Account one cluster reduction of `cluster_size` products and
+     * return the number of pipeline stages it occupies.
+     */
+    virtual index_t reduceCluster(index_t cluster_size) = 0;
+
+    /** Pipeline depth for a cluster of the given size. */
+    virtual index_t latency(index_t cluster_size) const = 0;
+
+    /** Whether the topology supports arbitrary per-cluster boundaries. */
+    virtual bool supportsVariableClusters() const = 0;
+
+    /**
+     * Whether psums can accumulate at the collection point (ART+ACC,
+     * FAN, LRN). When false (plain ART+DIST) folded psums round-trip
+     * through the Global Buffer and re-enter via the MN forwarders.
+     */
+    virtual bool supportsAccumulation() const = 0;
+
+    /** Account `n` accumulations at the collection point. */
+    virtual void accumulate(index_t n) = 0;
+
+    index_t msSize() const { return ms_size_; }
+
+  protected:
+    index_t ms_size_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_NETWORK_UNIT_HPP

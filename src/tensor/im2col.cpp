@@ -1,0 +1,120 @@
+#include "tensor/im2col.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+index_t
+Conv2dShape::macs() const
+{
+    return N * K * outX() * outY() * R * S * cPerGroup();
+}
+
+void
+Conv2dShape::validate() const
+{
+    fatalIf(R <= 0 || S <= 0 || C <= 0 || K <= 0 || G <= 0 || N <= 0 ||
+            X <= 0 || Y <= 0,
+            "convolution dimensions must be positive");
+    fatalIf(stride <= 0, "stride must be positive");
+    fatalIf(padding < 0, "padding must be non-negative");
+    fatalIf(C % G != 0, "channels ", C, " not divisible by groups ", G);
+    fatalIf(K % G != 0, "filters ", K, " not divisible by groups ", G);
+    fatalIf(X + 2 * padding < R || Y + 2 * padding < S,
+            "filter larger than padded input");
+}
+
+Tensor
+im2col(const Tensor &input, const Conv2dShape &shape, index_t group)
+{
+    shape.validate();
+    fatalIf(group < 0 || group >= shape.G, "group out of range");
+    fatalIf(input.rank() != 4, "im2col expects a rank-4 input tensor");
+
+    const index_t cg = shape.cPerGroup();
+    const index_t xo = shape.outX();
+    const index_t yo = shape.outY();
+    const index_t rows = shape.R * shape.S * cg;
+    const index_t cols = shape.N * xo * yo;
+
+    Tensor out({rows, cols});
+    const index_t c0 = group * cg;
+
+    for (index_t n = 0; n < shape.N; ++n) {
+        for (index_t ox = 0; ox < xo; ++ox) {
+            for (index_t oy = 0; oy < yo; ++oy) {
+                const index_t col = (n * xo + ox) * yo + oy;
+                index_t row = 0;
+                for (index_t c = 0; c < cg; ++c) {
+                    for (index_t r = 0; r < shape.R; ++r) {
+                        for (index_t s = 0; s < shape.S; ++s, ++row) {
+                            const index_t ix =
+                                ox * shape.stride + r - shape.padding;
+                            const index_t iy =
+                                oy * shape.stride + s - shape.padding;
+                            float v = 0.0f;
+                            if (ix >= 0 && ix < shape.X && iy >= 0 &&
+                                iy < shape.Y) {
+                                v = input.at(n, c0 + c, ix, iy);
+                            }
+                            out.at(row, col) = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+filtersToMatrix(const Tensor &weights, const Conv2dShape &shape,
+                index_t group)
+{
+    shape.validate();
+    fatalIf(group < 0 || group >= shape.G, "group out of range");
+    fatalIf(weights.rank() != 4, "filtersToMatrix expects rank-4 weights");
+
+    const index_t cg = shape.cPerGroup();
+    const index_t kg = shape.kPerGroup();
+    const index_t cols = shape.R * shape.S * cg;
+
+    Tensor out({kg, cols});
+    const index_t k0 = group * kg;
+    for (index_t k = 0; k < kg; ++k) {
+        index_t col = 0;
+        for (index_t c = 0; c < cg; ++c)
+            for (index_t r = 0; r < shape.R; ++r)
+                for (index_t s = 0; s < shape.S; ++s, ++col)
+                    out.at(k, col) = weights.at(k0 + k, c, r, s);
+    }
+    return out;
+}
+
+void
+col2im(const Tensor &result, const Conv2dShape &shape, index_t group,
+       Tensor &output)
+{
+    const index_t xo = shape.outX();
+    const index_t yo = shape.outY();
+    const index_t kg = shape.kPerGroup();
+    const index_t k0 = group * kg;
+
+    fatalIf(result.rank() != 2 || result.dim(0) != kg ||
+            result.dim(1) != shape.N * xo * yo,
+            "col2im result shape mismatch");
+    fatalIf(output.rank() != 4, "col2im expects a rank-4 output tensor");
+
+    for (index_t k = 0; k < kg; ++k) {
+        for (index_t n = 0; n < shape.N; ++n) {
+            for (index_t ox = 0; ox < xo; ++ox) {
+                for (index_t oy = 0; oy < yo; ++oy) {
+                    const index_t col = (n * xo + ox) * yo + oy;
+                    output.at(n, k0 + k, ox, oy) = result.at(k, col);
+                }
+            }
+        }
+    }
+}
+
+} // namespace stonne

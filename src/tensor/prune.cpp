@@ -1,0 +1,88 @@
+#include "tensor/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+namespace {
+
+/** Prune a contiguous span in place to the given sparsity. */
+void
+pruneSpan(float *data, index_t n, double sparsity)
+{
+    if (n == 0 || sparsity <= 0.0)
+        return;
+    fatalIf(sparsity >= 1.0, "sparsity must be below 1.0, got ", sparsity);
+
+    const auto keep_cutoff =
+        static_cast<index_t>(std::llround(sparsity * static_cast<double>(n)));
+    if (keep_cutoff <= 0)
+        return;
+    if (keep_cutoff >= n) {
+        for (index_t i = 0; i < n; ++i)
+            data[i] = 0.0f;
+        return;
+    }
+
+    std::vector<float> mags(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i)
+        mags[static_cast<std::size_t>(i)] = std::abs(data[i]);
+    auto nth = mags.begin() + static_cast<std::ptrdiff_t>(keep_cutoff);
+    std::nth_element(mags.begin(), nth, mags.end());
+    const float threshold = *nth;
+
+    // Zero strictly-below-threshold first, then zero ties until the exact
+    // count is reached so the target ratio is hit deterministically.
+    index_t zeroed = 0;
+    for (index_t i = 0; i < n; ++i) {
+        if (std::abs(data[i]) < threshold) {
+            data[i] = 0.0f;
+            ++zeroed;
+        }
+    }
+    for (index_t i = 0; i < n && zeroed < keep_cutoff; ++i) {
+        if (data[i] != 0.0f && std::abs(data[i]) == threshold) {
+            data[i] = 0.0f;
+            ++zeroed;
+        }
+    }
+}
+
+} // namespace
+
+void
+pruneMagnitude(Tensor &t, double sparsity)
+{
+    pruneSpan(t.data(), t.size(), sparsity);
+}
+
+void
+pruneFiltersWithJitter(Tensor &t, double sparsity, double jitter, Rng &rng)
+{
+    fatalIf(t.rank() < 1, "filter pruning needs at least rank 1");
+    const index_t filters = t.dim(0);
+    const index_t per_filter = filters > 0 ? t.size() / filters : 0;
+    for (index_t k = 0; k < filters; ++k) {
+        double s = sparsity +
+            rng.uniform(static_cast<float>(-jitter),
+                        static_cast<float>(jitter));
+        s = std::clamp(s, 0.0, 0.98);
+        pruneSpan(t.data() + k * per_filter, per_filter, s);
+    }
+}
+
+void
+pruneRandom(Tensor &t, double sparsity, Rng &rng)
+{
+    fatalIf(sparsity < 0.0 || sparsity >= 1.0,
+            "sparsity must lie in [0, 1), got ", sparsity);
+    for (index_t i = 0; i < t.size(); ++i)
+        if (rng.chance(sparsity))
+            t.at(i) = 0.0f;
+}
+
+} // namespace stonne

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reference CPU kernels: the functional golden model.
+ *
+ * The paper validates STONNE functionally by comparing the simulator's
+ * inference outputs against native PyTorch CPU execution ("they perfectly
+ * match for all cases"). These kernels play the role of the native CPU
+ * path: every accelerated operation has a reference implementation here,
+ * and the test suite asserts exact equality between the two.
+ */
+
+#ifndef STONNE_TENSOR_REFERENCE_HPP
+#define STONNE_TENSOR_REFERENCE_HPP
+
+#include "tensor/im2col.hpp"
+#include "tensor/sparse.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stonne::ref {
+
+/** Dense GEMM: C(M x N) = A(M x K) * B(K x N). */
+Tensor gemm(const Tensor &a, const Tensor &b);
+
+/** Sparse-dense GEMM with a CSR left operand. */
+Tensor spmm(const CsrMatrix &a, const Tensor &b);
+
+/** Direct (grouped, strided, padded) convolution.
+ *  @param input (N, C, X, Y); @param weights (K, C/G, R, S);
+ *  @param bias optional (K) or empty; @return (N, K, X', Y') */
+Tensor conv2d(const Tensor &input, const Tensor &weights, const Tensor &bias,
+              const Conv2dShape &shape);
+
+/** Fully-connected layer: input (N, C) x weights (K, C) + bias (K). */
+Tensor linear(const Tensor &input, const Tensor &weights, const Tensor &bias);
+
+/** Max pooling with square window/stride. @param input (N, C, X, Y) */
+Tensor maxPool2d(const Tensor &input, index_t window, index_t stride);
+
+/** Global average pooling to (N, C, 1, 1). */
+Tensor globalAvgPool(const Tensor &input);
+
+/** Elementwise ReLU. */
+Tensor relu(const Tensor &input);
+
+/** Elementwise addition (residual connections). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Row-wise softmax over the last dimension of a rank-2 tensor. */
+Tensor softmax(const Tensor &input);
+
+/** Row-wise log-softmax over the last dimension of a rank-2 tensor. */
+Tensor logSoftmax(const Tensor &input);
+
+/** Layer normalization over the last dimension of a rank-2 tensor. */
+Tensor layerNorm(const Tensor &input, float eps = 1e-5f);
+
+} // namespace stonne::ref
+
+#endif // STONNE_TENSOR_REFERENCE_HPP

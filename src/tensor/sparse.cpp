@@ -1,0 +1,119 @@
+#include "tensor/sparse.hpp"
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+index_t
+CsrMatrix::rowNnz(index_t r) const
+{
+    panicIf(r < 0 || r >= rows, "CSR row out of range");
+    return row_ptr[static_cast<std::size_t>(r + 1)] -
+           row_ptr[static_cast<std::size_t>(r)];
+}
+
+Tensor
+CsrMatrix::toDense() const
+{
+    Tensor d({rows, cols});
+    for (index_t r = 0; r < rows; ++r) {
+        for (index_t i = row_ptr[static_cast<std::size_t>(r)];
+             i < row_ptr[static_cast<std::size_t>(r + 1)]; ++i) {
+            d.at(r, col_idx[static_cast<std::size_t>(i)]) =
+                values[static_cast<std::size_t>(i)];
+        }
+    }
+    return d;
+}
+
+index_t
+CsrMatrix::storageBytes(index_t bytes_per_value, index_t bytes_per_index) const
+{
+    return nnz() * (bytes_per_value + bytes_per_index) +
+           (rows + 1) * bytes_per_index;
+}
+
+CsrMatrix
+CsrMatrix::fromDense(const Tensor &dense)
+{
+    fatalIf(dense.rank() != 2, "CSR conversion expects a rank-2 tensor");
+    CsrMatrix m;
+    m.rows = dense.dim(0);
+    m.cols = dense.dim(1);
+    m.row_ptr.reserve(static_cast<std::size_t>(m.rows + 1));
+    m.row_ptr.push_back(0);
+    for (index_t r = 0; r < m.rows; ++r) {
+        for (index_t c = 0; c < m.cols; ++c) {
+            float v = dense.at(r, c);
+            if (v != 0.0f) {
+                m.col_idx.push_back(c);
+                m.values.push_back(v);
+            }
+        }
+        m.row_ptr.push_back(static_cast<index_t>(m.values.size()));
+    }
+    return m;
+}
+
+bool
+BitmapMatrix::present(index_t r, index_t c) const
+{
+    panicIf(r < 0 || r >= rows || c < 0 || c >= cols,
+            "bitmap index out of range");
+    return bitmap[static_cast<std::size_t>(r * cols + c)];
+}
+
+Tensor
+BitmapMatrix::toDense() const
+{
+    Tensor d({rows, cols});
+    std::size_t vi = 0;
+    for (index_t r = 0; r < rows; ++r) {
+        for (index_t c = 0; c < cols; ++c) {
+            if (bitmap[static_cast<std::size_t>(r * cols + c)]) {
+                panicIf(vi >= values.size(), "bitmap value underrun");
+                d.at(r, c) = values[vi++];
+            }
+        }
+    }
+    panicIf(vi != values.size(), "bitmap value overrun");
+    return d;
+}
+
+index_t
+BitmapMatrix::storageBytes(index_t bytes_per_value) const
+{
+    return nnz() * bytes_per_value + (rows * cols + 7) / 8;
+}
+
+BitmapMatrix
+BitmapMatrix::fromDense(const Tensor &dense)
+{
+    fatalIf(dense.rank() != 2, "bitmap conversion expects a rank-2 tensor");
+    BitmapMatrix m;
+    m.rows = dense.dim(0);
+    m.cols = dense.dim(1);
+    m.bitmap.assign(static_cast<std::size_t>(m.rows * m.cols), false);
+    for (index_t r = 0; r < m.rows; ++r) {
+        for (index_t c = 0; c < m.cols; ++c) {
+            float v = dense.at(r, c);
+            if (v != 0.0f) {
+                m.bitmap[static_cast<std::size_t>(r * m.cols + c)] = true;
+                m.values.push_back(v);
+            }
+        }
+    }
+    return m;
+}
+
+std::vector<index_t>
+rowNnzSizes(const CsrMatrix &m)
+{
+    std::vector<index_t> sizes;
+    sizes.reserve(static_cast<std::size_t>(m.rows));
+    for (index_t r = 0; r < m.rows; ++r)
+        sizes.push_back(m.rowNnz(r));
+    return sizes;
+}
+
+} // namespace stonne

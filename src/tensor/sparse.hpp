@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sparse matrix encodings used by the sparse memory controller.
+ *
+ * The paper's sparse controller "supports both bitmap and CSR formats to
+ * represent the sparsity of the MK and KN matrices" (Section IV-B). Both
+ * formats are implemented here along with the conversion and statistics
+ * the controllers and the Figure 7 analysis need.
+ */
+
+#ifndef STONNE_TENSOR_SPARSE_HPP
+#define STONNE_TENSOR_SPARSE_HPP
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace stonne {
+
+/** Compressed Sparse Row matrix of floats. */
+struct CsrMatrix {
+    index_t rows = 0;
+    index_t cols = 0;
+    std::vector<index_t> row_ptr;  //!< size rows + 1
+    std::vector<index_t> col_idx;  //!< size nnz
+    std::vector<float> values;     //!< size nnz
+
+    index_t nnz() const { return static_cast<index_t>(values.size()); }
+
+    /** Non-zeros in one row. */
+    index_t rowNnz(index_t r) const;
+
+    /** Dense (rows x cols) reconstruction. */
+    Tensor toDense() const;
+
+    /** Storage footprint in bytes given a value width. */
+    index_t storageBytes(index_t bytes_per_value,
+                         index_t bytes_per_index = 4) const;
+
+    /** Build from a dense rank-2 tensor. */
+    static CsrMatrix fromDense(const Tensor &dense);
+};
+
+/** Bitmap-compressed matrix: one presence bit per position plus packed
+ *  non-zero values in row-major order. */
+struct BitmapMatrix {
+    index_t rows = 0;
+    index_t cols = 0;
+    std::vector<bool> bitmap;   //!< rows * cols presence bits
+    std::vector<float> values;  //!< packed non-zeros, row-major
+
+    index_t nnz() const { return static_cast<index_t>(values.size()); }
+
+    bool present(index_t r, index_t c) const;
+
+    /** Dense (rows x cols) reconstruction. */
+    Tensor toDense() const;
+
+    /** Storage footprint in bytes given a value width. */
+    index_t storageBytes(index_t bytes_per_value) const;
+
+    /** Build from a dense rank-2 tensor. */
+    static BitmapMatrix fromDense(const Tensor &dense);
+};
+
+/** Per-row nnz histogram of a CSR matrix (Figure 7b's filter sizes). */
+std::vector<index_t> rowNnzSizes(const CsrMatrix &m);
+
+} // namespace stonne
+
+#endif // STONNE_TENSOR_SPARSE_HPP

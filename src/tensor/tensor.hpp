@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dense row-major N-dimensional float tensor.
+ *
+ * This is the data substrate the front-end (the PyTorch stand-in) and the
+ * simulated accelerator share. Values stay float end-to-end so that the
+ * simulator's functional output can be bit-compared against the CPU
+ * reference kernels, reproducing the paper's functional validation.
+ */
+
+#ifndef STONNE_TENSOR_TENSOR_HPP
+#define STONNE_TENSOR_TENSOR_HPP
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace stonne {
+
+/** Dense row-major float tensor with up to any number of dimensions. */
+class Tensor
+{
+  public:
+    /** Empty (rank-0, zero-element) tensor. */
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<index_t> shape);
+
+    Tensor(std::initializer_list<index_t> shape)
+        : Tensor(std::vector<index_t>(shape)) {}
+
+    /** Number of dimensions. */
+    index_t rank() const { return static_cast<index_t>(shape_.size()); }
+
+    /** Size of one dimension. */
+    index_t dim(index_t i) const;
+
+    const std::vector<index_t> &shape() const { return shape_; }
+
+    /** Total number of elements. */
+    index_t size() const { return static_cast<index_t>(data_.size()); }
+
+    bool empty() const { return data_.empty(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Flat element access. */
+    float &at(index_t flat);
+    float at(index_t flat) const;
+
+    /** 2-d element access (matrices). */
+    float &at(index_t r, index_t c);
+    float at(index_t r, index_t c) const;
+
+    /** 4-d element access (N, C, H, W activations / K, C, R, S filters). */
+    float &at(index_t a, index_t b, index_t c, index_t d);
+    float at(index_t a, index_t b, index_t c, index_t d) const;
+
+    /** Reinterpret the same storage under a new shape (same size). */
+    Tensor reshaped(std::vector<index_t> new_shape) const;
+
+    /** Set every element to v. */
+    void fill(float v);
+
+    /** Fill with deterministic uniform values in [lo, hi). */
+    void fillUniform(Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+    /** Fill with deterministic Gaussian values. */
+    void fillNormal(Rng &rng, float mean = 0.0f, float stddev = 1.0f);
+
+    /** Fraction of elements that are exactly zero. */
+    double sparsity() const;
+
+    /** Number of non-zero elements. */
+    index_t nnz() const;
+
+    /** Exact equality of shape and all values. */
+    bool equals(const Tensor &other) const;
+
+    /** Max |a - b| over all elements (shapes must match). */
+    double maxAbsDiff(const Tensor &other) const;
+
+  private:
+    index_t flatIndex2(index_t r, index_t c) const;
+    index_t flatIndex4(index_t a, index_t b, index_t c, index_t d) const;
+
+    std::vector<index_t> shape_;
+    std::vector<float> data_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_TENSOR_TENSOR_HPP

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the analytical-model baselines and the Figure 1 claims:
+ * the models track STONNE under ideal conditions and underestimate it
+ * when bandwidth drops (MAERI) or sparsity grows (SIGMA).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytical/maeri_model.hpp"
+#include "common/logging.hpp"
+#include "analytical/scalesim_model.hpp"
+#include "analytical/sigma_model.hpp"
+#include "engine/accelerator.hpp"
+#include "tensor/prune.hpp"
+
+namespace stonne {
+namespace {
+
+TEST(ScaleSimAm, SingleTileFormula)
+{
+    EXPECT_EQ(analytical::scaleSimOsCycles(GemmDims{16, 16, 32}, 16, 16),
+              32u + 16 + 16 + 2);
+}
+
+TEST(ScaleSimAm, TilesMultiply)
+{
+    EXPECT_EQ(analytical::scaleSimOsCycles(GemmDims{32, 32, 16}, 16, 16),
+              4u * (16 + 16 + 16 + 2));
+}
+
+TEST(ScaleSimAm, MatchesCycleLevelSystolicWithinPercent)
+{
+    // Figure 1a: analytical ~= cycle-level for rigid systolic arrays.
+    Rng rng(1);
+    for (const index_t k : {16, 48, 96}) {
+        Tensor a({64, k}), b({k, 64});
+        a.fillUniform(rng);
+        b.fillUniform(rng);
+        Tensor c({64, 64});
+
+        Accelerator acc(HardwareConfig::tpuLike(64));
+        const LayerSpec layer = LayerSpec::gemmLayer("g", 64, 64, k);
+        const cycle_t sim = acc.denseController()
+            .runGemm(layer, Tile(), a, b, c).cycles;
+        const cycle_t am = analytical::scaleSimOsCycles(
+            GemmDims{64, 64, k}, 8, 8);
+        // The simulator additionally charges the cold-start DRAM
+        // staging, which amortizes over real layers (Figure 1a).
+        EXPECT_GE(sim, am);
+        EXPECT_LT(static_cast<double>(sim - am) /
+                  static_cast<double>(am), 0.15)
+            << "K=" << k;
+    }
+}
+
+TEST(MaeriAm, MatchesStonneAtFullBandwidth)
+{
+    // Figure 1b: at full bandwidth the analytical model is within a few
+    // percent of the cycle-level simulation.
+    Conv2dShape s;
+    s.R = 3;
+    s.S = 3;
+    s.C = 8;
+    s.K = 8;
+    s.X = 12;
+    s.Y = 12;
+    s.padding = 1;
+    const LayerSpec layer = LayerSpec::convolution("c", s);
+
+    Accelerator acc(HardwareConfig::maeriLike(128, 128));
+    const Tile tile =
+        acc.denseController().mapper().generateTile(layer);
+    Rng rng(2);
+    Tensor in({1, 8, 12, 12}), w({8, 8, 3, 3});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    Tensor out({1, 8, 12, 12});
+    const cycle_t sim = acc.denseController()
+        .runConvolution(layer, tile, in, w, Tensor(), out).cycles;
+    const cycle_t am = analytical::maeriCycles(
+        layer, tile, HardwareConfig::maeriLike(128, 128));
+    const double diff =
+        std::abs(static_cast<double>(sim) - static_cast<double>(am)) /
+        static_cast<double>(sim);
+    EXPECT_LT(diff, 0.25) << "sim " << sim << " am " << am;
+}
+
+TEST(MaeriAm, UnderestimatesAtLowBandwidth)
+{
+    // Figure 1b: dropping the bandwidth makes the analytical model
+    // underestimate badly (the paper reports up to 400 %). A 1x1
+    // convolution has no sliding reuse, so the bandwidth stalls the
+    // bandwidth-oblivious model cannot see dominate.
+    Conv2dShape s;
+    s.R = 1;
+    s.S = 1;
+    s.C = 64;
+    s.K = 16;
+    s.X = 12;
+    s.Y = 12;
+    const LayerSpec layer = LayerSpec::convolution("c", s);
+    const HardwareConfig cfg = HardwareConfig::maeriLike(128, 8);
+
+    Accelerator acc(cfg);
+    const Tile tile =
+        acc.denseController().mapper().generateTile(layer);
+    Rng rng(3);
+    Tensor in({1, 64, 12, 12}), w({16, 64, 1, 1});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    Tensor out({1, 16, 12, 12});
+    const cycle_t sim = acc.denseController()
+        .runConvolution(layer, tile, in, w, Tensor(), out).cycles;
+    const cycle_t am = analytical::maeriCycles(layer, tile, cfg);
+    EXPECT_GT(static_cast<double>(sim), 1.5 * static_cast<double>(am));
+}
+
+TEST(SigmaAm, MatchesStonneOnDenseMatrices)
+{
+    // Figure 1c: perfect match at 0 % sparsity (large enough that the
+    // cold-start DRAM staging amortizes, as in the paper's layers).
+    const index_t m = 32, k = 64, n = 256;
+    Rng rng(4);
+    Tensor a({m, k}), b({k, n});
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+    Tensor c({m, n});
+
+    const HardwareConfig cfg = HardwareConfig::sigmaLike(128, 128);
+    Accelerator acc(cfg);
+    const cycle_t sim =
+        acc.sparseController().runSpMMDense(a, b, c).cycles;
+    const cycle_t am = analytical::sigmaCycles(m, n, k, m * k, cfg);
+    const double diff =
+        std::abs(static_cast<double>(sim) - static_cast<double>(am)) /
+        static_cast<double>(sim);
+    EXPECT_LT(diff, 0.15) << "sim " << sim << " am " << am;
+}
+
+TEST(SigmaAm, DivergesAsSparsityGrows)
+{
+    // Figure 1c: the divergence grows with the sparsity ratio because
+    // the model cannot see the distribution of the zeros. Row sizes
+    // comparable to the array width let the variance fragment the
+    // packing the average-based model assumes uniform.
+    const index_t m = 64, k = 256, n = 128;
+    Rng rng(5);
+    Tensor b({k, n});
+    b.fillUniform(rng);
+    const HardwareConfig cfg = HardwareConfig::sigmaLike(128, 128);
+
+    auto gap = [&](double sparsity) {
+        Rng wr(6);
+        Tensor a({m, k});
+        a.fillUniform(wr);
+        // Real pruned filters vary widely in density (Fig 7b); the
+        // jitter reproduces that spread.
+        if (sparsity > 0)
+            pruneFiltersWithJitter(a, sparsity, 0.3, wr);
+        Accelerator acc(cfg);
+        Tensor c({m, n});
+        const cycle_t sim =
+            acc.sparseController().runSpMMDense(a, b, c).cycles;
+        const cycle_t am =
+            analytical::sigmaCycles(m, n, k, a.nnz(), cfg);
+        return static_cast<double>(sim) / static_cast<double>(am);
+    };
+
+    const double at_zero = gap(0.0);
+    const double at_ninety = gap(0.9);
+    EXPECT_LT(std::abs(at_zero - 1.0), 0.15);
+    EXPECT_GT(at_ninety, at_zero * 1.05);
+}
+
+TEST(SigmaAm, EmptyMatrixDegenerates)
+{
+    const HardwareConfig cfg = HardwareConfig::sigmaLike(128, 128);
+    EXPECT_EQ(analytical::sigmaCycles(8, 8, 8, 0, cfg), 1u);
+    EXPECT_THROW(analytical::sigmaCycles(8, 8, 8, 100, cfg), FatalError);
+}
+
+TEST(MaeriAm, WeightDistributionScalesWithBandwidth)
+{
+    Conv2dShape s;
+    s.R = 3;
+    s.S = 3;
+    s.C = 16;
+    s.K = 4;
+    s.X = 8;
+    s.Y = 8;
+    const LayerSpec layer = LayerSpec::convolution("c", s);
+    Mapper m(128);
+    const Tile tile = m.generateTile(layer);
+    const cycle_t fast = analytical::maeriCycles(
+        layer, tile, HardwareConfig::maeriLike(128, 128));
+    const cycle_t slow = analytical::maeriCycles(
+        layer, tile, HardwareConfig::maeriLike(128, 8));
+    EXPECT_GE(slow, fast);
+}
+
+} // namespace
+} // namespace stonne

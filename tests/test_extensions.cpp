@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the remaining surface: the extra accelerator presets the
+ * paper names (ShiDianNao, ART+DIST collection), the model report of
+ * the output module, non-square systolic arrays, Full-scale model
+ * construction, the Figure 8 scheduling example, and pooling-offload
+ * control.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "controller/scheduler.hpp"
+#include "engine/output_module.hpp"
+#include "engine/stonne_api.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+namespace {
+
+TEST(Presets, ShiDianNaoIsAnOutputStationaryArray)
+{
+    const HardwareConfig c = HardwareConfig::shiDianNaoLike();
+    EXPECT_EQ(c.ms_size, 64); // 8x8 MACs
+    EXPECT_EQ(c.dn_type, DnType::PointToPoint);
+    EXPECT_EQ(c.rn_type, RnType::Linear);
+    EXPECT_EQ(c.dataflow, Dataflow::OutputStationary);
+    EXPECT_NO_THROW(c.validate());
+
+    // And it computes correctly.
+    Stonne st(c);
+    Rng rng(1);
+    Tensor a({8, 12}), b({12, 8});
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+    st.configureDmm(LayerSpec::gemmLayer("g", 8, 8, 12));
+    st.configureData(b, a);
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::gemm(a, b)));
+}
+
+TEST(Presets, ArtDistPresetRoundTripsPsums)
+{
+    const HardwareConfig c = HardwareConfig::flexibleArtDist(64, 16);
+    EXPECT_EQ(c.rn_type, RnType::Art);
+    Stonne st(c);
+    Rng rng(2);
+    // Deep dot product forces folding and thus psum round-trips.
+    Tensor a({4, 256}), b({256, 4});
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+    st.configureDmm(LayerSpec::gemmLayer("g", 4, 4, 256));
+    st.configureData(b, a);
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::gemm(a, b)));
+    EXPECT_GT(st.stats().value("mn.psum_forwards"), 0u);
+}
+
+TEST(Systolic, NonSquareArrayFromNonSquarePowerOfTwo)
+{
+    // 128 PEs folds to a 16x8 array; GEMMs stay exact.
+    Stonne st(HardwareConfig::tpuLike(128));
+    Rng rng(3);
+    Tensor a({20, 9}), b({9, 11});
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+    st.configureDmm(LayerSpec::gemmLayer("g", 20, 11, 9));
+    st.configureData(b, a);
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::gemm(a, b)));
+}
+
+TEST(OutputModule, ModelReportListsEveryLayer)
+{
+    const DnnModel model =
+        buildModel(ModelId::SqueezeNet, ModelScale::Tiny);
+    const Tensor input =
+        makeModelInput(ModelId::SqueezeNet, ModelScale::Tiny);
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+    ModelRunner runner(model, cfg);
+    runner.run(input);
+
+    const JsonValue report = OutputModule::modelReport(
+        model.name, cfg, runner.records(), runner.total());
+    const std::string json = report.dump();
+    EXPECT_NE(json.find("\"model\": \"Squeezenet\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"where\": \"accelerator\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"where\": \"native\""), std::string::npos);
+    EXPECT_NE(json.find("fire2_s1"), std::string::npos);
+    EXPECT_NE(json.find("\"total\""), std::string::npos);
+}
+
+TEST(ModelZoo, FullScaleShapesMatchThePublishedModels)
+{
+    // Constructing the full-resolution models is expensive for the big
+    // ones; SqueezeNet is light enough to verify the Full preset.
+    const DnnModel m =
+        buildModel(ModelId::SqueezeNet, ModelScale::Full);
+    const Conv2dShape &first = m.layers.front().spec.conv;
+    EXPECT_EQ(first.X, 224);
+    EXPECT_EQ(first.K, 64);
+    // fire2 squeeze has its published 16 filters.
+    bool found = false;
+    for (const DnnLayer &l : m.layers) {
+        if (l.name == "fire2_s1") {
+            EXPECT_EQ(l.spec.conv.K, 16);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Scheduler, PaperFigure8Example)
+{
+    // The paper's Figure 8: four sparse filters of effective sizes
+    // 4, 2, 4, 2 on an 8-MS array. Unscheduled mapping wastes switches;
+    // LFF pairs the two 4s and the two 2s for perfect load balance.
+    const std::vector<index_t> sizes = {4, 2, 4, 2};
+    const auto ns = packRounds(sizes, 8, SchedulingPolicy::None);
+    const auto lff =
+        packRounds(sizes, 8, SchedulingPolicy::LargestFirst);
+    ASSERT_EQ(ns.size(), 2u);
+    ASSERT_EQ(lff.size(), 2u);
+    // NS maps {4,2} then {4,2}: 6 of 8 switches busy each round.
+    EXPECT_EQ(ns[0].nnz, 6);
+    EXPECT_EQ(ns[1].nnz, 6);
+    // LFF maps {4,4} then {2,2}: the first round is perfectly full.
+    EXPECT_EQ(lff[0].nnz, 8);
+    EXPECT_EQ(lff[1].nnz, 4);
+}
+
+TEST(Runner, PoolingOffloadIsControllable)
+{
+    const DnnModel model =
+        buildModel(ModelId::AlexNet, ModelScale::Tiny);
+    const Tensor input =
+        makeModelInput(ModelId::AlexNet, ModelScale::Tiny);
+
+    ModelRunner on(model, HardwareConfig::maeriLike(64, 16));
+    on.run(input);
+    ModelRunner off(model, HardwareConfig::maeriLike(64, 16));
+    off.setOffloadPooling(false);
+    const Tensor out = off.run(input);
+
+    auto pooled_offloaded = [](const ModelRunner &r) {
+        for (const LayerRunRecord &rec : r.records())
+            if (rec.op == OpType::MaxPool2d && rec.offloaded)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(pooled_offloaded(on));
+    EXPECT_FALSE(pooled_offloaded(off));
+    EXPECT_TRUE(out.equals(off.runNative(input)));
+}
+
+TEST(Tile, ToStringListsEveryField)
+{
+    Tile t;
+    t.t_r = 3;
+    t.t_k = 4;
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("T_R=3"), std::string::npos);
+    EXPECT_NE(s.find("T_K=4"), std::string::npos);
+    EXPECT_NE(s.find("T_Y'=1"), std::string::npos);
+}
+
+TEST(StonneApi, ConfigFileConstructor)
+{
+    Stonne st(std::string("configs/maeri_256.cfg"));
+    EXPECT_EQ(st.config().ms_size, 256);
+    EXPECT_EQ(st.config().dn_type, DnType::Tree);
+    EXPECT_THROW(Stonne(std::string("/nope.cfg")), FatalError);
+}
+
+} // namespace
+} // namespace stonne

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the front-end: model zoo construction, graph invariants,
+ * and the paper's functional validation — full-model simulated
+ * inference must match native CPU execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+
+namespace stonne {
+namespace {
+
+TEST(ModelZoo, AllSevenModelsBuildAtTinyScale)
+{
+    for (const ModelId id : allModels()) {
+        const DnnModel m = buildModel(id, ModelScale::Tiny);
+        EXPECT_FALSE(m.layers.empty()) << modelName(id);
+        EXPECT_GT(m.totalMacs(), 0) << modelName(id);
+        EXPECT_GT(m.offloadableLayers(), 0) << modelName(id);
+    }
+}
+
+TEST(ModelZoo, MeasuredSparsityNearTableITarget)
+{
+    for (const ModelId id : allModels()) {
+        const DnnModel m = buildModel(id, ModelScale::Bench);
+        EXPECT_NEAR(m.measuredWeightSparsity(), modelSparsity(id), 0.08)
+            << modelName(id);
+    }
+}
+
+TEST(ModelZoo, DeterministicAcrossBuilds)
+{
+    const DnnModel a = buildModel(ModelId::SqueezeNet, ModelScale::Tiny);
+    const DnnModel b = buildModel(ModelId::SqueezeNet, ModelScale::Tiny);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (std::size_t i = 0; i < a.layers.size(); ++i) {
+        if (!a.layers[i].weights.empty()) {
+            EXPECT_TRUE(a.layers[i].weights.equals(b.layers[i].weights));
+        }
+    }
+}
+
+TEST(ModelZoo, DominantLayerTypesMatchTableI)
+{
+    // MobileNets: factorized (grouped) convolutions dominate.
+    const DnnModel m = buildModel(ModelId::MobileNetV1, ModelScale::Tiny);
+    index_t depthwise = 0;
+    for (const DnnLayer &l : m.layers)
+        if (l.op == OpType::Conv2d && l.spec.conv.G > 1)
+            ++depthwise;
+    EXPECT_GE(depthwise, 10);
+
+    // BERT: transformer blocks plus linear layers.
+    const DnnModel b = buildModel(ModelId::Bert, ModelScale::Tiny);
+    index_t attn = 0, lin = 0;
+    for (const DnnLayer &l : b.layers) {
+        attn += l.op == OpType::SelfAttention;
+        lin += l.op == OpType::Linear;
+    }
+    EXPECT_GE(attn, 1);
+    EXPECT_GE(lin, 3);
+
+    // ResNet: residual additions present.
+    const DnnModel r = buildModel(ModelId::ResNet50, ModelScale::Tiny);
+    index_t adds = 0;
+    for (const DnnLayer &l : r.layers)
+        adds += l.op == OpType::AddResidual;
+    EXPECT_GE(adds, 4);
+
+    // SqueezeNet: fire-module concatenations present.
+    const DnnModel s = buildModel(ModelId::SqueezeNet, ModelScale::Tiny);
+    index_t concats = 0;
+    for (const DnnLayer &l : s.layers)
+        concats += l.op == OpType::Concat;
+    EXPECT_GE(concats, 8);
+}
+
+TEST(ModelZoo, GraphRoutingReferencesAreSaved)
+{
+    for (const ModelId id : allModels()) {
+        const DnnModel m = buildModel(id, ModelScale::Tiny);
+        for (const DnnLayer &l : m.layers) {
+            if (l.input_from >= 0) {
+                EXPECT_TRUE(m.layers[static_cast<std::size_t>(
+                    l.input_from)].save_output);
+            }
+            if (l.operand_from >= 0) {
+                EXPECT_TRUE(m.layers[static_cast<std::size_t>(
+                    l.operand_from)].save_output);
+            }
+        }
+    }
+}
+
+TEST(ModelZoo, InputsMatchModelDomain)
+{
+    const Tensor img =
+        makeModelInput(ModelId::AlexNet, ModelScale::Tiny);
+    EXPECT_EQ(img.rank(), 4);
+    EXPECT_EQ(img.dim(1), 3);
+    // Vision inputs are non-negative (the SNAPEA requirement).
+    for (index_t i = 0; i < img.size(); ++i)
+        EXPECT_GE(img.at(i), 0.0f);
+
+    const Tensor txt = makeModelInput(ModelId::Bert, ModelScale::Tiny);
+    EXPECT_EQ(txt.rank(), 2);
+}
+
+// The paper's functional validation: simulated full-model inference
+// must exactly match the native CPU run (Section V).
+class FunctionalValidation
+    : public ::testing::TestWithParam<std::tuple<ModelId, int>>
+{
+};
+
+TEST_P(FunctionalValidation, SimulatedMatchesNative)
+{
+    const ModelId id = std::get<0>(GetParam());
+    const int arch = std::get<1>(GetParam());
+    const HardwareConfig cfg =
+        arch == 0 ? HardwareConfig::maeriLike(64, 16)
+        : arch == 1 ? HardwareConfig::sigmaLike(64, 32)
+                    : HardwareConfig::tpuLike(64);
+
+    const DnnModel model = buildModel(id, ModelScale::Tiny);
+    const Tensor input = makeModelInput(id, ModelScale::Tiny);
+    ModelRunner runner(model, cfg);
+    const Tensor sim = runner.run(input);
+    const Tensor native = runner.runNative(input);
+    EXPECT_TRUE(sim.equals(native))
+        << modelName(id) << " on " << cfg.name
+        << " max diff " << sim.maxAbsDiff(native);
+    EXPECT_GT(runner.total().cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllArchs, FunctionalValidation,
+    ::testing::Combine(::testing::ValuesIn(allModels()),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto &info) {
+        const ModelId id = std::get<0>(info.param);
+        const int arch = std::get<1>(info.param);
+        std::string name = modelName(id);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name + (arch == 0 ? "_MAERI" : arch == 1 ? "_SIGMA"
+                                                        : "_TPU");
+    });
+
+TEST(Runner, RecordsSeparateOffloadedFromNative)
+{
+    const DnnModel model =
+        buildModel(ModelId::AlexNet, ModelScale::Tiny);
+    const Tensor input = makeModelInput(ModelId::AlexNet,
+                                        ModelScale::Tiny);
+    ModelRunner runner(model, HardwareConfig::maeriLike(64, 16));
+    runner.run(input);
+    index_t offloaded = 0, native = 0;
+    for (const LayerRunRecord &r : runner.records())
+        (r.offloaded ? offloaded : native) += 1;
+    EXPECT_GT(offloaded, 4);
+    EXPECT_GT(native, 2); // ReLU / softmax ran natively
+}
+
+TEST(Runner, PoolingFallsBackToNativeOnSigma)
+{
+    const DnnModel model =
+        buildModel(ModelId::AlexNet, ModelScale::Tiny);
+    const Tensor input = makeModelInput(ModelId::AlexNet,
+                                        ModelScale::Tiny);
+    ModelRunner runner(model, HardwareConfig::sigmaLike(64, 32));
+    runner.run(input);
+    for (const LayerRunRecord &r : runner.records()) {
+        if (r.op == OpType::MaxPool2d) {
+            EXPECT_FALSE(r.offloaded);
+        }
+    }
+}
+
+TEST(Runner, SnapeaFullModelMatchesNativeWithinTolerance)
+{
+    // Sorted-order accumulation reorders float additions, so SNAPEA is
+    // validated with a tolerance rather than bit-exactly.
+    const DnnModel model =
+        buildModel(ModelId::SqueezeNet, ModelScale::Tiny);
+    const Tensor input = makeModelInput(ModelId::SqueezeNet,
+                                        ModelScale::Tiny);
+    ModelRunner runner(model, HardwareConfig::snapeaLike(64, 64));
+    const Tensor sim = runner.run(input);
+    const Tensor native = runner.runNative(input);
+    EXPECT_LT(sim.maxAbsDiff(native), 1e-2)
+        << "max diff " << sim.maxAbsDiff(native);
+}
+
+TEST(Runner, TotalAggregatesAllOffloads)
+{
+    const DnnModel model = buildModel(ModelId::Vgg16, ModelScale::Tiny);
+    const Tensor input = makeModelInput(ModelId::Vgg16,
+                                        ModelScale::Tiny);
+    ModelRunner runner(model, HardwareConfig::maeriLike(64, 16));
+    runner.run(input);
+    cycle_t sum = 0;
+    for (const LayerRunRecord &r : runner.records())
+        if (r.offloaded)
+            sum += r.sim.cycles;
+    EXPECT_EQ(runner.total().cycles, sum);
+}
+
+} // namespace
+} // namespace stonne

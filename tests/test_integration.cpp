@@ -1,0 +1,267 @@
+/**
+ * @file
+ * End-to-end integration tests: the Figure 2 walk-through (a model
+ * driven layer by layer through the STONNE API with native fallbacks),
+ * fully file-driven simulation (hardware .cfg + .model descriptions
+ * from disk), multi-operation instances, and cross-cutting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "engine/output_module.hpp"
+#include "engine/stonne_api.hpp"
+#include "frontend/model_loader.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+namespace {
+
+/**
+ * The paper's Figure 2 walk-through: Conv2d -> MaxPool -> Linear ->
+ * log_softmax, with the compute-intensive operations offloaded and the
+ * softmax run natively, chaining real data through the accelerator.
+ */
+TEST(Integration, Figure2WalkThrough)
+{
+    Stonne st(HardwareConfig::maeriLike(128, 64));
+    Rng rng(5);
+
+    // nn.Conv2d(3, 8, kernel=3, padding=1) on a 12x12 image.
+    Conv2dShape conv;
+    conv.R = 3;
+    conv.S = 3;
+    conv.C = 3;
+    conv.K = 8;
+    conv.X = 12;
+    conv.Y = 12;
+    conv.padding = 1;
+    Tensor image({1, 3, 12, 12}), w1({8, 3, 3, 3}), b1({8});
+    image.fillUniform(rng, 0.0f, 1.0f);
+    w1.fillNormal(rng, 0.0f, 0.2f);
+    b1.fillUniform(rng, -0.1f, 0.1f);
+    st.configureConv(LayerSpec::convolution("conv", conv));
+    st.configureData(image, w1, b1);
+    const SimulationResult conv_res = st.runOperation();
+    const Tensor conv_out = st.output();
+    EXPECT_TRUE(conv_out.equals(ref::conv2d(image, w1, b1, conv)));
+
+    // nn.MaxPool(2, 2), also on the accelerator.
+    Conv2dShape pool_in;
+    pool_in.C = 8;
+    pool_in.X = 12;
+    pool_in.Y = 12;
+    st.configureMaxPool(LayerSpec::maxPool("pool", pool_in, 2, 2));
+    st.configureData(conv_out, Tensor());
+    st.runOperation();
+    const Tensor pool_out = st.output();
+    EXPECT_TRUE(pool_out.equals(ref::maxPool2d(conv_out, 2, 2)));
+
+    // nn.Linear(8*6*6 -> 10).
+    const Tensor flat = pool_out.reshaped({1, 8 * 6 * 6});
+    Tensor w2({10, 8 * 6 * 6}), b2({10});
+    w2.fillNormal(rng, 0.0f, 0.1f);
+    b2.fillUniform(rng, -0.1f, 0.1f);
+    st.configureLinear(LayerSpec::linear("fc", 1, 8 * 6 * 6, 10));
+    st.configureData(flat, w2, b2);
+    const SimulationResult fc_res = st.runOperation();
+
+    // F.log_softmax runs natively on the "CPU".
+    const Tensor scores = ref::logSoftmax(st.output());
+    const Tensor expect = ref::logSoftmax(
+        ref::linear(flat, w2, b2));
+    EXPECT_TRUE(scores.equals(expect));
+
+    // The instance accumulated all three operations.
+    EXPECT_GT(st.totalCycles(), conv_res.cycles + fc_res.cycles);
+}
+
+TEST(Integration, FullyFileDrivenSimulation)
+{
+    // Hardware from configs/, model from models/ — no code describes
+    // either.
+    const DnnModel model = loadModelFromFile("models/fire_mini.model");
+    Rng rng(7);
+    Tensor input({1, 3, 32, 32});
+    input.fillUniform(rng, 0.0f, 1.0f);
+
+    for (const char *cfg_path :
+         {"configs/maeri_256.cfg", "configs/sigma_256.cfg",
+          "configs/tpu_256.cfg"}) {
+        ModelRunner runner(model, HardwareConfig::parseFile(cfg_path));
+        const Tensor out = runner.run(input);
+        EXPECT_TRUE(out.equals(runner.runNative(input))) << cfg_path;
+        EXPECT_GT(runner.total().cycles, 0u) << cfg_path;
+    }
+}
+
+TEST(Integration, ShippedResnetBlockRunsEverywhere)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    Rng rng(9);
+    Tensor input({1, 16, 8, 8});
+    input.fillUniform(rng, 0.0f, 1.0f);
+    for (const HardwareConfig &cfg :
+         {HardwareConfig::maeriLike(64, 32),
+          HardwareConfig::sigmaLike(64, 32)}) {
+        ModelRunner runner(model, cfg);
+        EXPECT_TRUE(runner.run(input).equals(runner.runNative(input)))
+            << cfg.name;
+    }
+}
+
+TEST(Integration, CountersAccumulateMonotonically)
+{
+    Stonne st(HardwareConfig::sigmaLike(64, 32));
+    Rng rng(11);
+    Tensor a({8, 16}), b({16, 4});
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+
+    count_t prev_reads = 0;
+    for (int i = 0; i < 3; ++i) {
+        st.configureSpmm(LayerSpec::sparseGemm("s", 8, 4, 16));
+        st.configureData(b, a);
+        st.runOperation();
+        const count_t reads = st.stats().value("gb.reads");
+        EXPECT_GT(reads, prev_reads);
+        prev_reads = reads;
+    }
+}
+
+TEST(Integration, MoreWorkMoreEnergy)
+{
+    auto energy_for = [](index_t k) {
+        Stonne st(HardwareConfig::maeriLike(64, 32));
+        Rng rng(13);
+        Tensor a({16, k}), b({k, 16});
+        a.fillUniform(rng);
+        b.fillUniform(rng);
+        st.configureDmm(LayerSpec::gemmLayer("g", 16, 16, k));
+        st.configureData(b, a);
+        return st.runOperation().energy.total();
+    };
+    EXPECT_LT(energy_for(16), energy_for(64));
+    EXPECT_LT(energy_for(64), energy_for(256));
+}
+
+TEST(Integration, JsonSummaryIsSelfConsistent)
+{
+    Stonne st(HardwareConfig::maeriLike(64, 16));
+    Rng rng(15);
+    Tensor in({4, 32}), w({8, 32});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    st.configureLinear(LayerSpec::linear("fc", 4, 32, 8));
+    st.configureData(in, w);
+    const SimulationResult r = st.runOperation();
+
+    const std::string json =
+        OutputModule::summary(st.config(), r).dump();
+    EXPECT_NE(json.find("\"cycles\": " +
+                        std::to_string(r.cycles)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"accelerator\": \"MAERI\""),
+              std::string::npos);
+}
+
+TEST(Integration, MultiSampleFunctionalValidation)
+{
+    // Section V's functional validation runs a test set of samples and
+    // compares each inference against the native CPU run.
+    const DnnModel model =
+        buildModel(ModelId::MobileNetV1, ModelScale::Tiny);
+    ModelRunner runner(model, HardwareConfig::sigmaLike(64, 32));
+    for (int sample = 0; sample < 3; ++sample) {
+        const Tensor input = makeModelInput(
+            ModelId::MobileNetV1, ModelScale::Tiny,
+            100 + static_cast<std::uint64_t>(sample));
+        EXPECT_TRUE(runner.run(input).equals(runner.runNative(input)))
+            << "sample " << sample;
+    }
+}
+
+TEST(Integration, WriteReportsEmitsBothArtifacts)
+{
+    Stonne st(HardwareConfig::maeriLike(64, 16));
+    Rng rng(19);
+    Tensor in({2, 16}), w({4, 16});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    st.configureLinear(LayerSpec::linear("fc", 2, 16, 4));
+    st.configureData(in, w);
+    st.runOperation();
+    st.writeReports("/tmp/stonne_report");
+
+    std::ifstream json("/tmp/stonne_report.json");
+    std::string j((std::istreambuf_iterator<char>(json)),
+                  std::istreambuf_iterator<char>());
+    EXPECT_NE(j.find("\"layer\": \"fc\""), std::string::npos);
+    EXPECT_NE(j.find("\"cycles\""), std::string::npos);
+
+    std::ifstream counters("/tmp/stonne_report.counters");
+    std::string c((std::istreambuf_iterator<char>(counters)),
+                  std::istreambuf_iterator<char>());
+    EXPECT_NE(c.find("mn.mult_ops"), std::string::npos);
+    EXPECT_NE(c.find("gb.reads"), std::string::npos);
+}
+
+// Every composition x dataflow combination stays functionally exact on
+// a small end-to-end model.
+class CompositionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CompositionSweep, LoadedModelStaysExact)
+{
+    const int arch = std::get<0>(GetParam());
+    const int df = std::get<1>(GetParam());
+    HardwareConfig cfg = arch == 0 ? HardwareConfig::maeriLike(64, 16)
+                                   : HardwareConfig::sigmaLike(64, 32);
+    cfg.dataflow = df == 0 ? Dataflow::OutputStationary
+                 : df == 1 ? Dataflow::WeightStationary
+                           : Dataflow::InputStationary;
+    if (cfg.controller_type == ControllerType::Sparse &&
+        cfg.dataflow == Dataflow::InputStationary)
+        GTEST_SKIP() << "sparse controller is stationary-weight only";
+
+    const DnnModel model = loadModelFromText(R"(
+model sweep
+sparsity 0.6
+input 4 10 10
+conv name=c1 out=8 kernel=3 pad=1
+relu save=skip
+conv name=c2 out=8 kernel=3 pad=1
+add with=skip
+relu
+gap
+flatten
+linear name=fc out=5
+logsoftmax
+)");
+    Rng rng(17);
+    Tensor input({1, 4, 10, 10});
+    input.fillUniform(rng, 0.0f, 1.0f);
+    ModelRunner runner(model, cfg);
+    EXPECT_TRUE(runner.run(input).equals(runner.runNative(input)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchTimesDataflow, CompositionSweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0, 1, 2)),
+    [](const auto &info) {
+        const char *arch =
+            std::get<0>(info.param) == 0 ? "MAERI" : "SIGMA";
+        const char *df = std::get<1>(info.param) == 0 ? "OS"
+                       : std::get<1>(info.param) == 1 ? "WS" : "IS";
+        return std::string(arch) + "_" + df;
+    });
+
+} // namespace
+} // namespace stonne

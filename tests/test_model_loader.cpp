@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the text-format model loader (the Caffe-style second
+ * front-end): parsing, label routing, error reporting, and end-to-end
+ * functional validation of a loaded model on a simulated accelerator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include <fstream>
+
+#include "frontend/model_loader.hpp"
+#include "frontend/runner.hpp"
+
+namespace stonne {
+namespace {
+
+const char *kFireNet = R"(
+# A SqueezeNet-style fire module plus classifier.
+model fire_mini
+sparsity 0.5
+seed 13
+input 3 16 16
+conv name=c1 out=8 kernel=3 stride=2 pad=1
+relu save=squeeze
+conv name=e1 out=8 kernel=1
+relu save=left
+conv name=e3 out=8 kernel=3 pad=1 from=squeeze
+relu
+concat with=left
+maxpool window=2 stride=2
+gap
+flatten
+linear name=fc out=10
+logsoftmax
+)";
+
+TEST(ModelLoader, ParsesAllStatementKinds)
+{
+    const DnnModel m = loadModelFromText(kFireNet);
+    EXPECT_EQ(m.name, "fire_mini");
+    EXPECT_NEAR(m.target_weight_sparsity, 0.5, 1e-9);
+    EXPECT_EQ(m.layers.size(), 12u);
+    EXPECT_EQ(m.layers[0].op, OpType::Conv2d);
+    EXPECT_EQ(m.layers[6].op, OpType::Concat);
+    EXPECT_EQ(m.layers.back().op, OpType::LogSoftmax);
+    EXPECT_NEAR(m.measuredWeightSparsity(), 0.5, 0.1);
+}
+
+TEST(ModelLoader, LabelsRouteInputsCorrectly)
+{
+    const DnnModel m = loadModelFromText(kFireNet);
+    // e3 reads the saved squeeze output (layer index 1, the relu).
+    EXPECT_EQ(m.layers[4].input_from, 1);
+    EXPECT_TRUE(m.layers[1].save_output);
+    // concat's second operand is the saved e1-relu (index 3).
+    EXPECT_EQ(m.layers[6].operand_from, 3);
+    EXPECT_TRUE(m.layers[3].save_output);
+}
+
+TEST(ModelLoader, LoadedModelRunsAndValidates)
+{
+    const DnnModel m = loadModelFromText(kFireNet);
+    Rng rng(1);
+    Tensor input({1, 3, 16, 16});
+    input.fillUniform(rng, 0.0f, 1.0f);
+    ModelRunner runner(m, HardwareConfig::maeriLike(64, 16));
+    const Tensor sim = runner.run(input);
+    EXPECT_TRUE(sim.equals(runner.runNative(input)));
+    EXPECT_GT(runner.total().cycles, 0u);
+}
+
+TEST(ModelLoader, TransformerStatements)
+{
+    const DnnModel m = loadModelFromText(R"(
+model tiny_bert
+sparsity 0.4
+input2d 8 16
+attention name=enc heads=2 save=a
+add with=input
+layernorm save=ln
+linear name=ff1 out=32
+relu
+linear name=ff2 out=16
+add with=ln
+layernorm
+linear name=cls out=4
+logsoftmax
+)");
+    EXPECT_EQ(m.layers[0].op, OpType::SelfAttention);
+    EXPECT_EQ(m.layers[1].operand_from, DnnLayer::kFromModelInput);
+
+    Rng rng(2);
+    Tensor input({8, 16});
+    input.fillUniform(rng);
+    ModelRunner runner(m, HardwareConfig::sigmaLike(64, 32));
+    EXPECT_TRUE(runner.run(input).equals(runner.runNative(input)));
+}
+
+TEST(ModelLoader, DepthwiseGroups)
+{
+    const DnnModel m = loadModelFromText(R"(
+model dw
+input 4 8 8
+conv name=dw out=4 kernel=3 pad=1 groups=4
+relu
+gap
+flatten
+linear name=fc out=2
+)");
+    EXPECT_EQ(m.layers[0].spec.conv.G, 4);
+}
+
+TEST(ModelLoader, ErrorsAreFatalWithLineNumbers)
+{
+    EXPECT_THROW(loadModelFromText("conv out=4 kernel=3\n"), FatalError);
+    EXPECT_THROW(loadModelFromText("input 3 8 8\nwibble\n"), FatalError);
+    EXPECT_THROW(
+        loadModelFromText("input 3 8 8\nconv kernel=3\n"), FatalError);
+    EXPECT_THROW(
+        loadModelFromText("input 3 8 8\nconv out=4 kernel=3 from=nope\n"),
+        FatalError);
+    EXPECT_THROW(
+        loadModelFromText("input 3 8 8\nadd with=\n"), FatalError);
+    EXPECT_THROW(loadModelFromText("input 3 8 8\n"), FatalError);
+    EXPECT_THROW(loadModelFromText("sparsity 1.5\ninput 3 8 8\n"),
+                 FatalError);
+    EXPECT_THROW(loadModelFromText(""), FatalError);
+}
+
+TEST(ModelLoader, FileRoundTrip)
+{
+    const std::string path = "/tmp/stonne_test_model.txt";
+    {
+        std::ofstream out(path);
+        out << kFireNet;
+    }
+    const DnnModel from_file = loadModelFromFile(path);
+    const DnnModel from_text = loadModelFromText(kFireNet);
+    ASSERT_EQ(from_file.layers.size(), from_text.layers.size());
+    for (std::size_t i = 0; i < from_file.layers.size(); ++i) {
+        if (!from_file.layers[i].weights.empty()) {
+            EXPECT_TRUE(from_file.layers[i].weights.equals(
+                from_text.layers[i].weights));
+        }
+    }
+    EXPECT_THROW(loadModelFromFile("/nonexistent/model.txt"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace stonne

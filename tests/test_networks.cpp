@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the on-chip network fabrics: the three distribution
+ * networks, the multiplier array and the four reduction networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "network/dn_benes.hpp"
+#include "network/dn_popn.hpp"
+#include "network/dn_tree.hpp"
+#include "network/mn_array.hpp"
+#include "network/rn_fan.hpp"
+#include "network/rn_linear.hpp"
+#include "network/rn_tree.hpp"
+
+namespace stonne {
+namespace {
+
+DataPackage
+pkg(index_t lo, index_t hi, PackageKind kind = PackageKind::Input)
+{
+    DataPackage p;
+    p.dest_lo = lo;
+    p.dest_hi = hi;
+    p.kind = kind;
+    return p;
+}
+
+// --- Tree DN ----------------------------------------------------------
+
+TEST(TreeDn, BandwidthLimitsInjectionsPerCycle)
+{
+    StatsRegistry stats;
+    TreeDistributionNetwork dn(16, 2, stats);
+    EXPECT_TRUE(dn.inject(pkg(0, 1)));
+    EXPECT_TRUE(dn.inject(pkg(1, 2)));
+    EXPECT_FALSE(dn.inject(pkg(2, 3)));
+    dn.cycle();
+    EXPECT_TRUE(dn.inject(pkg(2, 3)));
+}
+
+TEST(TreeDn, OverlappingMulticastRangesConflict)
+{
+    StatsRegistry stats;
+    TreeDistributionNetwork dn(16, 4, stats);
+    EXPECT_TRUE(dn.inject(pkg(0, 8)));
+    EXPECT_FALSE(dn.inject(pkg(4, 12))); // shares leaves 4-7
+    EXPECT_TRUE(dn.inject(pkg(8, 16)));  // disjoint
+    EXPECT_EQ(dn.stalls(), 1u);
+}
+
+TEST(TreeDn, BroadcastUsesWholeFabric)
+{
+    StatsRegistry stats;
+    TreeDistributionNetwork dn(16, 4, stats);
+    EXPECT_TRUE(dn.inject(pkg(0, 16)));
+    EXPECT_FALSE(dn.inject(pkg(0, 1)));
+    EXPECT_EQ(dn.packagesDelivered(), 1u);
+}
+
+TEST(TreeDn, TraversalCountsScaleWithFanout)
+{
+    StatsRegistry stats;
+    TreeDistributionNetwork dn(64, 8, stats);
+    EXPECT_EQ(dn.levels(), 6);
+    EXPECT_EQ(dn.traversalSwitches(1), 6);
+    EXPECT_EQ(dn.traversalSwitches(64), 6 + 63);
+}
+
+TEST(TreeDn, BulkInjectionRespectsBandwidth)
+{
+    StatsRegistry stats;
+    TreeDistributionNetwork dn(64, 8, stats);
+    EXPECT_EQ(dn.injectBulk(20, 4, PackageKind::Input), 8);
+    EXPECT_EQ(dn.injectBulk(20, 4, PackageKind::Input), 0);
+    dn.cycle();
+    EXPECT_EQ(dn.injectBulk(3, 4, PackageKind::Input), 3);
+    EXPECT_EQ(stats.value("dn.packages"), 11u);
+}
+
+TEST(TreeDn, RequiresPowerOfTwoLeaves)
+{
+    StatsRegistry stats;
+    EXPECT_THROW(TreeDistributionNetwork(48, 4, stats), FatalError);
+}
+
+// --- Benes DN ---------------------------------------------------------
+
+TEST(BenesDn, NonBlockingUpToBandwidth)
+{
+    StatsRegistry stats;
+    BenesDistributionNetwork dn(16, 4, stats);
+    // Overlapping ranges do NOT conflict: the fabric is non-blocking.
+    EXPECT_TRUE(dn.inject(pkg(0, 8)));
+    EXPECT_TRUE(dn.inject(pkg(4, 12)));
+    EXPECT_TRUE(dn.inject(pkg(0, 16)));
+    EXPECT_TRUE(dn.inject(pkg(3, 4)));
+    EXPECT_FALSE(dn.inject(pkg(5, 6)));
+}
+
+TEST(BenesDn, LevelStructureMatchesPaper)
+{
+    StatsRegistry stats;
+    BenesDistributionNetwork dn(128, 64, stats);
+    // 2*log2(N) + 1 levels of N/2 tiny 2x2 switches.
+    EXPECT_EQ(dn.levels(), 2 * 7 + 1);
+    EXPECT_EQ(dn.switchCount(), 15 * 64);
+}
+
+TEST(BenesDn, HopAccountingCrossesAllLevels)
+{
+    StatsRegistry stats;
+    BenesDistributionNetwork dn(16, 4, stats);
+    dn.inject(pkg(3, 4));
+    EXPECT_EQ(stats.value("dn.switch_hops"),
+              static_cast<count_t>(dn.levels()));
+}
+
+// --- Point-to-point DN -------------------------------------------------
+
+TEST(PopDn, RejectsMulticastStructurally)
+{
+    StatsRegistry stats;
+    PointToPointNetwork dn(16, 16, stats);
+    EXPECT_TRUE(dn.inject(pkg(3, 4)));
+    EXPECT_THROW(dn.inject(pkg(0, 2)), FatalError);
+    EXPECT_THROW(dn.injectBulk(4, 2, PackageKind::Input), FatalError);
+}
+
+TEST(PopDn, UnicastBandwidth)
+{
+    StatsRegistry stats;
+    PointToPointNetwork dn(16, 4, stats);
+    EXPECT_EQ(dn.injectBulk(10, 1, PackageKind::Input), 4);
+    dn.cycle();
+    EXPECT_EQ(dn.injectBulk(10, 1, PackageKind::Input), 4);
+    EXPECT_EQ(stats.value("dn.stalls"), 2u);
+}
+
+// --- Multiplier array --------------------------------------------------
+
+TEST(MnArray, CountsMultiplications)
+{
+    StatsRegistry stats;
+    MultiplierArray mn(64, MnType::Linear, stats);
+    mn.fireMultipliers(64);
+    mn.fireMultipliers(10);
+    EXPECT_EQ(mn.multOps(), 74u);
+    EXPECT_THROW(mn.fireMultipliers(65), PanicError);
+}
+
+TEST(MnArray, ForwardingOnlyOnLinearTopology)
+{
+    StatsRegistry stats;
+    MultiplierArray lmn(64, MnType::Linear, stats);
+    EXPECT_TRUE(lmn.hasForwardingLinks());
+    lmn.forwardOperands(3);
+    EXPECT_EQ(lmn.forwardOps(), 3u);
+
+    StatsRegistry stats2;
+    MultiplierArray dmn(64, MnType::Disabled, stats2);
+    EXPECT_FALSE(dmn.hasForwardingLinks());
+    EXPECT_THROW(dmn.forwardOperands(1), PanicError);
+}
+
+// --- Reduction networks -------------------------------------------------
+
+TEST(ArtRn, LatencyIsLogDepth)
+{
+    StatsRegistry stats;
+    ArtReductionNetwork rn(64, true, 64, stats);
+    EXPECT_EQ(rn.latency(1), 0);
+    EXPECT_EQ(rn.latency(2), 1);
+    EXPECT_EQ(rn.latency(9), 4);
+    EXPECT_EQ(rn.latency(64), 6);
+}
+
+TEST(ArtRn, ThreeToOneAdderFiringCounts)
+{
+    StatsRegistry stats;
+    ArtReductionNetwork rn(64, true, 64, stats);
+    rn.reduceCluster(9); // 8 additions -> 4 fused 3:1 firings
+    EXPECT_EQ(rn.adderOps(), 4u);
+    rn.reduceCluster(1); // single product: no adders
+    EXPECT_EQ(rn.adderOps(), 4u);
+}
+
+TEST(ArtRn, AccumulatorOnlyWithAccVariant)
+{
+    StatsRegistry stats;
+    ArtReductionNetwork acc(64, true, 32, stats);
+    EXPECT_TRUE(acc.supportsAccumulation());
+    acc.accumulate(16);
+    EXPECT_EQ(acc.accumulatorOps(), 16u);
+    EXPECT_THROW(acc.accumulate(33), PanicError);
+
+    StatsRegistry stats2;
+    ArtReductionNetwork dist(64, false, 0, stats2);
+    EXPECT_FALSE(dist.supportsAccumulation());
+    EXPECT_THROW(dist.accumulate(1), PanicError);
+}
+
+TEST(FanRn, TwoToOneAdderFiringCounts)
+{
+    StatsRegistry stats;
+    FanReductionNetwork rn(64, stats);
+    rn.reduceCluster(9); // 8 two-input additions
+    EXPECT_EQ(rn.adderOps(), 8u);
+    EXPECT_TRUE(rn.supportsVariableClusters());
+    EXPECT_TRUE(rn.supportsAccumulation());
+}
+
+TEST(FanRn, ClusterSizeBounds)
+{
+    StatsRegistry stats;
+    FanReductionNetwork rn(64, stats);
+    EXPECT_THROW(rn.reduceCluster(0), PanicError);
+    EXPECT_THROW(rn.reduceCluster(65), PanicError);
+}
+
+TEST(LinearRn, SerialLatency)
+{
+    StatsRegistry stats;
+    LinearReductionNetwork rn(64, stats);
+    EXPECT_EQ(rn.latency(8), 7);
+    EXPECT_FALSE(rn.supportsVariableClusters());
+    rn.reduceCluster(8);
+    EXPECT_EQ(rn.adderOps(), 7u);
+}
+
+} // namespace
+} // namespace stonne

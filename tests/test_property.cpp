@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Property-based sweeps (TEST_P): randomized GEMM/conv shapes across
+ * all accelerator compositions must always bit-match the CPU reference,
+ * conserve work (MAC counts), and respect timing monotonicity
+ * invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "controller/scheduler.hpp"
+#include "engine/stonne_api.hpp"
+#include "tensor/prune.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+namespace {
+
+HardwareConfig
+archConfig(int arch)
+{
+    switch (arch) {
+      case 0: return HardwareConfig::maeriLike(64, 16);
+      case 1: return HardwareConfig::sigmaLike(64, 32);
+      default: return HardwareConfig::tpuLike(64);
+    }
+}
+
+const char *
+archName(int arch)
+{
+    return arch == 0 ? "MAERI" : arch == 1 ? "SIGMA" : "TPU";
+}
+
+// --- Random GEMM shapes across all compositions -----------------------
+
+class GemmSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(GemmSweep, BitMatchesReferenceAndConservesWork)
+{
+    const int arch = std::get<0>(GetParam());
+    const int trial = std::get<1>(GetParam());
+    Rng rng(1000 + static_cast<std::uint64_t>(trial));
+    const index_t m = rng.integer(1, 40);
+    const index_t n = rng.integer(1, 40);
+    const index_t k = rng.integer(1, 64);
+
+    Tensor a({m, k}), b({k, n});
+    a.fillUniform(rng);
+    b.fillUniform(rng);
+
+    Stonne st(archConfig(arch));
+    st.configureDmm(LayerSpec::gemmLayer("g", m, n, k));
+    st.configureData(b, a);
+    const SimulationResult r = st.runOperation();
+
+    EXPECT_TRUE(st.output().equals(ref::gemm(a, b)))
+        << archName(arch) << " m=" << m << " n=" << n << " k=" << k;
+    EXPECT_EQ(r.macs, static_cast<count_t>(m * n * k));
+    EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, GemmSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(0, 8)),
+    [](const auto &info) {
+        return std::string(archName(std::get<0>(info.param))) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// --- Random convolution shapes on the dense compositions --------------
+
+class ConvSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ConvSweep, BitMatchesReference)
+{
+    const int arch = std::get<0>(GetParam());
+    const int trial = std::get<1>(GetParam());
+    Rng rng(2000 + static_cast<std::uint64_t>(trial));
+
+    Conv2dShape s;
+    s.R = rng.integer(1, 4);
+    s.S = s.R;
+    s.C = rng.integer(1, 8);
+    s.K = rng.integer(1, 8);
+    s.N = rng.integer(1, 2);
+    s.X = rng.integer(s.R, s.R + 9);
+    s.Y = rng.integer(s.S, s.S + 9);
+    s.stride = rng.integer(1, 2);
+    s.padding = rng.integer(0, 1);
+
+    Tensor in({s.N, s.C, s.X, s.Y}), w({s.K, s.C, s.R, s.S}),
+        bias({s.K});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+    bias.fillUniform(rng);
+
+    Stonne st(archConfig(arch));
+    st.configureConv(LayerSpec::convolution("c", s));
+    st.configureData(in, w, bias);
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::conv2d(in, w, bias, s)))
+        << archName(arch) << " R=" << s.R << " C=" << s.C
+        << " K=" << s.K << " X=" << s.X << " Y=" << s.Y
+        << " stride=" << s.stride << " pad=" << s.padding;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, ConvSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(0, 10)),
+    [](const auto &info) {
+        return std::string(archName(std::get<0>(info.param))) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// --- SpMM sparsity sweep ------------------------------------------------
+
+class SparsitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SparsitySweep, ExactAtEverySparsityAndMonotonicWork)
+{
+    const double sparsity = static_cast<double>(GetParam()) / 100.0;
+    Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+    Tensor a({24, 48}), b({48, 12});
+    a.fillUniform(rng);
+    if (sparsity > 0)
+        pruneFiltersWithJitter(a, sparsity, 0.1, rng);
+    b.fillUniform(rng);
+
+    Stonne st(HardwareConfig::sigmaLike(64, 32));
+    st.configureSpmm(LayerSpec::sparseGemm("s", 24, 12, 48));
+    st.configureData(b, a);
+    const SimulationResult r = st.runOperation();
+
+    EXPECT_TRUE(st.output().equals(ref::gemm(a, b)));
+    // Work tracks the actual nnz exactly.
+    EXPECT_EQ(r.macs, static_cast<count_t>(a.nnz() * 12));
+}
+
+INSTANTIATE_TEST_SUITE_P(ZeroToNinety, SparsitySweep,
+                         ::testing::Values(0, 10, 30, 50, 70, 80, 90));
+
+// --- Bandwidth monotonicity ---------------------------------------------
+
+class BandwidthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BandwidthSweep, CyclesNeverImproveWithLessBandwidth)
+{
+    const index_t bw = GetParam();
+    Conv2dShape s;
+    s.R = 3;
+    s.S = 3;
+    s.C = 8;
+    s.K = 8;
+    s.X = 10;
+    s.Y = 10;
+    s.padding = 1;
+    Rng rng(7);
+    Tensor in({1, 8, 10, 10}), w({8, 8, 3, 3});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+
+    auto cycles_at = [&](index_t bandwidth) {
+        Stonne st(HardwareConfig::maeriLike(128, bandwidth));
+        st.configureConv(LayerSpec::convolution("c", s));
+        st.configureData(in, w, Tensor());
+        return st.runOperation().cycles;
+    };
+    EXPECT_GE(cycles_at(bw), cycles_at(128));
+    if (bw >= 2) {
+        EXPECT_GE(cycles_at(bw / 2), cycles_at(bw));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BandwidthSweep,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+// --- Tile validity sweep --------------------------------------------------
+
+class TileSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TileSweep, AnyValidTileIsFunctionallyCorrect)
+{
+    const int trial = GetParam();
+    Rng rng(4000 + static_cast<std::uint64_t>(trial));
+    Conv2dShape s;
+    s.R = 3;
+    s.S = 3;
+    s.C = 4;
+    s.K = 4;
+    s.X = 8;
+    s.Y = 8;
+    const LayerSpec layer = LayerSpec::convolution("c", s);
+
+    Tile t;
+    t.t_r = rng.integer(1, 3);
+    t.t_s = rng.integer(1, 3);
+    t.t_c = rng.integer(1, 4);
+    t.t_k = rng.integer(1, 4);
+    t.t_y = rng.integer(1, 3);
+    if (t.usedMs() > 64)
+        t.t_k = 1;
+    if (t.usedMs() > 64)
+        t.t_y = 1;
+    if (t.usedMs() > 64)
+        t.t_c = 1;
+
+    Tensor in({1, 4, 8, 8}), w({4, 4, 3, 3});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+
+    Stonne st(HardwareConfig::maeriLike(64, 16));
+    st.configureConv(layer, t);
+    st.configureData(in, w, Tensor());
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::conv2d(in, w, Tensor(), s)))
+        << t.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTiles, TileSweep, ::testing::Range(0, 12));
+
+// --- Random linear layers across all compositions ----------------------
+
+class LinearSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(LinearSweep, BitMatchesReference)
+{
+    const int arch = std::get<0>(GetParam());
+    const int trial = std::get<1>(GetParam());
+    Rng rng(5000 + static_cast<std::uint64_t>(trial));
+    const index_t batch = rng.integer(1, 6);
+    const index_t in = rng.integer(1, 96);
+    const index_t out = rng.integer(1, 48);
+
+    Tensor x({batch, in}), w({out, in}), bias({out});
+    x.fillUniform(rng);
+    w.fillUniform(rng);
+    if (trial % 2 == 0)
+        pruneRandom(w, 0.5, rng);
+    bias.fillUniform(rng);
+
+    Stonne st(archConfig(arch));
+    st.configureLinear(LayerSpec::linear("fc", batch, in, out));
+    st.configureData(x, w, bias);
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::linear(x, w, bias)))
+        << archName(arch) << " batch=" << batch << " in=" << in
+        << " out=" << out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, LinearSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(0, 6)),
+    [](const auto &info) {
+        return std::string(archName(std::get<0>(info.param))) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// --- Random max-pooling shapes on the flexible fabric ------------------
+
+class PoolSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PoolSweep, MatchesReferenceIncludingOverlap)
+{
+    const int trial = GetParam();
+    Rng rng(6000 + static_cast<std::uint64_t>(trial));
+    const index_t c = rng.integer(1, 6);
+    const index_t window = rng.integer(2, 3);
+    const index_t stride = rng.integer(1, window);
+    const index_t x = rng.integer(window + 1, window + 8);
+
+    Tensor in({1, c, x, x});
+    in.fillUniform(rng);
+    Conv2dShape s;
+    s.C = c;
+    s.X = x;
+    s.Y = x;
+
+    Stonne st(HardwareConfig::maeriLike(64, 16));
+    st.configureMaxPool(LayerSpec::maxPool("p", s, window, stride));
+    st.configureData(in, Tensor());
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::maxPool2d(in, window, stride)))
+        << "c=" << c << " w=" << window << " s=" << stride
+        << " x=" << x;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, PoolSweep,
+                         ::testing::Range(0, 8));
+
+// --- Dataflow x random conv sweep ---------------------------------------
+
+class DataflowConvSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(DataflowConvSweep, EveryDataflowStaysExact)
+{
+    const int df = std::get<0>(GetParam());
+    const int trial = std::get<1>(GetParam());
+    Rng rng(7000 + static_cast<std::uint64_t>(trial));
+
+    Conv2dShape s;
+    s.R = rng.integer(1, 3);
+    s.S = s.R;
+    s.C = rng.integer(1, 12);
+    s.K = rng.integer(1, 6);
+    s.X = rng.integer(s.R, s.R + 7);
+    s.Y = rng.integer(s.S, s.S + 7);
+    s.padding = rng.integer(0, 1);
+
+    Tensor in({1, s.C, s.X, s.Y}), w({s.K, s.C, s.R, s.S});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+
+    HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+    cfg.dataflow = df == 0 ? Dataflow::OutputStationary
+                 : df == 1 ? Dataflow::WeightStationary
+                           : Dataflow::InputStationary;
+    cfg.accumulator_size = 32; // small enough to stress WS spills
+    Stonne st(cfg);
+    st.configureConv(LayerSpec::convolution("c", s));
+    st.configureData(in, w);
+    st.runOperation();
+    EXPECT_TRUE(st.output().equals(ref::conv2d(in, w, Tensor(), s)))
+        << dataflowName(cfg.dataflow) << " R=" << s.R << " C=" << s.C
+        << " K=" << s.K << " X=" << s.X << " Y=" << s.Y;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomShapes, DataflowConvSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(0, 6)),
+    [](const auto &info) {
+        const char *df = std::get<0>(info.param) == 0 ? "OS"
+                       : std::get<0>(info.param) == 1 ? "WS" : "IS";
+        return std::string(df) + "_t" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+// --- Scheduler fuzz: packing invariants under random sizes --------------
+
+class SchedulerFuzz : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchedulerFuzz, PackingInvariantsHoldForEveryPolicy)
+{
+    Rng rng(8000 + static_cast<std::uint64_t>(GetParam()));
+    const index_t ms = 1 << rng.integer(3, 7);
+    std::vector<index_t> sizes;
+    const index_t rows = rng.integer(1, 60);
+    for (index_t i = 0; i < rows; ++i)
+        sizes.push_back(rng.integer(0, 2 * ms));
+
+    for (const auto policy :
+         {SchedulingPolicy::None, SchedulingPolicy::Random,
+          SchedulingPolicy::LargestFirst}) {
+        const auto rounds = packRounds(sizes, ms, policy, 5);
+        std::vector<index_t> covered(sizes.size(), 0);
+        for (const auto &r : rounds) {
+            EXPECT_LE(r.nnz, ms);
+            index_t seg_total = 0;
+            for (const auto &seg : r.segments) {
+                EXPECT_GT(seg.len, 0);
+                covered[static_cast<std::size_t>(seg.row)] += seg.len;
+                seg_total += seg.len;
+            }
+            EXPECT_EQ(seg_total, r.nnz);
+        }
+        for (std::size_t i = 0; i < sizes.size(); ++i)
+            EXPECT_EQ(covered[i], sizes[i])
+                << schedulingPolicyName(policy) << " row " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SchedulerFuzz, ::testing::Range(0, 10));
+
+} // namespace
+} // namespace stonne

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the filter scheduler (use case 3): round packing
+ * semantics of NS / RDM / LFF and the Figure 7a metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "controller/scheduler.hpp"
+
+namespace stonne {
+namespace {
+
+count_t
+totalSegNnz(const std::vector<SparseRound> &rounds)
+{
+    count_t nnz = 0;
+    for (const auto &r : rounds)
+        for (const auto &s : r.segments)
+            nnz += static_cast<count_t>(s.len);
+    return nnz;
+}
+
+TEST(Scheduler, EveryNonZeroIsMappedExactlyOnce)
+{
+    const std::vector<index_t> nnz = {5, 17, 0, 9, 30, 2, 2, 64, 1};
+    const index_t total =
+        std::accumulate(nnz.begin(), nnz.end(), index_t{0});
+    for (const auto policy :
+         {SchedulingPolicy::None, SchedulingPolicy::Random,
+          SchedulingPolicy::LargestFirst}) {
+        const auto rounds = packRounds(nnz, 32, policy, 3);
+        EXPECT_EQ(totalSegNnz(rounds), static_cast<count_t>(total))
+            << schedulingPolicyName(policy);
+        // Exactly one `last` segment per non-empty filter.
+        std::vector<int> lasts(nnz.size(), 0);
+        for (const auto &r : rounds)
+            for (const auto &s : r.segments)
+                if (s.last)
+                    ++lasts[static_cast<std::size_t>(s.row)];
+        for (std::size_t i = 0; i < nnz.size(); ++i)
+            EXPECT_EQ(lasts[i], nnz[i] > 0 ? 1 : 0);
+    }
+}
+
+TEST(Scheduler, RoundsNeverExceedArraySize)
+{
+    const std::vector<index_t> nnz = {31, 31, 31, 31, 3, 3, 3};
+    for (const auto policy :
+         {SchedulingPolicy::None, SchedulingPolicy::Random,
+          SchedulingPolicy::LargestFirst}) {
+        for (const auto &r : packRounds(nnz, 32, policy))
+            EXPECT_LE(r.nnz, 32);
+    }
+}
+
+TEST(Scheduler, NaturalOrderClosesAtFirstMisfit)
+{
+    // NS: 20 fits, 20 does not fit next to it -> 2 rounds even though
+    // the 5 would have fit after the first 20.
+    const std::vector<index_t> nnz = {20, 20, 5};
+    const auto rounds = packRounds(nnz, 32, SchedulingPolicy::None);
+    ASSERT_EQ(rounds.size(), 2u);
+    EXPECT_EQ(rounds[0].segments.size(), 1u);
+    EXPECT_EQ(rounds[1].segments.size(), 2u);
+}
+
+TEST(Scheduler, LffFillsGapsWithSmallerFilters)
+{
+    // LFF skips the misfitting second 20 and fills the leftover
+    // capacity with both 5-wide filters (descending order).
+    const std::vector<index_t> nnz = {20, 20, 5, 5};
+    const auto rounds =
+        packRounds(nnz, 32, SchedulingPolicy::LargestFirst);
+    ASSERT_EQ(rounds.size(), 2u);
+    EXPECT_EQ(rounds[0].nnz, 30);
+    EXPECT_EQ(rounds[0].whole_filters, 3);
+    EXPECT_EQ(rounds[1].nnz, 20);
+}
+
+TEST(Scheduler, LffPacksTighterThanNsOnAverage)
+{
+    Rng rng(5);
+    std::size_t ns_total = 0, lff_total = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<index_t> nnz;
+        for (int i = 0; i < 50; ++i)
+            nnz.push_back(rng.integer(0, 40));
+        ns_total += packRounds(nnz, 64, SchedulingPolicy::None).size();
+        lff_total +=
+            packRounds(nnz, 64, SchedulingPolicy::LargestFirst).size();
+    }
+    EXPECT_LT(lff_total, ns_total);
+}
+
+TEST(Scheduler, OversizedFilterFolds)
+{
+    const std::vector<index_t> nnz = {100};
+    const auto rounds = packRounds(nnz, 32, SchedulingPolicy::None);
+    ASSERT_EQ(rounds.size(), 4u); // 32+32+32+4
+    EXPECT_FALSE(rounds[0].segments[0].last);
+    EXPECT_TRUE(rounds[3].segments[0].last);
+    EXPECT_EQ(rounds[3].segments[0].begin, 96);
+    EXPECT_EQ(rounds[3].segments[0].len, 4);
+}
+
+TEST(Scheduler, PartialFoldTailSharesRound)
+{
+    // 100 = 3 full rounds + a 4-wide tail that can host the 20.
+    const std::vector<index_t> nnz = {100, 20};
+    const auto rounds = packRounds(nnz, 32, SchedulingPolicy::None);
+    ASSERT_EQ(rounds.size(), 4u);
+    EXPECT_EQ(rounds[3].segments.size(), 2u);
+    EXPECT_EQ(rounds[3].nnz, 24);
+}
+
+TEST(Scheduler, RandomIsDeterministicPerSeed)
+{
+    std::vector<index_t> nnz;
+    Rng rng(6);
+    for (int i = 0; i < 30; ++i)
+        nnz.push_back(rng.integer(1, 20));
+    const auto a = packRounds(nnz, 64, SchedulingPolicy::Random, 42);
+    const auto b = packRounds(nnz, 64, SchedulingPolicy::Random, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].nnz, b[i].nnz);
+}
+
+TEST(Scheduler, AverageFiltersPerRoundMetric)
+{
+    const std::vector<index_t> nnz = {8, 8, 8, 8, 8, 8, 8, 8};
+    const auto rounds = packRounds(nnz, 32, SchedulingPolicy::None);
+    ASSERT_EQ(rounds.size(), 2u);
+    EXPECT_DOUBLE_EQ(averageFiltersPerRound(rounds), 4.0);
+    EXPECT_DOUBLE_EQ(averageFiltersPerRound({}), 0.0);
+}
+
+TEST(Scheduler, ZeroFiltersProduceNoRounds)
+{
+    const std::vector<index_t> nnz = {0, 0, 0};
+    EXPECT_TRUE(packRounds(nnz, 32, SchedulingPolicy::None).empty());
+}
+
+TEST(Scheduler, PolicyNames)
+{
+    EXPECT_STREQ(schedulingPolicyName(SchedulingPolicy::None), "NS");
+    EXPECT_STREQ(schedulingPolicyName(SchedulingPolicy::Random), "RDM");
+    EXPECT_STREQ(schedulingPolicyName(SchedulingPolicy::LargestFirst),
+                 "LFF");
+}
+
+} // namespace
+} // namespace stonne

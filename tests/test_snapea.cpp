@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the SNAPEA back-end extension (use case 2): exact-mode
+ * correctness under a following ReLU, cut-off savings, and the
+ * reorder-table invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "engine/accelerator.hpp"
+#include "frontend/snapea_pass.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+namespace {
+
+LayerSpec
+convLayer(index_t r, index_t c, index_t k, index_t xy, index_t pad = 1)
+{
+    Conv2dShape shape;
+    shape.R = r;
+    shape.S = r;
+    shape.C = c;
+    shape.K = k;
+    shape.X = xy;
+    shape.Y = xy;
+    shape.padding = pad;
+    return LayerSpec::convolution("conv", shape);
+}
+
+struct ConvData {
+    Tensor input, weights, bias, output;
+    /** Non-negative inputs (post-ReLU activations), mixed-sign weights. */
+    explicit ConvData(const Conv2dShape &s, std::uint64_t seed)
+        : input({s.N, s.C, s.X, s.Y}),
+          weights({s.K, s.cPerGroup(), s.R, s.S}),
+          bias({s.K}),
+          output({s.N, s.K, s.outX(), s.outY()})
+    {
+        Rng rng(seed);
+        input.fillUniform(rng, 0.0f, 1.0f);
+        weights.fillNormal(rng, -0.05f, 0.3f); // negative lean -> cuts
+        bias.fillUniform(rng, -0.1f, 0.1f);
+    }
+};
+
+TEST(SnapeaTable, SortsDescendingWithNegativeBoundary)
+{
+    Tensor w({2, 1, 2, 2});
+    const float vals[8] = {0.5f, -1.0f, 2.0f, 0.0f,
+                           -0.1f, -0.2f, -0.3f, -0.4f};
+    for (index_t i = 0; i < 8; ++i)
+        w.at(i) = vals[i];
+    const SnapeaReorderTable t = SnapeaReorderTable::build(w);
+    ASSERT_EQ(t.order.size(), 2u);
+    // Filter 0: pruned zero dropped, sorted 2.0, 0.5, -1.0 -> first
+    // negative at 2.
+    ASSERT_EQ(t.order[0].size(), 3u);
+    EXPECT_EQ(t.order[0][0], 2);
+    EXPECT_EQ(t.order[0][1], 0);
+    EXPECT_EQ(t.order[0][2], 1);
+    EXPECT_EQ(t.first_negative[0], 2);
+    // Filter 1: all negative -> boundary at 0.
+    EXPECT_EQ(t.first_negative[1], 0);
+    EXPECT_EQ(t.maxLength(), 4);
+}
+
+TEST(SnapeaTable, AllPositiveFilterNeverCuts)
+{
+    Tensor w({1, 1, 2, 2});
+    w.fill(1.0f);
+    const SnapeaReorderTable t = SnapeaReorderTable::build(w);
+    EXPECT_EQ(t.first_negative[0], 4); // == stream length: no cut point
+}
+
+TEST(SnapeaTable, PrunedWeightsAreDroppedFromTheStream)
+{
+    Tensor w({1, 1, 3, 3});
+    w.at(static_cast<index_t>(1)) = 0.7f;
+    w.at(static_cast<index_t>(5)) = -0.3f;
+    const SnapeaReorderTable t = SnapeaReorderTable::build(w);
+    ASSERT_EQ(t.order[0].size(), 2u);
+    EXPECT_EQ(t.order[0][0], 1);
+    EXPECT_EQ(t.order[0][1], 5);
+    EXPECT_EQ(t.first_negative[0], 1);
+}
+
+TEST(Snapea, BaselineMatchesReferencePostRelu)
+{
+    Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+    const LayerSpec layer = convLayer(3, 4, 8, 8);
+    ConvData d(layer.conv, 1);
+    const SnapeaReorderTable table =
+        SnapeaReorderTable::build(d.weights);
+    acc.snapeaController().runConvolution(layer, d.input, d.weights,
+                                          d.bias, table,
+                                          /*early_exit=*/false, d.output);
+    const Tensor expect = ref::relu(
+        ref::conv2d(d.input, d.weights, d.bias, layer.conv));
+    EXPECT_LT(ref::relu(d.output).maxAbsDiff(expect), 1e-4);
+}
+
+TEST(Snapea, EarlyExitIsExactUnderRelu)
+{
+    Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+    const LayerSpec layer = convLayer(3, 4, 8, 8);
+    ConvData d(layer.conv, 2);
+    const SnapeaReorderTable table =
+        SnapeaReorderTable::build(d.weights);
+    const ControllerResult r = acc.snapeaController().runConvolution(
+        layer, d.input, d.weights, d.bias, table, true, d.output);
+    const Tensor expect = ref::relu(
+        ref::conv2d(d.input, d.weights, d.bias, layer.conv));
+    EXPECT_LT(ref::relu(d.output).maxAbsDiff(expect), 1e-4);
+    EXPECT_GT(r.skipped_macs, 0u);
+}
+
+TEST(Snapea, EarlyExitIsFasterAndDoesLessWork)
+{
+    const LayerSpec layer = convLayer(3, 8, 16, 10);
+    ControllerResult base, cut;
+    {
+        Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+        ConvData d(layer.conv, 3);
+        const SnapeaReorderTable table =
+            SnapeaReorderTable::build(d.weights);
+        base = acc.snapeaController().runConvolution(
+            layer, d.input, d.weights, d.bias, table, false, d.output);
+    }
+    {
+        Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+        ConvData d(layer.conv, 3);
+        const SnapeaReorderTable table =
+            SnapeaReorderTable::build(d.weights);
+        cut = acc.snapeaController().runConvolution(
+            layer, d.input, d.weights, d.bias, table, true, d.output);
+    }
+    EXPECT_EQ(base.skipped_macs, 0u);
+    EXPECT_LT(cut.macs, base.macs);
+    EXPECT_LE(cut.cycles, base.cycles);
+    EXPECT_LE(cut.mem_accesses, base.mem_accesses);
+    EXPECT_EQ(cut.macs + cut.skipped_macs, base.macs);
+}
+
+TEST(Snapea, AllPositiveWeightsNeverCut)
+{
+    Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+    const LayerSpec layer = convLayer(3, 2, 4, 6);
+    ConvData d(layer.conv, 4);
+    for (index_t i = 0; i < d.weights.size(); ++i)
+        d.weights.at(i) = std::abs(d.weights.at(i)) + 0.01f;
+    const SnapeaReorderTable table =
+        SnapeaReorderTable::build(d.weights);
+    const ControllerResult r = acc.snapeaController().runConvolution(
+        layer, d.input, d.weights, d.bias, table, true, d.output);
+    EXPECT_EQ(r.skipped_macs, 0u);
+    EXPECT_TRUE(d.output.equals(d.output)); // sanity
+}
+
+TEST(Snapea, HeavilyNegativeWeightsCutAggressively)
+{
+    Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+    const LayerSpec layer = convLayer(3, 4, 8, 8);
+    ConvData d(layer.conv, 5);
+    for (index_t i = 0; i < d.weights.size(); ++i)
+        d.weights.at(i) = -std::abs(d.weights.at(i)) - 0.01f;
+    d.bias.fill(0.0f);
+    const SnapeaReorderTable table =
+        SnapeaReorderTable::build(d.weights);
+    const ControllerResult r = acc.snapeaController().runConvolution(
+        layer, d.input, d.weights, d.bias, table, true, d.output);
+    // Everything is non-positive: each window cuts after its first fold.
+    EXPECT_GT(r.skipped_macs, r.macs);
+    for (index_t i = 0; i < d.output.size(); ++i)
+        EXPECT_LE(d.output.at(i), 0.0f);
+}
+
+TEST(SnapeaPass, EstimateBoundsControllerSavings)
+{
+    // The per-element estimate is an upper bound on what the per-fold
+    // controller can skip.
+    const LayerSpec layer = convLayer(3, 8, 16, 10);
+    ConvData d(layer.conv, 6);
+    const SnapeaReorderTable table =
+        SnapeaReorderTable::build(d.weights);
+    const SnapeaLayerEstimate est = estimateCutSavings(
+        layer, d.input, d.weights, d.bias, table);
+    EXPECT_GT(est.cutFraction(), 0.0);
+
+    Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+    const ControllerResult r = acc.snapeaController().runConvolution(
+        layer, d.input, d.weights, d.bias, table, true, d.output);
+    EXPECT_LE(r.skipped_macs, est.skippable_macs);
+}
+
+TEST(SnapeaPass, BuildsOneTablePerConvolution)
+{
+    DnnModel m;
+    m.name = "toy";
+    DnnLayer conv;
+    conv.op = OpType::Conv2d;
+    conv.weights = Tensor({2, 1, 3, 3});
+    DnnLayer relu;
+    relu.op = OpType::ReLU;
+    m.layers = {conv, relu, conv};
+    EXPECT_EQ(buildSnapeaTables(m).size(), 2u);
+}
+
+TEST(Snapea, TableSizeMismatchIsFatal)
+{
+    Accelerator acc(HardwareConfig::snapeaLike(64, 64));
+    const LayerSpec layer = convLayer(3, 2, 4, 6);
+    ConvData d(layer.conv, 7);
+    Tensor other({8, 2, 3, 3});
+    const SnapeaReorderTable table = SnapeaReorderTable::build(other);
+    EXPECT_THROW(acc.snapeaController().runConvolution(
+                     layer, d.input, d.weights, d.bias, table, true,
+                     d.output),
+                 FatalError);
+}
+
+} // namespace
+} // namespace stonne

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the swappable energy/area tables, the per-datatype scaling,
+ * the config-file disk round trip and the remaining memory-model
+ * corners (DRAM streaming staging, output-module file writing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "engine/stonne_api.hpp"
+#include "energy/area_model.hpp"
+#include "energy/energy_model.hpp"
+#include "mem/dram.hpp"
+
+namespace stonne {
+namespace {
+
+TEST(EnergyTable, ParseOverridesOnlyGivenKeys)
+{
+    const EnergyTable t = EnergyTable::parse(
+        "# comment\nmult_pj = 0.5\ngb_read_pj = 2.0\n");
+    EXPECT_DOUBLE_EQ(t.mult_pj, 0.5);
+    EXPECT_DOUBLE_EQ(t.gb_read_pj, 2.0);
+    EXPECT_DOUBLE_EQ(t.adder3_pj, EnergyTable().adder3_pj);
+}
+
+TEST(EnergyTable, ParseRejectsGarbage)
+{
+    EXPECT_THROW(EnergyTable::parse("bogus_pj = 1\n"), FatalError);
+    EXPECT_THROW(EnergyTable::parse("mult_pj 0.5\n"), FatalError);
+    EXPECT_THROW(EnergyTable::parse("mult_pj = -1\n"), FatalError);
+}
+
+TEST(EnergyTable, ShippedTableMatchesDefaults)
+{
+    const EnergyTable shipped =
+        EnergyTable::parseFile("configs/energy_28nm_fp8.table");
+    const EnergyTable def;
+    EXPECT_DOUBLE_EQ(shipped.mult_pj, def.mult_pj);
+    EXPECT_DOUBLE_EQ(shipped.adder3_pj, def.adder3_pj);
+    EXPECT_DOUBLE_EQ(shipped.gb_read_pj, def.gb_read_pj);
+    EXPECT_DOUBLE_EQ(shipped.leak_pj_um2_cycle, def.leak_pj_um2_cycle);
+}
+
+TEST(EnergyTable, DataTypeScalingOrders)
+{
+    const EnergyTable fp8 = EnergyTable::forDataType(DataType::FP8);
+    const EnergyTable fp16 = EnergyTable::forDataType(DataType::FP16);
+    const EnergyTable int8 = EnergyTable::forDataType(DataType::INT8);
+    EXPECT_LT(int8.mult_pj, fp8.mult_pj);
+    EXPECT_LT(fp8.mult_pj, fp16.mult_pj);
+}
+
+TEST(EnergyModel, CustomTableChangesTheBill)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+    StatsRegistry stats;
+    stats.counter("mn.mult_ops", StatGroup::MultiplierNetwork).value =
+        1000000;
+    EnergyTable expensive;
+    expensive.mult_pj = 10.0;
+    const double cheap =
+        EnergyModel(cfg).compute(stats, 0).mn_uj;
+    const double costly =
+        EnergyModel(cfg, expensive).compute(stats, 0).mn_uj;
+    EXPECT_GT(costly, cheap * 10);
+}
+
+TEST(AreaTable, ParseAndShippedFile)
+{
+    const AreaTable t =
+        AreaTable::parse("mult_um2 = 111\ngb_um2_per_kib = 1000\n");
+    EXPECT_DOUBLE_EQ(t.mult_um2, 111);
+    EXPECT_DOUBLE_EQ(t.gb_um2_per_kib, 1000);
+    EXPECT_THROW(AreaTable::parse("nope = 1\n"), FatalError);
+
+    const AreaTable shipped =
+        AreaTable::parseFile("configs/area_28nm_fp8.table");
+    EXPECT_DOUBLE_EQ(shipped.mult_um2, AreaTable().mult_um2);
+}
+
+TEST(AreaModel, CustomTableScalesBreakdown)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+    AreaTable big;
+    big.gb_um2_per_kib *= 10;
+    const AreaBreakdown a = AreaModel(cfg, big).compute();
+    const AreaBreakdown d = AreaModel(cfg).compute();
+    EXPECT_DOUBLE_EQ(a.gb_um2, 10 * d.gb_um2);
+    EXPECT_DOUBLE_EQ(a.mn_um2, d.mn_um2);
+}
+
+TEST(ConfigFile, ShippedPresetsParseAndMatchBuilders)
+{
+    const HardwareConfig maeri =
+        HardwareConfig::parseFile("configs/maeri_256.cfg");
+    EXPECT_EQ(maeri.dn_type, DnType::Tree);
+    EXPECT_EQ(maeri.ms_size, 256);
+    EXPECT_EQ(maeri.dn_bandwidth, 128);
+
+    const HardwareConfig sigma =
+        HardwareConfig::parseFile("configs/sigma_256.cfg");
+    EXPECT_EQ(sigma.controller_type, ControllerType::Sparse);
+    EXPECT_EQ(sigma.dataflow, Dataflow::WeightStationary);
+
+    const HardwareConfig tpu =
+        HardwareConfig::parseFile("configs/tpu_256.cfg");
+    EXPECT_EQ(tpu.dn_type, DnType::PointToPoint);
+    EXPECT_EQ(tpu.dn_bandwidth, 256);
+
+    const HardwareConfig snapea =
+        HardwareConfig::parseFile("configs/snapea_64.cfg");
+    EXPECT_EQ(snapea.controller_type, ControllerType::Snapea);
+}
+
+TEST(ConfigFile, MissingFileIsFatal)
+{
+    EXPECT_THROW(HardwareConfig::parseFile("/nonexistent.cfg"),
+                 FatalError);
+}
+
+TEST(ConfigFile, WriteParseRoundTripOnDisk)
+{
+    const std::string path = "/tmp/stonne_roundtrip.cfg";
+    HardwareConfig orig = HardwareConfig::sigmaLike(128, 64);
+    orig.gb_size_kib = 256;
+    orig.data_type = DataType::INT8;
+    {
+        std::ofstream out(path);
+        out << orig.toConfigText();
+    }
+    const HardwareConfig back = HardwareConfig::parseFile(path);
+    EXPECT_EQ(back.ms_size, orig.ms_size);
+    EXPECT_EQ(back.gb_size_kib, orig.gb_size_kib);
+    EXPECT_EQ(back.data_type, orig.data_type);
+    EXPECT_EQ(back.sparse_format, orig.sparse_format);
+}
+
+TEST(ConfigFile, CustomTablePathsFlowIntoTheApi)
+{
+    // An instance configured with a pricier energy table must report
+    // more energy for the same operation.
+    const std::string table_path = "/tmp/stonne_custom.table";
+    {
+        std::ofstream out(table_path);
+        out << "mult_pj = 25.0\naccumulator_pj = 240.0\n";
+    }
+    HardwareConfig cheap = HardwareConfig::maeriLike(64, 16);
+    HardwareConfig pricey = cheap;
+    pricey.energy_table_path = table_path;
+
+    auto run = [](const HardwareConfig &cfg) {
+        Stonne st(cfg);
+        Rng rng(1);
+        Tensor in({2, 16}), w({8, 16});
+        in.fillUniform(rng);
+        w.fillUniform(rng);
+        st.configureLinear(LayerSpec::linear("fc", 2, 16, 8));
+        st.configureData(in, w);
+        return st.runOperation().energy.total();
+    };
+    EXPECT_GT(run(pricey), 2.0 * run(cheap));
+
+    // The path round-trips through the config text.
+    const HardwareConfig back =
+        HardwareConfig::parse(pricey.toConfigText());
+    EXPECT_EQ(back.energy_table_path, table_path);
+}
+
+TEST(Dram, StreamingStallHidesLatency)
+{
+    StatsRegistry stats;
+    Dram dram(512.0, 1.0, 100, stats); // 512 B/cycle, 100-cycle latency
+    // 5120 bytes = 10 serialization cycles. Isolated staging exposes
+    // latency + serialization; a prefetch stream only serialization.
+    EXPECT_EQ(dram.stagingStall(5120, 0), 110u);
+    EXPECT_EQ(dram.streamingStall(5120, 0), 10u);
+    EXPECT_EQ(dram.streamingStall(5120, 10), 0u);
+    EXPECT_EQ(dram.streamingStall(5120, 4), 6u);
+    EXPECT_EQ(dram.streamingStall(0, 0), 0u);
+}
+
+TEST(OutputModule, WriteFileRoundTrip)
+{
+    const std::string path = "/tmp/stonne_counters.txt";
+    StatsRegistry stats;
+    stats.counter("mn.mult_ops", StatGroup::MultiplierNetwork).value =
+        99;
+    OutputModule::writeFile(path, OutputModule::counterFile(stats));
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("MN mn.mult_ops 99"), std::string::npos);
+    EXPECT_THROW(
+        OutputModule::writeFile("/nonexistent/dir/file.txt", "x"),
+        FatalError);
+}
+
+} // namespace
+} // namespace stonne

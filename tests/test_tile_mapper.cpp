@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the tile abstraction and the mapper's tile generation
+ * and signal derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "controller/mapper.hpp"
+
+namespace stonne {
+namespace {
+
+LayerSpec
+convLayer(index_t r, index_t s, index_t c, index_t k, index_t x, index_t y,
+          index_t g = 1, index_t stride = 1, index_t pad = 0)
+{
+    Conv2dShape shape;
+    shape.R = r;
+    shape.S = s;
+    shape.C = c;
+    shape.K = k;
+    shape.G = g;
+    shape.X = x;
+    shape.Y = y;
+    shape.stride = stride;
+    shape.padding = pad;
+    return LayerSpec::convolution("conv", shape);
+}
+
+TEST(Tile, DerivedQuantities)
+{
+    Tile t;
+    t.t_r = 3;
+    t.t_s = 3;
+    t.t_c = 2;
+    t.t_k = 4;
+    t.t_y = 2;
+    EXPECT_EQ(t.vnSize(), 18);
+    EXPECT_EQ(t.numVns(), 8);
+    EXPECT_EQ(t.usedMs(), 144);
+    EXPECT_EQ(t.folds(18), 1);
+    EXPECT_EQ(t.folds(54), 3);
+    EXPECT_EQ(t.folds(19), 2);
+}
+
+TEST(Tile, ValidationAgainstLayerBounds)
+{
+    const LayerSpec layer = convLayer(3, 3, 8, 16, 10, 10);
+    Tile t;
+    t.t_r = 3;
+    t.t_s = 3;
+    t.t_c = 8;
+    t.t_k = 2;
+    EXPECT_NO_THROW(t.validate(layer, 256));
+
+    Tile bad = t;
+    bad.t_k = 32; // more filters than the layer has
+    EXPECT_THROW(bad.validate(layer, 4096), FatalError);
+
+    Tile big = t;
+    big.t_k = 4; // 288 switches > 256
+    EXPECT_THROW(big.validate(layer, 256), FatalError);
+}
+
+TEST(Tile, GemmTilesOnlyUseGemmDims)
+{
+    const LayerSpec gemm = LayerSpec::gemmLayer("g", 8, 16, 32);
+    Tile t;
+    t.t_c = 32;
+    t.t_k = 2;
+    t.t_y = 4;
+    EXPECT_NO_THROW(t.validate(gemm, 256));
+    Tile bad = t;
+    bad.t_r = 2;
+    EXPECT_THROW(bad.validate(gemm, 256), FatalError);
+}
+
+TEST(Mapper, SmallWindowFillsArrayWithClusters)
+{
+    Mapper m(256);
+    const LayerSpec layer = convLayer(3, 3, 4, 32, 16, 16);
+    const Tile t = m.generateTile(layer);
+    // Whole 36-element window per cluster, several clusters mapped.
+    EXPECT_EQ(t.vnSize(), 36);
+    EXPECT_GT(t.numVns(), 1);
+    EXPECT_LE(t.usedMs(), 256);
+}
+
+TEST(Mapper, HugeWindowFoldsSingleCluster)
+{
+    Mapper m(64);
+    const LayerSpec layer = convLayer(3, 3, 512, 4, 8, 8);
+    const Tile t = m.generateTile(layer);
+    EXPECT_EQ(t.numVns(), 1);
+    const MappingSignals s = m.signals(layer, t);
+    EXPECT_TRUE(s.folding);
+    EXPECT_GT(s.folds, 1);
+}
+
+TEST(Mapper, SignalsDeriveFoldingAndUtilization)
+{
+    Mapper m(256);
+    const LayerSpec layer = convLayer(3, 3, 8, 16, 12, 12);
+    const Tile t = m.generateTile(layer);
+    const MappingSignals s = m.signals(layer, t);
+    EXPECT_EQ(s.window, 72);
+    EXPECT_EQ(s.vn_size, t.vnSize());
+    EXPECT_EQ(s.num_vns, t.numVns());
+    EXPECT_GT(s.ms_utilization, 0.25);
+    EXPECT_LE(s.ms_utilization, 1.0);
+}
+
+TEST(Mapper, GemmTileCoversColumns)
+{
+    Mapper m(128);
+    const LayerSpec gemm = LayerSpec::gemmLayer("g", 6, 400, 16);
+    const Tile t = m.generateTile(gemm);
+    // The search may slice the dot product, but it must map several
+    // clusters and never beat the naive full-k tile on total steps.
+    EXPECT_GE(t.numVns(), 2);
+    EXPECT_LE(t.usedMs(), 128);
+    const double steps = static_cast<double>(t.folds(16)) *
+        std::ceil(6.0 / static_cast<double>(t.t_k)) *
+        std::ceil(400.0 / static_cast<double>(t.t_y));
+    EXPECT_LE(steps, 1.0 * 1 * 400); // naive: t_c=16, t_k=6, t_y=1
+}
+
+TEST(Mapper, DepthwiseConvolutionTiles)
+{
+    // Depthwise: groups == channels, 1 channel per group.
+    Mapper m(64);
+    const LayerSpec layer = convLayer(3, 3, 16, 16, 8, 8, /*g=*/16);
+    const Tile t = m.generateTile(layer);
+    EXPECT_EQ(t.t_c, 1);
+    EXPECT_NO_THROW(t.validate(layer, 64));
+}
+
+TEST(Mapper, MaxPoolTileUsesWindowClusters)
+{
+    Conv2dShape in;
+    in.C = 8;
+    in.X = 8;
+    in.Y = 8;
+    const LayerSpec pool = LayerSpec::maxPool("p", in, 2, 2);
+    Mapper m(64);
+    const Tile t = m.generateTile(pool);
+    EXPECT_EQ(t.t_c, 4); // 2x2 window
+    EXPECT_LE(t.usedMs(), 64);
+}
+
+} // namespace
+} // namespace stonne
