@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig1a.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig1a.dir/bench_fig1a.cpp.o"
+  "CMakeFiles/bench_fig1a.dir/bench_fig1a.cpp.o.d"
+  "bench_fig1a"
+  "bench_fig1a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

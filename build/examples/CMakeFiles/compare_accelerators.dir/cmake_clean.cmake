@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_accelerators.dir/compare_accelerators.cpp.o"
+  "CMakeFiles/compare_accelerators.dir/compare_accelerators.cpp.o.d"
+  "compare_accelerators"
+  "compare_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

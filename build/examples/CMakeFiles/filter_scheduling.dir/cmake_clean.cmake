@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_scheduling.dir/filter_scheduling.cpp.o"
+  "CMakeFiles/filter_scheduling.dir/filter_scheduling.cpp.o.d"
+  "filter_scheduling"
+  "filter_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

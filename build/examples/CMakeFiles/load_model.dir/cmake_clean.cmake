@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_model.dir/load_model.cpp.o"
+  "CMakeFiles/load_model.dir/load_model.cpp.o.d"
+  "load_model"
+  "load_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

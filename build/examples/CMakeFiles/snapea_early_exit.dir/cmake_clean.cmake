@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapea_early_exit.dir/snapea_early_exit.cpp.o"
+  "CMakeFiles/snapea_early_exit.dir/snapea_early_exit.cpp.o.d"
+  "snapea_early_exit"
+  "snapea_early_exit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapea_early_exit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

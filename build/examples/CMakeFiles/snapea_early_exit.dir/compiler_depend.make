@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for snapea_early_exit.
+# This may be replaced when dependencies are built.

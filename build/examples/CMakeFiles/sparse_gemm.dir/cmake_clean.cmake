@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_gemm.dir/sparse_gemm.cpp.o"
+  "CMakeFiles/sparse_gemm.dir/sparse_gemm.cpp.o.d"
+  "sparse_gemm"
+  "sparse_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stonne_cli.dir/stonne_cli.cpp.o"
+  "CMakeFiles/stonne_cli.dir/stonne_cli.cpp.o.d"
+  "stonne_cli"
+  "stonne_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stonne_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

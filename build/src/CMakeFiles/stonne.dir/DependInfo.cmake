@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytical/maeri_model.cpp" "src/CMakeFiles/stonne.dir/analytical/maeri_model.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/analytical/maeri_model.cpp.o.d"
+  "/root/repo/src/analytical/scalesim_model.cpp" "src/CMakeFiles/stonne.dir/analytical/scalesim_model.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/analytical/scalesim_model.cpp.o.d"
+  "/root/repo/src/analytical/sigma_model.cpp" "src/CMakeFiles/stonne.dir/analytical/sigma_model.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/analytical/sigma_model.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/stonne.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/json_writer.cpp" "src/CMakeFiles/stonne.dir/common/json_writer.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/common/json_writer.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/stonne.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/stonne.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/common/stats.cpp.o.d"
+  "/root/repo/src/controller/dense_controller.cpp" "src/CMakeFiles/stonne.dir/controller/dense_controller.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/dense_controller.cpp.o.d"
+  "/root/repo/src/controller/layer.cpp" "src/CMakeFiles/stonne.dir/controller/layer.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/layer.cpp.o.d"
+  "/root/repo/src/controller/mapper.cpp" "src/CMakeFiles/stonne.dir/controller/mapper.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/mapper.cpp.o.d"
+  "/root/repo/src/controller/scheduler.cpp" "src/CMakeFiles/stonne.dir/controller/scheduler.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/scheduler.cpp.o.d"
+  "/root/repo/src/controller/snapea_controller.cpp" "src/CMakeFiles/stonne.dir/controller/snapea_controller.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/snapea_controller.cpp.o.d"
+  "/root/repo/src/controller/sparse_controller.cpp" "src/CMakeFiles/stonne.dir/controller/sparse_controller.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/sparse_controller.cpp.o.d"
+  "/root/repo/src/controller/tile.cpp" "src/CMakeFiles/stonne.dir/controller/tile.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/controller/tile.cpp.o.d"
+  "/root/repo/src/energy/area_model.cpp" "src/CMakeFiles/stonne.dir/energy/area_model.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/energy/area_model.cpp.o.d"
+  "/root/repo/src/energy/energy_model.cpp" "src/CMakeFiles/stonne.dir/energy/energy_model.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/energy/energy_model.cpp.o.d"
+  "/root/repo/src/engine/accelerator.cpp" "src/CMakeFiles/stonne.dir/engine/accelerator.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/engine/accelerator.cpp.o.d"
+  "/root/repo/src/engine/output_module.cpp" "src/CMakeFiles/stonne.dir/engine/output_module.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/engine/output_module.cpp.o.d"
+  "/root/repo/src/engine/stonne_api.cpp" "src/CMakeFiles/stonne.dir/engine/stonne_api.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/engine/stonne_api.cpp.o.d"
+  "/root/repo/src/frontend/dnn_layer.cpp" "src/CMakeFiles/stonne.dir/frontend/dnn_layer.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/frontend/dnn_layer.cpp.o.d"
+  "/root/repo/src/frontend/model_builder.cpp" "src/CMakeFiles/stonne.dir/frontend/model_builder.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/frontend/model_builder.cpp.o.d"
+  "/root/repo/src/frontend/model_loader.cpp" "src/CMakeFiles/stonne.dir/frontend/model_loader.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/frontend/model_loader.cpp.o.d"
+  "/root/repo/src/frontend/model_zoo.cpp" "src/CMakeFiles/stonne.dir/frontend/model_zoo.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/frontend/model_zoo.cpp.o.d"
+  "/root/repo/src/frontend/runner.cpp" "src/CMakeFiles/stonne.dir/frontend/runner.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/frontend/runner.cpp.o.d"
+  "/root/repo/src/frontend/snapea_pass.cpp" "src/CMakeFiles/stonne.dir/frontend/snapea_pass.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/frontend/snapea_pass.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/stonne.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/global_buffer.cpp" "src/CMakeFiles/stonne.dir/mem/global_buffer.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/mem/global_buffer.cpp.o.d"
+  "/root/repo/src/network/dn_benes.cpp" "src/CMakeFiles/stonne.dir/network/dn_benes.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/dn_benes.cpp.o.d"
+  "/root/repo/src/network/dn_popn.cpp" "src/CMakeFiles/stonne.dir/network/dn_popn.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/dn_popn.cpp.o.d"
+  "/root/repo/src/network/dn_tree.cpp" "src/CMakeFiles/stonne.dir/network/dn_tree.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/dn_tree.cpp.o.d"
+  "/root/repo/src/network/mn_array.cpp" "src/CMakeFiles/stonne.dir/network/mn_array.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/mn_array.cpp.o.d"
+  "/root/repo/src/network/rn_fan.cpp" "src/CMakeFiles/stonne.dir/network/rn_fan.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/rn_fan.cpp.o.d"
+  "/root/repo/src/network/rn_linear.cpp" "src/CMakeFiles/stonne.dir/network/rn_linear.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/rn_linear.cpp.o.d"
+  "/root/repo/src/network/rn_tree.cpp" "src/CMakeFiles/stonne.dir/network/rn_tree.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/rn_tree.cpp.o.d"
+  "/root/repo/src/network/systolic.cpp" "src/CMakeFiles/stonne.dir/network/systolic.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/network/systolic.cpp.o.d"
+  "/root/repo/src/tensor/im2col.cpp" "src/CMakeFiles/stonne.dir/tensor/im2col.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/tensor/im2col.cpp.o.d"
+  "/root/repo/src/tensor/prune.cpp" "src/CMakeFiles/stonne.dir/tensor/prune.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/tensor/prune.cpp.o.d"
+  "/root/repo/src/tensor/reference.cpp" "src/CMakeFiles/stonne.dir/tensor/reference.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/tensor/reference.cpp.o.d"
+  "/root/repo/src/tensor/sparse.cpp" "src/CMakeFiles/stonne.dir/tensor/sparse.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/tensor/sparse.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/stonne.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/stonne.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

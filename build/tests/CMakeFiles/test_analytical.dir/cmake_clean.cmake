@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytical.dir/test_analytical.cpp.o"
+  "CMakeFiles/test_analytical.dir/test_analytical.cpp.o.d"
+  "test_analytical"
+  "test_analytical.pdb"
+  "test_analytical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

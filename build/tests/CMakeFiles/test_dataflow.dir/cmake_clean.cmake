@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataflow.dir/test_dataflow.cpp.o"
+  "CMakeFiles/test_dataflow.dir/test_dataflow.cpp.o.d"
+  "test_dataflow"
+  "test_dataflow.pdb"
+  "test_dataflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dense_controller.dir/test_dense_controller.cpp.o"
+  "CMakeFiles/test_dense_controller.dir/test_dense_controller.cpp.o.d"
+  "test_dense_controller"
+  "test_dense_controller.pdb"
+  "test_dense_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dense_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

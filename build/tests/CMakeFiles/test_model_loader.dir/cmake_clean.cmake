@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_loader.dir/test_model_loader.cpp.o"
+  "CMakeFiles/test_model_loader.dir/test_model_loader.cpp.o.d"
+  "test_model_loader"
+  "test_model_loader.pdb"
+  "test_model_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_networks.dir/test_networks.cpp.o"
+  "CMakeFiles/test_networks.dir/test_networks.cpp.o.d"
+  "test_networks"
+  "test_networks.pdb"
+  "test_networks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

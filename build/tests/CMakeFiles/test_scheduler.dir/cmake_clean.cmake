@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler.dir/test_scheduler.cpp.o"
+  "CMakeFiles/test_scheduler.dir/test_scheduler.cpp.o.d"
+  "test_scheduler"
+  "test_scheduler.pdb"
+  "test_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

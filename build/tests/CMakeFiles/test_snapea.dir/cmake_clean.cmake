@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snapea.dir/test_snapea.cpp.o"
+  "CMakeFiles/test_snapea.dir/test_snapea.cpp.o.d"
+  "test_snapea"
+  "test_snapea.pdb"
+  "test_snapea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snapea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_controller.dir/test_sparse_controller.cpp.o"
+  "CMakeFiles/test_sparse_controller.dir/test_sparse_controller.cpp.o.d"
+  "test_sparse_controller"
+  "test_sparse_controller.pdb"
+  "test_sparse_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

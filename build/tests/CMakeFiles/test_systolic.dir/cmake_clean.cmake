@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_systolic.dir/test_systolic.cpp.o"
+  "CMakeFiles/test_systolic.dir/test_systolic.cpp.o.d"
+  "test_systolic"
+  "test_systolic.pdb"
+  "test_systolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tables.dir/test_tables.cpp.o"
+  "CMakeFiles/test_tables.dir/test_tables.cpp.o.d"
+  "test_tables"
+  "test_tables.pdb"
+  "test_tables[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

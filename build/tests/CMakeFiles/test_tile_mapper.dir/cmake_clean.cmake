@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_mapper.dir/test_tile_mapper.cpp.o"
+  "CMakeFiles/test_tile_mapper.dir/test_tile_mapper.cpp.o.d"
+  "test_tile_mapper"
+  "test_tile_mapper.pdb"
+  "test_tile_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
