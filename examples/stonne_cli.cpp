@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "common/watchdog.hpp"
 #include "engine/output_module.hpp"
 #include "engine/stonne_api.hpp"
 #include "tensor/prune.hpp"
@@ -34,7 +35,20 @@ struct CliState {
     double sparsity = 0.0;
     SchedulingPolicy policy = SchedulingPolicy::None;
     std::uint64_t seed = 42;
+    FaultConfig faults;          // applied at the next create/load
+    index_t watchdog_cycles = 0; // 0 keeps the config's default
 };
+
+/** Overlay the CLI-set fault/watchdog knobs onto a hardware config. */
+HardwareConfig
+applyHardening(HardwareConfig cfg, const CliState &st)
+{
+    if (st.faults.enabled)
+        cfg.faults = st.faults;
+    if (st.watchdog_cycles > 0)
+        cfg.watchdog_cycles = st.watchdog_cycles;
+    return cfg;
+}
 
 void
 printHelp()
@@ -51,8 +65,12 @@ printHelp()
         "  sparsity <ratio>                prune weights to the ratio\n"
         "  policy <NS|RDM|LFF>             sparse filter scheduling\n"
         "  seed <n>                        RNG seed for random tensors\n"
+        "  faults <seed> <stuck> <drop> <corrupt> <bitflip>\n"
+        "                                  fault rates for next create/load\n"
+        "  watchdog <cycles>               stall budget for next create/load\n"
         "  run                             simulate the configured op\n"
         "  config                          show the hardware config\n"
+        "  counters                        dump the activity counters\n"
         "  help / quit\n");
 }
 
@@ -153,14 +171,15 @@ handle(CliState &st, const std::string &line)
                 cfg = HardwareConfig::snapeaLike(ms, bw);
             else
                 fatal("unknown preset '", kind, "'");
-            st.stonne = std::make_unique<Stonne>(cfg);
+            st.stonne = std::make_unique<Stonne>(applyHardening(cfg, st));
             std::printf("created %s: %lld MS, bw %lld\n",
                         cfg.name.c_str(), static_cast<long long>(ms),
                         static_cast<long long>(cfg.dn_bandwidth));
         } else if (cmd == "load") {
             std::string path;
             in >> path;
-            st.stonne = std::make_unique<Stonne>(path);
+            st.stonne = std::make_unique<Stonne>(applyHardening(
+                HardwareConfig::parseFile(path), st));
             std::printf("loaded %s\n", path.c_str());
         } else if (cmd == "conv") {
             Conv2dShape c;
@@ -198,6 +217,28 @@ handle(CliState &st, const std::string &line)
                                    : SchedulingPolicy::None;
         } else if (cmd == "seed") {
             in >> st.seed;
+        } else if (cmd == "faults") {
+            FaultConfig f;
+            f.enabled = true;
+            in >> f.seed >> f.stuck_multiplier_rate >> f.flit_drop_rate >>
+                f.flit_corrupt_rate >> f.dram_bitflip_rate;
+            f.validate();
+            st.faults = f;
+            std::printf("faults armed (takes effect at create/load):\n%s",
+                        f.toConfigText().c_str());
+        } else if (cmd == "watchdog") {
+            in >> st.watchdog_cycles;
+            fatalIf(st.watchdog_cycles <= 0,
+                    "watchdog stall budget must be positive");
+            std::printf("watchdog_cycles = %lld at the next create/load\n",
+                        static_cast<long long>(st.watchdog_cycles));
+        } else if (cmd == "counters") {
+            if (st.stonne)
+                std::printf("%s",
+                            OutputModule::counterFile(st.stonne->stats())
+                                .c_str());
+            else
+                std::printf("no instance\n");
         } else if (cmd == "run") {
             runOp(st);
         } else if (cmd == "config") {
@@ -210,6 +251,8 @@ handle(CliState &st, const std::string &line)
             std::printf("unknown command '%s' (try 'help')\n",
                         cmd.c_str());
         }
+    } catch (const DeadlockError &e) {
+        std::printf("error: %s\n%s", e.what(), e.report().c_str());
     } catch (const std::exception &e) {
         std::printf("error: %s\n", e.what());
     }

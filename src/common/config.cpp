@@ -106,6 +106,8 @@ HardwareConfig::validate() const
     fatalIf(gb_size_kib <= 0, "gb_size_kib must be positive");
     fatalIf(dram_bandwidth_gbps <= 0, "dram bandwidth must be positive");
     fatalIf(clock_ghz <= 0, "clock frequency must be positive");
+    fatalIf(watchdog_cycles <= 0, "watchdog_cycles must be positive");
+    faults.validate();
 
     // Controller / substrate compatibility (Section IV-B: "the configured
     // memory controller must always be compatible with the hardware
@@ -198,12 +200,16 @@ HardwareConfig::flexibleArtDist(index_t ms, index_t bw)
 }
 
 HardwareConfig
-HardwareConfig::parse(const std::string &text)
+HardwareConfig::parse(const std::string &text, const std::string &origin)
 {
     HardwareConfig c;
     std::istringstream in(text);
     std::string line;
     int lineno = 0;
+    // First-occurrence line of each key, for duplicate diagnostics.
+    // Aliases (MS_SIZE / NUM_MS, CONTROLLER / MEM_CONTROLLER) are
+    // canonicalized so a value cannot be set twice through two names.
+    std::map<std::string, int> seen;
     while (std::getline(in, line)) {
         ++lineno;
         std::size_t hash = line.find('#');
@@ -214,26 +220,44 @@ HardwareConfig::parse(const std::string &text)
             continue;
         std::size_t eq = line.find('=');
         fatalIf(eq == std::string::npos,
-                "config line ", lineno, " is not key = value: '", line, "'");
+                origin, ":", lineno, ": config line is not key = value: '",
+                line, "'");
         std::string key = upper(trim(line.substr(0, eq)));
         std::string val = trim(line.substr(eq + 1));
         std::string uval = upper(val);
+
+        std::string canonical = key;
+        if (canonical == "NUM_MS")
+            canonical = "MS_SIZE";
+        else if (canonical == "MEM_CONTROLLER")
+            canonical = "CONTROLLER";
+        const auto [it, inserted] = seen.emplace(canonical, lineno);
+        fatalIf(!inserted, origin, ":", lineno, ": duplicate config key '",
+                key, "' (first set at line ", it->second, ")");
 
         auto as_int = [&]() -> index_t {
             try {
                 return static_cast<index_t>(std::stoll(val));
             } catch (const std::exception &) {
-                fatal("config key ", key, " expects an integer, got '",
-                      val, "'");
+                fatal(origin, ":", lineno, ": config key ", key,
+                      " expects an integer, got '", val, "'");
             }
         };
         auto as_double = [&]() -> double {
             try {
                 return std::stod(val);
             } catch (const std::exception &) {
-                fatal("config key ", key, " expects a number, got '",
-                      val, "'");
+                fatal(origin, ":", lineno, ": config key ", key,
+                      " expects a number, got '", val, "'");
             }
+        };
+        auto as_flag = [&]() -> bool {
+            if (uval == "ON" || uval == "TRUE" || uval == "1")
+                return true;
+            if (uval == "OFF" || uval == "FALSE" || uval == "0")
+                return false;
+            fatal(origin, ":", lineno, ": config key ", key,
+                  " expects ON/OFF, got '", val, "'");
         };
 
         if (key == "NAME") {
@@ -243,33 +267,39 @@ HardwareConfig::parse(const std::string &text)
             else if (uval == "BENES") c.dn_type = DnType::Benes;
             else if (uval == "POP" || uval == "POINT_TO_POINT")
                 c.dn_type = DnType::PointToPoint;
-            else fatal("unknown DN_TYPE '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown DN_TYPE '", val,
+                       "'");
         } else if (key == "MN_TYPE") {
             if (uval == "LINEAR") c.mn_type = MnType::Linear;
             else if (uval == "DISABLED") c.mn_type = MnType::Disabled;
-            else fatal("unknown MN_TYPE '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown MN_TYPE '", val,
+                       "'");
         } else if (key == "RN_TYPE") {
             if (uval == "ART") c.rn_type = RnType::Art;
             else if (uval == "ART_ACC") c.rn_type = RnType::ArtAcc;
             else if (uval == "FAN") c.rn_type = RnType::Fan;
             else if (uval == "LINEAR") c.rn_type = RnType::Linear;
-            else fatal("unknown RN_TYPE '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown RN_TYPE '", val,
+                       "'");
         } else if (key == "CONTROLLER" || key == "MEM_CONTROLLER") {
             if (uval == "DENSE") c.controller_type = ControllerType::Dense;
             else if (uval == "SPARSE")
                 c.controller_type = ControllerType::Sparse;
             else if (uval == "SNAPEA")
                 c.controller_type = ControllerType::Snapea;
-            else fatal("unknown CONTROLLER '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown CONTROLLER '", val,
+                       "'");
         } else if (key == "DATAFLOW") {
             if (uval == "OS") c.dataflow = Dataflow::OutputStationary;
             else if (uval == "WS") c.dataflow = Dataflow::WeightStationary;
             else if (uval == "IS") c.dataflow = Dataflow::InputStationary;
-            else fatal("unknown DATAFLOW '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown DATAFLOW '", val,
+                       "'");
         } else if (key == "SPARSE_FORMAT") {
             if (uval == "CSR") c.sparse_format = SparseFormat::Csr;
             else if (uval == "BITMAP") c.sparse_format = SparseFormat::Bitmap;
-            else fatal("unknown SPARSE_FORMAT '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown SPARSE_FORMAT '", val,
+                       "'");
         } else if (key == "MS_SIZE" || key == "NUM_MS") {
             c.ms_size = as_int();
         } else if (key == "DN_BANDWIDTH") {
@@ -297,9 +327,24 @@ HardwareConfig::parse(const std::string &text)
             else if (uval == "FP16") c.data_type = DataType::FP16;
             else if (uval == "INT8") c.data_type = DataType::INT8;
             else if (uval == "FP32") c.data_type = DataType::FP32;
-            else fatal("unknown DATA_TYPE '", val, "'");
+            else fatal(origin, ":", lineno, ": unknown DATA_TYPE '", val,
+                       "'");
+        } else if (key == "WATCHDOG_CYCLES") {
+            c.watchdog_cycles = as_int();
+        } else if (key == "FAULTS") {
+            c.faults.enabled = as_flag();
+        } else if (key == "FAULT_SEED") {
+            c.faults.seed = static_cast<std::uint64_t>(as_int());
+        } else if (key == "FAULT_STUCK_MULTIPLIER_RATE") {
+            c.faults.stuck_multiplier_rate = as_double();
+        } else if (key == "FAULT_FLIT_DROP_RATE") {
+            c.faults.flit_drop_rate = as_double();
+        } else if (key == "FAULT_FLIT_CORRUPT_RATE") {
+            c.faults.flit_corrupt_rate = as_double();
+        } else if (key == "FAULT_DRAM_BITFLIP_RATE") {
+            c.faults.dram_bitflip_rate = as_double();
         } else {
-            fatal("unknown config key '", key, "' at line ", lineno);
+            fatal(origin, ":", lineno, ": unknown config key '", key, "'");
         }
     }
     c.validate();
@@ -313,7 +358,7 @@ HardwareConfig::parseFile(const std::string &path)
     fatalIf(!in, "cannot open hardware configuration file '", path, "'");
     std::ostringstream ss;
     ss << in.rdbuf();
-    return parse(ss.str());
+    return parse(ss.str(), path);
 }
 
 std::string
@@ -337,11 +382,14 @@ HardwareConfig::toConfigText() const
        << "dram_bandwidth_gbps = " << dram_bandwidth_gbps << "\n"
        << "dram_latency_cycles = " << dram_latency_cycles << "\n"
        << "clock_ghz = " << clock_ghz << "\n"
-       << "data_type = " << dataTypeName(data_type) << "\n";
+       << "data_type = " << dataTypeName(data_type) << "\n"
+       << "watchdog_cycles = " << watchdog_cycles << "\n";
     if (!energy_table_path.empty())
         os << "energy_table = " << energy_table_path << "\n";
     if (!area_table_path.empty())
         os << "area_table = " << area_table_path << "\n";
+    if (faults.enabled)
+        os << faults.toConfigText();
     return os.str();
 }
 

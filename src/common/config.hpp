@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "faults/fault_config.hpp"
 
 namespace stonne {
 
@@ -113,6 +114,15 @@ struct HardwareConfig {
     /** Optional area-table file (empty = per-datatype defaults). */
     std::string area_table_path;
 
+    /**
+     * Progress-watchdog window: consecutive zero-progress cycles before
+     * the engine aborts with a DeadlockError state snapshot.
+     */
+    index_t watchdog_cycles = 100000;
+
+    /** Fault-injection subsystem configuration (`fault_*` keys). */
+    FaultConfig faults;
+
     /** Validate the composition, throwing FatalError on conflicts. */
     void validate() const;
 
@@ -143,8 +153,14 @@ struct HardwareConfig {
     static HardwareConfig flexibleArtDist(index_t ms = 256,
                                           index_t bw = 128);
 
-    /** Parse a `stonne_hw.cfg`-style key = value configuration string. */
-    static HardwareConfig parse(const std::string &text);
+    /**
+     * Parse a `stonne_hw.cfg`-style key = value configuration string.
+     * Unknown and duplicate keys are rejected with a `origin:line`
+     * diagnostic; @param origin names the source in error messages
+     * (a file path, or "<string>" for in-memory text).
+     */
+    static HardwareConfig parse(const std::string &text,
+                                const std::string &origin = "<string>");
 
     /** Load and parse a configuration file from disk. */
     static HardwareConfig parseFile(const std::string &path);

@@ -40,6 +40,9 @@ class PanicError : public std::logic_error
 
 namespace detail {
 
+/** Rendered SimContext scope stack, " [k=v, ...]" or "" (sim_context.cpp). */
+std::string simContextSuffix();
+
 inline void
 format(std::ostringstream &)
 {
@@ -55,24 +58,30 @@ format(std::ostringstream &os, const T &v, const Rest &...rest)
 
 } // namespace detail
 
-/** Report a user error and abort the current simulation via exception. */
+/**
+ * Report a user error and abort the current simulation via exception.
+ * Any active SimContext scopes (cycle, layer, unit) are appended.
+ */
 template <typename... Args>
 [[noreturn]] void
 fatal(const Args &...args)
 {
     std::ostringstream os;
     detail::format(os, args...);
-    throw FatalError(os.str());
+    throw FatalError(os.str() + detail::simContextSuffix());
 }
 
-/** Report an internal invariant violation via exception. */
+/**
+ * Report an internal invariant violation via exception.
+ * Any active SimContext scopes (cycle, layer, unit) are appended.
+ */
 template <typename... Args>
 [[noreturn]] void
 panic(const Args &...args)
 {
     std::ostringstream os;
     detail::format(os, args...);
-    throw PanicError(os.str());
+    throw PanicError(os.str() + detail::simContextSuffix());
 }
 
 /** Check an internal invariant; panic with a message when it fails. */

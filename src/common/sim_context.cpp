@@ -1,0 +1,91 @@
+#include "common/sim_context.hpp"
+
+namespace stonne {
+
+namespace {
+
+using Frame = std::pair<std::string, std::string>;
+
+std::vector<Frame> &
+stack()
+{
+    thread_local std::vector<Frame> frames;
+    return frames;
+}
+
+} // namespace
+
+void
+SimContext::push(std::string key, std::string value)
+{
+    stack().emplace_back(std::move(key), std::move(value));
+}
+
+void
+SimContext::pop()
+{
+    auto &s = stack();
+    if (!s.empty())
+        s.pop_back();
+}
+
+void
+SimContext::set(const std::string &key, std::string value)
+{
+    auto &s = stack();
+    for (auto it = s.rbegin(); it != s.rend(); ++it) {
+        if (it->first == key) {
+            it->second = std::move(value);
+            return;
+        }
+    }
+    s.emplace_back(key, std::move(value));
+}
+
+std::size_t
+SimContext::depth()
+{
+    return stack().size();
+}
+
+void
+SimContext::clear()
+{
+    stack().clear();
+}
+
+std::string
+SimContext::describe()
+{
+    const auto &s = stack();
+    std::string out;
+    for (const Frame &f : s) {
+        if (!out.empty())
+            out += ", ";
+        out += f.first;
+        out += '=';
+        out += f.second;
+    }
+    return out;
+}
+
+std::string
+SimContext::suffix()
+{
+    const std::string body = describe();
+    return body.empty() ? std::string() : " [" + body + "]";
+}
+
+namespace detail {
+
+// Bridge used by logging.hpp so fatal()/panic() can attach the context
+// without including this header everywhere.
+std::string
+simContextSuffix()
+{
+    return SimContext::suffix();
+}
+
+} // namespace detail
+
+} // namespace stonne

@@ -1,0 +1,73 @@
+#include "common/watchdog.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/sim_context.hpp"
+
+namespace stonne {
+
+Watchdog::Watchdog(cycle_t limit)
+    : limit_(limit)
+{
+    fatalIf(limit == 0, "watchdog_cycles must be positive");
+}
+
+void
+Watchdog::setLimit(cycle_t limit)
+{
+    fatalIf(limit == 0, "watchdog_cycles must be positive");
+    limit_ = limit;
+}
+
+void
+Watchdog::addSource(std::string name, SnapshotFn dump)
+{
+    sources_.emplace_back(std::move(name), std::move(dump));
+}
+
+void
+Watchdog::tick(count_t progress)
+{
+    ++cycles_;
+    if (progress > 0) {
+        stall_ = 0;
+        return;
+    }
+    if (++stall_ >= limit_)
+        fire();
+}
+
+std::string
+Watchdog::snapshotReport() const
+{
+    std::ostringstream os;
+    for (const auto &[name, dump] : sources_) {
+        os << "--- " << name << " ---\n";
+        dump(os);
+    }
+    return os.str();
+}
+
+void
+Watchdog::fire()
+{
+    std::ostringstream msg;
+    msg << "no forward progress for " << stall_
+        << " consecutive cycles (watchdog_cycles = " << limit_
+        << ", cycle " << cycles_ << ")" << SimContext::suffix();
+    std::string report = snapshotReport();
+    stall_ = 0;
+    throw DeadlockError(msg.str(),
+                        report.empty() ? "(no snapshot sources registered)\n"
+                                       : std::move(report));
+}
+
+void
+Watchdog::reset()
+{
+    cycles_ = 0;
+    stall_ = 0;
+}
+
+} // namespace stonne

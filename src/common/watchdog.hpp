@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Progress watchdog and deadlock diagnosis.
+ *
+ * A controller or network bug that wedges a cycle loop (a delivery that
+ * never completes, a drain that never makes progress) used to hang the
+ * simulation forever. The watchdog observes a per-cycle progress signal
+ * (packages moved, MACs fired, GB grants); when no progress occurs for
+ * `limit` consecutive cycles it aborts with a DeadlockError whose report
+ * dumps the registered state of every hardware unit — FIFO occupancies,
+ * network issue state, controller phase — so the stall site is
+ * immediately visible instead of requiring a debugger.
+ *
+ * The limit comes from the `watchdog_cycles` configuration key.
+ */
+
+#ifndef STONNE_COMMON_WATCHDOG_HPP
+#define STONNE_COMMON_WATCHDOG_HPP
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stonne {
+
+/**
+ * Thrown when the watchdog detects no forward progress for the
+ * configured window. The what() string names the stall; report() holds
+ * the full unit/FIFO state snapshot taken at the moment of the stall.
+ */
+class DeadlockError : public std::runtime_error
+{
+  public:
+    DeadlockError(const std::string &msg, std::string report)
+        : std::runtime_error("deadlock: " + msg), report_(std::move(report))
+    {
+    }
+
+    /** Multi-line snapshot of every registered unit's state. */
+    const std::string &report() const { return report_; }
+
+  private:
+    std::string report_;
+};
+
+/** Monitors per-cycle progress and fires DeadlockError on a stall. */
+class Watchdog
+{
+  public:
+    /** Dumps one component's state into the deadlock report. */
+    using SnapshotFn = std::function<void(std::ostream &)>;
+
+    /** @param limit consecutive zero-progress cycles before firing */
+    explicit Watchdog(cycle_t limit);
+
+    /** Zero-progress window size. */
+    cycle_t limit() const { return limit_; }
+    void setLimit(cycle_t limit);
+
+    /**
+     * Register a component state dump for the deadlock report.
+     * @param name heading printed above the dump
+     */
+    void addSource(std::string name, SnapshotFn dump);
+
+    /**
+     * Record one simulated cycle with `progress` forward-progress
+     * events (packages delivered, GB grants, MACs fired). Throws
+     * DeadlockError once `limit` consecutive cycles pass without any.
+     */
+    void tick(count_t progress);
+
+    /** Cycles observed since construction/reset. */
+    cycle_t cyclesObserved() const { return cycles_; }
+
+    /** Current consecutive zero-progress cycle count. */
+    cycle_t stallCycles() const { return stall_; }
+
+    /** Render the registered component dumps (the deadlock report). */
+    std::string snapshotReport() const;
+
+    /** Clear the stall window and cycle count (new operation). */
+    void reset();
+
+  private:
+    [[noreturn]] void fire();
+
+    cycle_t limit_;
+    cycle_t cycles_ = 0;
+    cycle_t stall_ = 0;
+    std::vector<std::pair<std::string, SnapshotFn>> sources_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_COMMON_WATCHDOG_HPP

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "common/watchdog.hpp"
+#include "faults/fault_injector.hpp"
 #include "mem/global_buffer.hpp"
 #include "network/unit.hpp"
 
@@ -49,11 +51,21 @@ countFresh(const std::vector<std::int64_t> &cur,
 /**
  * Stream `count` elements of the same kind/fanout from the GB through
  * the DN, cycle by cycle.
+ *
+ * With a watchdog attached, a cycle that moves nothing counts as a stall
+ * and a long enough stall run raises DeadlockError with a full fabric
+ * snapshot; without one, a zero-progress cycle panics immediately (the
+ * legacy behaviour, kept for bare-unit tests). A fault injector may drop
+ * flits after DN acceptance: dropped flits stay in `remaining` and are
+ * retransmitted on a later cycle, stretching the delivery.
+ *
  * @return the number of cycles the delivery occupied.
  */
 inline cycle_t
 deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
-                index_t fanout, PackageKind kind)
+                index_t fanout, PackageKind kind,
+                Watchdog *watchdog = nullptr,
+                FaultInjector *faults = nullptr)
 {
     panicIf(count < 0, "negative delivery count");
     cycle_t cycles = 0;
@@ -63,8 +75,13 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
         dn.cycle();
         const index_t want = std::min(remaining, dn.bandwidth());
         const index_t granted = gb.readBulk(want);
-        const index_t sent = dn.injectBulk(granted, fanout, kind);
-        panicIf(sent <= 0, "delivery made no progress in a cycle");
+        index_t sent = dn.injectBulk(granted, fanout, kind);
+        if (faults != nullptr && sent > 0)
+            sent -= faults->dropFlits(sent);
+        if (watchdog != nullptr)
+            watchdog->tick(static_cast<count_t>(sent));
+        else
+            panicIf(sent <= 0, "delivery made no progress in a cycle");
         remaining -= sent;
         ++cycles;
     }

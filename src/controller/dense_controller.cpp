@@ -26,9 +26,10 @@ blocks(index_t total, index_t t)
 DenseController::DenseController(const HardwareConfig &cfg,
                                  DistributionNetwork &dn,
                                  MultiplierArray &mn, ReductionNetwork &rn,
-                                 GlobalBuffer &gb, Dram &dram)
+                                 GlobalBuffer &gb, Dram &dram,
+                                 Watchdog *watchdog, FaultInjector *faults)
     : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      mapper_(cfg.ms_size)
+      wd_(watchdog), faults_(faults), mapper_(cfg.ms_size)
 {
     cfg_.validate();
 }
@@ -123,7 +124,10 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
         cycle_t c = 0;
         while (n > 0) {
             gb_.nextCycle();
-            n -= gb_.writeBulk(n);
+            const index_t granted = gb_.writeBulk(n);
+            if (wd_ != nullptr)
+                wd_->tick(static_cast<count_t>(granted));
+            n -= granted;
             ++c;
         }
         return c;
@@ -132,6 +136,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     // Stage the input activations: traffic is accounted, but the
     // cycles are hidden by the double-buffered prefetch (the previous
     // layer's execution overlaps the first tile's transfer).
+    phase_ = "dram staging";
     (void)dram_.transferCycles(
         std::min(input.size(), gb_.capacityElements() / 2) * bpe);
 
@@ -178,10 +183,11 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                     // multicast across the position clusters; only the
                     // part the previous fold's compute could not hide
                     // is exposed.
+                    phase_ = "weight fold delivery";
                     const cycle_t w_cycles = deliverElements(
                         dn_, gb_, tg * tk * len,
                         tile.t_n * tile.t_x * tile.t_y,
-                        PackageKind::Weight);
+                        PackageKind::Weight, wd_, faults_);
                     block_cycles += w_cycles > prev_fold_cycles
                         ? w_cycles - prev_fold_cycles : 0;
                     cycle_t fold_cycles = 0;
@@ -285,8 +291,10 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                             mn_.forwardOperands(distinct - fresh);
                         }
 
+                        phase_ = "input streaming";
                         cycle_t dl = deliverElements(dn_, gb_, fresh, tk,
-                                                     PackageKind::Input);
+                                                     PackageKind::Input,
+                                                     wd_, faults_);
 
                         const index_t active_vns = tg * tk * tn * tx * ty;
                         mn_.fireMultipliers(
@@ -304,14 +312,16 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                                 // ART+DIST or an overflowing WS fold:
                                 // psums round-trip through the GB and
                                 // re-enter via the MN forwarders.
+                                phase_ = "psum spill";
                                 drain = write_drain(active_vns);
                                 mn_.forwardPsums(active_vns);
                                 if (f > 0)
                                     dl += deliverElements(
                                         dn_, gb_, active_vns, 1,
-                                        PackageKind::Psum);
+                                        PackageKind::Psum, wd_, faults_);
                             }
                         } else {
+                            phase_ = "output drain";
                             drain = write_drain(active_vns);
                         }
                         if (f + 1 == folds)
@@ -326,8 +336,10 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                     prev_fold_cycles = fold_cycles;
                 }
 
-                if (folding && !psum_spill)
+                if (folding && !psum_spill) {
+                    phase_ = "output drain";
                     block_cycles += write_drain(chunk_outputs);
+                }
             }
 
             prev_block_cycles = block_cycles;
@@ -337,6 +349,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
 
     // Functional results: every output reduced in canonical order so the
     // simulator output bit-matches the CPU reference.
+    phase_ = "functional reduce";
     for (index_t n = 0; n < shape.N; ++n)
         for (index_t ko = 0; ko < shape.K; ++ko)
             for (index_t ox = 0; ox < xo; ++ox)
@@ -350,12 +363,14 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
+    phase_ = "idle";
     return res;
 }
 
 ControllerResult
 DenseController::runGemmSystolic(const Tensor &a, const Tensor &b, Tensor &c)
 {
+    phase_ = "systolic gemm";
     auto *popn = dynamic_cast<PointToPointNetwork *>(&dn_);
     auto *lrn = dynamic_cast<LinearReductionNetwork *>(&rn_);
     fatalIf(!popn || !lrn,
@@ -392,6 +407,7 @@ DenseController::runGemmSystolic(const Tensor &a, const Tensor &b, Tensor &c)
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
+    phase_ = "idle";
     return res;
 }
 
@@ -553,12 +569,16 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
         cycle_t cyc = 0;
         while (n > 0) {
             gb_.nextCycle();
-            n -= gb_.writeBulk(n);
+            const index_t granted = gb_.writeBulk(n);
+            if (wd_ != nullptr)
+                wd_->tick(static_cast<count_t>(granted));
+            n -= granted;
             ++cyc;
         }
         return cyc;
     };
 
+    phase_ = "max pool streaming";
     const index_t positions = c.N * xo * yo;
     std::vector<std::int64_t> fetch, prev_fetch;
 
@@ -598,7 +618,8 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
                     mn_.forwardOperands(distinct - fresh);
                 }
                 dl_total += deliverElements(dn_, gb_, fresh, 1,
-                                            PackageKind::Input);
+                                            PackageKind::Input, wd_,
+                                            faults_);
                 const index_t clusters = tkc * typ;
                 for (index_t v = 0; v < clusters; ++v)
                     rn_.reduceCluster(len);
@@ -622,6 +643,7 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
+    phase_ = "idle";
     return res;
 }
 

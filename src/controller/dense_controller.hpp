@@ -24,6 +24,7 @@
 #ifndef STONNE_CONTROLLER_DENSE_CONTROLLER_HPP
 #define STONNE_CONTROLLER_DENSE_CONTROLLER_HPP
 
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -37,13 +38,23 @@
 
 namespace stonne {
 
+class Watchdog;
+class FaultInjector;
+
 /** mRNA-style fixed-tile dense memory controller. */
 class DenseController
 {
   public:
+    /**
+     * @param watchdog optional progress watchdog ticked by the delivery
+     *        and drain loops (owned by the Accelerator)
+     * @param faults optional fault injector applied to the flit stream
+     */
     DenseController(const HardwareConfig &cfg, DistributionNetwork &dn,
                     MultiplierArray &mn, ReductionNetwork &rn,
-                    GlobalBuffer &gb, Dram &dram);
+                    GlobalBuffer &gb, Dram &dram,
+                    Watchdog *watchdog = nullptr,
+                    FaultInjector *faults = nullptr);
 
     /**
      * Run a convolution layer.
@@ -77,6 +88,9 @@ class DenseController
                                 Tensor &output);
 
     const Mapper &mapper() const { return mapper_; }
+
+    /** Current execution phase, exposed in watchdog deadlock reports. */
+    const std::string &phase() const { return phase_; }
 
   protected:
     /** Flexible-pipeline convolution (tree / Benes DN). */
@@ -115,7 +129,10 @@ class DenseController
     ReductionNetwork &rn_;
     GlobalBuffer &gb_;
     Dram &dram_;
+    Watchdog *wd_;
+    FaultInjector *faults_;
     Mapper mapper_;
+    std::string phase_ = "idle";
 };
 
 } // namespace stonne

@@ -60,9 +60,10 @@ SnapeaReorderTable::build(const Tensor &weights)
 SnapeaController::SnapeaController(const HardwareConfig &cfg,
                                    DistributionNetwork &dn,
                                    MultiplierArray &mn, ReductionNetwork &rn,
-                                   GlobalBuffer &gb, Dram &dram)
+                                   GlobalBuffer &gb, Dram &dram,
+                                   Watchdog *watchdog, FaultInjector *faults)
     : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      mapper_(cfg.ms_size)
+      wd_(watchdog), faults_(faults), mapper_(cfg.ms_size)
 {
     cfg_.validate();
     fatalIf(cfg_.controller_type != ControllerType::Snapea,
@@ -134,7 +135,10 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
         cycle_t c = 0;
         while (n > 0) {
             gb_.nextCycle();
-            n -= gb_.writeBulk(n);
+            const index_t granted = gb_.writeBulk(n);
+            if (wd_ != nullptr)
+                wd_->tick(static_cast<count_t>(granted));
+            n -= granted;
             ++c;
         }
         return c;
@@ -261,12 +265,14 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                     fetch.erase(std::unique(fetch.begin(), fetch.end()),
                                 fetch.end());
 
+                    phase_ = "sorted weight streaming";
                     cycle_t dl = deliverElements(
                         dn_, gb_, stream_elems, tn * tx * ty,
-                        PackageKind::Weight);
+                        PackageKind::Weight, wd_, faults_);
+                    phase_ = "activation gather";
                     dl += deliverElements(
                         dn_, gb_, static_cast<index_t>(fetch.size()), 1,
-                        PackageKind::Input);
+                        PackageKind::Input, wd_, faults_);
 
                     // Compute and sign-check.
                     index_t fired = 0;
@@ -324,6 +330,7 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
 
                 // Drain: every mapped window emits its psum (cut windows
                 // emit the non-positive value the ReLU will zero).
+                phase_ = "output drain";
                 res.cycles += write_drain(
                     static_cast<index_t>(vns.size()));
                 for (const VnState &v : vns)
@@ -338,6 +345,7 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
+    phase_ = "idle";
     return res;
 }
 

@@ -21,6 +21,7 @@
 #ifndef STONNE_CONTROLLER_SNAPEA_CONTROLLER_HPP
 #define STONNE_CONTROLLER_SNAPEA_CONTROLLER_HPP
 
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -57,13 +58,23 @@ struct SnapeaReorderTable {
     static SnapeaReorderTable build(const Tensor &weights);
 };
 
+class Watchdog;
+class FaultInjector;
+
 /** SNAPEA-like controller with early negative cut-off (exact mode). */
 class SnapeaController
 {
   public:
+    /**
+     * @param watchdog optional progress watchdog ticked by the delivery
+     *        and drain loops (owned by the Accelerator)
+     * @param faults optional fault injector applied to the flit stream
+     */
     SnapeaController(const HardwareConfig &cfg, DistributionNetwork &dn,
                      MultiplierArray &mn, ReductionNetwork &rn,
-                     GlobalBuffer &gb, Dram &dram);
+                     GlobalBuffer &gb, Dram &dram,
+                     Watchdog *watchdog = nullptr,
+                     FaultInjector *faults = nullptr);
 
     /**
      * Run a convolution with sign-sorted weight streaming.
@@ -82,6 +93,9 @@ class SnapeaController
                                     const SnapeaReorderTable &table,
                                     bool early_exit, Tensor &output);
 
+    /** Current execution phase, exposed in watchdog deadlock reports. */
+    const std::string &phase() const { return phase_; }
+
   private:
     HardwareConfig cfg_;
     DistributionNetwork &dn_;
@@ -89,7 +103,10 @@ class SnapeaController
     ReductionNetwork &rn_;
     GlobalBuffer &gb_;
     Dram &dram_;
+    Watchdog *wd_;
+    FaultInjector *faults_;
     Mapper mapper_;
+    std::string phase_ = "idle";
 };
 
 } // namespace stonne

@@ -12,8 +12,10 @@ namespace stonne {
 SparseController::SparseController(const HardwareConfig &cfg,
                                    DistributionNetwork &dn,
                                    MultiplierArray &mn, ReductionNetwork &rn,
-                                   GlobalBuffer &gb, Dram &dram)
-    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram)
+                                   GlobalBuffer &gb, Dram &dram,
+                                   Watchdog *watchdog, FaultInjector *faults)
+    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
+      wd_(watchdog), faults_(faults)
 {
     cfg_.validate();
     fatalIf(cfg_.controller_type != ControllerType::Sparse,
@@ -59,8 +61,9 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     std::vector<index_t> union_k;
     for (const SparseRound &round : rounds_) {
         // Stationary non-zeros enter through the Benes (unicast).
+        phase_ = "stationary nnz load";
         res.cycles += deliverElements(dn_, gb_, round.nnz, 1,
-                                      PackageKind::Weight);
+                                      PackageKind::Weight, wd_, faults_);
 
         // Streaming operands: the union of column indices the mapped
         // segments need; shared indices are multicast.
@@ -103,14 +106,20 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
                     static_cast<count_t>(round.nnz - fired);
             }
 
+            phase_ = "streaming operand multicast";
             const cycle_t dl = deliverElements(dn_, gb_, needed, 1,
-                                               PackageKind::Input);
+                                               PackageKind::Input, wd_,
+                                               faults_);
             cycle_t drain = 0;
             {
+                phase_ = "output drain";
                 index_t outs = completions;
                 while (outs > 0) {
                     gb_.nextCycle();
-                    outs -= gb_.writeBulk(outs);
+                    const index_t granted = gb_.writeBulk(outs);
+                    if (wd_ != nullptr)
+                        wd_->tick(static_cast<count_t>(granted));
+                    outs -= granted;
                     ++drain;
                 }
             }
@@ -128,6 +137,7 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
 
     // Functional results in canonical CSR order (bit-exact against the
     // reference SpMM); fully pruned rows emit zeros directly.
+    phase_ = "functional reduce";
     for (index_t r = 0; r < a.rows; ++r) {
         for (index_t j = 0; j < n; ++j) {
             float acc = 0.0f;
@@ -146,6 +156,7 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
+    phase_ = "idle";
     return res;
 }
 

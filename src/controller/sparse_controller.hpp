@@ -14,6 +14,8 @@
 #ifndef STONNE_CONTROLLER_SPARSE_CONTROLLER_HPP
 #define STONNE_CONTROLLER_SPARSE_CONTROLLER_HPP
 
+#include <string>
+
 #include "common/config.hpp"
 #include "controller/result.hpp"
 #include "controller/scheduler.hpp"
@@ -26,13 +28,23 @@
 
 namespace stonne {
 
+class Watchdog;
+class FaultInjector;
+
 /** SIGMA-style sparse memory controller. */
 class SparseController
 {
   public:
+    /**
+     * @param watchdog optional progress watchdog ticked by the delivery
+     *        and drain loops (owned by the Accelerator)
+     * @param faults optional fault injector applied to the flit stream
+     */
     SparseController(const HardwareConfig &cfg, DistributionNetwork &dn,
                      MultiplierArray &mn, ReductionNetwork &rn,
-                     GlobalBuffer &gb, Dram &dram);
+                     GlobalBuffer &gb, Dram &dram,
+                     Watchdog *watchdog = nullptr,
+                     FaultInjector *faults = nullptr);
 
     /**
      * Run a sparse-dense GEMM: c(M x N) = a(M x K, CSR) * b(K x N).
@@ -65,6 +77,9 @@ class SparseController
     /** Rounds the last runSpMM call executed (inspection / Fig 7). */
     const std::vector<SparseRound> &lastRounds() const { return rounds_; }
 
+    /** Current execution phase, exposed in watchdog deadlock reports. */
+    const std::string &phase() const { return phase_; }
+
   private:
     HardwareConfig cfg_;
     DistributionNetwork &dn_;
@@ -72,7 +87,10 @@ class SparseController
     ReductionNetwork &rn_;
     GlobalBuffer &gb_;
     Dram &dram_;
+    Watchdog *wd_;
+    FaultInjector *faults_;
     std::vector<SparseRound> rounds_;
+    std::string phase_ = "idle";
 };
 
 } // namespace stonne

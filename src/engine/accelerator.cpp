@@ -15,6 +15,11 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
 {
     cfg_.validate();
 
+    watchdog_ = std::make_unique<Watchdog>(cfg_.watchdog_cycles);
+    if (cfg_.faults.enabled)
+        faults_ = std::make_unique<FaultInjector>(cfg_.faults,
+                                                  cfg_.ms_size, stats_);
+
     gb_ = std::make_unique<GlobalBuffer>(
         cfg_.gb_size_kib, cfg_.dn_bandwidth, cfg_.rn_bandwidth,
         bytesPerElement(cfg_.data_type), stats_);
@@ -59,17 +64,58 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
 
     switch (cfg_.controller_type) {
       case ControllerType::Dense:
-        dense_ = std::make_unique<DenseController>(cfg_, *dn_, *mn_, *rn_,
-                                                   *gb_, *dram_);
+        dense_ = std::make_unique<DenseController>(
+            cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
+            faults_.get());
         break;
       case ControllerType::Sparse:
-        sparse_ = std::make_unique<SparseController>(cfg_, *dn_, *mn_,
-                                                     *rn_, *gb_, *dram_);
+        sparse_ = std::make_unique<SparseController>(
+            cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
+            faults_.get());
         break;
       case ControllerType::Snapea:
-        snapea_ = std::make_unique<SnapeaController>(cfg_, *dn_, *mn_,
-                                                     *rn_, *gb_, *dram_);
+        snapea_ = std::make_unique<SnapeaController>(
+            cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
+            faults_.get());
         break;
+    }
+
+    registerSnapshotSources();
+}
+
+const std::string &
+Accelerator::controllerPhase() const
+{
+    static const std::string kNone = "(no controller)";
+    if (dense_)
+        return dense_->phase();
+    if (sparse_)
+        return sparse_->phase();
+    if (snapea_)
+        return snapea_->phase();
+    return kNone;
+}
+
+void
+Accelerator::registerSnapshotSources()
+{
+    watchdog_->addSource("controller", [this](std::ostream &os) {
+        os << controllerTypeName(cfg_.controller_type)
+           << " controller: phase '" << controllerPhase() << "'\n";
+    });
+    watchdog_->addSource("global_buffer", [this](std::ostream &os) {
+        gb_->dumpState(os);
+    });
+    watchdog_->addSource("distribution_network",
+                         [this](std::ostream &os) { dn_->dumpState(os); });
+    watchdog_->addSource("multiplier_network",
+                         [this](std::ostream &os) { mn_->dumpState(os); });
+    watchdog_->addSource("reduction_network",
+                         [this](std::ostream &os) { rn_->dumpState(os); });
+    if (faults_) {
+        watchdog_->addSource("fault_injector", [this](std::ostream &os) {
+            os << faults_->describe() << "\n";
+        });
     }
 }
 
@@ -125,6 +171,7 @@ Accelerator::reset()
     mn_->reset();
     rn_->reset();
     stats_.reset();
+    watchdog_->reset();
 }
 
 } // namespace stonne

@@ -17,7 +17,9 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/watchdog.hpp"
 #include "controller/dense_controller.hpp"
+#include "faults/fault_injector.hpp"
 #include "controller/snapea_controller.hpp"
 #include "controller/sparse_controller.hpp"
 #include "mem/dram.hpp"
@@ -59,13 +61,32 @@ class Accelerator : public Unit
     /** Whether ConfigureMaxPool can map onto this composition. */
     bool supportsMaxPool() const;
 
+    /**
+     * Progress watchdog shared by every delivery/drain loop. Snapshot
+     * sources for the GB, fabrics, controller phase and fault census
+     * are registered at construction, so a DeadlockError thrown from
+     * any loop names the state of every unit.
+     */
+    Watchdog &watchdog() { return *watchdog_; }
+
+    /** Fault injector, or nullptr when faults are disabled. */
+    FaultInjector *faults() { return faults_.get(); }
+
+    /** Current memory-controller phase ("idle" between operations). */
+    const std::string &controllerPhase() const;
+
     void cycle() override;
     void reset() override;
     std::string name() const override { return "accelerator"; }
 
   private:
+    /** Attach the per-unit snapshot sources to the watchdog. */
+    void registerSnapshotSources();
+
     HardwareConfig cfg_;
     StatsRegistry stats_;
+    std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<GlobalBuffer> gb_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<DistributionNetwork> dn_;

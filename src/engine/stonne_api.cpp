@@ -1,7 +1,9 @@
 #include "engine/stonne_api.hpp"
 
 #include "common/logging.hpp"
+#include "common/sim_context.hpp"
 #include "engine/output_module.hpp"
+#include "faults/fault_injector.hpp"
 #include "tensor/im2col.hpp"
 
 namespace stonne {
@@ -170,6 +172,26 @@ Stonne::runOperation()
     fatalIf(!data_bound_, "RunOperation issued before ConfigureData");
 
     const HardwareConfig &cfg = accel_->config();
+
+    // Error context for everything below: a fatal/panic/DeadlockError
+    // raised anywhere inside this operation names the accelerator and
+    // the layer it was simulating.
+    SimScope accel_scope("accelerator", cfg.name);
+    SimScope layer_scope("layer", layer_.name);
+
+    // The stall budget is per operation, not per process lifetime.
+    accel_->watchdog().reset();
+
+    // Memory/interconnect faults strike the operands as they stage
+    // on-chip: DRAM bit flips on everything staged, in-flight flit
+    // corruption on the streamed (non-stationary) operand.
+    FaultInjector *faults = accel_->faults();
+    if (faults != nullptr && faults->active()) {
+        faults->corruptTensor(input_, FaultSite::DramStaging);
+        faults->corruptTensor(weights_, FaultSite::DramStaging);
+        faults->corruptTensor(input_, FaultSite::FlitPayload);
+    }
+
     const std::vector<count_t> before = accel_->stats().snapshot();
     ControllerResult cr;
 
@@ -312,6 +334,12 @@ Stonne::runOperation()
         break;
       }
     }
+
+    // Stuck-at-zero compute: under the output-stationary mapping output
+    // element i accumulates at multiplier switch i mod ms_size, so a
+    // stuck switch zeroes its output slice.
+    if (faults != nullptr && faults->active())
+        faults->applyStuckMultipliers(output_);
 
     return finishOperation(cr, before);
 }

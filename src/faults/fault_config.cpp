@@ -1,0 +1,53 @@
+#include "faults/fault_config.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+bool
+FaultConfig::anyRate() const
+{
+    return stuck_multiplier_rate > 0.0 || flit_drop_rate > 0.0 ||
+           flit_corrupt_rate > 0.0 || dram_bitflip_rate > 0.0;
+}
+
+void
+FaultConfig::validate() const
+{
+    fatalIf(stuck_multiplier_rate < 0.0 || stuck_multiplier_rate > 1.0,
+            "fault_stuck_multiplier_rate must lie in [0, 1], got ",
+            stuck_multiplier_rate);
+    // A drop rate of 1 would make every delivery retry forever; the
+    // watchdog would catch it, but reject the configuration outright.
+    fatalIf(flit_drop_rate < 0.0 || flit_drop_rate >= 1.0,
+            "fault_flit_drop_rate must lie in [0, 1), got ",
+            flit_drop_rate);
+    fatalIf(flit_corrupt_rate < 0.0 || flit_corrupt_rate >= 1.0,
+            "fault_flit_corrupt_rate must lie in [0, 1), got ",
+            flit_corrupt_rate);
+    fatalIf(dram_bitflip_rate < 0.0 || dram_bitflip_rate >= 1.0,
+            "fault_dram_bitflip_rate must lie in [0, 1), got ",
+            dram_bitflip_rate);
+}
+
+std::string
+FaultConfig::toConfigText() const
+{
+    std::ostringstream os;
+    os << "faults = " << (enabled ? "ON" : "OFF") << "\n"
+       << "fault_seed = " << seed << "\n";
+    if (stuck_multiplier_rate > 0.0)
+        os << "fault_stuck_multiplier_rate = " << stuck_multiplier_rate
+           << "\n";
+    if (flit_drop_rate > 0.0)
+        os << "fault_flit_drop_rate = " << flit_drop_rate << "\n";
+    if (flit_corrupt_rate > 0.0)
+        os << "fault_flit_corrupt_rate = " << flit_corrupt_rate << "\n";
+    if (dram_bitflip_rate > 0.0)
+        os << "fault_dram_bitflip_rate = " << dram_bitflip_rate << "\n";
+    return os.str();
+}
+
+} // namespace stonne

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Configuration of the fault-injection subsystem.
+ *
+ * Resilience studies inject deterministic, RNG-seeded hardware faults
+ * into a simulated accelerator and measure the functional-output
+ * divergence and cycle overhead they cause. Three fault classes are
+ * modelled, one per architectural layer:
+ *
+ *  - stuck-at-zero multiplier switches (compute faults),
+ *  - dropped / bit-corrupted network flits in the distribution fabric
+ *    (interconnect faults; drops cost retransmission cycles),
+ *  - DRAM bit flips applied to operand tensors as they are staged
+ *    on-chip (memory faults).
+ *
+ * All draws come from one seeded generator, so the same configuration
+ * and seed reproduce bit-identical fault sites and statistics.
+ * Configured through `fault_*` keys in the `stonne_hw.cfg` file.
+ */
+
+#ifndef STONNE_FAULTS_FAULT_CONFIG_HPP
+#define STONNE_FAULTS_FAULT_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace stonne {
+
+/** User-facing knobs of the fault-injection subsystem. */
+struct FaultConfig {
+    /** Master switch; when false no fault state is even allocated. */
+    bool enabled = false;
+
+    /** Seed of the dedicated fault RNG stream. */
+    std::uint64_t seed = 1;
+
+    /** Fraction of multiplier switches stuck at zero, in [0, 1]. */
+    double stuck_multiplier_rate = 0.0;
+
+    /** Per-flit probability a DN flit is dropped and resent, in [0, 1). */
+    double flit_drop_rate = 0.0;
+
+    /** Per-flit probability of a single-bit payload flip, in [0, 1). */
+    double flit_corrupt_rate = 0.0;
+
+    /** Per-element probability of a bit flip during staging, in [0, 1). */
+    double dram_bitflip_rate = 0.0;
+
+    /** Whether any fault class has a non-zero rate. */
+    bool anyRate() const;
+
+    /** Whether injection is active (enabled and at least one rate). */
+    bool active() const { return enabled && anyRate(); }
+
+    /** Throw FatalError when a rate is outside its legal range. */
+    void validate() const;
+
+    /** `key = value` lines for HardwareConfig::toConfigText(). */
+    std::string toConfigText() const;
+};
+
+} // namespace stonne
+
+#endif // STONNE_FAULTS_FAULT_CONFIG_HPP

@@ -6,12 +6,18 @@
  * output module reports FIFO activity counts, and back-pressure (a full
  * downstream FIFO) is what creates the pipeline stalls the analytical
  * models miss.
+ *
+ * Each FIFO carries its unit name so capacity violations report *which*
+ * buffer overflowed and at what occupancy, and so watchdog deadlock
+ * snapshots can name every queue (see describe()).
  */
 
 #ifndef STONNE_MEM_FIFO_HPP
 #define STONNE_MEM_FIFO_HPP
 
 #include <deque>
+#include <sstream>
+#include <string>
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
@@ -24,9 +30,15 @@ template <typename T>
 class Fifo
 {
   public:
-    explicit Fifo(index_t capacity = 8) : capacity_(capacity)
+    /**
+     * @param capacity maximum occupancy in elements
+     * @param name unit name used in panic messages and state dumps
+     */
+    explicit Fifo(index_t capacity = 8, std::string name = "fifo")
+        : capacity_(capacity), name_(std::move(name))
     {
-        fatalIf(capacity <= 0, "fifo capacity must be positive");
+        fatalIf(capacity <= 0, "fifo '", name_,
+                "' capacity must be positive, got ", capacity);
     }
 
     bool full() const
@@ -40,11 +52,14 @@ class Fifo
 
     index_t capacity() const { return capacity_; }
 
+    const std::string &name() const { return name_; }
+
     /** Push; panics when full (callers must check full() first). */
     void
     push(T v)
     {
-        panicIf(full(), "push on a full fifo");
+        panicIf(full(), "push on a full fifo '", name_, "' (occupancy ",
+                size(), "/", capacity_, ")");
         q_.push_back(std::move(v));
         ++pushes_;
         if (static_cast<index_t>(q_.size()) > high_water_)
@@ -55,7 +70,8 @@ class Fifo
     T
     pop()
     {
-        panicIf(empty(), "pop on an empty fifo");
+        panicIf(empty(), "pop on an empty fifo '", name_, "' (capacity ",
+                capacity_, ")");
         T v = std::move(q_.front());
         q_.pop_front();
         ++pops_;
@@ -66,13 +82,25 @@ class Fifo
     const T &
     front() const
     {
-        panicIf(empty(), "front on an empty fifo");
+        panicIf(empty(), "front on an empty fifo '", name_, "' (capacity ",
+                capacity_, ")");
         return q_.front();
     }
 
     count_t pushes() const { return pushes_; }
     count_t pops() const { return pops_; }
     index_t highWater() const { return high_water_; }
+
+    /** One-line state summary for watchdog deadlock snapshots. */
+    std::string
+    describe() const
+    {
+        std::ostringstream os;
+        os << name_ << ": occupancy " << size() << "/" << capacity_
+           << ", pushes " << pushes_ << ", pops " << pops_
+           << ", high-water " << high_water_;
+        return os.str();
+    }
 
     void
     clear()
@@ -82,6 +110,7 @@ class Fifo
 
   private:
     index_t capacity_;
+    std::string name_;
     std::deque<T> q_;
     count_t pushes_ = 0;
     count_t pops_ = 0;

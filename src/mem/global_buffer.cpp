@@ -1,21 +1,26 @@
 #include "mem/global_buffer.hpp"
 
+#include <ostream>
+
 #include "common/logging.hpp"
 
 namespace stonne {
 
 GlobalBuffer::GlobalBuffer(index_t size_kib, index_t read_bandwidth,
                            index_t write_bandwidth,
-                           index_t bytes_per_element, StatsRegistry &stats)
-    : capacity_elements_(size_kib * 1024 / bytes_per_element),
+                           index_t bytes_per_element, StatsRegistry &stats,
+                           std::string name)
+    : name_(std::move(name)),
+      capacity_elements_(size_kib * 1024 / bytes_per_element),
       read_bandwidth_(read_bandwidth),
       write_bandwidth_(write_bandwidth),
       reads_(&stats.counter("gb.reads", StatGroup::GlobalBuffer)),
       writes_(&stats.counter("gb.writes", StatGroup::GlobalBuffer))
 {
-    fatalIf(size_kib <= 0, "global buffer size must be positive");
+    fatalIf(size_kib <= 0, "global buffer '", name_,
+            "' size must be positive");
     fatalIf(read_bandwidth <= 0 || write_bandwidth <= 0,
-            "global buffer bandwidth must be positive");
+            "global buffer '", name_, "' bandwidth must be positive");
 }
 
 void
@@ -28,7 +33,9 @@ GlobalBuffer::nextCycle()
 void
 GlobalBuffer::read()
 {
-    panicIf(reads_left_ <= 0, "GB read beyond per-cycle bandwidth");
+    panicIf(reads_left_ <= 0, "read on '", name_,
+            "' beyond per-cycle bandwidth (", read_bandwidth_,
+            " reads/cycle, 0 left)");
     --reads_left_;
     ++reads_->value;
 }
@@ -36,7 +43,9 @@ GlobalBuffer::read()
 void
 GlobalBuffer::write()
 {
-    panicIf(writes_left_ <= 0, "GB write beyond per-cycle bandwidth");
+    panicIf(writes_left_ <= 0, "write on '", name_,
+            "' beyond per-cycle bandwidth (", write_bandwidth_,
+            " writes/cycle, 0 left)");
     --writes_left_;
     ++writes_->value;
 }
@@ -44,7 +53,7 @@ GlobalBuffer::write()
 index_t
 GlobalBuffer::readBulk(index_t n)
 {
-    panicIf(n < 0, "negative GB bulk read");
+    panicIf(n < 0, "negative bulk read of ", n, " on '", name_, "'");
     const index_t granted = n < reads_left_ ? n : reads_left_;
     reads_left_ -= granted;
     reads_->value += static_cast<count_t>(granted);
@@ -54,11 +63,21 @@ GlobalBuffer::readBulk(index_t n)
 index_t
 GlobalBuffer::writeBulk(index_t n)
 {
-    panicIf(n < 0, "negative GB bulk write");
+    panicIf(n < 0, "negative bulk write of ", n, " on '", name_, "'");
     const index_t granted = n < writes_left_ ? n : writes_left_;
     writes_left_ -= granted;
     writes_->value += static_cast<count_t>(granted);
     return granted;
+}
+
+void
+GlobalBuffer::dumpState(std::ostream &os) const
+{
+    os << name_ << ": capacity " << capacity_elements_
+       << " elements, read budget " << reads_left_ << "/" << read_bandwidth_
+       << ", write budget " << writes_left_ << "/" << write_bandwidth_
+       << ", total reads " << reads_->value << ", total writes "
+       << writes_->value << "\n";
 }
 
 } // namespace stonne

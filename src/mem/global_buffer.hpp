@@ -13,6 +13,9 @@
 #ifndef STONNE_MEM_GLOBAL_BUFFER_HPP
 #define STONNE_MEM_GLOBAL_BUFFER_HPP
 
+#include <iosfwd>
+#include <string>
+
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -28,10 +31,13 @@ class GlobalBuffer
      * @param write_bandwidth element writes per cycle
      * @param bytes_per_element storage width of one element
      * @param stats registry receiving access counters
+     * @param name unit name used in panic messages and state dumps
      */
     GlobalBuffer(index_t size_kib, index_t read_bandwidth,
                  index_t write_bandwidth, index_t bytes_per_element,
-                 StatsRegistry &stats);
+                 StatsRegistry &stats, std::string name = "global_buffer");
+
+    const std::string &name() const { return name_; }
 
     /** Begin a new cycle: replenish the per-cycle bandwidth budgets. */
     void nextCycle();
@@ -69,7 +75,11 @@ class GlobalBuffer
     count_t totalReads() const { return reads_->value; }
     count_t totalWrites() const { return writes_->value; }
 
+    /** Bandwidth-budget state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const;
+
   private:
+    std::string name_;
     index_t capacity_elements_;
     index_t read_bandwidth_;
     index_t write_bandwidth_;

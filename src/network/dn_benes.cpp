@@ -99,4 +99,13 @@ BenesDistributionNetwork::reset()
     cycle();
 }
 
+void
+BenesDistributionNetwork::dumpState(std::ostream &os) const
+{
+    os << name() << ": " << ms_size_ << " endpoints over " << levels_
+       << " levels, bandwidth " << bandwidth_ << ", issued this cycle "
+       << issued_this_cycle_ << ", delivered " << packages_->value
+       << ", stalls " << stalls_->value << "\n";
+}
+
 } // namespace stonne

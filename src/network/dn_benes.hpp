@@ -34,6 +34,9 @@ class BenesDistributionNetwork : public DistributionNetwork
     void reset() override;
     std::string name() const override { return "dn_benes"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
     /** Switch levels: 2*log2(N) + 1. */
     index_t levels() const { return levels_; }
 

@@ -73,4 +73,12 @@ PointToPointNetwork::reset()
     cycle();
 }
 
+void
+PointToPointNetwork::dumpState(std::ostream &os) const
+{
+    os << name() << ": " << ms_size_ << " links, bandwidth " << bandwidth_
+       << ", issued this cycle " << issued_this_cycle_ << ", delivered "
+       << packages_->value << ", stalls " << stalls_->value << "\n";
+}
+
 } // namespace stonne

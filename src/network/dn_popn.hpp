@@ -31,6 +31,9 @@ class PointToPointNetwork : public DistributionNetwork
     void reset() override;
     std::string name() const override { return "dn_popn"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
     count_t packagesDelivered() const { return packages_->value; }
     count_t stalls() const { return stalls_->value; }
 

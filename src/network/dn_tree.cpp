@@ -116,4 +116,16 @@ TreeDistributionNetwork::reset()
     cycle();
 }
 
+void
+TreeDistributionNetwork::dumpState(std::ostream &os) const
+{
+    os << name() << ": " << ms_size_ << " leaves over " << levels_
+       << " levels, bandwidth " << bandwidth_ << ", issued this cycle "
+       << issued_this_cycle_ << " (" << ranges_this_cycle_.size()
+       << " live ranges), delivered " << packages_->value << ", stalls "
+       << stalls_->value << "\n";
+    for (const auto &[lo, hi] : ranges_this_cycle_)
+        os << "  in-flight range [" << lo << ", " << hi << ")\n";
+}
+
 } // namespace stonne

@@ -40,6 +40,9 @@ class TreeDistributionNetwork : public DistributionNetwork
     void reset() override;
     std::string name() const override { return "dn_tree"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
     /** Tree depth: log2(ms_size) switch levels. */
     index_t levels() const { return levels_; }
 

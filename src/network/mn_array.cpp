@@ -53,4 +53,13 @@ MultiplierArray::reset()
 {
 }
 
+void
+MultiplierArray::dumpState(std::ostream &os) const
+{
+    os << name() << ": " << ms_size_ << " switches ("
+       << mnTypeName(type_) << "), mult ops " << mult_ops_->value
+       << ", operand forwards " << forward_ops_->value
+       << ", psum forwards " << psum_forwards_->value << "\n";
+}
+
 } // namespace stonne

@@ -51,6 +51,9 @@ class MultiplierArray : public Unit
     void reset() override;
     std::string name() const override { return "mn_array"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
   private:
     index_t ms_size_;
     MnType type_;

@@ -73,4 +73,12 @@ FanReductionNetwork::reset()
 {
 }
 
+void
+FanReductionNetwork::dumpState(std::ostream &os) const
+{
+    os << name() << ": " << adderCount() << " adders over " << ms_size_
+       << " leaves, adder ops " << adder_ops_->value
+       << ", accumulator ops " << accumulator_ops_->value << "\n";
+}
+
 } // namespace stonne

@@ -39,6 +39,9 @@ class FanReductionNetwork : public ReductionNetwork
     void reset() override;
     std::string name() const override { return "rn_fan"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
   private:
     StatCounter *adder_ops_;
     StatCounter *accumulator_ops_;

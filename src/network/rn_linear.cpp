@@ -48,4 +48,11 @@ LinearReductionNetwork::reset()
 {
 }
 
+void
+LinearReductionNetwork::dumpState(std::ostream &os) const
+{
+    os << name() << ": chain over " << ms_size_ << " switches, adder ops "
+       << adder_ops_->value << "\n";
+}
+
 } // namespace stonne

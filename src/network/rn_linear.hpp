@@ -36,6 +36,9 @@ class LinearReductionNetwork : public ReductionNetwork
     void reset() override;
     std::string name() const override { return "rn_linear"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
   private:
     StatCounter *adder_ops_;
 };

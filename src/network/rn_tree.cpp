@@ -86,4 +86,14 @@ ArtReductionNetwork::reset()
 {
 }
 
+void
+ArtReductionNetwork::dumpState(std::ostream &os) const
+{
+    os << name() << ": " << adderCount() << " adders over "
+       << ms_size_ << " leaves, accumulator "
+       << (with_accumulator_ ? "present" : "absent") << " (size "
+       << accumulator_size_ << "), adder ops " << adder_ops_->value
+       << ", accumulator ops " << accumulator_ops_->value << "\n";
+}
+
 } // namespace stonne

@@ -53,6 +53,9 @@ class ArtReductionNetwork : public ReductionNetwork
     void reset() override;
     std::string name() const override { return "rn_art"; }
 
+    /** Issue/activity state for watchdog deadlock snapshots. */
+    void dumpState(std::ostream &os) const override;
+
   private:
     bool with_accumulator_;
     index_t accumulator_size_;

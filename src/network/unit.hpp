@@ -12,6 +12,7 @@
 #ifndef STONNE_NETWORK_UNIT_HPP
 #define STONNE_NETWORK_UNIT_HPP
 
+#include <ostream>
 #include <string>
 
 #include "common/stats.hpp"
@@ -55,6 +56,17 @@ class Unit
 
     /** Component instance name used in stats. */
     virtual std::string name() const = 0;
+
+    /**
+     * Dump the component's cycle-level state into a watchdog deadlock
+     * snapshot. Concrete units override this to expose issue counters,
+     * occupancies and in-flight ranges; the default names the unit.
+     */
+    virtual void
+    dumpState(std::ostream &os) const
+    {
+        os << name() << ": (no state exposed)\n";
+    }
 };
 
 /**

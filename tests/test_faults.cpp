@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: configuration validation,
+ * deterministic seeded injection (same seed => identical faults and
+ * statistics), the three fault classes, and the end-to-end path through
+ * the config file and the STONNE API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "engine/stonne_api.hpp"
+#include "faults/fault_injector.hpp"
+
+namespace stonne {
+namespace {
+
+FaultConfig
+allFaults(std::uint64_t seed)
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = seed;
+    f.stuck_multiplier_rate = 0.1;
+    f.flit_drop_rate = 0.05;
+    f.flit_corrupt_rate = 0.01;
+    f.dram_bitflip_rate = 0.01;
+    return f;
+}
+
+LayerSpec
+smallConv()
+{
+    Conv2dShape c;
+    c.R = 3;
+    c.S = 3;
+    c.C = 4;
+    c.K = 8;
+    c.X = 8;
+    c.Y = 8;
+    c.padding = 1;
+    return LayerSpec::convolution("conv", c);
+}
+
+TEST(FaultConfig, ValidationRejectsOutOfRangeRates)
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.stuck_multiplier_rate = 1.5;
+    EXPECT_THROW(f.validate(), FatalError);
+
+    f = FaultConfig{};
+    f.enabled = true;
+    f.flit_drop_rate = 1.0; // rate 1 would retransmit forever
+    EXPECT_THROW(f.validate(), FatalError);
+
+    f = FaultConfig{};
+    f.enabled = true;
+    f.dram_bitflip_rate = -0.1;
+    EXPECT_THROW(f.validate(), FatalError);
+
+    EXPECT_NO_THROW(allFaults(1).validate());
+}
+
+TEST(FaultConfig, ActiveNeedsBothEnableAndANonZeroRate)
+{
+    FaultConfig f;
+    EXPECT_FALSE(f.active());
+    f.enabled = true;
+    EXPECT_FALSE(f.active()); // all rates zero
+    f.flit_drop_rate = 0.1;
+    EXPECT_TRUE(f.active());
+    f.enabled = false;
+    EXPECT_FALSE(f.active());
+}
+
+TEST(FaultInjector, StuckMapIsSeedDeterministic)
+{
+    StatsRegistry s1, s2, s3;
+    const FaultConfig cfg = allFaults(99);
+    FaultInjector a(cfg, 256, s1);
+    FaultInjector b(cfg, 256, s2);
+
+    EXPECT_EQ(a.stuckMultiplierCount(), b.stuckMultiplierCount());
+    EXPECT_GT(a.stuckMultiplierCount(), 0);
+    for (index_t i = 0; i < 256; ++i)
+        EXPECT_EQ(a.multiplierStuck(i), b.multiplierStuck(i)) << i;
+
+    // A different seed draws a different map (equality of all 256
+    // positions at rate 0.1 is astronomically unlikely).
+    FaultInjector c(allFaults(100), 256, s3);
+    bool any_diff = false;
+    for (index_t i = 0; i < 256; ++i)
+        any_diff = any_diff || (a.multiplierStuck(i) != c.multiplierStuck(i));
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultInjector, DropSequencesAreSeedDeterministic)
+{
+    StatsRegistry s1, s2;
+    FaultInjector a(allFaults(7), 64, s1);
+    FaultInjector b(allFaults(7), 64, s2);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.dropFlits(32), b.dropFlits(32)) << i;
+    EXPECT_EQ(s1.value("faults.dropped_flits"),
+              s2.value("faults.dropped_flits"));
+    EXPECT_GT(s1.value("faults.dropped_flits"), 0u);
+}
+
+TEST(FaultInjector, CorruptTensorFlipsBitsAndCounts)
+{
+    StatsRegistry stats;
+    FaultConfig cfg = allFaults(11);
+    cfg.flit_corrupt_rate = 0.2;
+    FaultInjector fi(cfg, 64, stats);
+
+    Tensor t({64, 64});
+    t.fill(1.0f);
+    Tensor pristine = t;
+    const count_t flips = fi.corruptTensor(t, FaultSite::FlitPayload);
+    EXPECT_GT(flips, 0u);
+    EXPECT_EQ(stats.value("faults.corrupted_flits"), flips);
+
+    count_t changed = 0;
+    for (index_t i = 0; i < t.size(); ++i)
+        if (t.data()[i] != pristine.data()[i])
+            ++changed;
+    // Every flip changes exactly one element (one bit of its fp32).
+    EXPECT_EQ(changed, flips);
+
+    // The DRAM site feeds the other counter.
+    const count_t dram = fi.corruptTensor(t, FaultSite::DramStaging);
+    EXPECT_EQ(stats.value("faults.dram_bitflips"), dram);
+}
+
+TEST(FaultInjector, StuckMultipliersZeroTheMappedOutputs)
+{
+    StatsRegistry stats;
+    FaultConfig cfg = allFaults(3);
+    cfg.stuck_multiplier_rate = 0.25;
+    FaultInjector fi(cfg, 16, stats);
+    ASSERT_GT(fi.stuckMultiplierCount(), 0);
+
+    Tensor out({4, 16});
+    out.fill(2.0f);
+    const count_t zeroed = fi.applyStuckMultipliers(out);
+    EXPECT_EQ(zeroed,
+              static_cast<count_t>(4 * fi.stuckMultiplierCount()));
+    for (index_t i = 0; i < out.size(); ++i) {
+        const bool stuck = fi.multiplierStuck(i % 16);
+        EXPECT_EQ(out.data()[i], stuck ? 0.0f : 2.0f) << i;
+    }
+    EXPECT_EQ(stats.value("faults.stuck_outputs"), zeroed);
+}
+
+TEST(FaultInjector, InactiveConfigInjectsNothing)
+{
+    StatsRegistry stats;
+    FaultConfig cfg; // disabled
+    FaultInjector fi(cfg, 64, stats);
+    EXPECT_FALSE(fi.active());
+    EXPECT_EQ(fi.dropFlits(100), 0);
+    Tensor t({8, 8});
+    t.fill(1.0f);
+    EXPECT_EQ(fi.corruptTensor(t, FaultSite::DramStaging), 0u);
+    EXPECT_EQ(fi.applyStuckMultipliers(t), 0u);
+    EXPECT_EQ(fi.totalInjected(), 0u);
+}
+
+/** Run the small conv on a fresh instance and return the full report. */
+std::string
+faultyConvReport(const HardwareConfig &cfg, Tensor *out = nullptr)
+{
+    Stonne st(cfg);
+    Rng rng(5);
+    Tensor in({1, 4, 8, 8}), w({8, 4, 3, 3}), bias({8});
+    in.fillUniform(rng);
+    w.fillNormal(rng, 0.0f, 0.2f);
+    bias.fillUniform(rng, -0.1f, 0.1f);
+
+    st.configureConv(smallConv());
+    st.configureData(std::move(in), std::move(w), std::move(bias));
+    const SimulationResult r = st.runOperation();
+    if (out != nullptr)
+        *out = st.output();
+    return OutputModule::summaryWithCounters(cfg, r, st.stats()).dump();
+}
+
+TEST(FaultInjector, EndToEndRunsAreBitIdenticalForAFixedSeed)
+{
+    HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+    cfg.faults = allFaults(21);
+
+    Tensor out1, out2;
+    const std::string rep1 = faultyConvReport(cfg, &out1);
+    const std::string rep2 = faultyConvReport(cfg, &out2);
+    EXPECT_EQ(rep1, rep2);
+    EXPECT_TRUE(out1.equals(out2));
+}
+
+TEST(FaultInjector, FaultsActuallyPerturbTheSimulation)
+{
+    HardwareConfig clean = HardwareConfig::maeriLike(64, 16);
+    HardwareConfig faulty = clean;
+    faulty.faults = allFaults(21);
+
+    Tensor out_clean, out_faulty;
+    const std::string rep_clean = faultyConvReport(clean, &out_clean);
+    const std::string rep_faulty = faultyConvReport(faulty, &out_faulty);
+
+    // Corrupted operands and stuck multipliers change the output; the
+    // counter census records the injections.
+    EXPECT_FALSE(out_clean.equals(out_faulty));
+    EXPECT_EQ(rep_clean.find("faults."), std::string::npos);
+    EXPECT_NE(rep_faulty.find("faults.dropped_flits"), std::string::npos);
+}
+
+TEST(FaultInjector, DroppedFlitsStretchTheDelivery)
+{
+    HardwareConfig clean = HardwareConfig::maeriLike(64, 16);
+    HardwareConfig faulty = clean;
+    faulty.faults.enabled = true;
+    faulty.faults.seed = 4;
+    faulty.faults.flit_drop_rate = 0.3; // drops are timing-only
+
+    Stonne a(clean), b(faulty);
+    Rng rng(5);
+    Tensor in({1, 4, 8, 8}), w({8, 4, 3, 3});
+    in.fillUniform(rng);
+    w.fillUniform(rng);
+
+    a.configureConv(smallConv());
+    a.configureData(in, w, Tensor());
+    const SimulationResult ra = a.runOperation();
+
+    b.configureConv(smallConv());
+    b.configureData(in, w, Tensor());
+    const SimulationResult rb = b.runOperation();
+
+    EXPECT_GT(rb.cycles, ra.cycles);
+    // Retransmission changes timing, never values.
+    EXPECT_TRUE(a.output().equals(b.output()));
+    EXPECT_GT(b.stats().value("faults.dropped_flits"), 0u);
+}
+
+TEST(FaultInjector, FaultyExampleConfigParsesAndRuns)
+{
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_64_faulty.cfg");
+    EXPECT_TRUE(cfg.faults.enabled);
+    EXPECT_EQ(cfg.faults.seed, 7u);
+    EXPECT_DOUBLE_EQ(cfg.faults.stuck_multiplier_rate, 0.03);
+    EXPECT_DOUBLE_EQ(cfg.faults.flit_drop_rate, 0.01);
+    EXPECT_EQ(cfg.watchdog_cycles, 50000);
+
+    // The fault block survives a round trip through toConfigText().
+    const HardwareConfig back = HardwareConfig::parse(cfg.toConfigText());
+    EXPECT_TRUE(back.faults.enabled);
+    EXPECT_EQ(back.faults.seed, 7u);
+    EXPECT_DOUBLE_EQ(back.faults.flit_corrupt_rate,
+                     cfg.faults.flit_corrupt_rate);
+
+    Tensor out;
+    EXPECT_FALSE(faultyConvReport(cfg, &out).empty());
+    EXPECT_EQ(out.size(), 1 * 8 * 8 * 8);
+}
+
+} // namespace
+} // namespace stonne
