@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Simulator-speed benchmark: fast-forward vs. exact per-cycle engine.
+ *
+ * Unlike the bench_fig* binaries (whose metric is the simulated cycle
+ * count), this harness measures the *simulator's own* wall-clock
+ * throughput. Every Figure 1 workload below runs twice on the same
+ * operands — once with `fast_forward = OFF` (the exact per-cycle
+ * reference) and once with the default `fast_forward = ON` — and the
+ * harness panics unless both modes produce bit-identical results:
+ * same cycle count, same activity-counter snapshot, same output
+ * tensor. The wall times, speedups and cycles/second go to stdout and
+ * to BENCH_sim_speed.json.
+ *
+ * The workload points run concurrently over the SweepRunner thread
+ * pool (each point owns its Stonne instances), which is itself part of
+ * what this PR ships.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "sweep.hpp"
+
+namespace {
+
+using namespace stonne;
+using namespace stonne::bench;
+
+/** Wall times are min-of-N to shed scheduler noise. */
+constexpr int kReps = 3;
+
+struct Workload {
+    std::string name;   //!< point label, e.g. "S-EC @ maeri-128/bw8"
+    std::string tag;    //!< Figure 1 layer tag
+    HardwareConfig cfg; //!< base config; fast_forward overridden per run
+    double sparsity;
+};
+
+/**
+ * Low-bandwidth points maximize the steady-state fraction of the
+ * run — exactly the regime where per-cycle simulation wastes the most
+ * host time and the closed forms pay off.
+ */
+std::vector<Workload>
+workloads()
+{
+    std::vector<Workload> w;
+    auto add = [&](const std::string &tag, HardwareConfig cfg,
+                   double sparsity) {
+        char name[96];
+        std::snprintf(name, sizeof(name), "%s @ %s/bw%lld", tag.c_str(),
+                      cfg.name.c_str(),
+                      static_cast<long long>(cfg.dn_bandwidth));
+        w.push_back({name, tag, std::move(cfg), sparsity});
+    };
+    add("S-SC", HardwareConfig::maeriLike(128, 1), 0.0);
+    add("S-EC", HardwareConfig::maeriLike(128, 1), 0.0);
+    add("R-L", HardwareConfig::sigmaLike(256, 1), 0.9);
+    add("M-L", HardwareConfig::sigmaLike(128, 1), 0.9);
+    add("B-TR", HardwareConfig::sigmaLike(128, 1), 0.0);
+    add("B-L", HardwareConfig::sigmaLike(128, 1), 0.3);
+    return w;
+}
+
+struct ModeResult {
+    SimulationResult sim;
+    std::deque<StatCounter> counters;
+    Tensor output;
+    double best_wall = 0.0; //!< min over kReps runs
+};
+
+struct PointResult {
+    ModeResult ref;
+    ModeResult fast;
+    double speedup = 0.0;
+};
+
+const LayerSpec &
+layerByTag(const std::string &tag)
+{
+    static const std::vector<Fig1Layer> layers = fig1Layers();
+    for (const Fig1Layer &l : layers)
+        if (l.tag == tag)
+            return l.spec;
+    fatal("no Figure 1 layer tagged '", tag, "'");
+}
+
+ModeResult
+runMode(const Workload &w, const LayerData &data, bool fast_forward)
+{
+    ModeResult m;
+    for (int rep = 0; rep < kReps; ++rep) {
+        HardwareConfig cfg = w.cfg;
+        cfg.fast_forward = fast_forward;
+        Stonne st(cfg);
+        const SimulationResult r = runLayer(st, layerByTag(w.tag), data);
+        if (rep == 0) {
+            m.sim = r;
+            m.counters = st.stats().counters();
+            m.output = st.output();
+            m.best_wall = r.wall_seconds;
+        } else {
+            m.best_wall = std::min(m.best_wall, r.wall_seconds);
+        }
+    }
+    return m;
+}
+
+/** Panic unless the two modes were bit-identical on this point. */
+void
+checkParity(const Workload &w, const ModeResult &ref, const ModeResult &fast)
+{
+    panicIf(ref.sim.cycles != fast.sim.cycles, "'", w.name,
+            "': fast-forward cycle mismatch (reference ", ref.sim.cycles,
+            ", fast ", fast.sim.cycles, ")");
+    panicIf(ref.counters.size() != fast.counters.size(), "'", w.name,
+            "': counter set size mismatch");
+    for (std::size_t i = 0; i < ref.counters.size(); ++i) {
+        panicIf(ref.counters[i].name != fast.counters[i].name, "'", w.name,
+                "': counter order mismatch at '", ref.counters[i].name,
+                "'");
+        panicIf(ref.counters[i].value != fast.counters[i].value, "'",
+                w.name, "': counter '", ref.counters[i].name,
+                "' mismatch (reference ", ref.counters[i].value, ", fast ",
+                fast.counters[i].value, ")");
+    }
+    panicIf(ref.output.shape() != fast.output.shape(), "'", w.name,
+            "': output shape mismatch");
+    panicIf(ref.output.size() > 0 &&
+                std::memcmp(ref.output.data(), fast.output.data(),
+                            static_cast<std::size_t>(ref.output.size()) *
+                                sizeof(float)) != 0,
+            "'", w.name, "': output tensor mismatch");
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Workload> points = workloads();
+    std::vector<PointResult> results(points.size());
+
+    SweepRunner runner;
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        jobs.push_back([&, i]() {
+            const Workload &w = points[i];
+            const LayerData data =
+                makeLayerData(layerByTag(w.tag), w.sparsity, 42);
+            PointResult &p = results[i];
+            p.ref = runMode(w, data, /*fast_forward=*/false);
+            p.fast = runMode(w, data, /*fast_forward=*/true);
+            checkParity(w, p.ref, p.fast);
+            p.speedup = p.fast.best_wall > 0.0
+                ? p.ref.best_wall / p.fast.best_wall
+                : 0.0;
+        });
+    }
+    runner.run(jobs);
+
+    banner("Simulator speed — exact per-cycle vs. fast-forward engine (" +
+           std::to_string(runner.threadCount()) + " sweep threads)");
+    TablePrinter t({"workload", "cycles", "ref wall [s]", "ff wall [s]",
+                    "speedup", "ff cycles/s"});
+    double max_speedup = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointResult &p = results[i];
+        max_speedup = std::max(max_speedup, p.speedup);
+        t.addRow({points[i].name,
+                  TablePrinter::num(static_cast<count_t>(p.ref.sim.cycles)),
+                  TablePrinter::num(p.ref.best_wall, 4),
+                  TablePrinter::num(p.fast.best_wall, 4),
+                  TablePrinter::num(p.speedup, 2),
+                  TablePrinter::num(p.fast.best_wall > 0.0
+                                        ? static_cast<double>(
+                                              p.fast.sim.cycles) /
+                                            p.fast.best_wall
+                                        : 0.0,
+                                    0)});
+    }
+    t.print();
+    std::printf("\nmax speedup: %.2fx (parity held on all %zu points)\n",
+                max_speedup, points.size());
+
+    JsonValue j = JsonValue::makeObject();
+    j.set("benchmark", std::string("sim_speed"));
+    j.set("reps", static_cast<std::int64_t>(kReps));
+    j.set("sweep_threads",
+          static_cast<std::uint64_t>(runner.threadCount()));
+    JsonValue arr = JsonValue::makeArray();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointResult &p = results[i];
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", points[i].name);
+        o.set("layer", points[i].tag);
+        o.set("config", points[i].cfg.name);
+        o.set("dn_bandwidth", points[i].cfg.dn_bandwidth);
+        o.set("sparsity", points[i].sparsity);
+        o.set("cycles", static_cast<std::uint64_t>(p.ref.sim.cycles));
+        o.set("reference_wall_seconds", p.ref.best_wall);
+        o.set("fast_forward_wall_seconds", p.fast.best_wall);
+        o.set("speedup", p.speedup);
+        o.set("fast_forward_cycles_per_second",
+              p.fast.best_wall > 0.0
+                  ? static_cast<double>(p.fast.sim.cycles) / p.fast.best_wall
+                  : 0.0);
+        o.set("parity", true);
+        arr.append(std::move(o));
+    }
+    j["points"] = arr;
+    j.set("max_speedup", max_speedup);
+    OutputModule::writeFile("BENCH_sim_speed.json", j.dump() + "\n");
+    std::printf("wrote BENCH_sim_speed.json\n");
+    return 0;
+}

@@ -37,6 +37,7 @@ struct CliState {
     std::uint64_t seed = 42;
     FaultConfig faults;          // applied at the next create/load
     index_t watchdog_cycles = 0; // 0 keeps the config's default
+    std::optional<bool> fast_forward; // applied at the next create/load
 };
 
 /** Overlay the CLI-set fault/watchdog knobs onto a hardware config. */
@@ -47,6 +48,8 @@ applyHardening(HardwareConfig cfg, const CliState &st)
         cfg.faults = st.faults;
     if (st.watchdog_cycles > 0)
         cfg.watchdog_cycles = st.watchdog_cycles;
+    if (st.fast_forward)
+        cfg.fast_forward = *st.fast_forward;
     return cfg;
 }
 
@@ -68,6 +71,8 @@ printHelp()
         "  faults <seed> <stuck> <drop> <corrupt> <bitflip>\n"
         "                                  fault rates for next create/load\n"
         "  watchdog <cycles>               stall budget for next create/load\n"
+        "  fastforward <on|off>            steady-state skipping at next\n"
+        "                                  create/load (default on)\n"
         "  run                             simulate the configured op\n"
         "  config                          show the hardware config\n"
         "  counters                        dump the activity counters\n"
@@ -137,6 +142,9 @@ runOp(CliState &st)
     std::printf("%s\n",
                 OutputModule::summary(st.stonne->config(), r)
                     .dump().c_str());
+    std::printf("simulated %llu cycles in %.3f s wall (%.0f cycles/s)\n",
+                static_cast<unsigned long long>(r.cycles), r.wall_seconds,
+                r.sim_cycles_per_second);
 }
 
 bool
@@ -232,6 +240,17 @@ handle(CliState &st, const std::string &line)
                     "watchdog stall budget must be positive");
             std::printf("watchdog_cycles = %lld at the next create/load\n",
                         static_cast<long long>(st.watchdog_cycles));
+        } else if (cmd == "fastforward") {
+            std::string v;
+            in >> v;
+            if (v == "on" || v == "ON")
+                st.fast_forward = true;
+            else if (v == "off" || v == "OFF")
+                st.fast_forward = false;
+            else
+                fatal("fastforward expects on|off, got '", v, "'");
+            std::printf("fast_forward = %s at the next create/load\n",
+                        *st.fast_forward ? "ON" : "OFF");
         } else if (cmd == "counters") {
             if (st.stonne)
                 std::printf("%s",

@@ -98,10 +98,23 @@ HardwareConfig::validate() const
 {
     fatalIf(!isPow2(ms_size), "ms_size must be a power of two, got ",
             ms_size);
-    fatalIf(dn_bandwidth <= 0 || dn_bandwidth > ms_size,
-            "dn_bandwidth must lie in [1, ms_size], got ", dn_bandwidth);
-    fatalIf(rn_bandwidth <= 0 || rn_bandwidth > ms_size,
-            "rn_bandwidth must lie in [1, ms_size], got ", rn_bandwidth);
+    // A zero or negative fabric bandwidth would wedge the delivery and
+    // drain loops mid-simulation with a context-free panic; reject it
+    // here with the config named so the bad knob is obvious.
+    fatalIf(dn_bandwidth <= 0,
+            "config '", name, "': dn_bandwidth must be positive, got ",
+            dn_bandwidth,
+            " (the distribution network could never deliver an element)");
+    fatalIf(dn_bandwidth > ms_size,
+            "config '", name, "': dn_bandwidth must lie in [1, ms_size], "
+            "got ", dn_bandwidth);
+    fatalIf(rn_bandwidth <= 0,
+            "config '", name, "': rn_bandwidth must be positive, got ",
+            rn_bandwidth,
+            " (the reduction network could never drain an output)");
+    fatalIf(rn_bandwidth > ms_size,
+            "config '", name, "': rn_bandwidth must lie in [1, ms_size], "
+            "got ", rn_bandwidth);
     fatalIf(fifo_capacity <= 0, "fifo_capacity must be positive");
     fatalIf(gb_size_kib <= 0, "gb_size_kib must be positive");
     fatalIf(dram_bandwidth_gbps <= 0, "dram bandwidth must be positive");
@@ -331,6 +344,8 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
                        "'");
         } else if (key == "WATCHDOG_CYCLES") {
             c.watchdog_cycles = as_int();
+        } else if (key == "FAST_FORWARD") {
+            c.fast_forward = as_flag();
         } else if (key == "FAULTS") {
             c.faults.enabled = as_flag();
         } else if (key == "FAULT_SEED") {
@@ -383,7 +398,8 @@ HardwareConfig::toConfigText() const
        << "dram_latency_cycles = " << dram_latency_cycles << "\n"
        << "clock_ghz = " << clock_ghz << "\n"
        << "data_type = " << dataTypeName(data_type) << "\n"
-       << "watchdog_cycles = " << watchdog_cycles << "\n";
+       << "watchdog_cycles = " << watchdog_cycles << "\n"
+       << "fast_forward = " << (fast_forward ? "ON" : "OFF") << "\n";
     if (!energy_table_path.empty())
         os << "energy_table = " << energy_table_path << "\n";
     if (!area_table_path.empty())

@@ -120,6 +120,15 @@ struct HardwareConfig {
      */
     index_t watchdog_cycles = 100000;
 
+    /**
+     * Fast-forward execution: skip steady-state streaming regions with
+     * closed-form bulkAdvance() arithmetic instead of per-cycle
+     * iteration. Bit-identical to the per-cycle path (same cycles,
+     * counters, outputs); automatically disabled while a fault
+     * injector is attached. `fast_forward = on|off`, default on.
+     */
+    bool fast_forward = true;
+
     /** Fault-injection subsystem configuration (`fault_*` keys). */
     FaultConfig faults;
 

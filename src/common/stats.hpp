@@ -15,8 +15,8 @@
 #define STONNE_COMMON_STATS_HPP
 
 #include <deque>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -60,6 +60,10 @@ class StatsRegistry
      * Get (creating if needed) the counter with the given name/group.
      * The returned reference stays valid for the registry's lifetime:
      * counters live in a deque so later registrations never move them.
+     *
+     * Components must call this once at construction and cache the
+     * returned handle — never per cycle: the lookup hashes the name
+     * string and belongs nowhere near a hot loop.
      */
     StatCounter &counter(const std::string &name, StatGroup group);
 
@@ -90,7 +94,7 @@ class StatsRegistry
 
   private:
     std::deque<StatCounter> counters_;
-    std::map<std::string, std::size_t> index_;
+    std::unordered_map<std::string, std::size_t> index_;
 };
 
 } // namespace stonne

@@ -38,6 +38,21 @@ Watchdog::tick(count_t progress)
         fire();
 }
 
+void
+Watchdog::bulkTick(cycle_t cycles, count_t progress_per_cycle)
+{
+    if (cycles == 0)
+        return;
+    cycles_ += cycles;
+    if (progress_per_cycle > 0) {
+        stall_ = 0;
+        return;
+    }
+    stall_ += cycles;
+    if (stall_ >= limit_)
+        fire();
+}
+
 std::string
 Watchdog::snapshotReport() const
 {

@@ -74,6 +74,15 @@ class Watchdog
      */
     void tick(count_t progress);
 
+    /**
+     * Record `cycles` consecutive simulated cycles that each made
+     * `progress_per_cycle` forward-progress events — the closed-form
+     * equivalent of calling tick(progress_per_cycle) `cycles` times.
+     * Used by the fast-forward engine to skip steady-state regions
+     * without losing the watchdog's cycle accounting.
+     */
+    void bulkTick(cycle_t cycles, count_t progress_per_cycle);
+
     /** Cycles observed since construction/reset. */
     cycle_t cyclesObserved() const { return cycles_; }
 

@@ -6,6 +6,14 @@
  * to its read bandwidth, the distribution network injects up to its own
  * bandwidth, and the controller retries the remainder — the stall
  * mechanism that separates STONNE's timing from the analytical models.
+ *
+ * When fast-forwarding is enabled and no fault injector is attached the
+ * loop is in steady state: every cycle moves exactly
+ * min(dn_bandwidth, gb_read_bandwidth) elements, so all but the final
+ * (possibly partial) cycle can be skipped with closed-form bulkAdvance()
+ * counter arithmetic. The final cycle always executes through the exact
+ * per-cycle path so trailing per-cycle state (budgets, issue slots) is
+ * bit-identical by construction.
  */
 
 #ifndef STONNE_CONTROLLER_DELIVERY_HPP
@@ -59,17 +67,53 @@ countFresh(const std::vector<std::int64_t> &cur,
  * flits after DN acceptance: dropped flits stay in `remaining` and are
  * retransmitted on a later cycle, stretching the delivery.
  *
+ * With `fast_forward` set and no fault injector, the steady-state prefix
+ * is skipped in O(1): the per-cycle grant is the constant
+ * min(dn.bandwidth(), gb.readBandwidth()), so the first n-1 of the
+ * n = ceil(count / grant) cycles are accounted with bulkAdvance() and
+ * only the final cycle runs through the exact loop. Cycle counts, stats
+ * and watchdog state are bit-identical to the per-cycle path. Any fault
+ * injector forces the exact loop: dropFlits() consumes the seeded RNG
+ * stream per cycle and must observe every cycle to stay reproducible.
+ *
  * @return the number of cycles the delivery occupied.
  */
 inline cycle_t
 deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
                 index_t fanout, PackageKind kind,
                 Watchdog *watchdog = nullptr,
-                FaultInjector *faults = nullptr)
+                FaultInjector *faults = nullptr,
+                bool fast_forward = false)
 {
-    panicIf(count < 0, "negative delivery count");
+    panicIf(count < 0, "delivery of ", count,
+            " elements through '", dn.name(), "': count must not be "
+            "negative");
+    panicIf(fanout <= 0, "delivery through '", dn.name(),
+            "' with non-positive fanout ", fanout,
+            " (destination range is empty)");
+    panicIf(dn.bandwidth() <= 0, "delivery through '", dn.name(),
+            "' with non-positive bandwidth ", dn.bandwidth(),
+            " (should have been rejected by HardwareConfig::validate)");
+
     cycle_t cycles = 0;
     index_t remaining = count;
+
+    if (fast_forward && faults == nullptr && remaining > 0) {
+        const index_t grant = std::min(dn.bandwidth(), gb.readBandwidth());
+        const cycle_t total = static_cast<cycle_t>(
+            (remaining + grant - 1) / grant);
+        if (total > 1) {
+            const cycle_t skip = total - 1;
+            const index_t moved = static_cast<index_t>(skip) * grant;
+            gb.bulkAdvance(skip, moved, 0);
+            dn.bulkAdvance(skip, moved, fanout, kind);
+            if (watchdog != nullptr)
+                watchdog->bulkTick(skip, static_cast<count_t>(grant));
+            remaining -= moved;
+            cycles += skip;
+        }
+    }
+
     while (remaining > 0) {
         gb.nextCycle();
         dn.cycle();
@@ -81,8 +125,59 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
         if (watchdog != nullptr)
             watchdog->tick(static_cast<count_t>(sent));
         else
-            panicIf(sent <= 0, "delivery made no progress in a cycle");
+            panicIf(sent <= 0, "delivery through '", dn.name(),
+                    "' made no progress in a cycle");
         remaining -= sent;
+        ++cycles;
+    }
+    return cycles;
+}
+
+/**
+ * Drain `count` finished outputs through the GB write ports, cycle by
+ * cycle — the write-side sibling of deliverElements(), shared by the
+ * dense, sparse and SNAPEA controllers.
+ *
+ * Every cycle absorbs min(remaining, write_bandwidth) elements, so the
+ * steady-state prefix fast-forwards exactly like delivery; the final
+ * cycle always runs through the exact path.
+ *
+ * @return the number of cycles the drain occupied.
+ */
+inline cycle_t
+drainOutputs(GlobalBuffer &gb, index_t count, Watchdog *watchdog = nullptr,
+             bool fast_forward = false)
+{
+    panicIf(count < 0, "drain of ", count, " outputs through '", gb.name(),
+            "': count must not be negative");
+
+    cycle_t cycles = 0;
+    index_t remaining = count;
+
+    if (fast_forward && remaining > 0) {
+        const index_t grant = gb.writeBandwidth();
+        const cycle_t total = static_cast<cycle_t>(
+            (remaining + grant - 1) / grant);
+        if (total > 1) {
+            const cycle_t skip = total - 1;
+            const index_t drained = static_cast<index_t>(skip) * grant;
+            gb.bulkAdvance(skip, 0, drained);
+            if (watchdog != nullptr)
+                watchdog->bulkTick(skip, static_cast<count_t>(grant));
+            remaining -= drained;
+            cycles += skip;
+        }
+    }
+
+    while (remaining > 0) {
+        gb.nextCycle();
+        const index_t granted = gb.writeBulk(remaining);
+        if (watchdog != nullptr)
+            watchdog->tick(static_cast<count_t>(granted));
+        else
+            panicIf(granted <= 0, "drain through '", gb.name(),
+                    "' made no progress in a cycle");
+        remaining -= granted;
         ++cycles;
     }
     return cycles;

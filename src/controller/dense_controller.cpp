@@ -119,19 +119,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     const bool input_stationary =
         cfg_.dataflow == Dataflow::InputStationary;
 
-    // Helper: cycles to push n outputs through the RN collection bus.
-    auto write_drain = [&](index_t n) {
-        cycle_t c = 0;
-        while (n > 0) {
-            gb_.nextCycle();
-            const index_t granted = gb_.writeBulk(n);
-            if (wd_ != nullptr)
-                wd_->tick(static_cast<count_t>(granted));
-            n -= granted;
-            ++c;
-        }
-        return c;
-    };
+    const bool ff = fastForward();
 
     // Stage the input activations: traffic is accounted, but the
     // cycles are hidden by the double-buffered prefetch (the previous
@@ -145,6 +133,11 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     // already present anywhere in the array can reach its consumer over
     // the neighbour-forwarding links instead of the GB.
     std::vector<std::int64_t> fetch, prev_abs, cur_abs;
+    const auto step_capacity = static_cast<std::size_t>(
+        tile.t_g * tile.t_n * tile.t_x * tile.t_y * vn);
+    fetch.reserve(step_capacity);
+    prev_abs.reserve(step_capacity);
+    cur_abs.reserve(step_capacity);
     cycle_t prev_block_cycles = 0;
 
     // Pipeline fill: the multiply/reduce/collect pipeline fills once and
@@ -187,7 +180,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                     const cycle_t w_cycles = deliverElements(
                         dn_, gb_, tg * tk * len,
                         tile.t_n * tile.t_x * tile.t_y,
-                        PackageKind::Weight, wd_, faults_);
+                        PackageKind::Weight, wd_, faults_, ff);
                     block_cycles += w_cycles > prev_fold_cycles
                         ? w_cycles - prev_fold_cycles : 0;
                     cycle_t fold_cycles = 0;
@@ -294,15 +287,14 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                         phase_ = "input streaming";
                         cycle_t dl = deliverElements(dn_, gb_, fresh, tk,
                                                      PackageKind::Input,
-                                                     wd_, faults_);
+                                                     wd_, faults_, ff);
 
                         const index_t active_vns = tg * tk * tn * tx * ty;
                         mn_.fireMultipliers(
                             std::min(active_vns * len, cfg_.ms_size));
                         res.macs +=
                             static_cast<count_t>(active_vns * len);
-                        for (index_t v = 0; v < active_vns; ++v)
-                            rn_.reduceCluster(len);
+                        rn_.bulkReduce(active_vns, len);
 
                         cycle_t drain = 0;
                         if (folding) {
@@ -313,16 +305,18 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                                 // psums round-trip through the GB and
                                 // re-enter via the MN forwarders.
                                 phase_ = "psum spill";
-                                drain = write_drain(active_vns);
+                                drain = drainOutputs(gb_, active_vns, wd_,
+                                                     ff);
                                 mn_.forwardPsums(active_vns);
                                 if (f > 0)
                                     dl += deliverElements(
                                         dn_, gb_, active_vns, 1,
-                                        PackageKind::Psum, wd_, faults_);
+                                        PackageKind::Psum, wd_, faults_,
+                                        ff);
                             }
                         } else {
                             phase_ = "output drain";
-                            drain = write_drain(active_vns);
+                            drain = drainOutputs(gb_, active_vns, wd_, ff);
                         }
                         if (f + 1 == folds)
                             chunk_outputs += active_vns;
@@ -338,7 +332,8 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
 
                 if (folding && !psum_spill) {
                     phase_ = "output drain";
-                    block_cycles += write_drain(chunk_outputs);
+                    block_cycles += drainOutputs(gb_, chunk_outputs, wd_,
+                                                 ff);
                 }
             }
 
@@ -565,22 +560,14 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
     const count_t mem0 = gb_.totalReads() + gb_.totalWrites();
     const count_t mult0 = mn_.multOps();
 
-    auto write_drain = [&](index_t n) {
-        cycle_t cyc = 0;
-        while (n > 0) {
-            gb_.nextCycle();
-            const index_t granted = gb_.writeBulk(n);
-            if (wd_ != nullptr)
-                wd_->tick(static_cast<count_t>(granted));
-            n -= granted;
-            ++cyc;
-        }
-        return cyc;
-    };
+    const bool ff = fastForward();
 
     phase_ = "max pool streaming";
     const index_t positions = c.N * xo * yo;
     std::vector<std::int64_t> fetch, prev_fetch;
+    const auto step_capacity = static_cast<std::size_t>(tk * ty * vn);
+    fetch.reserve(step_capacity);
+    prev_fetch.reserve(step_capacity);
 
     for (index_t c0 = 0; c0 < c.C; c0 += tk) {
         const index_t tkc = std::min(tk, c.C - c0);
@@ -619,16 +606,15 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
                 }
                 dl_total += deliverElements(dn_, gb_, fresh, 1,
                                             PackageKind::Input, wd_,
-                                            faults_);
+                                            faults_, ff);
                 const index_t clusters = tkc * typ;
-                for (index_t v = 0; v < clusters; ++v)
-                    rn_.reduceCluster(len);
+                rn_.bulkReduce(clusters, len);
                 if (folds > 1 && rn_.supportsAccumulation())
                     rn_.accumulate(clusters);
                 prev_fetch.swap(fetch);
                 have_prev = true;
             }
-            const cycle_t drain = write_drain(tkc * typ);
+            const cycle_t drain = drainOutputs(gb_, tkc * typ, wd_, ff);
             res.cycles += std::max<cycle_t>({1, dl_total, drain});
         }
     }

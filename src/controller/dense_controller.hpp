@@ -115,6 +115,18 @@ class DenseController
                                  const Tensor &bias, index_t n, index_t ko,
                                  index_t ox, index_t oy);
 
+    /**
+     * Whether the steady-state fast path is eligible: requested by the
+     * configuration and no fault injector attached (fault injection
+     * consumes a seeded RNG stream per cycle, so every cycle must run
+     * through the exact loop to stay reproducible).
+     */
+    bool
+    fastForward() const
+    {
+        return cfg_.fast_forward && faults_ == nullptr;
+    }
+
     const HardwareConfig &config() const { return cfg_; }
     DistributionNetwork &dn() { return dn_; }
     MultiplierArray &mn() { return mn_; }

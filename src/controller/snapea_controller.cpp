@@ -131,18 +131,9 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
         std::min(input.size() + weights.size(),
                  gb_.capacityElements()) * bpe);
 
-    auto write_drain = [&](index_t n) {
-        cycle_t c = 0;
-        while (n > 0) {
-            gb_.nextCycle();
-            const index_t granted = gb_.writeBulk(n);
-            if (wd_ != nullptr)
-                wd_->tick(static_cast<count_t>(granted));
-            n -= granted;
-            ++c;
-        }
-        return c;
-    };
+    // Fault injection consumes a seeded RNG stream per cycle, so any
+    // attached injector forces the exact per-cycle loops.
+    const bool ff = cfg_.fast_forward && faults_ == nullptr;
 
     auto blocks = [](index_t total, index_t t) {
         return (total + t - 1) / t;
@@ -162,6 +153,9 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
     };
     std::vector<VnState> vns;
     std::vector<std::int64_t> fetch;
+    vns.reserve(static_cast<std::size_t>(
+        tile.t_g * tile.t_k * tile.t_n * tile.t_x * tile.t_y));
+    fetch.reserve(vns.capacity() * static_cast<std::size_t>(vn));
 
     for (index_t g0 = 0; g0 < shape.G; g0 += tile.t_g) {
         const index_t tg = std::min(tile.t_g, shape.G - g0);
@@ -268,11 +262,11 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                     phase_ = "sorted weight streaming";
                     cycle_t dl = deliverElements(
                         dn_, gb_, stream_elems, tn * tx * ty,
-                        PackageKind::Weight, wd_, faults_);
+                        PackageKind::Weight, wd_, faults_, ff);
                     phase_ = "activation gather";
                     dl += deliverElements(
                         dn_, gb_, static_cast<index_t>(fetch.size()), 1,
-                        PackageKind::Input, wd_, faults_);
+                        PackageKind::Input, wd_, faults_, ff);
 
                     // Compute and sign-check.
                     index_t fired = 0;
@@ -331,8 +325,8 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                 // Drain: every mapped window emits its psum (cut windows
                 // emit the non-positive value the ReLU will zero).
                 phase_ = "output drain";
-                res.cycles += write_drain(
-                    static_cast<index_t>(vns.size()));
+                res.cycles += drainOutputs(
+                    gb_, static_cast<index_t>(vns.size()), wd_, ff);
                 for (const VnState &v : vns)
                     output.at(v.n, v.ko, v.ox, v.oy) = v.psum;
             }

@@ -58,12 +58,18 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     res.cycles += static_cast<cycle_t>(dn_levels) +
         static_cast<cycle_t>(rn_.latency(cfg_.ms_size)) + 1;
 
+    // Fault injection consumes a seeded RNG stream per cycle, so any
+    // attached injector forces the exact per-cycle loops.
+    const bool ff = cfg_.fast_forward && faults_ == nullptr;
+
     std::vector<index_t> union_k;
+    union_k.reserve(static_cast<std::size_t>(cfg_.ms_size));
     for (const SparseRound &round : rounds_) {
         // Stationary non-zeros enter through the Benes (unicast).
         phase_ = "stationary nnz load";
         res.cycles += deliverElements(dn_, gb_, round.nnz, 1,
-                                      PackageKind::Weight, wd_, faults_);
+                                      PackageKind::Weight, wd_, faults_,
+                                      ff);
 
         // Streaming operands: the union of column indices the mapped
         // segments need; shared indices are multicast.
@@ -86,9 +92,12 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
             index_t needed = static_cast<index_t>(union_k.size());
             index_t fired = round.nnz;
             if (skip_zero_activations) {
+                // Column j of B, strided by n — raw access keeps the
+                // per-operand zero scan off the at() bounds checks.
+                const float *bcol = b.data() + j;
                 needed = 0;
                 for (index_t k : union_k)
-                    if (b.at(k, j) != 0.0f)
+                    if (bcol[k * n] != 0.0f)
                         ++needed;
                 fired = 0;
                 for (const SparseSegment &seg : round.segments) {
@@ -98,7 +107,7 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
                     for (index_t i = 0; i < seg.len; ++i) {
                         const index_t k = a.col_idx[
                             static_cast<std::size_t>(base + i)];
-                        if (b.at(k, j) != 0.0f)
+                        if (bcol[k * n] != 0.0f)
                             ++fired;
                     }
                 }
@@ -109,20 +118,9 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
             phase_ = "streaming operand multicast";
             const cycle_t dl = deliverElements(dn_, gb_, needed, 1,
                                                PackageKind::Input, wd_,
-                                               faults_);
-            cycle_t drain = 0;
-            {
-                phase_ = "output drain";
-                index_t outs = completions;
-                while (outs > 0) {
-                    gb_.nextCycle();
-                    const index_t granted = gb_.writeBulk(outs);
-                    if (wd_ != nullptr)
-                        wd_->tick(static_cast<count_t>(granted));
-                    outs -= granted;
-                    ++drain;
-                }
-            }
+                                               faults_, ff);
+            phase_ = "output drain";
+            const cycle_t drain = drainOutputs(gb_, completions, wd_, ff);
 
             mn_.fireMultipliers(std::min(fired, cfg_.ms_size));
             res.macs += static_cast<count_t>(fired);
@@ -136,17 +134,22 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     }
 
     // Functional results in canonical CSR order (bit-exact against the
-    // reference SpMM); fully pruned rows emit zeros directly.
+    // reference SpMM); fully pruned rows emit zeros directly. Raw
+    // pointers keep the at() bounds checks out of the innermost MAC.
     phase_ = "functional reduce";
+    const float *bd = b.data();
+    float *cd = c.data();
     for (index_t r = 0; r < a.rows; ++r) {
+        const index_t p0 = a.row_ptr[static_cast<std::size_t>(r)];
+        const index_t p1 = a.row_ptr[static_cast<std::size_t>(r + 1)];
+        float *crow = cd + r * n;
         for (index_t j = 0; j < n; ++j) {
             float acc = 0.0f;
-            for (index_t p = a.row_ptr[static_cast<std::size_t>(r)];
-                 p < a.row_ptr[static_cast<std::size_t>(r + 1)]; ++p) {
+            for (index_t p = p0; p < p1; ++p) {
                 acc += a.values[static_cast<std::size_t>(p)] *
-                       b.at(a.col_idx[static_cast<std::size_t>(p)], j);
+                       bd[a.col_idx[static_cast<std::size_t>(p)] * n + j];
             }
-            c.at(r, j) = acc;
+            crow[j] = acc;
         }
     }
 

@@ -36,6 +36,8 @@ OutputModule::summary(const HardwareConfig &cfg,
     perf.set("mem_accesses",
              static_cast<std::uint64_t>(result.mem_accesses));
     perf.set("ms_utilization", result.ms_utilization);
+    perf.set("wall_seconds", result.wall_seconds);
+    perf.set("sim_cycles_per_second", result.sim_cycles_per_second);
     j["performance"] = perf;
 
     JsonValue energy = JsonValue::makeObject();

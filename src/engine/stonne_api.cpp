@@ -1,5 +1,7 @@
 #include "engine/stonne_api.hpp"
 
+#include <chrono>
+
 #include "common/logging.hpp"
 #include "common/sim_context.hpp"
 #include "engine/output_module.hpp"
@@ -16,6 +18,9 @@ SimulationResult::merge(const SimulationResult &o)
         o.ms_utilization * static_cast<double>(o.cycles);
     cycles += o.cycles;
     time_ms += o.time_ms;
+    wall_seconds += o.wall_seconds;
+    sim_cycles_per_second = wall_seconds > 0.0
+        ? static_cast<double>(cycles) / wall_seconds : 0.0;
     macs += o.macs;
     skipped_macs += o.skipped_macs;
     mem_accesses += o.mem_accesses;
@@ -171,6 +176,7 @@ Stonne::runOperation()
     fatalIf(!op_pending_, "RunOperation issued with no configured op");
     fatalIf(!data_bound_, "RunOperation issued before ConfigureData");
 
+    const auto wall_start = std::chrono::steady_clock::now();
     const HardwareConfig &cfg = accel_->config();
 
     // Error context for everything below: a fatal/panic/DeadlockError
@@ -341,7 +347,13 @@ Stonne::runOperation()
     if (faults != nullptr && faults->active())
         faults->applyStuckMultipliers(output_);
 
-    return finishOperation(cr, before);
+    SimulationResult r = finishOperation(cr, before);
+    r.wall_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wall_start).count();
+    r.sim_cycles_per_second = r.wall_seconds > 0.0
+        ? static_cast<double>(r.cycles) / r.wall_seconds : 0.0;
+    last_result_ = r;
+    return r;
 }
 
 } // namespace stonne

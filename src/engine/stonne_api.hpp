@@ -42,6 +42,10 @@ struct SimulationResult {
     std::string accelerator;
     cycle_t cycles = 0;
     double time_ms = 0.0;
+    /** Host wall-clock time the simulation itself took. */
+    double wall_seconds = 0.0;
+    /** Simulator throughput: cycles / wall_seconds (0 when untimed). */
+    double sim_cycles_per_second = 0.0;
     count_t macs = 0;
     count_t skipped_macs = 0;
     count_t mem_accesses = 0;

@@ -23,11 +23,18 @@ Dram::transferCycles(index_t bytes)
 {
     if (bytes <= 0)
         return 0;
-    bytes_->value += static_cast<count_t>(bytes);
-    ++accesses_->value;
+    bulkAdvance(bytes, 1);
     const auto serialization = static_cast<cycle_t>(
         std::ceil(static_cast<double>(bytes) / bytes_per_cycle_));
     return static_cast<cycle_t>(latency_cycles_) + serialization;
+}
+
+void
+Dram::bulkAdvance(index_t bytes, count_t n_accesses)
+{
+    panicIf(bytes < 0, "negative bulk dram traffic of ", bytes, " bytes");
+    bytes_->value += static_cast<count_t>(bytes);
+    accesses_->value += n_accesses;
 }
 
 cycle_t

@@ -41,6 +41,14 @@ class Dram
     cycle_t transferCycles(index_t bytes);
 
     /**
+     * Account `bytes` of traffic across `n_accesses` transfers without
+     * computing a duration — the counter side of transferCycles(),
+     * exposed for the fast-forward engine so skipped regions keep the
+     * DRAM traffic counters exact.
+     */
+    void bulkAdvance(index_t bytes, count_t n_accesses);
+
+    /**
      * Double-buffer staging: given that the previous compute chunk took
      * `compute_cycles`, return the extra stall cycles the next tile's
      * transfer adds (0 when fully hidden). Includes the access latency:

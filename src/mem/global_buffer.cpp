@@ -71,6 +71,26 @@ GlobalBuffer::writeBulk(index_t n)
 }
 
 void
+GlobalBuffer::bulkAdvance(cycle_t n_cycles, index_t n_reads,
+                          index_t n_writes)
+{
+    panicIf(n_reads < 0 || n_writes < 0, "negative bulk advance of ",
+            n_reads, " reads / ", n_writes, " writes on '", name_, "'");
+    panicIf(static_cast<count_t>(n_reads)
+                > n_cycles * static_cast<count_t>(read_bandwidth_),
+            "bulk advance on '", name_, "' exceeds read bandwidth: ",
+            n_reads, " reads in ", n_cycles, " cycles at ",
+            read_bandwidth_, " reads/cycle");
+    panicIf(static_cast<count_t>(n_writes)
+                > n_cycles * static_cast<count_t>(write_bandwidth_),
+            "bulk advance on '", name_, "' exceeds write bandwidth: ",
+            n_writes, " writes in ", n_cycles, " cycles at ",
+            write_bandwidth_, " writes/cycle");
+    reads_->value += static_cast<count_t>(n_reads);
+    writes_->value += static_cast<count_t>(n_writes);
+}
+
+void
 GlobalBuffer::dumpState(std::ostream &os) const
 {
     os << name_ << ": capacity " << capacity_elements_

@@ -66,6 +66,18 @@ class GlobalBuffer
     /** Consume up to n write slots; returns how many were granted. */
     index_t writeBulk(index_t n);
 
+    /**
+     * Fast-forward `n_cycles` cycles of steady-state streaming in which
+     * `n_reads` read grants and `n_writes` write grants were issued in
+     * total — the closed-form equivalent of n_cycles iterations of
+     * nextCycle() + readBulk()/writeBulk(). Access counters advance
+     * exactly as the per-cycle path would; the per-cycle budgets are
+     * left untouched (every consumer re-arms them with nextCycle()
+     * before the next grant, and the fast-forward engine executes the
+     * final, possibly partial, cycle through the exact path).
+     */
+    void bulkAdvance(cycle_t n_cycles, index_t n_reads, index_t n_writes);
+
     /** Capacity in elements. */
     index_t capacityElements() const { return capacity_elements_; }
 

@@ -62,6 +62,24 @@ PointToPointNetwork::injectBulk(index_t n, index_t fanout, PackageKind kind)
 }
 
 void
+PointToPointNetwork::bulkAdvance(cycle_t n_cycles, index_t n_packages,
+                                 index_t fanout, PackageKind kind)
+{
+    (void)kind;
+    panicIf(n_packages < 0,
+            "point-to-point DN bulk advance with invalid count");
+    fatalIf(fanout != 1,
+            "point-to-point DN only supports unicast delivery");
+    panicIf(static_cast<count_t>(n_packages)
+                > n_cycles * static_cast<count_t>(bandwidth_),
+            "point-to-point DN bulk advance exceeds bandwidth: ",
+            n_packages, " packages in ", n_cycles, " cycles at ",
+            bandwidth_, " packages/cycle");
+    packages_->value += static_cast<count_t>(n_packages);
+    link_hops_->value += static_cast<count_t>(n_packages);
+}
+
+void
 PointToPointNetwork::cycle()
 {
     issued_this_cycle_ = 0;

@@ -26,6 +26,8 @@ class PointToPointNetwork : public DistributionNetwork
     bool inject(const DataPackage &pkg) override;
     index_t injectBulk(index_t n, index_t fanout,
                        PackageKind kind) override;
+    void bulkAdvance(cycle_t n_cycles, index_t n_packages, index_t fanout,
+                     PackageKind kind) override;
 
     void cycle() override;
     void reset() override;

@@ -104,6 +104,24 @@ TreeDistributionNetwork::injectBulk(index_t n, index_t fanout,
 }
 
 void
+TreeDistributionNetwork::bulkAdvance(cycle_t n_cycles, index_t n_packages,
+                                     index_t fanout, PackageKind kind)
+{
+    (void)kind;
+    panicIf(n_packages < 0 || fanout <= 0 || fanout > ms_size_,
+            "tree DN bulk advance with invalid arguments");
+    panicIf(static_cast<count_t>(n_packages)
+                > n_cycles * static_cast<count_t>(bandwidth_),
+            "tree DN bulk advance exceeds bandwidth: ", n_packages,
+            " packages in ", n_cycles, " cycles at ", bandwidth_,
+            " packages/cycle");
+    packages_->value += static_cast<count_t>(n_packages);
+    const index_t hops = traversalSwitches(fanout);
+    switch_hops_->value += static_cast<count_t>(n_packages * hops);
+    link_hops_->value += static_cast<count_t>(n_packages * (hops + fanout));
+}
+
+void
 TreeDistributionNetwork::cycle()
 {
     issued_this_cycle_ = 0;

@@ -49,6 +49,19 @@ FanReductionNetwork::reduceCluster(index_t cluster_size)
     return latency(cluster_size);
 }
 
+void
+FanReductionNetwork::bulkReduce(index_t clusters, index_t cluster_size)
+{
+    panicIf(clusters < 0, "negative FAN cluster count ", clusters);
+    panicIf(cluster_size <= 0 || cluster_size > ms_size_,
+            "FAN cluster size ", cluster_size, " out of range");
+    if (clusters == 0 || cluster_size == 1)
+        return;
+    adder_ops_->value += static_cast<count_t>(clusters * (cluster_size - 1));
+    if ((cluster_size & (cluster_size - 1)) != 0)
+        forward_hops_->value += static_cast<count_t>(clusters);
+}
+
 index_t
 FanReductionNetwork::latency(index_t cluster_size) const
 {

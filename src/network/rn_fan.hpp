@@ -23,6 +23,7 @@ class FanReductionNetwork : public ReductionNetwork
     FanReductionNetwork(index_t ms_size, StatsRegistry &stats);
 
     index_t reduceCluster(index_t cluster_size) override;
+    void bulkReduce(index_t clusters, index_t cluster_size) override;
     index_t latency(index_t cluster_size) const override;
     bool supportsVariableClusters() const override { return true; }
     bool supportsAccumulation() const override { return true; }

@@ -24,6 +24,17 @@ LinearReductionNetwork::reduceCluster(index_t cluster_size)
     return latency(cluster_size);
 }
 
+void
+LinearReductionNetwork::bulkReduce(index_t clusters, index_t cluster_size)
+{
+    panicIf(clusters < 0, "negative linear RN cluster count ", clusters);
+    panicIf(cluster_size <= 0 || cluster_size > ms_size_,
+            "linear RN cluster size ", cluster_size, " out of range");
+    if (clusters == 0 || cluster_size == 1)
+        return;
+    adder_ops_->value += static_cast<count_t>(clusters * (cluster_size - 1));
+}
+
 index_t
 LinearReductionNetwork::latency(index_t cluster_size) const
 {

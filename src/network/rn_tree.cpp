@@ -58,6 +58,20 @@ ArtReductionNetwork::reduceCluster(index_t cluster_size)
     return latency(cluster_size);
 }
 
+void
+ArtReductionNetwork::bulkReduce(index_t clusters, index_t cluster_size)
+{
+    panicIf(clusters < 0, "negative ART cluster count ", clusters);
+    panicIf(cluster_size <= 0 || cluster_size > ms_size_,
+            "ART cluster size ", cluster_size, " out of range");
+    if (clusters == 0 || cluster_size == 1)
+        return;
+    const index_t firings = (cluster_size - 1 + 1) / 2;
+    adder_ops_->value += static_cast<count_t>(clusters * firings);
+    if ((cluster_size & (cluster_size - 1)) != 0)
+        horizontal_hops_->value += static_cast<count_t>(clusters);
+}
+
 index_t
 ArtReductionNetwork::latency(index_t cluster_size) const
 {

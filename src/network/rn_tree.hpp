@@ -33,6 +33,7 @@ class ArtReductionNetwork : public ReductionNetwork
                         index_t accumulator_size, StatsRegistry &stats);
 
     index_t reduceCluster(index_t cluster_size) override;
+    void bulkReduce(index_t clusters, index_t cluster_size) override;
     index_t latency(index_t cluster_size) const override;
     bool supportsVariableClusters() const override { return true; }
     bool supportsAccumulation() const override { return with_accumulator_; }

@@ -102,6 +102,18 @@ class DistributionNetwork : public Unit
     virtual index_t injectBulk(index_t n, index_t fanout,
                                PackageKind kind) = 0;
 
+    /**
+     * Fast-forward `n_cycles` steady-state cycles in which a total of
+     * `n_packages` same-kind, same-fanout packages were accepted — the
+     * closed-form equivalent of n_cycles iterations of cycle() +
+     * injectBulk() where every offered package is accepted (so no
+     * stalls occur). Activity counters advance exactly as the
+     * per-cycle path would; the per-cycle issue state is untouched
+     * (the caller finishes the region with one exact cycle).
+     */
+    virtual void bulkAdvance(cycle_t n_cycles, index_t n_packages,
+                             index_t fanout, PackageKind kind) = 0;
+
     index_t msSize() const { return ms_size_; }
     index_t bandwidth() const { return bandwidth_; }
 
@@ -128,6 +140,19 @@ class ReductionNetwork : public Unit
      * return the number of pipeline stages it occupies.
      */
     virtual index_t reduceCluster(index_t cluster_size) = 0;
+
+    /**
+     * Account `clusters` reductions of identical `cluster_size` — the
+     * closed-form equivalent of calling reduceCluster(cluster_size)
+     * `clusters` times. Topologies with cheap per-cluster arithmetic
+     * override this with O(1) counter math; the default loops.
+     */
+    virtual void
+    bulkReduce(index_t clusters, index_t cluster_size)
+    {
+        for (index_t i = 0; i < clusters; ++i)
+            reduceCluster(cluster_size);
+    }
 
     /** Pipeline depth for a cluster of the given size. */
     virtual index_t latency(index_t cluster_size) const = 0;

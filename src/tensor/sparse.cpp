@@ -42,9 +42,13 @@ CsrMatrix::fromDense(const Tensor &dense)
     m.cols = dense.dim(1);
     m.row_ptr.reserve(static_cast<std::size_t>(m.rows + 1));
     m.row_ptr.push_back(0);
+    // Raw row-major scan: this conversion runs on every SpMM lowering,
+    // so the per-element bounds checks of at() are pure overhead here.
+    const float *d = dense.data();
     for (index_t r = 0; r < m.rows; ++r) {
+        const float *row = d + r * m.cols;
         for (index_t c = 0; c < m.cols; ++c) {
-            float v = dense.at(r, c);
+            const float v = row[c];
             if (v != 0.0f) {
                 m.col_idx.push_back(c);
                 m.values.push_back(v);

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Fast-forward engine tests: every bulkAdvance()/bulkReduce()/bulkTick()
+ * primitive must be counter-identical to the per-cycle loop it replaces,
+ * and whole simulations must be bit-identical (cycles, activity-counter
+ * snapshot, output tensor) with fast_forward ON vs OFF on every shipped
+ * configs/*.cfg — including maeri_64_faulty.cfg, whose attached fault
+ * injector forces the exact per-cycle path in both modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/watchdog.hpp"
+#include "controller/delivery.hpp"
+#include "engine/stonne_api.hpp"
+#include "mem/dram.hpp"
+#include "mem/global_buffer.hpp"
+#include "network/dn_benes.hpp"
+#include "network/dn_popn.hpp"
+#include "network/dn_tree.hpp"
+#include "network/mn_array.hpp"
+#include "network/rn_fan.hpp"
+#include "network/rn_linear.hpp"
+#include "network/rn_tree.hpp"
+#include "tensor/prune.hpp"
+
+namespace stonne {
+namespace {
+
+/** Every counter in `a` must exist in `b` with the same value. */
+void
+expectSameCounters(const StatsRegistry &a, const StatsRegistry &b)
+{
+    const auto &ca = a.counters();
+    const auto &cb = b.counters();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+        EXPECT_EQ(ca[i].name, cb[i].name);
+        EXPECT_EQ(ca[i].value, cb[i].value) << "counter " << ca[i].name;
+    }
+}
+
+// --- bulk primitives vs. their per-cycle loops ------------------------
+
+TEST(BulkAdvance, GlobalBufferMatchesLoop)
+{
+    StatsRegistry s1;
+    GlobalBuffer loop(108, 8, 8, 1, s1);
+    for (int c = 0; c < 5; ++c) {
+        loop.nextCycle();
+        EXPECT_EQ(loop.readBulk(8), 8);
+        EXPECT_EQ(loop.writeBulk(3), 3);
+    }
+
+    StatsRegistry s2;
+    GlobalBuffer bulk(108, 8, 8, 1, s2);
+    bulk.bulkAdvance(5, 40, 15);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkAdvance, GlobalBufferRejectsOverAndUnderflow)
+{
+    StatsRegistry s;
+    GlobalBuffer gb(108, 8, 4, 1, s);
+    EXPECT_THROW(gb.bulkAdvance(2, 17, 0), PanicError); // > 2 * read bw
+    EXPECT_THROW(gb.bulkAdvance(2, 0, 9), PanicError);  // > 2 * write bw
+    EXPECT_THROW(gb.bulkAdvance(1, -1, 0), PanicError);
+    EXPECT_THROW(gb.bulkAdvance(1, 0, -1), PanicError);
+}
+
+TEST(BulkAdvance, DramMatchesPerTransferAccounting)
+{
+    StatsRegistry s1;
+    Dram loop(256.0, 1.0, 10, s1);
+    loop.transferCycles(1000);
+    loop.transferCycles(24);
+
+    StatsRegistry s2;
+    Dram bulk(256.0, 1.0, 10, s2);
+    bulk.bulkAdvance(1024, 2);
+    expectSameCounters(s1, s2);
+    EXPECT_THROW(bulk.bulkAdvance(-1, 1), PanicError);
+}
+
+TEST(BulkAdvance, TreeDnMatchesInjectLoop)
+{
+    StatsRegistry s1;
+    TreeDistributionNetwork loop(64, 8, s1);
+    for (int c = 0; c < 5; ++c) {
+        loop.cycle();
+        EXPECT_EQ(loop.injectBulk(8, 4, PackageKind::Input), 8);
+    }
+
+    StatsRegistry s2;
+    TreeDistributionNetwork bulk(64, 8, s2);
+    bulk.bulkAdvance(5, 40, 4, PackageKind::Input);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkAdvance, BenesDnMatchesInjectLoop)
+{
+    StatsRegistry s1;
+    BenesDistributionNetwork loop(64, 8, s1);
+    for (int c = 0; c < 3; ++c) {
+        loop.cycle();
+        EXPECT_EQ(loop.injectBulk(8, 4, PackageKind::Weight), 8);
+    }
+
+    StatsRegistry s2;
+    BenesDistributionNetwork bulk(64, 8, s2);
+    bulk.bulkAdvance(3, 24, 4, PackageKind::Weight);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkAdvance, PointToPointDnMatchesInjectLoop)
+{
+    StatsRegistry s1;
+    PointToPointNetwork loop(16, 4, s1);
+    for (int c = 0; c < 4; ++c) {
+        loop.cycle();
+        EXPECT_EQ(loop.injectBulk(4, 1, PackageKind::Input), 4);
+    }
+
+    StatsRegistry s2;
+    PointToPointNetwork bulk(16, 4, s2);
+    bulk.bulkAdvance(4, 16, 1, PackageKind::Input);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkAdvance, DnRejectsInvalidArguments)
+{
+    StatsRegistry s;
+    TreeDistributionNetwork tree(64, 8, s);
+    EXPECT_THROW(tree.bulkAdvance(1, 9, 1, PackageKind::Input),
+                 PanicError); // exceeds 1 cycle of bandwidth
+    EXPECT_THROW(tree.bulkAdvance(1, -1, 1, PackageKind::Input),
+                 PanicError);
+    EXPECT_THROW(tree.bulkAdvance(1, 1, 0, PackageKind::Input),
+                 PanicError);
+
+    StatsRegistry s2;
+    PointToPointNetwork pop(16, 4, s2);
+    // Multicast is structurally impossible on the systolic links.
+    EXPECT_THROW(pop.bulkAdvance(1, 1, 2, PackageKind::Input), FatalError);
+}
+
+TEST(BulkAdvance, MultiplierArrayMatchesFireLoop)
+{
+    StatsRegistry s1;
+    MultiplierArray loop(64, MnType::Linear, s1);
+    for (int c = 0; c < 3; ++c)
+        loop.fireMultipliers(64);
+
+    StatsRegistry s2;
+    MultiplierArray bulk(64, MnType::Linear, s2);
+    bulk.bulkAdvance(3, 192);
+    expectSameCounters(s1, s2);
+    EXPECT_THROW(bulk.bulkAdvance(2, 129), PanicError);
+    EXPECT_THROW(bulk.bulkAdvance(1, -1), PanicError);
+}
+
+TEST(BulkReduce, ArtMatchesClusterLoop)
+{
+    // 9 is deliberately non-power-of-two: it exercises the horizontal
+    // forwarding-link accounting as well as the 3:1 adder firings.
+    StatsRegistry s1;
+    ArtReductionNetwork loop(64, true, 64, s1);
+    for (int c = 0; c < 7; ++c)
+        loop.reduceCluster(9);
+
+    StatsRegistry s2;
+    ArtReductionNetwork bulk(64, true, 64, s2);
+    bulk.bulkReduce(7, 9);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkReduce, FanMatchesClusterLoop)
+{
+    StatsRegistry s1;
+    FanReductionNetwork loop(64, s1);
+    for (int c = 0; c < 5; ++c)
+        loop.reduceCluster(9);
+
+    StatsRegistry s2;
+    FanReductionNetwork bulk(64, s2);
+    bulk.bulkReduce(5, 9);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkReduce, LinearMatchesClusterLoop)
+{
+    StatsRegistry s1;
+    LinearReductionNetwork loop(64, s1);
+    for (int c = 0; c < 3; ++c)
+        loop.reduceCluster(8);
+
+    StatsRegistry s2;
+    LinearReductionNetwork bulk(64, s2);
+    bulk.bulkReduce(3, 8);
+    expectSameCounters(s1, s2);
+}
+
+TEST(BulkReduce, SingleElementClustersAreFree)
+{
+    StatsRegistry s;
+    ArtReductionNetwork rn(64, true, 64, s);
+    rn.bulkReduce(100, 1);
+    EXPECT_EQ(rn.adderOps(), 0u);
+}
+
+TEST(BulkReduce, RejectsInvalidArguments)
+{
+    StatsRegistry s;
+    FanReductionNetwork rn(64, s);
+    EXPECT_THROW(rn.bulkReduce(-1, 4), PanicError);
+    EXPECT_THROW(rn.bulkReduce(2, 0), PanicError);
+    EXPECT_THROW(rn.bulkReduce(2, 65), PanicError);
+}
+
+TEST(BulkTick, WatchdogMatchesTickSemantics)
+{
+    Watchdog wd(10);
+    wd.bulkTick(5, 2);
+    EXPECT_EQ(wd.cyclesObserved(), 5u);
+    EXPECT_EQ(wd.stallCycles(), 0u);
+    wd.bulkTick(9, 0);
+    EXPECT_EQ(wd.stallCycles(), 9u);
+    wd.bulkTick(3, 1); // any progress clears the stall window
+    EXPECT_EQ(wd.stallCycles(), 0u);
+    EXPECT_EQ(wd.cyclesObserved(), 17u);
+    EXPECT_THROW(wd.bulkTick(10, 0), DeadlockError);
+}
+
+// --- delivery / drain parity on bare units ----------------------------
+
+TEST(FastForwardDelivery, CyclesAndCountersMatchExactLoop)
+{
+    // GB read bandwidth (4) below DN bandwidth (8) exercises the
+    // min() in the steady-state grant.
+    for (const index_t count : {1, 3, 4, 5, 37, 128}) {
+        StatsRegistry s1;
+        TreeDistributionNetwork dn1(64, 8, s1);
+        GlobalBuffer gb1(108, 4, 4, 1, s1);
+        Watchdog wd1(1000);
+        const cycle_t exact =
+            deliverElements(dn1, gb1, count, 2, PackageKind::Input, &wd1,
+                            nullptr, /*fast_forward=*/false);
+
+        StatsRegistry s2;
+        TreeDistributionNetwork dn2(64, 8, s2);
+        GlobalBuffer gb2(108, 4, 4, 1, s2);
+        Watchdog wd2(1000);
+        const cycle_t fast =
+            deliverElements(dn2, gb2, count, 2, PackageKind::Input, &wd2,
+                            nullptr, /*fast_forward=*/true);
+
+        EXPECT_EQ(exact, fast) << "count " << count;
+        EXPECT_EQ(wd1.cyclesObserved(), wd2.cyclesObserved());
+        EXPECT_EQ(wd1.stallCycles(), wd2.stallCycles());
+        expectSameCounters(s1, s2);
+    }
+}
+
+TEST(FastForwardDelivery, DrainMatchesExactLoop)
+{
+    for (const index_t count : {1, 2, 3, 64, 129}) {
+        StatsRegistry s1;
+        GlobalBuffer gb1(108, 4, 3, 1, s1);
+        Watchdog wd1(1000);
+        const cycle_t exact =
+            drainOutputs(gb1, count, &wd1, /*fast_forward=*/false);
+
+        StatsRegistry s2;
+        GlobalBuffer gb2(108, 4, 3, 1, s2);
+        Watchdog wd2(1000);
+        const cycle_t fast =
+            drainOutputs(gb2, count, &wd2, /*fast_forward=*/true);
+
+        EXPECT_EQ(exact, fast) << "count " << count;
+        EXPECT_EQ(wd1.cyclesObserved(), wd2.cyclesObserved());
+        expectSameCounters(s1, s2);
+    }
+}
+
+// --- whole-simulation parity on every shipped config ------------------
+
+std::vector<std::string>
+configFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator("configs"))
+        if (entry.path().extension() == ".cfg")
+            files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+struct RunOutcome {
+    SimulationResult sim;
+    std::deque<StatCounter> counters;
+    Tensor output;
+};
+
+/** Run a small layer appropriate for the config's controller. */
+RunOutcome
+runOnce(HardwareConfig cfg, bool fast_forward)
+{
+    cfg.fast_forward = fast_forward;
+    Stonne st(cfg);
+    Rng rng(7);
+
+    if (cfg.controller_type == ControllerType::Sparse) {
+        const LayerSpec layer =
+            LayerSpec::sparseGemm("parity_spmm", 32, 16, 64);
+        Tensor b({64, 16});
+        Tensor a({32, 64});
+        b.fillUniform(rng, 0.0f, 1.0f);
+        a.fillNormal(rng, 0.0f, 0.2f);
+        pruneFiltersWithJitter(a, 0.5, 0.15, rng);
+        st.configureSpmm(layer);
+        st.configureData(std::move(b), std::move(a));
+    } else {
+        Conv2dShape c;
+        c.R = 3;
+        c.S = 3;
+        c.C = 8;
+        c.K = 8;
+        c.X = 8;
+        c.Y = 8;
+        c.padding = 1;
+        const LayerSpec layer = LayerSpec::convolution("parity_conv", c);
+        Tensor input({c.N, c.C, c.X, c.Y});
+        Tensor weights({c.K, c.cPerGroup(), c.R, c.S});
+        Tensor bias({c.K});
+        input.fillUniform(rng, 0.0f, 1.0f);
+        weights.fillNormal(rng, 0.0f, 0.2f);
+        bias.fillUniform(rng, -0.1f, 0.1f);
+        st.configureConv(layer);
+        st.configureData(std::move(input), std::move(weights),
+                         std::move(bias));
+    }
+
+    RunOutcome r;
+    r.sim = st.runOperation();
+    r.counters = st.stats().counters();
+    r.output = st.output();
+    return r;
+}
+
+TEST(FastForwardParity, AllShippedConfigsAreBitIdentical)
+{
+    const std::vector<std::string> files = configFiles();
+    ASSERT_FALSE(files.empty());
+    bool any_fast_path = false;
+
+    for (const std::string &path : files) {
+        SCOPED_TRACE(path);
+        const HardwareConfig cfg = HardwareConfig::parseFile(path);
+        any_fast_path |= !cfg.faults.enabled;
+
+        const RunOutcome ref = runOnce(cfg, /*fast_forward=*/false);
+        const RunOutcome fast = runOnce(cfg, /*fast_forward=*/true);
+
+        EXPECT_EQ(ref.sim.cycles, fast.sim.cycles);
+        EXPECT_EQ(ref.sim.macs, fast.sim.macs);
+        EXPECT_EQ(ref.sim.skipped_macs, fast.sim.skipped_macs);
+        EXPECT_EQ(ref.sim.mem_accesses, fast.sim.mem_accesses);
+        EXPECT_DOUBLE_EQ(ref.sim.ms_utilization, fast.sim.ms_utilization);
+
+        ASSERT_EQ(ref.counters.size(), fast.counters.size());
+        for (std::size_t i = 0; i < ref.counters.size(); ++i) {
+            EXPECT_EQ(ref.counters[i].name, fast.counters[i].name);
+            EXPECT_EQ(ref.counters[i].value, fast.counters[i].value)
+                << "counter " << ref.counters[i].name;
+        }
+
+        ASSERT_EQ(ref.output.shape(), fast.output.shape());
+        EXPECT_EQ(std::memcmp(ref.output.data(), fast.output.data(),
+                              static_cast<std::size_t>(ref.output.size()) *
+                                  sizeof(float)),
+                  0);
+    }
+    // The suite must cover at least one config where the fast path
+    // actually engages (no faults attached).
+    EXPECT_TRUE(any_fast_path);
+}
+
+TEST(FastForwardParity, FaultyConfigForcesExactPath)
+{
+    // maeri_64_faulty.cfg ships with the injector enabled: the fault
+    // RNG streams must observe every cycle, so fast_forward = ON is a
+    // no-op there and the parity above holds trivially by running the
+    // same exact loop twice.
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_64_faulty.cfg");
+    EXPECT_TRUE(cfg.faults.enabled);
+    EXPECT_TRUE(cfg.fast_forward); // the key defaults to ON even here
+}
+
+// --- configuration surface --------------------------------------------
+
+TEST(FastForwardConfig, DefaultsOnAndRoundTrips)
+{
+    EXPECT_TRUE(HardwareConfig().fast_forward);
+
+    const HardwareConfig off = HardwareConfig::parse("fast_forward = OFF");
+    EXPECT_FALSE(off.fast_forward);
+    EXPECT_NE(off.toConfigText().find("fast_forward = OFF"),
+              std::string::npos);
+
+    const HardwareConfig on = HardwareConfig::parse("fast_forward = 1");
+    EXPECT_TRUE(on.fast_forward);
+    EXPECT_NE(on.toConfigText().find("fast_forward = ON"),
+              std::string::npos);
+
+    const HardwareConfig round =
+        HardwareConfig::parse(off.toConfigText());
+    EXPECT_FALSE(round.fast_forward);
+
+    EXPECT_THROW(HardwareConfig::parse("fast_forward = maybe"),
+                 FatalError);
+}
+
+TEST(ConfigValidate, NamesBandwidthInDiagnostics)
+{
+    HardwareConfig c;
+    c.dn_bandwidth = 0;
+    try {
+        c.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("dn_bandwidth"),
+                  std::string::npos);
+    }
+
+    HardwareConfig r;
+    r.rn_bandwidth = -2;
+    try {
+        r.validate();
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("rn_bandwidth"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace stonne

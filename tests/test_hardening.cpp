@@ -145,6 +145,11 @@ class WedgedNetwork : public DistributionNetwork
     {
         return 0;
     }
+    void
+    bulkAdvance(cycle_t, index_t, index_t, PackageKind) override
+    {
+        panic("a wedged fabric cannot fast-forward");
+    }
     void cycle() override {}
     void reset() override {}
     std::string name() const override { return "wedged_dn"; }
