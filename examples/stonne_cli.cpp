@@ -38,9 +38,12 @@ struct CliState {
     FaultConfig faults;          // applied at the next create/load
     index_t watchdog_cycles = 0; // 0 keeps the config's default
     std::optional<bool> fast_forward; // applied at the next create/load
+    std::optional<bool> trace;   // applied at the next create/load
+    std::string trace_file;
+    index_t trace_sample = 0;    // 0 keeps the config's default
 };
 
-/** Overlay the CLI-set fault/watchdog knobs onto a hardware config. */
+/** Overlay the CLI-set fault/watchdog/trace knobs onto a config. */
 HardwareConfig
 applyHardening(HardwareConfig cfg, const CliState &st)
 {
@@ -50,6 +53,13 @@ applyHardening(HardwareConfig cfg, const CliState &st)
         cfg.watchdog_cycles = st.watchdog_cycles;
     if (st.fast_forward)
         cfg.fast_forward = *st.fast_forward;
+    if (st.trace) {
+        cfg.trace = *st.trace;
+        if (!st.trace_file.empty())
+            cfg.trace_file = st.trace_file;
+        if (st.trace_sample > 0)
+            cfg.trace_sample_cycles = st.trace_sample;
+    }
     return cfg;
 }
 
@@ -73,6 +83,8 @@ printHelp()
         "  watchdog <cycles>               stall budget for next create/load\n"
         "  fastforward <on|off>            steady-state skipping at next\n"
         "                                  create/load (default on)\n"
+        "  trace <file> [sample_cycles]    cycle-level trace at next\n"
+        "  trace off                       create/load (Perfetto JSON)\n"
         "  run                             simulate the configured op\n"
         "  config                          show the hardware config\n"
         "  counters                        dump the activity counters\n"
@@ -145,6 +157,9 @@ runOp(CliState &st)
     std::printf("simulated %llu cycles in %.3f s wall (%.0f cycles/s)\n",
                 static_cast<unsigned long long>(r.cycles), r.wall_seconds,
                 r.sim_cycles_per_second);
+    if (!r.trace_path.empty())
+        std::printf("trace written to %s (open in ui.perfetto.dev or "
+                    "chrome://tracing)\n", r.trace_path.c_str());
 }
 
 bool
@@ -251,6 +266,27 @@ handle(CliState &st, const std::string &line)
                 fatal("fastforward expects on|off, got '", v, "'");
             std::printf("fast_forward = %s at the next create/load\n",
                         *st.fast_forward ? "ON" : "OFF");
+        } else if (cmd == "trace") {
+            std::string file;
+            in >> file;
+            if (file == "off" || file == "OFF") {
+                st.trace = false;
+                st.trace_file.clear();
+                st.trace_sample = 0;
+                std::printf("trace = OFF at the next create/load\n");
+            } else {
+                fatalIf(file.empty(), "trace expects a file path or off");
+                st.trace = true;
+                st.trace_file = file;
+                index_t sample = 0;
+                if (in >> sample) {
+                    fatalIf(sample <= 0,
+                            "trace sample_cycles must be positive");
+                    st.trace_sample = sample;
+                }
+                std::printf("trace -> %s at the next create/load\n",
+                            file.c_str());
+            }
         } else if (cmd == "counters") {
             if (st.stonne)
                 std::printf("%s",

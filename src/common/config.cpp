@@ -120,6 +120,11 @@ HardwareConfig::validate() const
     fatalIf(dram_bandwidth_gbps <= 0, "dram bandwidth must be positive");
     fatalIf(clock_ghz <= 0, "clock frequency must be positive");
     fatalIf(watchdog_cycles <= 0, "watchdog_cycles must be positive");
+    fatalIf(trace_sample_cycles <= 0,
+            "trace_sample_cycles must be positive, got ",
+            trace_sample_cycles);
+    fatalIf(trace && trace_file.empty(),
+            "config '", name, "': trace = ON requires a trace_file");
     faults.validate();
 
     // Controller / substrate compatibility (Section IV-B: "the configured
@@ -248,21 +253,39 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
         fatalIf(!inserted, origin, ":", lineno, ": duplicate config key '",
                 key, "' (first set at line ", it->second, ")");
 
+        // Both numeric parsers demand full consumption of the value:
+        // std::stoll/stod stop at the first bad character, so without
+        // the check 'MS_SIZE = 8x' silently configures 8 multipliers
+        // and 'dram_bandwidth_gbps = 1.5GB' parses as 1.5.
         auto as_int = [&]() -> index_t {
+            long long v = 0;
+            std::size_t used = 0;
             try {
-                return static_cast<index_t>(std::stoll(val));
+                v = std::stoll(val, &used);
             } catch (const std::exception &) {
                 fatal(origin, ":", lineno, ": config key ", key,
                       " expects an integer, got '", val, "'");
             }
+            fatalIf(used != val.size(),
+                    origin, ":", lineno, ": config key ", key,
+                    " expects an integer, got '", val,
+                    "' (trailing characters after the number)");
+            return static_cast<index_t>(v);
         };
         auto as_double = [&]() -> double {
+            double v = 0.0;
+            std::size_t used = 0;
             try {
-                return std::stod(val);
+                v = std::stod(val, &used);
             } catch (const std::exception &) {
                 fatal(origin, ":", lineno, ": config key ", key,
                       " expects a number, got '", val, "'");
             }
+            fatalIf(used != val.size(),
+                    origin, ":", lineno, ": config key ", key,
+                    " expects a number, got '", val,
+                    "' (trailing characters after the number)");
+            return v;
         };
         auto as_flag = [&]() -> bool {
             if (uval == "ON" || uval == "TRUE" || uval == "1")
@@ -346,6 +369,12 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.watchdog_cycles = as_int();
         } else if (key == "FAST_FORWARD") {
             c.fast_forward = as_flag();
+        } else if (key == "TRACE") {
+            c.trace = as_flag();
+        } else if (key == "TRACE_FILE") {
+            c.trace_file = val;
+        } else if (key == "TRACE_SAMPLE_CYCLES") {
+            c.trace_sample_cycles = as_int();
         } else if (key == "FAULTS") {
             c.faults.enabled = as_flag();
         } else if (key == "FAULT_SEED") {
@@ -404,6 +433,11 @@ HardwareConfig::toConfigText() const
         os << "energy_table = " << energy_table_path << "\n";
     if (!area_table_path.empty())
         os << "area_table = " << area_table_path << "\n";
+    if (trace) {
+        os << "trace = ON\n"
+           << "trace_file = " << trace_file << "\n"
+           << "trace_sample_cycles = " << trace_sample_cycles << "\n";
+    }
     if (faults.enabled)
         os << faults.toConfigText();
     return os.str();

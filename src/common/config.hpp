@@ -129,6 +129,20 @@ struct HardwareConfig {
      */
     bool fast_forward = true;
 
+    /**
+     * Cycle-level tracing (src/trace): when on, every RunOperation
+     * records controller phase spans, sampled per-unit activity
+     * series and fault/watchdog instants, written to `trace_file` as
+     * Chrome trace-event JSON (Perfetto / chrome://tracing).
+     */
+    bool trace = false;
+
+    /** Output path of the trace JSON (required when trace = ON). */
+    std::string trace_file = "stonne_trace.json";
+
+    /** Cycles between counter samples in the trace time-series. */
+    index_t trace_sample_cycles = 1000;
+
     /** Fault-injection subsystem configuration (`fault_*` keys). */
     FaultConfig faults;
 

@@ -28,7 +28,10 @@ JsonValue::makeInt(std::int64_t i)
 JsonValue
 JsonValue::makeUint(std::uint64_t i)
 {
-    return makeInt(static_cast<std::int64_t>(i));
+    JsonValue v;
+    v.kind_ = Kind::Uint;
+    v.uint_ = i;
+    return v;
 }
 
 JsonValue
@@ -111,7 +114,22 @@ JsonValue::escapeInto(std::string &out, const std::string &s)
           case '\\': out += "\\\\"; break;
           case '\n': out += "\\n"; break;
           case '\t': out += "\\t"; break;
-          default:   out += c; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default: {
+            const auto uc = static_cast<unsigned char>(c);
+            if (uc < 0x20) {
+                // Remaining control characters are invalid raw inside
+                // a JSON string (RFC 8259 §7).
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
+          }
         }
     }
     out += '"';
@@ -134,6 +152,13 @@ JsonValue::dumpInto(std::string &out, int indent, int depth) const
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(int_));
+        out += buf;
+        break;
+      }
+      case Kind::Uint: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(uint_));
         out += buf;
         break;
       }

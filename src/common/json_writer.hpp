@@ -21,7 +21,7 @@ namespace stonne {
 class JsonValue
 {
   public:
-    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+    enum class Kind { Null, Bool, Int, Uint, Double, String, Array, Object };
 
     JsonValue() : kind_(Kind::Null) {}
 
@@ -59,6 +59,7 @@ class JsonValue
     Kind kind_;
     bool bool_ = false;
     std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
     double double_ = 0.0;
     std::string string_;
     std::vector<JsonValue> array_;

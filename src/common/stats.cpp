@@ -19,17 +19,20 @@ statGroupName(StatGroup g)
 }
 
 StatCounter &
-StatsRegistry::counter(const std::string &name, StatGroup group)
+StatsRegistry::counter(const std::string &name, StatGroup group,
+                       StatKind kind)
 {
     auto it = index_.find(name);
     if (it != index_.end()) {
         StatCounter &c = counters_[it->second];
         panicIf(c.group != group,
                 "stat counter ", name, " re-registered in another group");
+        panicIf(c.kind != kind,
+                "stat counter ", name, " re-registered with another kind");
         return c;
     }
     index_[name] = counters_.size();
-    counters_.push_back(StatCounter{name, group, 0});
+    counters_.push_back(StatCounter{name, group, 0, kind});
     return counters_.back();
 }
 
@@ -68,8 +71,8 @@ StatsRegistry::delta(const std::vector<count_t> &before) const
         const count_t prev = i < before.size() ? before[i] : 0;
         panicIf(counters_[i].value < prev,
                 "stat counter ", counters_[i].name, " went backwards");
-        d.counter(counters_[i].name, counters_[i].group).value =
-            counters_[i].value - prev;
+        d.counter(counters_[i].name, counters_[i].group,
+                  counters_[i].kind).value = counters_[i].value - prev;
     }
     return d;
 }

@@ -40,11 +40,24 @@ enum class StatGroup {
 /** Name of a stat group as used in reports. */
 const char *statGroupName(StatGroup g);
 
+/**
+ * What a counter measures, which decides how the tracer aggregates it:
+ * activity counts (ops, hops, accesses) feed the `util.<GROUP>`
+ * utilization gauges; occupancy integrals (queue-occupancy or busy
+ * cycles summed over time) feed the `occ.<GROUP>` gauges instead, so a
+ * large backlog integral cannot masquerade as compute utilization.
+ */
+enum class StatKind {
+    Activity,
+    Occupancy,
+};
+
 /** One named activity counter. */
 struct StatCounter {
     std::string name;   //!< hierarchical name, e.g. "mn.mult_ops"
     StatGroup group;    //!< component group for energy breakdowns
     count_t value = 0;
+    StatKind kind = StatKind::Activity;
 };
 
 /**
@@ -65,7 +78,8 @@ class StatsRegistry
      * returned handle — never per cycle: the lookup hashes the name
      * string and belongs nowhere near a hot loop.
      */
-    StatCounter &counter(const std::string &name, StatGroup group);
+    StatCounter &counter(const std::string &name, StatGroup group,
+                         StatKind kind = StatKind::Activity);
 
     /** Value of a counter, 0 when it has never been registered. */
     count_t value(const std::string &name) const;

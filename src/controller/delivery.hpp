@@ -28,6 +28,7 @@
 #include "faults/fault_injector.hpp"
 #include "mem/global_buffer.hpp"
 #include "network/unit.hpp"
+#include "trace/trace.hpp"
 
 namespace stonne {
 
@@ -83,7 +84,8 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
                 index_t fanout, PackageKind kind,
                 Watchdog *watchdog = nullptr,
                 FaultInjector *faults = nullptr,
-                bool fast_forward = false)
+                bool fast_forward = false,
+                Tracer *trace = nullptr)
 {
     panicIf(count < 0, "delivery of ", count,
             " elements through '", dn.name(), "': count must not be "
@@ -95,6 +97,13 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
             "' with non-positive bandwidth ", dn.bandwidth(),
             " (should have been rejected by HardwareConfig::validate)");
 
+    // Queue-occupancy telemetry (dn.inject_queue_occ): the backlog
+    // integral of the whole delivery, accounted up front in closed form
+    // so exact and fast-forwarded runs see identical counter evolution
+    // (per-cycle attribution would diverge at sample boundaries inside
+    // a skipped steady-state region).
+    dn.accountBacklog(count, std::min(dn.bandwidth(), gb.readBandwidth()));
+
     cycle_t cycles = 0;
     index_t remaining = count;
 
@@ -105,10 +114,14 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
         if (total > 1) {
             const cycle_t skip = total - 1;
             const index_t moved = static_cast<index_t>(skip) * grant;
+            if (trace != nullptr)
+                trace->bulkBegin();
             gb.bulkAdvance(skip, moved, 0);
             dn.bulkAdvance(skip, moved, fanout, kind);
             if (watchdog != nullptr)
                 watchdog->bulkTick(skip, static_cast<count_t>(grant));
+            if (trace != nullptr)
+                trace->bulkEnd(skip, "ff.delivery");
             remaining -= moved;
             cycles += skip;
         }
@@ -120,8 +133,20 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
         const index_t want = std::min(remaining, dn.bandwidth());
         const index_t granted = gb.readBulk(want);
         index_t sent = dn.injectBulk(granted, fanout, kind);
-        if (faults != nullptr && sent > 0)
-            sent -= faults->dropFlits(sent);
+        index_t dropped = 0;
+        if (faults != nullptr && sent > 0) {
+            dropped = faults->dropFlits(sent);
+            sent -= dropped;
+        }
+        // The trace clock advances before the watchdog may abort the
+        // cycle, so a deadlock post-mortem trace includes every
+        // stalled cycle; the cycle's counter activity already landed.
+        if (trace != nullptr) {
+            trace->tick();
+            if (dropped > 0)
+                trace->instant("flit_drop",
+                               static_cast<count_t>(dropped));
+        }
         if (watchdog != nullptr)
             watchdog->tick(static_cast<count_t>(sent));
         else
@@ -146,10 +171,14 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
  */
 inline cycle_t
 drainOutputs(GlobalBuffer &gb, index_t count, Watchdog *watchdog = nullptr,
-             bool fast_forward = false)
+             bool fast_forward = false, Tracer *trace = nullptr)
 {
     panicIf(count < 0, "drain of ", count, " outputs through '", gb.name(),
             "': count must not be negative");
+
+    // Write-queue occupancy telemetry (gb.write_queue_occ), closed form
+    // for the same exact-vs-fast-forward parity reason as delivery.
+    gb.accountDrainBacklog(count);
 
     cycle_t cycles = 0;
     index_t remaining = count;
@@ -161,9 +190,13 @@ drainOutputs(GlobalBuffer &gb, index_t count, Watchdog *watchdog = nullptr,
         if (total > 1) {
             const cycle_t skip = total - 1;
             const index_t drained = static_cast<index_t>(skip) * grant;
+            if (trace != nullptr)
+                trace->bulkBegin();
             gb.bulkAdvance(skip, 0, drained);
             if (watchdog != nullptr)
                 watchdog->bulkTick(skip, static_cast<count_t>(grant));
+            if (trace != nullptr)
+                trace->bulkEnd(skip, "ff.drain");
             remaining -= drained;
             cycles += skip;
         }
@@ -172,6 +205,8 @@ drainOutputs(GlobalBuffer &gb, index_t count, Watchdog *watchdog = nullptr,
     while (remaining > 0) {
         gb.nextCycle();
         const index_t granted = gb.writeBulk(remaining);
+        if (trace != nullptr)
+            trace->tick();
         if (watchdog != nullptr)
             watchdog->tick(static_cast<count_t>(granted));
         else

@@ -27,11 +27,27 @@ DenseController::DenseController(const HardwareConfig &cfg,
                                  DistributionNetwork &dn,
                                  MultiplierArray &mn, ReductionNetwork &rn,
                                  GlobalBuffer &gb, Dram &dram,
-                                 Watchdog *watchdog, FaultInjector *faults)
+                                 Watchdog *watchdog, FaultInjector *faults,
+                                 Tracer *trace)
     : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      wd_(watchdog), faults_(faults), mapper_(cfg.ms_size)
+      wd_(watchdog), faults_(faults), trace_(trace), mapper_(cfg.ms_size)
 {
     cfg_.validate();
+}
+
+void
+DenseController::setPhase(const char *phase)
+{
+    phase_ = phase;
+    if (trace_ != nullptr)
+        trace_->setPhase(phase_);
+}
+
+void
+DenseController::traceAdvance(cycle_t cycles)
+{
+    if (trace_ != nullptr && cycles > 0)
+        trace_->advance(cycles);
 }
 
 float
@@ -124,7 +140,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     // Stage the input activations: traffic is accounted, but the
     // cycles are hidden by the double-buffered prefetch (the previous
     // layer's execution overlaps the first tile's transfer).
-    phase_ = "dram staging";
+    setPhase("dram staging");
     (void)dram_.transferCycles(
         std::min(input.size(), gb_.capacityElements() / 2) * bpe);
 
@@ -143,8 +159,11 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     // Pipeline fill: the multiply/reduce/collect pipeline fills once and
     // stays full across folds and filter blocks (weights and operands
     // stream continuously).
-    res.cycles += 1 +
+    const cycle_t fill = 1 +
         static_cast<cycle_t>(rn_.latency(std::min(vn, window))) + 1;
+    res.cycles += fill;
+    setPhase("pipeline fill");
+    traceAdvance(fill);
 
     // Weight reconfiguration is double-buffered: the next fold's
     // weights stream while the current fold computes, so only the
@@ -159,8 +178,13 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
 
             // Next weight tile staged from the DRAM prefetch stream
             // behind the previous block's compute.
-            res.cycles += dram_.streamingStall(tg * tk * window * bpe,
-                                               prev_block_cycles);
+            const cycle_t stall = dram_.streamingStall(
+                tg * tk * window * bpe, prev_block_cycles);
+            res.cycles += stall;
+            if (stall > 0) {
+                setPhase("dram staging");
+                traceAdvance(stall);
+            }
 
             for (index_t chunk0 = 0; chunk0 < total_steps;
                  chunk0 += steps_per_chunk) {
@@ -176,11 +200,11 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                     // multicast across the position clusters; only the
                     // part the previous fold's compute could not hide
                     // is exposed.
-                    phase_ = "weight fold delivery";
+                    setPhase("weight fold delivery");
                     const cycle_t w_cycles = deliverElements(
                         dn_, gb_, tg * tk * len,
                         tile.t_n * tile.t_x * tile.t_y,
-                        PackageKind::Weight, wd_, faults_, ff);
+                        PackageKind::Weight, wd_, faults_, ff, trace_);
                     block_cycles += w_cycles > prev_fold_cycles
                         ? w_cycles - prev_fold_cycles : 0;
                     cycle_t fold_cycles = 0;
@@ -284,10 +308,11 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                             mn_.forwardOperands(distinct - fresh);
                         }
 
-                        phase_ = "input streaming";
+                        setPhase("input streaming");
                         cycle_t dl = deliverElements(dn_, gb_, fresh, tk,
                                                      PackageKind::Input,
-                                                     wd_, faults_, ff);
+                                                     wd_, faults_, ff,
+                                                     trace_);
 
                         const index_t active_vns = tg * tk * tn * tx * ty;
                         mn_.fireMultipliers(
@@ -304,19 +329,20 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                                 // ART+DIST or an overflowing WS fold:
                                 // psums round-trip through the GB and
                                 // re-enter via the MN forwarders.
-                                phase_ = "psum spill";
+                                setPhase("psum spill");
                                 drain = drainOutputs(gb_, active_vns, wd_,
-                                                     ff);
+                                                     ff, trace_);
                                 mn_.forwardPsums(active_vns);
                                 if (f > 0)
                                     dl += deliverElements(
                                         dn_, gb_, active_vns, 1,
                                         PackageKind::Psum, wd_, faults_,
-                                        ff);
+                                        ff, trace_);
                             }
                         } else {
-                            phase_ = "output drain";
-                            drain = drainOutputs(gb_, active_vns, wd_, ff);
+                            setPhase("output drain");
+                            drain = drainOutputs(gb_, active_vns, wd_, ff,
+                                                 trace_);
                         }
                         if (f + 1 == folds)
                             chunk_outputs += active_vns;
@@ -331,9 +357,9 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                 }
 
                 if (folding && !psum_spill) {
-                    phase_ = "output drain";
+                    setPhase("output drain");
                     block_cycles += drainOutputs(gb_, chunk_outputs, wd_,
-                                                 ff);
+                                                 ff, trace_);
                 }
             }
 
@@ -344,7 +370,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
 
     // Functional results: every output reduced in canonical order so the
     // simulator output bit-matches the CPU reference.
-    phase_ = "functional reduce";
+    setPhase("functional reduce");
     for (index_t n = 0; n < shape.N; ++n)
         for (index_t ko = 0; ko < shape.K; ++ko)
             for (index_t ox = 0; ox < xo; ++ox)
@@ -358,14 +384,14 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
-    phase_ = "idle";
+    setPhase("idle");
     return res;
 }
 
 ControllerResult
 DenseController::runGemmSystolic(const Tensor &a, const Tensor &b, Tensor &c)
 {
-    phase_ = "systolic gemm";
+    setPhase("systolic gemm");
     auto *popn = dynamic_cast<PointToPointNetwork *>(&dn_);
     auto *lrn = dynamic_cast<LinearReductionNetwork *>(&rn_);
     fatalIf(!popn || !lrn,
@@ -393,7 +419,14 @@ DenseController::runGemmSystolic(const Tensor &a, const Tensor &b, Tensor &c)
         std::min(a.size() + b.size(), gb_.capacityElements()) * bpe);
 
     SystolicArray array(rows, cols, *popn, mn_, *lrn, gb_);
+    // The systolic inner run is closed-form in both execution modes;
+    // its whole region lands on the fast-forward track with the
+    // counter deltas attached.
+    if (trace_ != nullptr)
+        trace_->bulkBegin();
     const SystolicResult sr = array.run(a, b, c);
+    if (trace_ != nullptr)
+        trace_->bulkEnd(sr.cycles, "systolic.run");
     res.cycles += sr.cycles;
     res.macs = sr.macs;
     res.mem_accesses = gb_.totalReads() + gb_.totalWrites() - mem0;
@@ -402,7 +435,7 @@ DenseController::runGemmSystolic(const Tensor &a, const Tensor &b, Tensor &c)
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
-    phase_ = "idle";
+    setPhase("idle");
     return res;
 }
 
@@ -562,7 +595,7 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
 
     const bool ff = fastForward();
 
-    phase_ = "max pool streaming";
+    setPhase("max pool streaming");
     const index_t positions = c.N * xo * yo;
     std::vector<std::int64_t> fetch, prev_fetch;
     const auto step_capacity = static_cast<std::size_t>(tk * ty * vn);
@@ -606,7 +639,7 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
                 }
                 dl_total += deliverElements(dn_, gb_, fresh, 1,
                                             PackageKind::Input, wd_,
-                                            faults_, ff);
+                                            faults_, ff, trace_);
                 const index_t clusters = tkc * typ;
                 rn_.bulkReduce(clusters, len);
                 if (folds > 1 && rn_.supportsAccumulation())
@@ -614,12 +647,18 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
                 prev_fetch.swap(fetch);
                 have_prev = true;
             }
-            const cycle_t drain = drainOutputs(gb_, tkc * typ, wd_, ff);
+            setPhase("output drain");
+            const cycle_t drain = drainOutputs(gb_, tkc * typ, wd_, ff,
+                                               trace_);
+            setPhase("max pool streaming");
             res.cycles += std::max<cycle_t>({1, dl_total, drain});
         }
     }
-    res.cycles += 1 + static_cast<cycle_t>(rn_.latency(std::min(vn, window)))
-        + 1;
+    const cycle_t fill = 1 +
+        static_cast<cycle_t>(rn_.latency(std::min(vn, window))) + 1;
+    res.cycles += fill;
+    setPhase("pipeline fill");
+    traceAdvance(fill);
 
     output = ref::maxPool2d(input, w, st);
 
@@ -629,7 +668,7 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
-    phase_ = "idle";
+    setPhase("idle");
     return res;
 }
 

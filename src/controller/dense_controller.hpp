@@ -40,6 +40,7 @@ namespace stonne {
 
 class Watchdog;
 class FaultInjector;
+class Tracer;
 
 /** mRNA-style fixed-tile dense memory controller. */
 class DenseController
@@ -49,12 +50,15 @@ class DenseController
      * @param watchdog optional progress watchdog ticked by the delivery
      *        and drain loops (owned by the Accelerator)
      * @param faults optional fault injector applied to the flit stream
+     * @param trace optional cycle-level tracer (owned by the
+     *        Accelerator when `trace = ON`)
      */
     DenseController(const HardwareConfig &cfg, DistributionNetwork &dn,
                     MultiplierArray &mn, ReductionNetwork &rn,
                     GlobalBuffer &gb, Dram &dram,
                     Watchdog *watchdog = nullptr,
-                    FaultInjector *faults = nullptr);
+                    FaultInjector *faults = nullptr,
+                    Tracer *trace = nullptr);
 
     /**
      * Run a convolution layer.
@@ -127,6 +131,12 @@ class DenseController
         return cfg_.fast_forward && faults_ == nullptr;
     }
 
+    /** Change phase: watchdog reports see it, the tracer spans it. */
+    void setPhase(const char *phase);
+
+    /** Advance the trace clock over a closed-form region (if tracing). */
+    void traceAdvance(cycle_t cycles);
+
     const HardwareConfig &config() const { return cfg_; }
     DistributionNetwork &dn() { return dn_; }
     MultiplierArray &mn() { return mn_; }
@@ -143,6 +153,7 @@ class DenseController
     Dram &dram_;
     Watchdog *wd_;
     FaultInjector *faults_;
+    Tracer *trace_;
     Mapper mapper_;
     std::string phase_ = "idle";
 };

@@ -61,14 +61,23 @@ SnapeaController::SnapeaController(const HardwareConfig &cfg,
                                    DistributionNetwork &dn,
                                    MultiplierArray &mn, ReductionNetwork &rn,
                                    GlobalBuffer &gb, Dram &dram,
-                                   Watchdog *watchdog, FaultInjector *faults)
+                                   Watchdog *watchdog, FaultInjector *faults,
+                                   Tracer *trace)
     : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      wd_(watchdog), faults_(faults), mapper_(cfg.ms_size)
+      wd_(watchdog), faults_(faults), trace_(trace), mapper_(cfg.ms_size)
 {
     cfg_.validate();
     fatalIf(cfg_.controller_type != ControllerType::Snapea,
             "SNAPEA controller instantiated for a ",
             controllerTypeName(cfg_.controller_type), " configuration");
+}
+
+void
+SnapeaController::setPhase(const char *phase)
+{
+    phase_ = phase;
+    if (trace_ != nullptr)
+        trace_->setPhase(phase_);
 }
 
 ControllerResult
@@ -189,9 +198,13 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                                 }
 
                 // Pipeline fill for this step's reduction clusters.
-                res.cycles += 1 +
+                const cycle_t fill = 1 +
                     static_cast<cycle_t>(
                         rn_.latency(std::min(vn, window))) + 1;
+                res.cycles += fill;
+                setPhase("pipeline fill");
+                if (trace_ != nullptr)
+                    trace_->advance(fill);
 
                 for (index_t f = 0; f < folds; ++f) {
                     const index_t e0 = f * vn;
@@ -259,14 +272,14 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                     fetch.erase(std::unique(fetch.begin(), fetch.end()),
                                 fetch.end());
 
-                    phase_ = "sorted weight streaming";
+                    setPhase("sorted weight streaming");
                     cycle_t dl = deliverElements(
                         dn_, gb_, stream_elems, tn * tx * ty,
-                        PackageKind::Weight, wd_, faults_, ff);
-                    phase_ = "activation gather";
+                        PackageKind::Weight, wd_, faults_, ff, trace_);
+                    setPhase("activation gather");
                     dl += deliverElements(
                         dn_, gb_, static_cast<index_t>(fetch.size()), 1,
-                        PackageKind::Input, wd_, faults_, ff);
+                        PackageKind::Input, wd_, faults_, ff, trace_);
 
                     // Compute and sign-check.
                     index_t fired = 0;
@@ -324,9 +337,10 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
 
                 // Drain: every mapped window emits its psum (cut windows
                 // emit the non-positive value the ReLU will zero).
-                phase_ = "output drain";
+                setPhase("output drain");
                 res.cycles += drainOutputs(
-                    gb_, static_cast<index_t>(vns.size()), wd_, ff);
+                    gb_, static_cast<index_t>(vns.size()), wd_, ff,
+                    trace_);
                 for (const VnState &v : vns)
                     output.at(v.n, v.ko, v.ox, v.oy) = v.psum;
             }
@@ -339,7 +353,7 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
-    phase_ = "idle";
+    setPhase("idle");
     return res;
 }
 

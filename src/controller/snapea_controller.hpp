@@ -60,6 +60,7 @@ struct SnapeaReorderTable {
 
 class Watchdog;
 class FaultInjector;
+class Tracer;
 
 /** SNAPEA-like controller with early negative cut-off (exact mode). */
 class SnapeaController
@@ -69,12 +70,15 @@ class SnapeaController
      * @param watchdog optional progress watchdog ticked by the delivery
      *        and drain loops (owned by the Accelerator)
      * @param faults optional fault injector applied to the flit stream
+     * @param trace optional cycle-level tracer (owned by the
+     *        Accelerator when `trace = ON`)
      */
     SnapeaController(const HardwareConfig &cfg, DistributionNetwork &dn,
                      MultiplierArray &mn, ReductionNetwork &rn,
                      GlobalBuffer &gb, Dram &dram,
                      Watchdog *watchdog = nullptr,
-                     FaultInjector *faults = nullptr);
+                     FaultInjector *faults = nullptr,
+                     Tracer *trace = nullptr);
 
     /**
      * Run a convolution with sign-sorted weight streaming.
@@ -97,6 +101,9 @@ class SnapeaController
     const std::string &phase() const { return phase_; }
 
   private:
+    /** Change phase: watchdog reports see it, the tracer spans it. */
+    void setPhase(const char *phase);
+
     HardwareConfig cfg_;
     DistributionNetwork &dn_;
     MultiplierArray &mn_;
@@ -105,6 +112,7 @@ class SnapeaController
     Dram &dram_;
     Watchdog *wd_;
     FaultInjector *faults_;
+    Tracer *trace_;
     Mapper mapper_;
     std::string phase_ = "idle";
 };

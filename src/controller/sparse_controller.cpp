@@ -13,9 +13,10 @@ SparseController::SparseController(const HardwareConfig &cfg,
                                    DistributionNetwork &dn,
                                    MultiplierArray &mn, ReductionNetwork &rn,
                                    GlobalBuffer &gb, Dram &dram,
-                                   Watchdog *watchdog, FaultInjector *faults)
+                                   Watchdog *watchdog, FaultInjector *faults,
+                                   Tracer *trace)
     : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      wd_(watchdog), faults_(faults)
+      wd_(watchdog), faults_(faults), trace_(trace)
 {
     cfg_.validate();
     fatalIf(cfg_.controller_type != ControllerType::Sparse,
@@ -23,6 +24,14 @@ SparseController::SparseController(const HardwareConfig &cfg,
             controllerTypeName(cfg_.controller_type), " configuration");
     fatalIf(!rn.supportsVariableClusters(),
             "the sparse controller needs a cluster-capable RN");
+}
+
+void
+SparseController::setPhase(const char *phase)
+{
+    phase_ = phase;
+    if (trace_ != nullptr)
+        trace_->setPhase(phase_);
 }
 
 ControllerResult
@@ -55,8 +64,12 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     index_t dn_levels = 1;
     if (auto *benes = dynamic_cast<BenesDistributionNetwork *>(&dn_))
         dn_levels = benes->levels();
-    res.cycles += static_cast<cycle_t>(dn_levels) +
+    const cycle_t fill = static_cast<cycle_t>(dn_levels) +
         static_cast<cycle_t>(rn_.latency(cfg_.ms_size)) + 1;
+    res.cycles += fill;
+    setPhase("pipeline fill");
+    if (trace_ != nullptr)
+        trace_->advance(fill);
 
     // Fault injection consumes a seeded RNG stream per cycle, so any
     // attached injector forces the exact per-cycle loops.
@@ -66,10 +79,10 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     union_k.reserve(static_cast<std::size_t>(cfg_.ms_size));
     for (const SparseRound &round : rounds_) {
         // Stationary non-zeros enter through the Benes (unicast).
-        phase_ = "stationary nnz load";
+        setPhase("stationary nnz load");
         res.cycles += deliverElements(dn_, gb_, round.nnz, 1,
                                       PackageKind::Weight, wd_, faults_,
-                                      ff);
+                                      ff, trace_);
 
         // Streaming operands: the union of column indices the mapped
         // segments need; shared indices are multicast.
@@ -115,12 +128,13 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
                     static_cast<count_t>(round.nnz - fired);
             }
 
-            phase_ = "streaming operand multicast";
+            setPhase("streaming operand multicast");
             const cycle_t dl = deliverElements(dn_, gb_, needed, 1,
                                                PackageKind::Input, wd_,
-                                               faults_, ff);
-            phase_ = "output drain";
-            const cycle_t drain = drainOutputs(gb_, completions, wd_, ff);
+                                               faults_, ff, trace_);
+            setPhase("output drain");
+            const cycle_t drain = drainOutputs(gb_, completions, wd_, ff,
+                                               trace_);
 
             mn_.fireMultipliers(std::min(fired, cfg_.ms_size));
             res.macs += static_cast<count_t>(fired);
@@ -136,7 +150,7 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     // Functional results in canonical CSR order (bit-exact against the
     // reference SpMM); fully pruned rows emit zeros directly. Raw
     // pointers keep the at() bounds checks out of the innermost MAC.
-    phase_ = "functional reduce";
+    setPhase("functional reduce");
     const float *bd = b.data();
     float *cd = c.data();
     for (index_t r = 0; r < a.rows; ++r) {
@@ -159,7 +173,7 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
           (static_cast<double>(cfg_.ms_size) *
            static_cast<double>(res.cycles))
         : 0.0;
-    phase_ = "idle";
+    setPhase("idle");
     return res;
 }
 

@@ -30,6 +30,7 @@ namespace stonne {
 
 class Watchdog;
 class FaultInjector;
+class Tracer;
 
 /** SIGMA-style sparse memory controller. */
 class SparseController
@@ -39,12 +40,15 @@ class SparseController
      * @param watchdog optional progress watchdog ticked by the delivery
      *        and drain loops (owned by the Accelerator)
      * @param faults optional fault injector applied to the flit stream
+     * @param trace optional cycle-level tracer (owned by the
+     *        Accelerator when `trace = ON`)
      */
     SparseController(const HardwareConfig &cfg, DistributionNetwork &dn,
                      MultiplierArray &mn, ReductionNetwork &rn,
                      GlobalBuffer &gb, Dram &dram,
                      Watchdog *watchdog = nullptr,
-                     FaultInjector *faults = nullptr);
+                     FaultInjector *faults = nullptr,
+                     Tracer *trace = nullptr);
 
     /**
      * Run a sparse-dense GEMM: c(M x N) = a(M x K, CSR) * b(K x N).
@@ -81,6 +85,9 @@ class SparseController
     const std::string &phase() const { return phase_; }
 
   private:
+    /** Change phase: watchdog reports see it, the tracer spans it. */
+    void setPhase(const char *phase);
+
     HardwareConfig cfg_;
     DistributionNetwork &dn_;
     MultiplierArray &mn_;
@@ -89,6 +96,7 @@ class SparseController
     Dram &dram_;
     Watchdog *wd_;
     FaultInjector *faults_;
+    Tracer *trace_;
     std::vector<SparseRound> rounds_;
     std::string phase_ = "idle";
 };

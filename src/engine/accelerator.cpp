@@ -19,6 +19,10 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
     if (cfg_.faults.enabled)
         faults_ = std::make_unique<FaultInjector>(cfg_.faults,
                                                   cfg_.ms_size, stats_);
+    if (cfg_.trace)
+        trace_ = std::make_unique<Tracer>(
+            stats_, static_cast<cycle_t>(cfg_.trace_sample_cycles),
+            cfg_.trace_file, cfg_.name);
 
     gb_ = std::make_unique<GlobalBuffer>(
         cfg_.gb_size_kib, cfg_.dn_bandwidth, cfg_.rn_bandwidth,
@@ -66,17 +70,17 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
       case ControllerType::Dense:
         dense_ = std::make_unique<DenseController>(
             cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
-            faults_.get());
+            faults_.get(), trace_.get());
         break;
       case ControllerType::Sparse:
         sparse_ = std::make_unique<SparseController>(
             cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
-            faults_.get());
+            faults_.get(), trace_.get());
         break;
       case ControllerType::Snapea:
         snapea_ = std::make_unique<SnapeaController>(
             cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
-            faults_.get());
+            faults_.get(), trace_.get());
         break;
     }
 

@@ -26,6 +26,7 @@
 #include "mem/global_buffer.hpp"
 #include "network/mn_array.hpp"
 #include "network/unit.hpp"
+#include "trace/trace.hpp"
 
 namespace stonne {
 
@@ -72,6 +73,9 @@ class Accelerator : public Unit
     /** Fault injector, or nullptr when faults are disabled. */
     FaultInjector *faults() { return faults_.get(); }
 
+    /** Cycle-level tracer, or nullptr when `trace = OFF`. */
+    Tracer *tracer() { return trace_.get(); }
+
     /** Current memory-controller phase ("idle" between operations). */
     const std::string &controllerPhase() const;
 
@@ -87,6 +91,7 @@ class Accelerator : public Unit
     StatsRegistry stats_;
     std::unique_ptr<Watchdog> watchdog_;
     std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<Tracer> trace_;
     std::unique_ptr<GlobalBuffer> gb_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<DistributionNetwork> dn_;

@@ -14,6 +14,8 @@ OutputModule::summary(const HardwareConfig &cfg,
     JsonValue j = JsonValue::makeObject();
     j.set("layer", result.layer_name);
     j.set("accelerator", result.accelerator);
+    if (!result.trace_path.empty())
+        j.set("trace_path", result.trace_path);
 
     JsonValue hw = JsonValue::makeObject();
     hw.set("dn_type", dnTypeName(cfg.dn_type));

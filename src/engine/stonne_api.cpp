@@ -32,6 +32,8 @@ SimulationResult::merge(const SimulationResult &o)
     energy.rn_uj += o.energy.rn_uj;
     energy.dram_uj += o.energy.dram_uj;
     energy.static_uj += o.energy.static_uj;
+    if (trace_path.empty())
+        trace_path = o.trace_path;
 }
 
 Stonne::Stonne(const HardwareConfig &cfg)
@@ -172,6 +174,23 @@ Stonne::writeReports(const std::string &prefix) const
 
 SimulationResult
 Stonne::runOperation()
+{
+    // A deadlock abort still yields a post-mortem trace: the cycles up
+    // to the stall, a "deadlock" instant event, and the flush — the
+    // cycle-level counterpart of the watchdog's state report.
+    try {
+        return runOperationImpl();
+    } catch (const DeadlockError &) {
+        if (Tracer *t = accel_->tracer()) {
+            t->instant("deadlock", 0);
+            t->flush();
+        }
+        throw;
+    }
+}
+
+SimulationResult
+Stonne::runOperationImpl()
 {
     fatalIf(!op_pending_, "RunOperation issued with no configured op");
     fatalIf(!data_bound_, "RunOperation issued before ConfigureData");
@@ -352,6 +371,10 @@ Stonne::runOperation()
         std::chrono::steady_clock::now() - wall_start).count();
     r.sim_cycles_per_second = r.wall_seconds > 0.0
         ? static_cast<double>(r.cycles) / r.wall_seconds : 0.0;
+    if (Tracer *t = accel_->tracer()) {
+        t->flush();
+        r.trace_path = t->filePath();
+    }
     last_result_ = r;
     return r;
 }

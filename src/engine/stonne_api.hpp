@@ -53,6 +53,9 @@ struct SimulationResult {
     EnergyBreakdown energy;
     AreaBreakdown area;
 
+    /** Path of the cycle-level trace file, empty when `trace = OFF`. */
+    std::string trace_path;
+
     /** Sum another layer's result (whole-model aggregation). */
     void merge(const SimulationResult &o);
 };
@@ -136,6 +139,7 @@ class Stonne
     cycle_t totalCycles() const { return total_cycles_; }
 
   private:
+    SimulationResult runOperationImpl();
     SimulationResult finishOperation(const ControllerResult &cr,
                                      const std::vector<count_t> &before);
 

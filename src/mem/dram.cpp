@@ -11,7 +11,9 @@ Dram::Dram(double bandwidth_gbps, double clock_ghz, index_t latency_cycles,
     : bytes_per_cycle_(bandwidth_gbps / clock_ghz),
       latency_cycles_(latency_cycles),
       bytes_(&stats.counter("dram.bytes", StatGroup::Dram)),
-      accesses_(&stats.counter("dram.accesses", StatGroup::Dram))
+      accesses_(&stats.counter("dram.accesses", StatGroup::Dram)),
+      stall_cycles_(&stats.counter("dram.stall_cycles", StatGroup::Dram,
+                                   StatKind::Occupancy))
 {
     fatalIf(bandwidth_gbps <= 0, "dram bandwidth must be positive");
     fatalIf(clock_ghz <= 0, "clock must be positive");
@@ -41,7 +43,10 @@ cycle_t
 Dram::stagingStall(index_t bytes, cycle_t compute_cycles)
 {
     const cycle_t transfer = transferCycles(bytes);
-    return transfer > compute_cycles ? transfer - compute_cycles : 0;
+    const cycle_t stall =
+        transfer > compute_cycles ? transfer - compute_cycles : 0;
+    stall_cycles_->value += stall;
+    return stall;
 }
 
 cycle_t
@@ -50,8 +55,10 @@ Dram::streamingStall(index_t bytes, cycle_t compute_cycles)
     const cycle_t transfer = transferCycles(bytes);
     const auto lat = static_cast<cycle_t>(latency_cycles_);
     const cycle_t serialization = transfer > lat ? transfer - lat : 0;
-    return serialization > compute_cycles
+    const cycle_t stall = serialization > compute_cycles
         ? serialization - compute_cycles : 0;
+    stall_cycles_->value += stall;
+    return stall;
 }
 
 } // namespace stonne

@@ -65,11 +65,15 @@ class Dram
 
     count_t bytesTransferred() const { return bytes_->value; }
 
+    /** Staging stall cycles accumulated so far (dram.stall_cycles). */
+    count_t stallCycles() const { return stall_cycles_->value; }
+
   private:
     double bytes_per_cycle_;
     index_t latency_cycles_;
     StatCounter *bytes_;
     StatCounter *accesses_;
+    StatCounter *stall_cycles_;
 };
 
 } // namespace stonne

@@ -15,7 +15,10 @@ GlobalBuffer::GlobalBuffer(index_t size_kib, index_t read_bandwidth,
       read_bandwidth_(read_bandwidth),
       write_bandwidth_(write_bandwidth),
       reads_(&stats.counter("gb.reads", StatGroup::GlobalBuffer)),
-      writes_(&stats.counter("gb.writes", StatGroup::GlobalBuffer))
+      writes_(&stats.counter("gb.writes", StatGroup::GlobalBuffer)),
+      write_queue_occ_(&stats.counter("gb.write_queue_occ",
+                                      StatGroup::GlobalBuffer,
+                                      StatKind::Occupancy))
 {
     fatalIf(size_kib <= 0, "global buffer '", name_,
             "' size must be positive");
@@ -88,6 +91,20 @@ GlobalBuffer::bulkAdvance(cycle_t n_cycles, index_t n_reads,
             write_bandwidth_, " writes/cycle");
     reads_->value += static_cast<count_t>(n_reads);
     writes_->value += static_cast<count_t>(n_writes);
+}
+
+void
+GlobalBuffer::accountDrainBacklog(index_t count)
+{
+    panicIf(count < 0, "negative drain backlog of ", count, " on '",
+            name_, "'");
+    if (count <= 0)
+        return;
+    const count_t n = static_cast<count_t>(
+        (count + write_bandwidth_ - 1) / write_bandwidth_);
+    write_queue_occ_->value +=
+        n * static_cast<count_t>(count) -
+        static_cast<count_t>(write_bandwidth_) * (n * (n - 1) / 2);
 }
 
 void

@@ -78,6 +78,15 @@ class GlobalBuffer
      */
     void bulkAdvance(cycle_t n_cycles, index_t n_reads, index_t n_writes);
 
+    /**
+     * Account the write-queue occupancy of draining `count` outputs at
+     * write_bandwidth absorbed per cycle: the pending backlog summed
+     * over the drain's cycles, in closed form. Accounted once per
+     * drain — not per cycle — so exact and fast-forwarded runs see
+     * identical counter evolution.
+     */
+    void accountDrainBacklog(index_t count);
+
     /** Capacity in elements. */
     index_t capacityElements() const { return capacity_elements_; }
 
@@ -99,6 +108,7 @@ class GlobalBuffer
     index_t writes_left_ = 0;
     StatCounter *reads_;
     StatCounter *writes_;
+    StatCounter *write_queue_occ_;
 };
 
 } // namespace stonne

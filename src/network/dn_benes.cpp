@@ -35,6 +35,9 @@ BenesDistributionNetwork::BenesDistributionNetwork(index_t ms_size,
                                 StatGroup::DistributionNetwork)),
       stalls_(&stats.counter("dn.stalls", StatGroup::DistributionNetwork))
 {
+    inject_queue_occ_ = &stats.counter("dn.inject_queue_occ",
+                                       StatGroup::DistributionNetwork,
+                                       StatKind::Occupancy);
     fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
             "Benes DN needs a power-of-two number of endpoints");
     fatalIf(bandwidth <= 0 || bandwidth > ms_size,

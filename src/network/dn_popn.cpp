@@ -15,6 +15,9 @@ PointToPointNetwork::PointToPointNetwork(index_t ms_size, index_t bandwidth,
                                 StatGroup::DistributionNetwork)),
       stalls_(&stats.counter("dn.stalls", StatGroup::DistributionNetwork))
 {
+    inject_queue_occ_ = &stats.counter("dn.inject_queue_occ",
+                                       StatGroup::DistributionNetwork,
+                                       StatKind::Occupancy);
     fatalIf(ms_size <= 0, "point-to-point DN needs endpoints");
     fatalIf(bandwidth <= 0 || bandwidth > ms_size,
             "point-to-point DN bandwidth out of range");

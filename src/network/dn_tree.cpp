@@ -35,6 +35,9 @@ TreeDistributionNetwork::TreeDistributionNetwork(index_t ms_size,
                                 StatGroup::DistributionNetwork)),
       stalls_(&stats.counter("dn.stalls", StatGroup::DistributionNetwork))
 {
+    inject_queue_occ_ = &stats.counter("dn.inject_queue_occ",
+                                       StatGroup::DistributionNetwork,
+                                       StatKind::Occupancy);
     fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
             "tree DN needs a power-of-two number of leaves");
     fatalIf(bandwidth <= 0 || bandwidth > ms_size,

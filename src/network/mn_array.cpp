@@ -12,7 +12,10 @@ MultiplierArray::MultiplierArray(index_t ms_size, MnType type,
       forward_ops_(&stats.counter("mn.forward_ops",
                                   StatGroup::MultiplierNetwork)),
       psum_forwards_(&stats.counter("mn.psum_forwards",
-                                    StatGroup::MultiplierNetwork))
+                                    StatGroup::MultiplierNetwork)),
+      busy_cycles_(&stats.counter("mn.busy_cycles",
+                                  StatGroup::MultiplierNetwork,
+                                  StatKind::Occupancy))
 {
     fatalIf(ms_size <= 0, "multiplier array needs at least one switch");
 }
@@ -23,6 +26,8 @@ MultiplierArray::fireMultipliers(index_t n)
     panicIf(n < 0 || n > ms_size_, "fired ", n,
             " multipliers on an array of ", ms_size_);
     mult_ops_->value += static_cast<count_t>(n);
+    if (n > 0)
+        ++busy_cycles_->value;
 }
 
 void
@@ -34,6 +39,10 @@ MultiplierArray::bulkAdvance(cycle_t n_cycles, index_t n_mults)
             "bulk advance fired ", n_mults, " multipliers in ", n_cycles,
             " cycles on an array of ", ms_size_);
     mult_ops_->value += static_cast<count_t>(n_mults);
+    // Steady state: every skipped cycle fired multipliers, matching one
+    // fireMultipliers(n_mults / n_cycles) call per cycle.
+    if (n_mults > 0)
+        busy_cycles_->value += n_cycles;
 }
 
 void

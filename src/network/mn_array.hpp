@@ -68,6 +68,7 @@ class MultiplierArray : public Unit
     StatCounter *mult_ops_;
     StatCounter *forward_ops_;
     StatCounter *psum_forwards_;
+    StatCounter *busy_cycles_;
 };
 
 } // namespace stonne

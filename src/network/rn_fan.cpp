@@ -28,7 +28,10 @@ FanReductionNetwork::FanReductionNetwork(index_t ms_size,
       accumulator_ops_(&stats.counter("rn.accumulator_ops",
                                       StatGroup::ReductionNetwork)),
       forward_hops_(&stats.counter("rn.forward_hops",
-                                   StatGroup::ReductionNetwork))
+                                   StatGroup::ReductionNetwork)),
+      pipeline_occ_(&stats.counter("rn.pipeline_occ",
+                                   StatGroup::ReductionNetwork,
+                                   StatKind::Occupancy))
 {
     fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
             "FAN needs a power-of-two number of leaves");
@@ -46,6 +49,7 @@ FanReductionNetwork::reduceCluster(index_t cluster_size)
     // forwarding links instead of 3:1 fusion.
     if ((cluster_size & (cluster_size - 1)) != 0)
         ++forward_hops_->value;
+    pipeline_occ_->value += static_cast<count_t>(latency(cluster_size));
     return latency(cluster_size);
 }
 
@@ -60,6 +64,8 @@ FanReductionNetwork::bulkReduce(index_t clusters, index_t cluster_size)
     adder_ops_->value += static_cast<count_t>(clusters * (cluster_size - 1));
     if ((cluster_size & (cluster_size - 1)) != 0)
         forward_hops_->value += static_cast<count_t>(clusters);
+    pipeline_occ_->value +=
+        static_cast<count_t>(clusters * latency(cluster_size));
 }
 
 index_t

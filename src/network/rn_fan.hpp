@@ -47,6 +47,7 @@ class FanReductionNetwork : public ReductionNetwork
     StatCounter *adder_ops_;
     StatCounter *accumulator_ops_;
     StatCounter *forward_hops_;
+    StatCounter *pipeline_occ_;
 };
 
 } // namespace stonne

@@ -8,7 +8,10 @@ LinearReductionNetwork::LinearReductionNetwork(index_t ms_size,
                                                StatsRegistry &stats)
     : ReductionNetwork(ms_size),
       adder_ops_(&stats.counter("rn.adder_ops",
-                                StatGroup::ReductionNetwork))
+                                StatGroup::ReductionNetwork)),
+      pipeline_occ_(&stats.counter("rn.pipeline_occ",
+                                   StatGroup::ReductionNetwork,
+                                   StatKind::Occupancy))
 {
     fatalIf(ms_size <= 0, "linear RN needs at least one element");
 }
@@ -21,6 +24,7 @@ LinearReductionNetwork::reduceCluster(index_t cluster_size)
     if (cluster_size == 1)
         return 0;
     adder_ops_->value += static_cast<count_t>(cluster_size - 1);
+    pipeline_occ_->value += static_cast<count_t>(latency(cluster_size));
     return latency(cluster_size);
 }
 
@@ -33,6 +37,8 @@ LinearReductionNetwork::bulkReduce(index_t clusters, index_t cluster_size)
     if (clusters == 0 || cluster_size == 1)
         return;
     adder_ops_->value += static_cast<count_t>(clusters * (cluster_size - 1));
+    pipeline_occ_->value +=
+        static_cast<count_t>(clusters * latency(cluster_size));
 }
 
 index_t

@@ -42,6 +42,7 @@ class LinearReductionNetwork : public ReductionNetwork
 
   private:
     StatCounter *adder_ops_;
+    StatCounter *pipeline_occ_;
 };
 
 } // namespace stonne

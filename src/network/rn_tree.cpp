@@ -32,7 +32,10 @@ ArtReductionNetwork::ArtReductionNetwork(index_t ms_size,
       accumulator_ops_(&stats.counter("rn.accumulator_ops",
                                       StatGroup::ReductionNetwork)),
       horizontal_hops_(&stats.counter("rn.horizontal_hops",
-                                      StatGroup::ReductionNetwork))
+                                      StatGroup::ReductionNetwork)),
+      pipeline_occ_(&stats.counter("rn.pipeline_occ",
+                                   StatGroup::ReductionNetwork,
+                                   StatKind::Occupancy))
 {
     fatalIf(ms_size <= 0 || (ms_size & (ms_size - 1)) != 0,
             "ART needs a power-of-two number of leaves");
@@ -55,6 +58,7 @@ ArtReductionNetwork::reduceCluster(index_t cluster_size)
     // horizontal (augmented) link per level on average.
     if ((cluster_size & (cluster_size - 1)) != 0)
         ++horizontal_hops_->value;
+    pipeline_occ_->value += static_cast<count_t>(latency(cluster_size));
     return latency(cluster_size);
 }
 
@@ -70,6 +74,8 @@ ArtReductionNetwork::bulkReduce(index_t clusters, index_t cluster_size)
     adder_ops_->value += static_cast<count_t>(clusters * firings);
     if ((cluster_size & (cluster_size - 1)) != 0)
         horizontal_hops_->value += static_cast<count_t>(clusters);
+    pipeline_occ_->value +=
+        static_cast<count_t>(clusters * latency(cluster_size));
 }
 
 index_t

@@ -63,6 +63,7 @@ class ArtReductionNetwork : public ReductionNetwork
     StatCounter *adder_ops_;
     StatCounter *accumulator_ops_;
     StatCounter *horizontal_hops_;
+    StatCounter *pipeline_occ_;
 };
 
 } // namespace stonne

@@ -117,9 +117,33 @@ class DistributionNetwork : public Unit
     index_t msSize() const { return ms_size_; }
     index_t bandwidth() const { return bandwidth_; }
 
+    /**
+     * Account the injection-queue occupancy of streaming `count`
+     * elements at `grant` accepted per cycle: the pending backlog
+     * summed over the delivery's cycles (count + (count - grant) +
+     * ...), in closed form. Accounted once per delivery — not per
+     * cycle — so exact and fast-forwarded runs see identical counter
+     * evolution; under fault injection this stays the no-drop
+     * integral, and the stretched cycles show up in dn.stalls.
+     */
+    void
+    accountBacklog(index_t count, index_t grant)
+    {
+        if (inject_queue_occ_ == nullptr || count <= 0 || grant <= 0)
+            return;
+        const count_t n =
+            static_cast<count_t>((count + grant - 1) / grant);
+        inject_queue_occ_->value +=
+            n * static_cast<count_t>(count) -
+            static_cast<count_t>(grant) * (n * (n - 1) / 2);
+    }
+
   protected:
     index_t ms_size_;
     index_t bandwidth_;
+    //! dn.inject_queue_occ occupancy integral, registered by the
+    //! concrete topologies.
+    StatCounter *inject_queue_occ_ = nullptr;
 };
 
 /**

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cycle-level execution tracer emitting Chrome trace-event JSON.
+ *
+ * STONNE's aggregate counters say *how much* each unit worked; this
+ * subsystem says *when*. It records three kinds of events on one
+ * monotone cycle clock:
+ *
+ *  - controller phase spans ("input streaming", "output drain", ...)
+ *    as duration ("X") events on the phase track,
+ *  - sampled per-counter activity deltas and per-group utilization
+ *    gauges as counter ("C") events, one sample every
+ *    `trace_sample_cycles` cycles plus a final tail sample, so the
+ *    deltas of every series telescope to the aggregate counter value,
+ *  - watchdog/fault occurrences (dropped flits, deadlocks) as instant
+ *    ("i") events.
+ *
+ * The output is a standard Trace Event Format JSON object (loadable in
+ * Perfetto or chrome://tracing) written through the JsonValue emitter;
+ * timestamps are cycles, not microseconds.
+ *
+ * Fast-forward integration: a closed-form bulkAdvance() region is
+ * bracketed by bulkBegin()/bulkEnd(), which records the region as one
+ * span on the fast-forward track carrying its counter deltas as args
+ * and interpolates the sample boundaries inside the region. Steady
+ * state means every counter advances by a constant per-cycle delta, so
+ * the integer interpolation is exact and sample cycle-stamps and
+ * values are bit-identical between exact and fast-forward runs; only
+ * the fast-forward track itself differs (parity tests filter it).
+ *
+ * The trace clock advances inside the delivery/drain streaming loops
+ * and the controllers' closed-form stalls. Controllers overlap
+ * delivery and drain (`cycles += max(dl, drain)`), so the trace clock
+ * counts *streaming execution* cycles and can exceed the reported
+ * latency; `performance.cycles` stays the authoritative figure.
+ */
+
+#ifndef STONNE_TRACE_TRACE_HPP
+#define STONNE_TRACE_TRACE_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace stonne {
+
+class JsonValue;
+
+/** One recorded trace event, pre-serialization. */
+struct TraceEvent {
+    enum class Kind {
+        Span,    //!< "X" duration event (phase or fast-forward region)
+        Counter, //!< "C" event carrying a windowed activity delta
+        Gauge,   //!< "C" event carrying a per-cycle utilization value
+        Instant, //!< "i" event (fault/watchdog occurrence)
+    };
+
+    Kind kind = Kind::Instant;
+    std::string name;
+    cycle_t ts = 0;
+    cycle_t dur = 0;     //!< Span only
+    index_t track = 0;   //!< tid the event renders on
+    count_t value = 0;   //!< Counter delta / Instant payload
+    double dvalue = 0.0; //!< Gauge value
+    /** Fast-forward span only: per-counter deltas of the region. */
+    std::vector<std::pair<std::string, count_t>> args;
+};
+
+/**
+ * Records one accelerator's execution timeline and writes it as
+ * Chrome trace-event JSON. Owned by the Accelerator when `trace = ON`;
+ * every recording entry point is a no-op-cheap call guarded by the
+ * caller's null check, so `trace = OFF` costs one branch per site.
+ */
+class Tracer
+{
+  public:
+    /** tid of controller phase spans. */
+    static constexpr index_t kPhaseTrack = 1;
+    /** tid of fast-forwarded region spans (differs between modes). */
+    static constexpr index_t kFastForwardTrack = 2;
+    /** tid of fault/watchdog instant events. */
+    static constexpr index_t kEventTrack = 3;
+
+    /**
+     * @param stats registry sampled for the counter time-series; may
+     *        still be acquiring counters (units register lazily)
+     * @param sample_cycles distance between counter samples, > 0
+     * @param file_path where flush() writes the JSON
+     * @param process_name accelerator name shown as the Perfetto
+     *        process label
+     */
+    Tracer(const StatsRegistry &stats, cycle_t sample_cycles,
+           std::string file_path, std::string process_name);
+
+    const std::string &filePath() const { return path_; }
+
+    /** Current trace-clock value (streaming-execution cycles). */
+    cycle_t now() const { return now_; }
+
+    /** All events recorded so far (tests introspect these). */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Advance the clock one cycle (exact per-cycle loops). */
+    void tick();
+
+    /**
+     * Advance the clock `cycles` cycles for a closed-form region whose
+     * counter activity landed at the region start (DRAM stalls,
+     * pipeline fills, the systolic inner run). Sample boundaries
+     * inside the region are emitted against the current counter
+     * values; both execution modes call this identically.
+     */
+    void advance(cycle_t cycles);
+
+    /** Mark the start of a fast-forwarded bulkAdvance() region. */
+    void bulkBegin();
+
+    /**
+     * Close a fast-forwarded region of `cycles` cycles: one span on
+     * the fast-forward track carries the region's counter deltas, and
+     * the sample boundaries inside it are exactly interpolated (in
+     * steady state every delta is divisible by the cycle count).
+     */
+    void bulkEnd(cycle_t cycles, const char *what);
+
+    /** Controller phase change: closes the open span, opens the next. */
+    void setPhase(const std::string &name);
+
+    /** Record an instant event (dropped flits, deadlock, ...). */
+    void instant(const std::string &name, count_t value);
+
+    /**
+     * Emit the tail counter sample, close any open phase span and
+     * write the accumulated trace to filePath(). Idempotent per
+     * operation: later operations append and a later flush rewrites
+     * the whole file.
+     */
+    void flush();
+
+  private:
+    void record(TraceEvent ev);
+    void emitSample(cycle_t ts, const std::vector<count_t> &values);
+    JsonValue toJson() const;
+
+    const StatsRegistry &stats_;
+    cycle_t sample_cycles_;
+    std::string path_;
+    std::string process_name_;
+
+    cycle_t now_ = 0;
+    cycle_t next_sample_;
+    cycle_t last_sample_ts_ = 0;
+    std::vector<count_t> last_sample_;
+
+    bool in_bulk_ = false;
+    std::vector<count_t> bulk_pre_;
+
+    std::string phase_ = "idle";
+    cycle_t phase_start_ = 0;
+
+    bool overflow_warned_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_TRACE_TRACE_HPP

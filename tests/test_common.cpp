@@ -63,6 +63,29 @@ TEST(Stats, UnknownCounterReadsZero)
     EXPECT_EQ(reg.value("does.not.exist"), 0u);
 }
 
+TEST(Stats, CounterKindIsStickyAndPreservedByDelta)
+{
+    StatsRegistry reg;
+    reg.counter("gb.reads", StatGroup::GlobalBuffer).value = 4;
+    StatCounter &occ = reg.counter("gb.write_queue_occ",
+                                   StatGroup::GlobalBuffer,
+                                   StatKind::Occupancy);
+    occ.value = 9;
+    EXPECT_EQ(occ.kind, StatKind::Occupancy);
+    // Re-registering with another kind is a modelling bug.
+    EXPECT_THROW(reg.counter("gb.write_queue_occ",
+                             StatGroup::GlobalBuffer,
+                             StatKind::Activity),
+                 PanicError);
+    const StatsRegistry d = reg.delta(std::vector<count_t>{1, 2});
+    EXPECT_EQ(d.value("gb.write_queue_occ"), 7u);
+    for (const StatCounter &c : d.counters()) {
+        if (c.name == "gb.write_queue_occ") {
+            EXPECT_EQ(c.kind, StatKind::Occupancy);
+        }
+    }
+}
+
 TEST(Stats, GroupTotalsSumOnlyOwnGroup)
 {
     StatsRegistry reg;
@@ -132,6 +155,27 @@ TEST(Json, StringsAreEscaped)
     EXPECT_EQ(j.dump(), "\"a\\\"b\\\\c\\nd\"");
 }
 
+TEST(Json, ControlCharactersAreEscaped)
+{
+    // RFC 8259 requires every byte below 0x20 escaped; short forms for
+    // the named controls, \u00XX for the rest.
+    JsonValue j = JsonValue::makeString("a\rb\x01" "c\fd\be\x1f");
+    EXPECT_EQ(j.dump(), "\"a\\rb\\u0001c\\fd\\be\\u001f\"");
+}
+
+TEST(Json, UnsignedValuesKeepTheFullRange)
+{
+    // Counters are uint64; a value above INT64_MAX must not wrap into
+    // a negative number on its way through the writer.
+    EXPECT_EQ(JsonValue::makeUint(18446744073709551615ull).dump(),
+              "18446744073709551615");
+    JsonValue obj = JsonValue::makeObject();
+    obj.set("big", std::uint64_t{9223372036854775808ull});
+    EXPECT_NE(obj.dump().find("\"big\": 9223372036854775808"),
+              std::string::npos);
+    EXPECT_EQ(obj.dump().find('-'), std::string::npos);
+}
+
 TEST(Json, NestedStructureRoundTrips)
 {
     JsonValue j = JsonValue::makeObject();
@@ -194,6 +238,25 @@ TEST(Config, RejectsUnknownKey)
 TEST(Config, RejectsNonIntegerValue)
 {
     EXPECT_THROW(HardwareConfig::parse("ms_size = lots\n"), FatalError);
+}
+
+TEST(Config, RejectsTrailingGarbageAfterNumbers)
+{
+    // stoll/stod stop at the first bad character, so without the
+    // full-consumption check these silently parse as 8 and 1.5.
+    try {
+        HardwareConfig::parse("ms_size = 8x\n", "test.cfg");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("test.cfg:1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("trailing characters"), std::string::npos)
+            << msg;
+    }
+    EXPECT_THROW(HardwareConfig::parse("dram_bandwidth_gbps = 1.5GB\n"),
+                 FatalError);
+    EXPECT_THROW(HardwareConfig::parse("clock_ghz = 1.0 1.0\n"),
+                 FatalError);
 }
 
 TEST(Config, RejectsNonPowerOfTwoArray)

@@ -147,5 +147,40 @@ TEST(Dram, InvalidParametersAreFatal)
     EXPECT_THROW(Dram(256.0, 0.0, 10, stats), FatalError);
 }
 
+TEST(Dram, StagingStallCyclesAreCounted)
+{
+    StatsRegistry stats;
+    Dram dram(512.0, 1.0, 100, stats);
+    // A fully hidden transfer contributes no stall cycles.
+    EXPECT_EQ(dram.stagingStall(512, 200), 0u);
+    EXPECT_EQ(stats.value("dram.stall_cycles"), 0u);
+    // An exposed transfer's stall lands in the counter.
+    EXPECT_EQ(dram.stagingStall(512, 50), 51u);
+    EXPECT_EQ(stats.value("dram.stall_cycles"), 51u);
+    // Streaming staging pipelines the latency away: 512 bytes
+    // serialize in 1 cycle, fully hidden behind any compute.
+    EXPECT_EQ(dram.streamingStall(512, 50), 0u);
+    EXPECT_EQ(dram.streamingStall(5120, 2), 8u);
+    EXPECT_EQ(stats.value("dram.stall_cycles"), 59u);
+    EXPECT_EQ(dram.stallCycles(), 59u);
+}
+
+TEST(GlobalBuffer, DrainBacklogIntegralIsClosedForm)
+{
+    StatsRegistry stats;
+    GlobalBuffer gb(108, 4, 4, 1, stats);
+    // Draining 10 outputs at 4/cycle queues 10, 6 and 2 pending
+    // elements over the three cycles: integral 18.
+    gb.accountDrainBacklog(10);
+    EXPECT_EQ(stats.value("gb.write_queue_occ"), 18u);
+    // An empty drain leaves the integral untouched.
+    gb.accountDrainBacklog(0);
+    EXPECT_EQ(stats.value("gb.write_queue_occ"), 18u);
+    // A single-cycle drain contributes exactly its element count.
+    gb.accountDrainBacklog(3);
+    EXPECT_EQ(stats.value("gb.write_queue_occ"), 21u);
+    EXPECT_THROW(gb.accountDrainBacklog(-1), PanicError);
+}
+
 } // namespace
 } // namespace stonne

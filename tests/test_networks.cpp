@@ -230,5 +230,60 @@ TEST(LinearRn, SerialLatency)
     EXPECT_EQ(rn.adderOps(), 7u);
 }
 
+// --- Occupancy telemetry ------------------------------------------------
+
+TEST(TreeDn, InjectQueueOccIntegralIsClosedForm)
+{
+    StatsRegistry stats;
+    TreeDistributionNetwork dn(16, 2, stats);
+    // Streaming 5 elements at 2 accepted per cycle queues 5, 3 and 1
+    // pending elements over the three cycles: integral 9.
+    dn.accountBacklog(5, 2);
+    EXPECT_EQ(stats.value("dn.inject_queue_occ"), 9u);
+    // Empty deliveries leave the integral untouched; a single-cycle
+    // delivery contributes exactly its element count.
+    dn.accountBacklog(0, 2);
+    EXPECT_EQ(stats.value("dn.inject_queue_occ"), 9u);
+    dn.accountBacklog(2, 2);
+    EXPECT_EQ(stats.value("dn.inject_queue_occ"), 11u);
+}
+
+TEST(MnArray, BusyCyclesCountFiringCyclesOnly)
+{
+    StatsRegistry stats;
+    MultiplierArray mn(64, MnType::Linear, stats);
+    mn.fireMultipliers(64);
+    mn.fireMultipliers(10);
+    mn.fireMultipliers(0);
+    EXPECT_EQ(stats.value("mn.busy_cycles"), 2u);
+    // A steady-state bulk region counts each skipped cycle as busy.
+    mn.bulkAdvance(5, 50);
+    EXPECT_EQ(stats.value("mn.busy_cycles"), 7u);
+    mn.bulkAdvance(5, 0);
+    EXPECT_EQ(stats.value("mn.busy_cycles"), 7u);
+}
+
+TEST(ArtRn, PipelineOccupancyFollowsClusterLatency)
+{
+    StatsRegistry stats;
+    ArtReductionNetwork rn(16, true, 128, stats);
+    rn.reduceCluster(8); // 3 pipeline stages
+    EXPECT_EQ(stats.value("rn.pipeline_occ"), 3u);
+    rn.reduceCluster(1); // single products bypass the adders
+    EXPECT_EQ(stats.value("rn.pipeline_occ"), 3u);
+    // bulkReduce matches reduceCluster called once per cluster.
+    rn.bulkReduce(4, 8);
+    EXPECT_EQ(stats.value("rn.pipeline_occ"), 15u);
+}
+
+TEST(LinearRn, PipelineOccupancyFollowsSerialLatency)
+{
+    StatsRegistry stats;
+    LinearReductionNetwork rn(64, stats);
+    rn.reduceCluster(4); // 3 serial adder hops
+    rn.bulkReduce(2, 4);
+    EXPECT_EQ(stats.value("rn.pipeline_occ"), 9u);
+}
+
 } // namespace
 } // namespace stonne
