@@ -150,24 +150,35 @@ main()
     const std::vector<Workload> points = workloads();
     std::vector<PointResult> results(points.size());
 
-    SweepRunner runner;
-    std::vector<std::function<void()>> jobs;
-    jobs.reserve(points.size());
+    // The recovering runner retries a failing point from its last
+    // snapshot instead of aborting the sweep; a healthy run completes
+    // every point on attempt 1 and the recovery summary records that.
+    RecoveringSweepRunner runner;
+    std::vector<RecoveringSweepRunner::Point> sweep;
+    sweep.reserve(points.size());
     for (std::size_t i = 0; i < points.size(); ++i) {
-        jobs.push_back([&, i]() {
-            const Workload &w = points[i];
-            const LayerData data =
-                makeLayerData(layerByTag(w.tag), w.sparsity, 42);
-            PointResult &p = results[i];
-            p.ref = runMode(w, data, /*fast_forward=*/false);
-            p.fast = runMode(w, data, /*fast_forward=*/true);
-            checkParity(w, p.ref, p.fast);
-            p.speedup = p.fast.best_wall > 0.0
-                ? p.ref.best_wall / p.fast.best_wall
-                : 0.0;
-        });
+        sweep.push_back(
+            {points[i].name, points[i].cfg,
+             [&, i](const HardwareConfig &cfg, const SweepAttempt &) {
+                 Workload w = points[i];
+                 w.cfg = cfg;
+                 const LayerData data =
+                     makeLayerData(layerByTag(w.tag), w.sparsity, 42);
+                 PointResult &p = results[i];
+                 p.ref = runMode(w, data, /*fast_forward=*/false);
+                 p.fast = runMode(w, data, /*fast_forward=*/true);
+                 checkParity(w, p.ref, p.fast);
+                 p.speedup = p.fast.best_wall > 0.0
+                     ? p.ref.best_wall / p.fast.best_wall
+                     : 0.0;
+             }});
     }
-    runner.run(jobs);
+    const std::vector<PointOutcome> outcomes = runner.run(sweep);
+    for (const PointOutcome &o : outcomes)
+        fatalIf(!o.completed, "sweep point '", o.name, "' failed all ",
+                o.attempts, " attempts; last cause: ",
+                o.failures.empty() ? "unknown"
+                                   : o.failures.back().cause.c_str());
 
     banner("Simulator speed — exact per-cycle vs. fast-forward engine (" +
            std::to_string(runner.threadCount()) + " sweep threads)");
@@ -220,6 +231,7 @@ main()
     }
     j["points"] = arr;
     j.set("max_speedup", max_speedup);
+    j["recovery"] = RecoveringSweepRunner::summary(outcomes);
     OutputModule::writeFile("BENCH_sim_speed.json", j.dump() + "\n");
     std::printf("wrote BENCH_sim_speed.json\n");
     return 0;

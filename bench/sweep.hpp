@@ -14,9 +14,14 @@
 #ifndef STONNE_BENCH_SWEEP_HPP
 #define STONNE_BENCH_SWEEP_HPP
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
+
+#include "common/config.hpp"
+#include "common/json_writer.hpp"
 
 namespace stonne::bench {
 
@@ -42,6 +47,93 @@ class SweepRunner
 
   private:
     std::size_t threads_;
+};
+
+/** One execution attempt handed to a recovering-sweep point function. */
+struct SweepAttempt {
+    int attempt = 1;         //!< 1-based attempt number
+    bool degraded = false;   //!< final attempt: exact engine, wide watchdog
+    /** Snapshot left by the previous attempt ("" = start fresh). */
+    std::string resume_from;
+};
+
+/** Record of one failed attempt of one point. */
+struct SweepFailure {
+    int attempt = 0;
+    std::string cause;
+};
+
+/** Final outcome of one point after all retries. */
+struct PointOutcome {
+    std::string name;
+    int attempts = 0;        //!< attempts consumed (>= 1)
+    bool completed = false;
+    bool degraded = false;   //!< completed only on the degraded attempt
+    std::vector<SweepFailure> failures;
+};
+
+/**
+ * Crash-recovering sweep: runs every point over the thread pool, and
+ * instead of letting one pathological point (a deadlock, a
+ * fault-induced failure) abort the whole sweep, retries it with
+ * bounded exponential backoff from its last checkpoint. Each point's
+ * configuration is handed back with `checkpoint = ON` and a per-point
+ * snapshot file, so a failed attempt resumes from the last layer/
+ * operation boundary rather than from scratch; the final attempt runs
+ * degraded — `fast_forward = OFF` and a 4x watchdog budget — to rule
+ * out the execution-policy knobs as the failure cause (checkpoint
+ * restore accepts that, policy keys are not structural). Per-point
+ * attempt counts and failure causes land in the JSON summary.
+ */
+class RecoveringSweepRunner
+{
+  public:
+    /**
+     * Point body: run the simulation described by `cfg` (the point's
+     * configuration with the runner's checkpoint/degradation overlay
+     * applied). When `attempt.resume_from` is non-empty, a snapshot of
+     * a previous attempt exists at that path and should be resumed.
+     * Throwing signals failure and triggers the retry path.
+     */
+    using PointFn =
+        std::function<void(const HardwareConfig &cfg,
+                           const SweepAttempt &attempt)>;
+
+    /** One sweep point: a label, its configuration, and its body. */
+    struct Point {
+        std::string name;
+        HardwareConfig cfg;
+        PointFn fn;
+    };
+
+    /**
+     * @param threads pool size; 0 picks the hardware concurrency
+     * @param max_attempts attempts per point (>= 1); the last one runs
+     *        degraded when max_attempts > 1
+     * @param backoff_base first retry delay, doubled per attempt and
+     *        capped at 2 s; zero disables sleeping (tests)
+     */
+    explicit RecoveringSweepRunner(
+        std::size_t threads = 0, int max_attempts = 3,
+        std::chrono::milliseconds backoff_base =
+            std::chrono::milliseconds(100));
+
+    std::size_t threadCount() const { return pool_.threadCount(); }
+
+    /**
+     * Run all points; never throws for point failures — a point that
+     * exhausts its attempts is reported as not completed. Results keep
+     * submission order.
+     */
+    std::vector<PointOutcome> run(const std::vector<Point> &points) const;
+
+    /** JSON summary: per-point attempts, causes, and sweep totals. */
+    static JsonValue summary(const std::vector<PointOutcome> &outcomes);
+
+  private:
+    SweepRunner pool_;
+    int max_attempts_;
+    std::chrono::milliseconds backoff_base_;
 };
 
 } // namespace stonne::bench

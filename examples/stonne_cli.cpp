@@ -17,6 +17,7 @@
 #include <sstream>
 #include <string>
 
+#include "checkpoint/checkpoint.hpp"
 #include "common/logging.hpp"
 #include "common/watchdog.hpp"
 #include "engine/output_module.hpp"
@@ -86,6 +87,9 @@ printHelp()
         "  trace <file> [sample_cycles]    cycle-level trace at next\n"
         "  trace off                       create/load (Perfetto JSON)\n"
         "  run                             simulate the configured op\n"
+        "  checkpoint <file>               snapshot the instance state\n"
+        "  resume <file>                   recreate an instance from a\n"
+        "                                  snapshot and restore its state\n"
         "  config                          show the hardware config\n"
         "  counters                        dump the activity counters\n"
         "  help / quit\n");
@@ -160,6 +164,13 @@ runOp(CliState &st)
     if (!r.trace_path.empty())
         std::printf("trace written to %s (open in ui.perfetto.dev or "
                     "chrome://tracing)\n", r.trace_path.c_str());
+    if (!r.checkpoint_path.empty())
+        std::printf("checkpoint written to %s\n",
+                    r.checkpoint_path.c_str());
+    if (r.restored_from_cycle > 0)
+        std::printf("resumed from cycle %llu\n",
+                    static_cast<unsigned long long>(
+                        r.restored_from_cycle));
 }
 
 bool
@@ -286,6 +297,39 @@ handle(CliState &st, const std::string &line)
                 }
                 std::printf("trace -> %s at the next create/load\n",
                             file.c_str());
+            }
+        } else if (cmd == "checkpoint") {
+            std::string path;
+            in >> path;
+            if (path.empty()) {
+                std::printf("error: checkpoint expects a file path\n");
+            } else if (!st.stonne) {
+                std::printf("error: no instance; use 'create' first\n");
+            } else {
+                st.stonne->saveCheckpoint(path);
+                std::printf(
+                    "checkpoint written to %s (cycle %llu)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(
+                        st.stonne->totalCycles()));
+            }
+        } else if (cmd == "resume") {
+            std::string path;
+            in >> path;
+            if (path.empty()) {
+                std::printf("error: resume expects a file path\n");
+            } else {
+                // The snapshot embeds its configuration, so the
+                // instance is rebuilt from it before the restore.
+                const HardwareConfig cfg = HardwareConfig::parse(
+                    checkpointConfigText(path), path);
+                st.stonne = std::make_unique<Stonne>(cfg);
+                st.stonne->loadCheckpoint(path);
+                std::printf(
+                    "resumed %s from %s at cycle %llu\n",
+                    cfg.name.c_str(), path.c_str(),
+                    static_cast<unsigned long long>(
+                        st.stonne->totalCycles()));
             }
         } else if (cmd == "counters") {
             if (st.stonne)

@@ -1,0 +1,58 @@
+#include "checkpoint/checkpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace stonne {
+
+void
+saveTensor(ArchiveWriter &ar, const Tensor &t)
+{
+    ar.putIndices(t.shape());
+    ar.putFloats(t.data(), static_cast<std::size_t>(t.size()));
+}
+
+Tensor
+loadTensor(ArchiveReader &ar)
+{
+    const std::vector<index_t> shape = ar.getIndices();
+    const std::vector<float> data = ar.getFloats();
+    Tensor t(shape);
+    if (t.size() != static_cast<index_t>(data.size()))
+        ar.fail("tensor payload holds " + std::to_string(data.size()) +
+                " elements, its shape wants " + std::to_string(t.size()));
+    std::copy(data.begin(), data.end(), t.data());
+    return t;
+}
+
+namespace {
+
+/** Open `path` and read the "meta" section: (kind, config text). */
+std::pair<std::uint32_t, std::string>
+readMeta(const std::string &path)
+{
+    ArchiveReader r(path);
+    r.enterSection("meta");
+    const std::uint32_t kind = r.getU32();
+    std::string cfg_text = r.getString();
+    r.leaveSection();
+    if (kind != kCheckpointKindEngine && kind != kCheckpointKindModelRun)
+        r.fail("unknown checkpoint kind " + std::to_string(kind));
+    return {kind, std::move(cfg_text)};
+}
+
+} // namespace
+
+std::string
+checkpointConfigText(const std::string &path)
+{
+    return readMeta(path).second;
+}
+
+bool
+checkpointHasRunnerSection(const std::string &path)
+{
+    return readMeta(path).first == kCheckpointKindModelRun;
+}
+
+} // namespace stonne

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Checkpoint-file helpers shared by the API, the model runner and the
+ * CLI: tensor serialization and header peeking.
+ *
+ * File layout (inside the archive framing of archive.hpp):
+ *
+ *   section "meta"     — checkpoint kind + full HardwareConfig text,
+ *                        readable without restoring anything
+ *   section "stonne"   — API-level state (cumulative cycles)
+ *   section "config"   — config text again (Accelerator self-check)
+ *   section "stats"    — StatsRegistry counters
+ *   section "watchdog" | "gb" | "dram" | "dn" | "mn" | "rn"
+ *   section "controller" — memory-controller phase
+ *   section "faults"   — presence flag + fault-injector RNG/stuck map
+ *   section "trace"    — presence flag + tracer clock/window/events
+ *   [section "runner"] — ModelRunner checkpoints only: layer cursor,
+ *                        live tensors, per-layer records
+ */
+
+#ifndef STONNE_CHECKPOINT_CHECKPOINT_HPP
+#define STONNE_CHECKPOINT_CHECKPOINT_HPP
+
+#include <string>
+
+#include "checkpoint/archive.hpp"
+#include "tensor/tensor.hpp"
+
+namespace stonne {
+
+/** Checkpoint kinds stored in the "meta" section. */
+constexpr std::uint32_t kCheckpointKindEngine = 1;   //!< Stonne only
+constexpr std::uint32_t kCheckpointKindModelRun = 2; //!< + "runner"
+
+/** Serialize a tensor (shape + raw float payload). */
+void saveTensor(ArchiveWriter &ar, const Tensor &t);
+
+/** Deserialize a tensor written by saveTensor(). */
+Tensor loadTensor(ArchiveReader &ar);
+
+/**
+ * Read the HardwareConfig text embedded in a checkpoint file without
+ * restoring anything — the CLI `resume` command uses it to construct
+ * the instance the snapshot belongs to.
+ */
+std::string checkpointConfigText(const std::string &path);
+
+/**
+ * Whether the checkpoint carries a "runner" section (a full-model
+ * ModelRunner snapshot) in addition to the engine state.
+ */
+bool checkpointHasRunnerSection(const std::string &path);
+
+} // namespace stonne
+
+#endif // STONNE_CHECKPOINT_CHECKPOINT_HPP

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Interface implemented by every unit whose state survives a checkpoint.
+ *
+ * A Checkpointable serializes its *persistent* cross-operation state —
+ * counters it owns, cursors, RNG streams, recorded events — into one
+ * archive section and restores it bit-exactly. Configuration-derived
+ * state (sizes, bandwidths, table pointers) is NOT serialized: a restore
+ * target is always freshly constructed from the same HardwareConfig,
+ * which Accelerator::restore() verifies before any section is read.
+ */
+
+#ifndef STONNE_CHECKPOINT_CHECKPOINTABLE_HPP
+#define STONNE_CHECKPOINT_CHECKPOINTABLE_HPP
+
+namespace stonne {
+
+class ArchiveWriter;
+class ArchiveReader;
+
+/** Serializable simulation state (see file comment for the contract). */
+class Checkpointable
+{
+  public:
+    virtual ~Checkpointable() = default;
+
+    /** Append this unit's persistent state to the archive. */
+    virtual void saveState(ArchiveWriter &ar) const = 0;
+
+    /**
+     * Restore the state saved by saveState() from an equally
+     * configured unit. Errors are reported via ArchiveReader::fail().
+     */
+    virtual void loadState(ArchiveReader &ar) = 0;
+};
+
+} // namespace stonne
+
+#endif // STONNE_CHECKPOINT_CHECKPOINTABLE_HPP

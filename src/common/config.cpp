@@ -125,6 +125,12 @@ HardwareConfig::validate() const
             trace_sample_cycles);
     fatalIf(trace && trace_file.empty(),
             "config '", name, "': trace = ON requires a trace_file");
+    fatalIf(checkpoint && checkpoint_file.empty(),
+            "config '", name, "': checkpoint = ON requires a "
+            "checkpoint_file");
+    fatalIf(checkpoint_interval_cycles <= 0,
+            "checkpoint_interval_cycles must be positive, got ",
+            checkpoint_interval_cycles);
     faults.validate();
 
     // Controller / substrate compatibility (Section IV-B: "the configured
@@ -375,6 +381,12 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.trace_file = val;
         } else if (key == "TRACE_SAMPLE_CYCLES") {
             c.trace_sample_cycles = as_int();
+        } else if (key == "CHECKPOINT") {
+            c.checkpoint = as_flag();
+        } else if (key == "CHECKPOINT_FILE") {
+            c.checkpoint_file = val;
+        } else if (key == "CHECKPOINT_INTERVAL_CYCLES") {
+            c.checkpoint_interval_cycles = as_int();
         } else if (key == "FAULTS") {
             c.faults.enabled = as_flag();
         } else if (key == "FAULT_SEED") {
@@ -437,6 +449,12 @@ HardwareConfig::toConfigText() const
         os << "trace = ON\n"
            << "trace_file = " << trace_file << "\n"
            << "trace_sample_cycles = " << trace_sample_cycles << "\n";
+    }
+    if (checkpoint) {
+        os << "checkpoint = ON\n"
+           << "checkpoint_file = " << checkpoint_file << "\n"
+           << "checkpoint_interval_cycles = " << checkpoint_interval_cycles
+           << "\n";
     }
     if (faults.enabled)
         os << faults.toConfigText();

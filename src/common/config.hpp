@@ -143,6 +143,22 @@ struct HardwareConfig {
     /** Cycles between counter samples in the trace time-series. */
     index_t trace_sample_cycles = 1000;
 
+    /**
+     * Periodic checkpointing (src/checkpoint): when on, the API writes
+     * a versioned, CRC-guarded snapshot of the full persistent
+     * simulation state to `checkpoint_file` at the first operation
+     * boundary after every `checkpoint_interval_cycles` simulated
+     * cycles. A restored run continues bit-identically to the
+     * uninterrupted one, in both exact and fast-forward modes.
+     */
+    bool checkpoint = false;
+
+    /** Output path of the snapshot (required when checkpoint = ON). */
+    std::string checkpoint_file = "stonne.ckpt";
+
+    /** Minimum simulated cycles between periodic snapshots. */
+    index_t checkpoint_interval_cycles = 1000000;
+
     /** Fault-injection subsystem configuration (`fault_*` keys). */
     FaultConfig faults;
 

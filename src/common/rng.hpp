@@ -53,6 +53,7 @@ class Rng
     }
 
     std::mt19937_64 &engine() { return gen_; }
+    const std::mt19937_64 &engine() const { return gen_; }
 
   private:
     std::mt19937_64 gen_;

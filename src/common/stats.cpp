@@ -1,5 +1,6 @@
 #include "common/stats.hpp"
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
 
 namespace stonne {
@@ -89,6 +90,44 @@ StatsRegistry::clear()
 {
     counters_.clear();
     index_.clear();
+}
+
+void
+StatsRegistry::saveState(ArchiveWriter &ar) const
+{
+    ar.putU64(counters_.size());
+    for (const StatCounter &c : counters_) {
+        ar.putString(c.name);
+        ar.putU32(static_cast<std::uint32_t>(c.group));
+        ar.putU32(static_cast<std::uint32_t>(c.kind));
+        ar.putU64(c.value);
+    }
+}
+
+void
+StatsRegistry::loadState(ArchiveReader &ar)
+{
+    const std::uint64_t n = ar.getU64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string name = ar.getString();
+        const auto group = static_cast<StatGroup>(ar.getU32());
+        const auto kind = static_cast<StatKind>(ar.getU32());
+        const count_t value = ar.getU64();
+        if (i < counters_.size()) {
+            StatCounter &c = counters_[static_cast<std::size_t>(i)];
+            if (c.name != name)
+                ar.fail("counter #" + std::to_string(i) +
+                        " is '" + name + "' in the snapshot but '" +
+                        c.name + "' in this instance — the registration "
+                        "orders diverged");
+            if (c.group != group || c.kind != kind)
+                ar.fail("counter '" + name +
+                        "' changed group/kind since the snapshot");
+            c.value = value;
+        } else {
+            counter(name, group, kind).value = value;
+        }
+    }
 }
 
 } // namespace stonne

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/checkpointable.hpp"
 #include "common/types.hpp"
 
 namespace stonne {
@@ -66,7 +67,7 @@ struct StatCounter {
  * Components obtain counters at construction time and bump them with
  * add(); lookups by name are only used by tests and the output module.
  */
-class StatsRegistry
+class StatsRegistry : public Checkpointable
 {
   public:
     /**
@@ -105,6 +106,19 @@ class StatsRegistry
 
     /** Zero-state: no counters registered at all. */
     void clear();
+
+    /** Serialize every counter (name, group, kind, value) in order. */
+    void saveState(ArchiveWriter &ar) const override;
+
+    /**
+     * Restore counter values. Archived counters are matched
+     * positionally against already-registered ones (a name mismatch is
+     * an error naming both sides); archived counters beyond the
+     * registered set are registered in archive order, so the
+     * registration order — which snapshot()/delta() and the tracer's
+     * sample series depend on — is reproduced exactly.
+     */
+    void loadState(ArchiveReader &ar) override;
 
   private:
     std::deque<StatCounter> counters_;

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
 #include "common/sim_context.hpp"
 
@@ -83,6 +84,24 @@ Watchdog::reset()
 {
     cycles_ = 0;
     stall_ = 0;
+}
+
+// The limit is deliberately not serialized: a restore target may run
+// with a different `watchdog_cycles` budget (the recovering sweep
+// runner widens it on degraded retries) and the configured value must
+// win over the snapshot's.
+void
+Watchdog::saveState(ArchiveWriter &ar) const
+{
+    ar.putU64(cycles_);
+    ar.putU64(stall_);
+}
+
+void
+Watchdog::loadState(ArchiveReader &ar)
+{
+    cycles_ = ar.getU64();
+    stall_ = ar.getU64();
 }
 
 } // namespace stonne

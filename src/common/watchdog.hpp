@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "checkpoint/checkpointable.hpp"
 #include "common/types.hpp"
 
 namespace stonne {
@@ -48,7 +49,7 @@ class DeadlockError : public std::runtime_error
 };
 
 /** Monitors per-cycle progress and fires DeadlockError on a stall. */
-class Watchdog
+class Watchdog : public Checkpointable
 {
   public:
     /** Dumps one component's state into the deadlock report. */
@@ -94,6 +95,10 @@ class Watchdog
 
     /** Clear the stall window and cycle count (new operation). */
     void reset();
+
+    /** Serialize cycle/stall counts (the limit stays config-owned). */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
 
   private:
     [[noreturn]] void fire();

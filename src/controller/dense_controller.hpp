@@ -43,7 +43,7 @@ class FaultInjector;
 class Tracer;
 
 /** mRNA-style fixed-tile dense memory controller. */
-class DenseController
+class DenseController : public Checkpointable
 {
   public:
     /**
@@ -95,6 +95,19 @@ class DenseController
 
     /** Current execution phase, exposed in watchdog deadlock reports. */
     const std::string &phase() const { return phase_; }
+
+    /**
+     * Serialize the controller phase. Delivery cursors are
+     * operation-local (checkpoints land at operation boundaries, where
+     * the controller is quiescent), so the phase is the only state
+     * that crosses a snapshot.
+     */
+    void saveState(ArchiveWriter &ar) const override
+    {
+        ar.putString(phase_);
+    }
+
+    void loadState(ArchiveReader &ar) override { phase_ = ar.getString(); }
 
   protected:
     /** Flexible-pipeline convolution (tree / Benes DN). */

@@ -63,7 +63,7 @@ class FaultInjector;
 class Tracer;
 
 /** SNAPEA-like controller with early negative cut-off (exact mode). */
-class SnapeaController
+class SnapeaController : public Checkpointable
 {
   public:
     /**
@@ -99,6 +99,14 @@ class SnapeaController
 
     /** Current execution phase, exposed in watchdog deadlock reports. */
     const std::string &phase() const { return phase_; }
+
+    /** Serialize the controller phase (see DenseController::saveState). */
+    void saveState(ArchiveWriter &ar) const override
+    {
+        ar.putString(phase_);
+    }
+
+    void loadState(ArchiveReader &ar) override { phase_ = ar.getString(); }
 
   private:
     /** Change phase: watchdog reports see it, the tracer spans it. */

@@ -33,7 +33,7 @@ class FaultInjector;
 class Tracer;
 
 /** SIGMA-style sparse memory controller. */
-class SparseController
+class SparseController : public Checkpointable
 {
   public:
     /**
@@ -83,6 +83,18 @@ class SparseController
 
     /** Current execution phase, exposed in watchdog deadlock reports. */
     const std::string &phase() const { return phase_; }
+
+    /**
+     * Serialize the controller phase. The per-operation round plan
+     * (lastRounds()) is rebuilt by the next runSpMM call and is not
+     * part of the snapshot.
+     */
+    void saveState(ArchiveWriter &ar) const override
+    {
+        ar.putString(phase_);
+    }
+
+    void loadState(ArchiveReader &ar) override { phase_ = ar.getString(); }
 
   private:
     /** Change phase: watchdog reports see it, the tracer spans it. */

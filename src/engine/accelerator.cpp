@@ -1,5 +1,6 @@
 #include "engine/accelerator.hpp"
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
 #include "network/dn_benes.hpp"
 #include "network/dn_popn.hpp"
@@ -176,6 +177,133 @@ Accelerator::reset()
     rn_->reset();
     stats_.reset();
     watchdog_->reset();
+}
+
+namespace {
+
+/**
+ * Configuration text with the execution-policy knobs normalized away:
+ * a snapshot may legitimately be restored under a different
+ * fast-forward mode, watchdog budget or checkpoint/trace destination
+ * (the recovering sweep runner relies on exactly that for degraded
+ * retries — fast-forward and exact execution are bit-identical), but
+ * everything architectural must match exactly.
+ */
+std::string
+structuralConfigText(HardwareConfig c)
+{
+    c.fast_forward = true;
+    c.watchdog_cycles = 1;
+    c.checkpoint = false;
+    c.checkpoint_file.clear();
+    c.checkpoint_interval_cycles = 1;
+    c.trace_file.clear();
+    return c.toConfigText();
+}
+
+} // namespace
+
+void
+Accelerator::checkpoint(ArchiveWriter &ar) const
+{
+    ar.beginSection("config");
+    ar.putString(cfg_.toConfigText());
+    ar.endSection();
+
+    const auto save = [&ar](const char *name, const Checkpointable &c) {
+        ar.beginSection(name);
+        c.saveState(ar);
+        ar.endSection();
+    };
+    save("stats", stats_);
+    save("watchdog", *watchdog_);
+    save("gb", *gb_);
+    save("dram", *dram_);
+    save("dn", *dn_);
+    save("mn", *mn_);
+    save("rn", *rn_);
+
+    ar.beginSection("controller");
+    if (dense_)
+        dense_->saveState(ar);
+    else if (sparse_)
+        sparse_->saveState(ar);
+    else if (snapea_)
+        snapea_->saveState(ar);
+    ar.endSection();
+
+    ar.beginSection("faults");
+    ar.putBool(faults_ != nullptr);
+    if (faults_)
+        faults_->saveState(ar);
+    ar.endSection();
+
+    ar.beginSection("trace");
+    ar.putBool(trace_ != nullptr);
+    if (trace_)
+        trace_->saveState(ar);
+    ar.endSection();
+}
+
+void
+Accelerator::restore(ArchiveReader &ar)
+{
+    ar.enterSection("config");
+    const std::string snap_text = ar.getString();
+    ar.leaveSection();
+    const HardwareConfig snap_cfg =
+        HardwareConfig::parse(snap_text, "<checkpoint>");
+    if (structuralConfigText(snap_cfg) != structuralConfigText(cfg_))
+        ar.fail("the snapshot was taken on accelerator '" +
+                snap_cfg.name + "' whose hardware configuration differs "
+                "from this instance ('" + cfg_.name +
+                "'); restore requires a structurally identical build");
+
+    const auto load = [&ar](const char *name, Checkpointable &c) {
+        ar.enterSection(name);
+        c.loadState(ar);
+        ar.leaveSection();
+    };
+    load("stats", stats_);
+    load("watchdog", *watchdog_);
+    load("gb", *gb_);
+    load("dram", *dram_);
+    load("dn", *dn_);
+    load("mn", *mn_);
+    load("rn", *rn_);
+
+    ar.enterSection("controller");
+    if (dense_)
+        dense_->loadState(ar);
+    else if (sparse_)
+        sparse_->loadState(ar);
+    else if (snapea_)
+        snapea_->loadState(ar);
+    ar.leaveSection();
+
+    ar.enterSection("faults");
+    const bool snap_faults = ar.getBool();
+    if (snap_faults != (faults_ != nullptr))
+        ar.fail(snap_faults
+                    ? "the snapshot carries fault-injector state but "
+                      "faults are disabled in this configuration"
+                    : "this configuration injects faults but the "
+                      "snapshot carries no fault-injector state");
+    if (faults_)
+        faults_->loadState(ar);
+    ar.leaveSection();
+
+    ar.enterSection("trace");
+    const bool snap_trace = ar.getBool();
+    if (snap_trace != (trace_ != nullptr))
+        ar.fail(snap_trace
+                    ? "the snapshot carries tracer state but tracing is "
+                      "disabled in this configuration"
+                    : "this configuration traces but the snapshot "
+                      "carries no tracer state");
+    if (trace_)
+        trace_->loadState(ar);
+    ar.leaveSection();
 }
 
 } // namespace stonne

@@ -83,6 +83,28 @@ class Accelerator : public Unit
     void reset() override;
     std::string name() const override { return "accelerator"; }
 
+    /**
+     * Serialize the complete persistent microarchitectural state into
+     * fixed-order archive sections: the configuration text, the stats
+     * registry, the watchdog, GB, DRAM, the three fabrics, the active
+     * memory controller, and (when present) the fault injector's RNG
+     * stream and the tracer's clock/window/events.
+     */
+    void checkpoint(ArchiveWriter &ar) const;
+
+    /**
+     * Restore a checkpoint() snapshot into this freshly constructed
+     * instance. The embedded configuration must match this instance's
+     * structurally (execution-policy knobs — fast_forward, the
+     * watchdog budget, checkpoint/trace file paths — may differ);
+     * a mismatch throws CheckpointError before any state is touched.
+     */
+    void restore(ArchiveReader &ar);
+
+    /** Unit interface: forwarded to checkpoint()/restore(). */
+    void saveState(ArchiveWriter &ar) const override { checkpoint(ar); }
+    void loadState(ArchiveReader &ar) override { restore(ar); }
+
   private:
     /** Attach the per-unit snapshot sources to the watchdog. */
     void registerSnapshotSources();

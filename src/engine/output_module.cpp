@@ -16,6 +16,11 @@ OutputModule::summary(const HardwareConfig &cfg,
     j.set("accelerator", result.accelerator);
     if (!result.trace_path.empty())
         j.set("trace_path", result.trace_path);
+    if (!result.checkpoint_path.empty())
+        j.set("checkpoint_path", result.checkpoint_path);
+    if (result.restored_from_cycle > 0)
+        j.set("restored_from_cycle",
+              static_cast<std::uint64_t>(result.restored_from_cycle));
 
     JsonValue hw = JsonValue::makeObject();
     hw.set("dn_type", dnTypeName(cfg.dn_type));

@@ -1,5 +1,6 @@
 #include "engine/stonne_api.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/logging.hpp"
@@ -34,6 +35,10 @@ SimulationResult::merge(const SimulationResult &o)
     energy.static_uj += o.energy.static_uj;
     if (trace_path.empty())
         trace_path = o.trace_path;
+    if (checkpoint_path.empty())
+        checkpoint_path = o.checkpoint_path;
+    restored_from_cycle = std::max(restored_from_cycle,
+                                   o.restored_from_cycle);
 }
 
 Stonne::Stonne(const HardwareConfig &cfg)
@@ -172,6 +177,67 @@ Stonne::writeReports(const std::string &prefix) const
                             OutputModule::counterFile(stats()));
 }
 
+void
+Stonne::saveCheckpointTo(ArchiveWriter &ar, std::uint32_t kind) const
+{
+    ar.beginSection("meta");
+    ar.putU32(kind);
+    ar.putString(accel_->config().toConfigText());
+    ar.endSection();
+    ar.beginSection("stonne");
+    ar.putU64(total_cycles_);
+    ar.endSection();
+    accel_->checkpoint(ar);
+}
+
+void
+Stonne::loadCheckpointFrom(ArchiveReader &ar)
+{
+    ar.enterSection("meta");
+    ar.getU32(); // kind — the file-level entry points dispatch on it
+    ar.getString();
+    ar.leaveSection();
+    ar.enterSection("stonne");
+    total_cycles_ = ar.getU64();
+    ar.leaveSection();
+    accel_->restore(ar);
+    restored_from_cycle_ = total_cycles_;
+    last_checkpoint_cycle_ = total_cycles_;
+}
+
+void
+Stonne::saveCheckpoint(const std::string &path) const
+{
+    ArchiveWriter ar;
+    saveCheckpointTo(ar, kCheckpointKindEngine);
+    ar.writeFile(path);
+}
+
+void
+Stonne::loadCheckpoint(const std::string &path)
+{
+    ArchiveReader ar(path);
+    loadCheckpointFrom(ar);
+    if (!ar.atEnd())
+        ar.fail("the snapshot carries a full model-run state; resume it "
+                "through the ModelRunner, not the engine API");
+}
+
+void
+Stonne::maybeAutoCheckpoint(SimulationResult &r)
+{
+    const HardwareConfig &cfg = accel_->config();
+    r.restored_from_cycle = restored_from_cycle_;
+    if (cfg.checkpoint && auto_checkpoint_ &&
+        total_cycles_ - last_checkpoint_cycle_ >=
+            static_cast<cycle_t>(cfg.checkpoint_interval_cycles)) {
+        saveCheckpoint(cfg.checkpoint_file);
+        last_checkpoint_cycle_ = total_cycles_;
+        r.checkpoint_path = cfg.checkpoint_file;
+    }
+    last_result_ = r;
+}
+
 SimulationResult
 Stonne::runOperation()
 {
@@ -179,7 +245,9 @@ Stonne::runOperation()
     // to the stall, a "deadlock" instant event, and the flush — the
     // cycle-level counterpart of the watchdog's state report.
     try {
-        return runOperationImpl();
+        SimulationResult r = runOperationImpl();
+        maybeAutoCheckpoint(r);
+        return r;
     } catch (const DeadlockError &) {
         if (Tracer *t = accel_->tracer()) {
             t->instant("deadlock", 0);

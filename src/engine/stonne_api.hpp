@@ -23,10 +23,12 @@
 #ifndef STONNE_ENGINE_STONNE_API_HPP
 #define STONNE_ENGINE_STONNE_API_HPP
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "checkpoint/checkpoint.hpp"
 #include "controller/scheduler.hpp"
 #include "controller/tile.hpp"
 #include "energy/area_model.hpp"
@@ -55,6 +57,15 @@ struct SimulationResult {
 
     /** Path of the cycle-level trace file, empty when `trace = OFF`. */
     std::string trace_path;
+
+    /** Path of the last snapshot written, empty when `checkpoint = OFF`. */
+    std::string checkpoint_path;
+
+    /**
+     * Cycle the simulation resumed from when it was restored from a
+     * snapshot; 0 for an uninterrupted run.
+     */
+    cycle_t restored_from_cycle = 0;
 
     /** Sum another layer's result (whole-model aggregation). */
     void merge(const SimulationResult &o);
@@ -138,8 +149,45 @@ class Stonne
     /** Cumulative cycles across all operations run on this instance. */
     cycle_t totalCycles() const { return total_cycles_; }
 
+    // --- Checkpoint / restore -----------------------------------------
+
+    /**
+     * Write a full snapshot of this instance (cumulative cycles plus
+     * the accelerator's persistent microarchitectural state) to
+     * `path`, atomically: the archive lands in `<path>.tmp` and is
+     * renamed into place only after the CRC-sealed frame is complete.
+     */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Restore a saveCheckpoint() snapshot into this freshly created
+     * instance. The instance must have been built from a structurally
+     * identical configuration (checkpointConfigText() recovers the
+     * embedded one); throws CheckpointError on mismatch or corruption.
+     */
+    void loadCheckpoint(const std::string &path);
+
+    /** Append this instance's snapshot sections to an open archive. */
+    void saveCheckpointTo(ArchiveWriter &ar,
+                          std::uint32_t kind = kCheckpointKindEngine) const;
+
+    /** Restore from an open archive (counterpart of saveCheckpointTo). */
+    void loadCheckpointFrom(ArchiveReader &ar);
+
+    /** Cycle this instance resumed from (0 if never restored). */
+    cycle_t restoredFromCycle() const { return restored_from_cycle_; }
+
+    /**
+     * Enable/disable the periodic `checkpoint = ON` snapshots written
+     * after operations. The ModelRunner turns these off and writes its
+     * own layer-boundary snapshots carrying the forward-pass state.
+     */
+    void setAutoCheckpoint(bool enabled) { auto_checkpoint_ = enabled; }
+
   private:
     SimulationResult runOperationImpl();
+    /** Write the periodic snapshot when the interval has elapsed. */
+    void maybeAutoCheckpoint(SimulationResult &r);
     SimulationResult finishOperation(const ControllerResult &cr,
                                      const std::vector<count_t> &before);
 
@@ -162,6 +210,10 @@ class Stonne
     bool snapea_early_exit_ = true;
     bool skip_zero_b_ = false;
     cycle_t total_cycles_ = 0;
+
+    cycle_t restored_from_cycle_ = 0;
+    cycle_t last_checkpoint_cycle_ = 0;
+    bool auto_checkpoint_ = true;
 };
 
 } // namespace stonne

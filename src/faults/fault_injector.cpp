@@ -1,8 +1,10 @@
 #include "faults/fault_injector.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
 
 namespace stonne {
@@ -122,6 +124,35 @@ FaultInjector::describe() const
        << " corrupted_flits=" << corrupted_flits_->value
        << " dram_bitflips=" << dram_bitflips_->value;
     return os.str();
+}
+
+void
+FaultInjector::saveState(ArchiveWriter &ar) const
+{
+    std::ostringstream os;
+    os << rng_.engine();
+    ar.putString(os.str());
+    ar.putString(std::string(stuck_.begin(), stuck_.end()));
+    ar.putI64(stuck_count_);
+}
+
+void
+FaultInjector::loadState(ArchiveReader &ar)
+{
+    const std::string engine_text = ar.getString();
+    std::istringstream is(engine_text);
+    is >> rng_.engine();
+    if (!is)
+        ar.fail("fault-injector RNG state is not a valid mt19937_64 "
+                "stream");
+    const std::string stuck = ar.getString();
+    if (stuck.size() != stuck_.size())
+        ar.fail("stuck-multiplier map has " +
+                std::to_string(stuck.size()) + " entries, this instance "
+                "has " + std::to_string(stuck_.size()) +
+                " multiplier switches");
+    std::copy(stuck.begin(), stuck.end(), stuck_.begin());
+    stuck_count_ = ar.getI64();
 }
 
 } // namespace stonne

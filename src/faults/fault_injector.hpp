@@ -26,6 +26,7 @@
 
 #include <vector>
 
+#include "checkpoint/checkpointable.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -41,7 +42,7 @@ enum class FaultSite {
 };
 
 /** Seeded injector of compute / interconnect / memory faults. */
-class FaultInjector
+class FaultInjector : public Checkpointable
 {
   public:
     /**
@@ -87,6 +88,14 @@ class FaultInjector
 
     /** One-line census for watchdog snapshots and reports. */
     std::string describe() const;
+
+    /**
+     * Serialize the RNG stream position (std::mt19937_64's textual
+     * state) and the stuck-multiplier map, so a restored run draws
+     * exactly the faults the uninterrupted run would have drawn.
+     */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
 
   private:
     FaultConfig cfg_;

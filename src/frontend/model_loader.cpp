@@ -16,15 +16,20 @@ namespace {
 class Args
 {
   public:
-    Args(std::istringstream &in, int lineno) : lineno_(lineno)
+    Args(std::istringstream &in, const std::string &origin, int lineno)
+        : origin_(origin), lineno_(lineno)
     {
         std::string tok;
         while (in >> tok) {
             const std::size_t eq = tok.find('=');
             fatalIf(eq == std::string::npos || eq == 0,
-                    "model line ", lineno, ": expected key=value, got '",
+                    origin_, ":", lineno, ": expected key=value, got '",
                     tok, "'");
-            kv_[tok.substr(0, eq)] = tok.substr(eq + 1);
+            const std::string key = tok.substr(0, eq);
+            const auto [it, inserted] =
+                kv_.emplace(key, tok.substr(eq + 1));
+            fatalIf(!inserted, origin_, ":", lineno,
+                    ": duplicate key '", key, "'");
         }
     }
 
@@ -34,18 +39,26 @@ class Args
         auto it = kv_.find(key);
         if (it == kv_.end())
             return fallback;
+        // std::stoll stops at the first bad character, so without the
+        // full-consumption check 'out=16x' silently configures 16.
+        long long v = 0;
+        std::size_t used = 0;
         try {
-            return static_cast<index_t>(std::stoll(it->second));
+            v = std::stoll(it->second, &used);
         } catch (const std::exception &) {
-            fatal("model line ", lineno_, ": key '", key,
+            fatal(origin_, ":", lineno_, ": key '", key,
                   "' expects an integer, got '", it->second, "'");
         }
+        fatalIf(used != it->second.size(), origin_, ":", lineno_,
+                ": key '", key, "' expects an integer, got '", it->second,
+                "' (trailing characters after the number)");
+        return static_cast<index_t>(v);
     }
 
     index_t
     required(const std::string &key) const
     {
-        fatalIf(kv_.find(key) == kv_.end(), "model line ", lineno_,
+        fatalIf(kv_.find(key) == kv_.end(), origin_, ":", lineno_,
                 ": missing required key '", key, "'");
         return integer(key, 0);
     }
@@ -59,13 +72,15 @@ class Args
 
   private:
     std::map<std::string, std::string> kv_;
+    const std::string &origin_;
     int lineno_;
 };
 
 } // namespace
 
 DnnModel
-loadModelFromText(const std::string &text, std::uint64_t default_seed)
+loadModelFromText(const std::string &text, std::uint64_t default_seed,
+                  const std::string &origin)
 {
     std::istringstream in(text);
     std::string line;
@@ -82,14 +97,22 @@ loadModelFromText(const std::string &text, std::uint64_t default_seed)
         if (label == "input")
             return DnnLayer::kFromModelInput;
         auto it = labels.find(label);
-        fatalIf(it == labels.end(), "model line ", lno,
+        fatalIf(it == labels.end(), origin, ":", lno,
                 ": unknown label '", label, "'");
         return it->second;
     };
     auto builder = [&]() -> ModelBuilder & {
-        fatalIf(!b, "model line ", lineno,
+        fatalIf(!b, origin, ":", lineno,
                 ": an 'input' statement must come first");
         return *b;
+    };
+    // Positional statements must consume the whole line: without this,
+    // 'input 3 32 32 junk' and 'seed 5x' misparse silently.
+    auto expect_end = [&](std::istringstream &ls, const char *stmt) {
+        std::string extra;
+        fatalIf(static_cast<bool>(ls >> extra), origin, ":", lineno,
+                ": trailing characters after the ", stmt,
+                " statement: '", extra, "'");
     };
     auto maybe_save = [&](const Args &args, int layer_idx) {
         const std::string label = args.text("save");
@@ -110,36 +133,48 @@ loadModelFromText(const std::string &text, std::uint64_t default_seed)
             continue;
 
         if (op == "model") {
-            ls >> model_name;
+            fatalIf(!(ls >> model_name), origin, ":", lineno,
+                    ": model expects a name");
+            expect_end(ls, "model");
         } else if (op == "sparsity") {
             fatalIf(!(ls >> sparsity) || sparsity < 0.0 || sparsity >= 1.0,
-                    "model line ", lineno,
+                    origin, ":", lineno,
                     ": sparsity expects a ratio in [0, 1)");
-            fatalIf(b != nullptr, "model line ", lineno,
+            expect_end(ls, "sparsity");
+            fatalIf(b != nullptr, origin, ":", lineno,
                     ": sparsity must precede the input statement");
         } else if (op == "seed") {
-            fatalIf(!(ls >> seed), "model line ", lineno,
+            fatalIf(!(ls >> seed), origin, ":", lineno,
                     ": seed expects an integer");
-            fatalIf(b != nullptr, "model line ", lineno,
+            expect_end(ls, "seed");
+            fatalIf(b != nullptr, origin, ":", lineno,
                     ": seed must precede the input statement");
         } else if (op == "input") {
             index_t c = 0, x = 0, y = 0;
-            fatalIf(!(ls >> c >> x >> y), "model line ", lineno,
+            fatalIf(!(ls >> c >> x >> y), origin, ":", lineno,
                     ": input expects <channels> <X> <Y>");
+            expect_end(ls, "input");
+            fatalIf(c <= 0 || x <= 0 || y <= 0, origin, ":", lineno,
+                    ": input dimensions must be positive, got ", c, " ",
+                    x, " ", y);
             b = std::make_unique<ModelBuilder>(model_name, sparsity,
                                                seed);
             b->setInput(c, x, y);
             has_input = true;
         } else if (op == "input2d") {
             index_t rows = 0, feats = 0;
-            fatalIf(!(ls >> rows >> feats), "model line ", lineno,
+            fatalIf(!(ls >> rows >> feats), origin, ":", lineno,
                     ": input2d expects <rows> <features>");
+            expect_end(ls, "input2d");
+            fatalIf(rows <= 0 || feats <= 0, origin, ":", lineno,
+                    ": input2d dimensions must be positive, got ", rows,
+                    " ", feats);
             b = std::make_unique<ModelBuilder>(model_name, sparsity,
                                                seed);
             b->setInput2d(rows, feats);
             has_input = true;
         } else if (op == "conv") {
-            const Args args(ls, lineno);
+            const Args args(ls, origin, lineno);
             const std::string from = args.text("from");
             const int idx = builder().conv(
                 args.text("name", "conv"), args.required("out"),
@@ -148,24 +183,24 @@ loadModelFromText(const std::string &text, std::uint64_t default_seed)
                 from.empty() ? -1 : resolve(from, lineno));
             maybe_save(args, idx);
         } else if (op == "linear") {
-            const Args args(ls, lineno);
+            const Args args(ls, origin, lineno);
             const int idx = builder().linear(args.text("name", "linear"),
                                              args.required("out"));
             maybe_save(args, idx);
         } else if (op == "attention") {
-            const Args args(ls, lineno);
+            const Args args(ls, origin, lineno);
             const int idx = builder().attention(
                 args.text("name", "attention"), args.required("heads"));
             maybe_save(args, idx);
         } else if (op == "maxpool") {
-            const Args args(ls, lineno);
+            const Args args(ls, origin, lineno);
             const int idx = builder().maybeMaxPool(
                 args.required("window"), args.required("stride"));
             maybe_save(args, idx);
         } else if (op == "relu" || op == "gap" || op == "flatten" ||
                    op == "softmax" || op == "logsoftmax" ||
                    op == "layernorm") {
-            const Args args(ls, lineno);
+            const Args args(ls, origin, lineno);
             int idx = -1;
             if (op == "relu")
                 idx = builder().relu();
@@ -181,9 +216,9 @@ loadModelFromText(const std::string &text, std::uint64_t default_seed)
                 idx = builder().layerNorm();
             maybe_save(args, idx);
         } else if (op == "add" || op == "concat") {
-            const Args args(ls, lineno);
+            const Args args(ls, origin, lineno);
             const std::string with = args.text("with");
-            fatalIf(with.empty(), "model line ", lineno, ": '", op,
+            fatalIf(with.empty(), origin, ":", lineno, ": '", op,
                     "' requires with=<label>");
             const int operand = resolve(with, lineno);
             const int idx = op == "add"
@@ -191,12 +226,13 @@ loadModelFromText(const std::string &text, std::uint64_t default_seed)
                 : builder().concat(operand);
             maybe_save(args, idx);
         } else {
-            fatal("model line ", lineno, ": unknown op '", op, "'");
+            fatal(origin, ":", lineno, ": unknown op '", op, "'");
         }
     }
 
-    fatalIf(!has_input, "model description has no input statement");
-    fatalIf(b->last() < 0, "model description has no layers");
+    fatalIf(!has_input, origin,
+            ": model description has no input statement");
+    fatalIf(b->last() < 0, origin, ": model description has no layers");
     return b->finish();
 }
 
@@ -207,7 +243,9 @@ loadModelFromFile(const std::string &path, std::uint64_t default_seed)
     fatalIf(!in, "cannot open model description '", path, "'");
     std::ostringstream ss;
     ss << in.rdbuf();
-    return loadModelFromText(ss.str(), default_seed);
+    fatalIf(!in.good() && !in.eof(),
+            "error reading model description '", path, "'");
+    return loadModelFromText(ss.str(), default_seed, path);
 }
 
 } // namespace stonne

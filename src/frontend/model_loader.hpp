@@ -37,9 +37,16 @@
 
 namespace stonne {
 
-/** Build a model from an in-memory description. */
+/**
+ * Build a model from an in-memory description. Malformed statements —
+ * trailing junk after a number (`seed 5x`), truncated argument lists,
+ * non-numeric values — are rejected with a `origin:line` diagnostic;
+ * @param origin names the source in error messages (a file path, or
+ * "<string>" for in-memory text).
+ */
 DnnModel loadModelFromText(const std::string &text,
-                           std::uint64_t default_seed = 7);
+                           std::uint64_t default_seed = 7,
+                           const std::string &origin = "<string>");
 
 /** Build a model from a description file on disk. */
 DnnModel loadModelFromFile(const std::string &path,

@@ -2,13 +2,75 @@
 
 #include <cmath>
 #include <map>
+#include <utility>
 
+#include "checkpoint/checkpoint.hpp"
 #include "common/logging.hpp"
 #include "tensor/reference.hpp"
 
 namespace stonne {
 
 namespace {
+
+/** Serialize one SimulationResult (full fidelity: a restored run's
+ *  reports must be byte-identical to the uninterrupted run's). */
+void
+saveResult(ArchiveWriter &ar, const SimulationResult &r)
+{
+    ar.putString(r.layer_name);
+    ar.putString(r.accelerator);
+    ar.putU64(r.cycles);
+    ar.putDouble(r.time_ms);
+    ar.putDouble(r.wall_seconds);
+    ar.putDouble(r.sim_cycles_per_second);
+    ar.putU64(r.macs);
+    ar.putU64(r.skipped_macs);
+    ar.putU64(r.mem_accesses);
+    ar.putDouble(r.ms_utilization);
+    ar.putDouble(r.energy.gb_uj);
+    ar.putDouble(r.energy.dn_uj);
+    ar.putDouble(r.energy.mn_uj);
+    ar.putDouble(r.energy.rn_uj);
+    ar.putDouble(r.energy.dram_uj);
+    ar.putDouble(r.energy.static_uj);
+    ar.putDouble(r.area.gb_um2);
+    ar.putDouble(r.area.dn_um2);
+    ar.putDouble(r.area.mn_um2);
+    ar.putDouble(r.area.rn_um2);
+    ar.putString(r.trace_path);
+    ar.putString(r.checkpoint_path);
+    ar.putU64(r.restored_from_cycle);
+}
+
+SimulationResult
+loadResult(ArchiveReader &ar)
+{
+    SimulationResult r;
+    r.layer_name = ar.getString();
+    r.accelerator = ar.getString();
+    r.cycles = ar.getU64();
+    r.time_ms = ar.getDouble();
+    r.wall_seconds = ar.getDouble();
+    r.sim_cycles_per_second = ar.getDouble();
+    r.macs = ar.getU64();
+    r.skipped_macs = ar.getU64();
+    r.mem_accesses = ar.getU64();
+    r.ms_utilization = ar.getDouble();
+    r.energy.gb_uj = ar.getDouble();
+    r.energy.dn_uj = ar.getDouble();
+    r.energy.mn_uj = ar.getDouble();
+    r.energy.rn_uj = ar.getDouble();
+    r.energy.dram_uj = ar.getDouble();
+    r.energy.static_uj = ar.getDouble();
+    r.area.gb_um2 = ar.getDouble();
+    r.area.dn_um2 = ar.getDouble();
+    r.area.mn_um2 = ar.getDouble();
+    r.area.rn_um2 = ar.getDouble();
+    r.trace_path = ar.getString();
+    r.checkpoint_path = ar.getString();
+    r.restored_from_cycle = ar.getU64();
+    return r;
+}
 
 /** Channel-wise concatenation of two (N, C, X, Y) tensors. */
 Tensor
@@ -58,6 +120,10 @@ sliceColsT(const Tensor &t, index_t c0, index_t w)
 ModelRunner::ModelRunner(const DnnModel &model, const HardwareConfig &cfg)
     : model_(model), stonne_(cfg)
 {
+    // The runner writes its own layer-boundary snapshots (carrying the
+    // forward-pass cursor); the engine's per-operation auto-checkpoint
+    // would race it to the same file with a resume-blind snapshot.
+    stonne_.setAutoCheckpoint(false);
 }
 
 void
@@ -70,13 +136,99 @@ Tensor
 ModelRunner::run(const Tensor &input)
 {
     records_.clear();
-    return forward(input, true, &records_);
+    last_checkpoint_path_.clear();
+    last_ckpt_cycles_ = stonne_.totalCycles();
+    ForwardState st;
+    st.input = input;
+    st.cur = input;
+    return forward(std::move(st), true, &records_);
+}
+
+Tensor
+ModelRunner::resume(const std::string &path)
+{
+    ArchiveReader ar(path);
+    stonne_.loadCheckpointFrom(ar);
+    if (ar.atEnd())
+        ar.fail("the snapshot carries engine state only, not a model "
+                "run; it cannot resume a forward pass");
+    ar.enterSection("runner");
+    const std::string model_name = ar.getString();
+    if (model_name != model_.name)
+        ar.fail("the snapshot belongs to model '" + model_name +
+                "', this runner wraps '" + model_.name + "'");
+    ForwardState st;
+    st.next_layer = static_cast<std::size_t>(ar.getU64());
+    st.input = loadTensor(ar);
+    st.cur = loadTensor(ar);
+    const std::uint64_t n_saved = ar.getU64();
+    for (std::uint64_t i = 0; i < n_saved; ++i) {
+        const int idx = static_cast<int>(ar.getI64());
+        st.saved.emplace(idx, loadTensor(ar));
+    }
+    records_.clear();
+    const std::uint64_t n_records = ar.getU64();
+    records_.reserve(n_records);
+    for (std::uint64_t i = 0; i < n_records; ++i) {
+        LayerRunRecord r;
+        r.name = ar.getString();
+        r.op = static_cast<OpType>(ar.getU32());
+        r.offloaded = ar.getBool();
+        r.sim = loadResult(ar);
+        records_.push_back(std::move(r));
+    }
+    ar.leaveSection();
+
+    last_checkpoint_path_ = path;
+    last_ckpt_cycles_ = stonne_.totalCycles();
+    return forward(std::move(st), true, &records_);
 }
 
 Tensor
 ModelRunner::runNative(const Tensor &input) const
 {
-    return forward(input, false, nullptr);
+    ForwardState st;
+    st.input = input;
+    st.cur = input;
+    return forward(std::move(st), false, nullptr);
+}
+
+void
+ModelRunner::maybeCheckpoint(const ForwardState &st,
+                             const std::vector<LayerRunRecord> &records)
+    const
+{
+    const HardwareConfig &cfg = stonne_.config();
+    if (!cfg.checkpoint)
+        return;
+    if (stonne_.totalCycles() - last_ckpt_cycles_ <
+        static_cast<cycle_t>(cfg.checkpoint_interval_cycles))
+        return;
+
+    ArchiveWriter ar;
+    stonne_.saveCheckpointTo(ar, kCheckpointKindModelRun);
+    ar.beginSection("runner");
+    ar.putString(model_.name);
+    ar.putU64(st.next_layer);
+    saveTensor(ar, st.input);
+    saveTensor(ar, st.cur);
+    ar.putU64(st.saved.size());
+    for (const auto &[idx, t] : st.saved) {
+        ar.putI64(idx);
+        saveTensor(ar, t);
+    }
+    ar.putU64(records.size());
+    for (const LayerRunRecord &r : records) {
+        ar.putString(r.name);
+        ar.putU32(static_cast<std::uint32_t>(r.op));
+        ar.putBool(r.offloaded);
+        saveResult(ar, r.sim);
+    }
+    ar.endSection();
+    ar.writeFile(cfg.checkpoint_file);
+
+    last_ckpt_cycles_ = stonne_.totalCycles();
+    last_checkpoint_path_ = cfg.checkpoint_file;
 }
 
 SimulationResult
@@ -97,15 +249,17 @@ ModelRunner::total() const
             t.merge(r.sim);
         }
     }
+    if (t.checkpoint_path.empty())
+        t.checkpoint_path = last_checkpoint_path_;
     return t;
 }
 
 Tensor
-ModelRunner::forward(const Tensor &input, bool simulate,
+ModelRunner::forward(ForwardState st, bool simulate,
                      std::vector<LayerRunRecord> *records) const
 {
-    std::map<int, Tensor> saved;
-    Tensor cur = input;
+    std::map<int, Tensor> &saved = st.saved;
+    Tensor &cur = st.cur;
 
     auto record_sim = [&](const std::string &name, OpType op,
                           const SimulationResult &sim) {
@@ -155,11 +309,11 @@ ModelRunner::forward(const Tensor &input, bool simulate,
 
     auto resolve = [&](int idx) -> const Tensor & {
         if (idx == DnnLayer::kFromModelInput)
-            return input;
+            return st.input;
         return saved.at(idx);
     };
 
-    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+    for (std::size_t i = st.next_layer; i < model_.layers.size(); ++i) {
         const DnnLayer &l = model_.layers[i];
         const Tensor &in = l.input_from == -1 ? cur
                                               : resolve(l.input_from);
@@ -270,6 +424,13 @@ ModelRunner::forward(const Tensor &input, bool simulate,
 
         if (l.save_output)
             saved[static_cast<int>(i)] = cur;
+
+        // Layer boundaries are the quiescent points of the engine (the
+        // controllers run whole operations synchronously), so this is
+        // where a snapshot can capture a resumable cursor.
+        st.next_layer = i + 1;
+        if (simulate && records)
+            maybeCheckpoint(st, *records);
     }
     return cur;
 }

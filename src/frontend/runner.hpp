@@ -14,6 +14,8 @@
 #ifndef STONNE_FRONTEND_RUNNER_HPP
 #define STONNE_FRONTEND_RUNNER_HPP
 
+#include <cstddef>
+#include <map>
 #include <vector>
 
 #include "engine/stonne_api.hpp"
@@ -42,8 +44,25 @@ class ModelRunner
     /** Simulated inference: offloads to the accelerator. */
     Tensor run(const Tensor &input);
 
+    /**
+     * Resume a simulated inference from a ModelRunner checkpoint
+     * written by a previous (possibly killed) run with
+     * `checkpoint = ON`. The runner must wrap the same model and a
+     * structurally identical configuration; the forward pass continues
+     * from the recorded layer boundary and completes bit-identically
+     * to the uninterrupted run. Throws CheckpointError on mismatch,
+     * corruption, or an engine-only snapshot.
+     */
+    Tensor resume(const std::string &path);
+
     /** Native CPU inference (the functional golden path). */
     Tensor runNative(const Tensor &input) const;
+
+    /** Path of the last snapshot run() wrote ("" if none yet). */
+    const std::string &lastCheckpointPath() const
+    {
+        return last_checkpoint_path_;
+    }
 
     /** Per-operation records of the last run(). */
     const std::vector<LayerRunRecord> &records() const { return records_; }
@@ -65,14 +84,33 @@ class ModelRunner
     Stonne &stonne() { return stonne_; }
 
   private:
-    Tensor forward(const Tensor &input, bool simulate,
+    /**
+     * Forward-pass cursor: everything the layer loop needs to continue
+     * from an arbitrary layer boundary. A checkpoint is exactly one of
+     * these (plus the engine state and the per-layer records).
+     */
+    struct ForwardState {
+        std::size_t next_layer = 0;
+        Tensor input; //!< model input (layers can re-read it)
+        Tensor cur;   //!< output of layer next_layer - 1
+        std::map<int, Tensor> saved; //!< save_output skip-link tensors
+    };
+
+    Tensor forward(ForwardState st, bool simulate,
                    std::vector<LayerRunRecord> *records) const;
+
+    /** Write a layer-boundary snapshot when the interval elapsed. */
+    void maybeCheckpoint(const ForwardState &st,
+                         const std::vector<LayerRunRecord> &records) const;
 
     const DnnModel &model_;
     mutable Stonne stonne_;
     std::vector<LayerRunRecord> records_;
     bool snapea_early_exit_ = true;
     bool offload_pooling_ = true;
+
+    mutable cycle_t last_ckpt_cycles_ = 0;
+    mutable std::string last_checkpoint_path_;
 };
 
 } // namespace stonne

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
 
 namespace stonne {
@@ -59,6 +60,24 @@ Dram::streamingStall(index_t bytes, cycle_t compute_cycles)
         ? serialization - compute_cycles : 0;
     stall_cycles_->value += stall;
     return stall;
+}
+
+void
+Dram::saveState(ArchiveWriter &ar) const
+{
+    ar.putDouble(bytes_per_cycle_);
+    ar.putI64(latency_cycles_);
+}
+
+void
+Dram::loadState(ArchiveReader &ar)
+{
+    const double bpc = ar.getDouble();
+    const index_t lat = ar.getI64();
+    if (bpc != bytes_per_cycle_ || lat != latency_cycles_)
+        ar.fail("DRAM snapshot was taken with a different memory "
+                "configuration (" + std::to_string(bpc) + " B/cycle, "
+                "latency " + std::to_string(lat) + ")");
 }
 
 } // namespace stonne

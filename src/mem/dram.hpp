@@ -13,13 +13,14 @@
 #ifndef STONNE_MEM_DRAM_HPP
 #define STONNE_MEM_DRAM_HPP
 
+#include "checkpoint/checkpointable.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace stonne {
 
 /** Bandwidth/latency DRAM with double-buffered tile prefetch timing. */
-class Dram
+class Dram : public Checkpointable
 {
   public:
     /**
@@ -67,6 +68,15 @@ class Dram
 
     /** Staging stall cycles accumulated so far (dram.stall_cycles). */
     count_t stallCycles() const { return stall_cycles_->value; }
+
+    /**
+     * The DRAM model is stateless between calls — transfers complete
+     * within the issuing operation and the traffic counters live in
+     * the StatsRegistry — so its section holds only the derived
+     * per-cycle bandwidth as a configuration cross-check.
+     */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
 
   private:
     double bytes_per_cycle_;

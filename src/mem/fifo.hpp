@@ -19,6 +19,8 @@
 #include <sstream>
 #include <string>
 
+#include "checkpoint/archive.hpp"
+#include "checkpoint/checkpointable.hpp"
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -27,7 +29,7 @@ namespace stonne {
 
 /** Bounded FIFO of T with push/pop counters and high-water tracking. */
 template <typename T>
-class Fifo
+class Fifo : public Checkpointable
 {
   public:
     /**
@@ -106,6 +108,39 @@ class Fifo
     clear()
     {
         q_.clear();
+    }
+
+    /**
+     * Serialize occupancy, counters and queued elements. Elements go
+     * through FifoElementIo<T>, specialized for each payload type a
+     * checkpointed FIFO carries (float and DataPackage ship with the
+     * engine).
+     */
+    void
+    saveState(ArchiveWriter &ar) const override
+    {
+        ar.putU64(pushes_);
+        ar.putU64(pops_);
+        ar.putI64(high_water_);
+        ar.putU64(q_.size());
+        for (const T &v : q_)
+            FifoElementIo<T>::save(ar, v);
+    }
+
+    void
+    loadState(ArchiveReader &ar) override
+    {
+        pushes_ = ar.getU64();
+        pops_ = ar.getU64();
+        high_water_ = ar.getI64();
+        const std::uint64_t n = ar.getU64();
+        if (static_cast<index_t>(n) > capacity_)
+            ar.fail("fifo '" + name_ + "' snapshot occupancy " +
+                    std::to_string(n) + " exceeds capacity " +
+                    std::to_string(capacity_));
+        q_.clear();
+        for (std::uint64_t i = 0; i < n; ++i)
+            q_.push_back(FifoElementIo<T>::load(ar));
     }
 
   private:

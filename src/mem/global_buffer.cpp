@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
 
 namespace stonne {
@@ -115,6 +116,26 @@ GlobalBuffer::dumpState(std::ostream &os) const
        << ", write budget " << writes_left_ << "/" << write_bandwidth_
        << ", total reads " << reads_->value << ", total writes "
        << writes_->value << "\n";
+}
+
+void
+GlobalBuffer::saveState(ArchiveWriter &ar) const
+{
+    ar.putI64(reads_left_);
+    ar.putI64(writes_left_);
+}
+
+void
+GlobalBuffer::loadState(ArchiveReader &ar)
+{
+    reads_left_ = ar.getI64();
+    writes_left_ = ar.getI64();
+    if (reads_left_ < 0 || reads_left_ > read_bandwidth_ ||
+        writes_left_ < 0 || writes_left_ > write_bandwidth_)
+        ar.fail("'" + name_ + "' snapshot budgets " +
+                std::to_string(reads_left_) + "/" +
+                std::to_string(writes_left_) +
+                " exceed the configured bandwidths");
 }
 
 } // namespace stonne

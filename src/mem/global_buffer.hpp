@@ -16,13 +16,14 @@
 #include <iosfwd>
 #include <string>
 
+#include "checkpoint/checkpointable.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace stonne {
 
 /** Per-cycle bandwidth-limited SRAM with access accounting. */
-class GlobalBuffer
+class GlobalBuffer : public Checkpointable
 {
   public:
     /**
@@ -98,6 +99,10 @@ class GlobalBuffer
 
     /** Bandwidth-budget state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const;
+
+    /** Serialize the per-cycle bandwidth budgets. */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
 
   private:
     std::string name_;

@@ -129,4 +129,16 @@ BenesDistributionNetwork::dumpState(std::ostream &os) const
        << ", stalls " << stalls_->value << "\n";
 }
 
+void
+BenesDistributionNetwork::saveState(ArchiveWriter &ar) const
+{
+    ar.putI64(issued_this_cycle_);
+}
+
+void
+BenesDistributionNetwork::loadState(ArchiveReader &ar)
+{
+    issued_this_cycle_ = ar.getI64();
+}
+
 } // namespace stonne

@@ -39,6 +39,10 @@ class BenesDistributionNetwork : public DistributionNetwork
     /** Issue/activity state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const override;
 
+    /** Serialize the per-cycle issue count. */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
+
     /** Switch levels: 2*log2(N) + 1. */
     index_t levels() const { return levels_; }
 

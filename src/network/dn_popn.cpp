@@ -102,4 +102,16 @@ PointToPointNetwork::dumpState(std::ostream &os) const
        << packages_->value << ", stalls " << stalls_->value << "\n";
 }
 
+void
+PointToPointNetwork::saveState(ArchiveWriter &ar) const
+{
+    ar.putI64(issued_this_cycle_);
+}
+
+void
+PointToPointNetwork::loadState(ArchiveReader &ar)
+{
+    issued_this_cycle_ = ar.getI64();
+}
+
 } // namespace stonne

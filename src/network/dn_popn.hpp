@@ -36,6 +36,10 @@ class PointToPointNetwork : public DistributionNetwork
     /** Issue/activity state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const override;
 
+    /** Serialize the per-cycle issue count. */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
+
     count_t packagesDelivered() const { return packages_->value; }
     count_t stalls() const { return stalls_->value; }
 

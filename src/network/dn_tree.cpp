@@ -149,4 +149,29 @@ TreeDistributionNetwork::dumpState(std::ostream &os) const
         os << "  in-flight range [" << lo << ", " << hi << ")\n";
 }
 
+void
+TreeDistributionNetwork::saveState(ArchiveWriter &ar) const
+{
+    ar.putI64(issued_this_cycle_);
+    ar.putU64(ranges_this_cycle_.size());
+    for (const auto &[lo, hi] : ranges_this_cycle_) {
+        ar.putI64(lo);
+        ar.putI64(hi);
+    }
+}
+
+void
+TreeDistributionNetwork::loadState(ArchiveReader &ar)
+{
+    issued_this_cycle_ = ar.getI64();
+    const std::uint64_t n = ar.getU64();
+    ranges_this_cycle_.clear();
+    ranges_this_cycle_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const index_t lo = ar.getI64();
+        const index_t hi = ar.getI64();
+        ranges_this_cycle_.emplace_back(lo, hi);
+    }
+}
+
 } // namespace stonne

@@ -45,6 +45,10 @@ class TreeDistributionNetwork : public DistributionNetwork
     /** Issue/activity state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const override;
 
+    /** Serialize the per-cycle issue state (count + issued ranges). */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
+
     /** Tree depth: log2(ms_size) switch levels. */
     index_t levels() const { return levels_; }
 

@@ -15,6 +15,8 @@
 #include <ostream>
 #include <string>
 
+#include "checkpoint/archive.hpp"
+#include "checkpoint/checkpointable.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -42,11 +44,35 @@ struct DataPackage {
     index_t fanout() const { return dest_hi - dest_lo; }
 };
 
+/** Checkpoint serialization of packages queued in a Fifo<DataPackage>. */
+template <>
+struct FifoElementIo<DataPackage> {
+    static void
+    save(ArchiveWriter &ar, const DataPackage &p)
+    {
+        ar.putFloat(p.value);
+        ar.putI64(p.dest_lo);
+        ar.putI64(p.dest_hi);
+        ar.putU32(static_cast<std::uint32_t>(p.kind));
+    }
+
+    static DataPackage
+    load(ArchiveReader &ar)
+    {
+        DataPackage p;
+        p.value = ar.getFloat();
+        p.dest_lo = ar.getI64();
+        p.dest_hi = ar.getI64();
+        p.kind = static_cast<PackageKind>(ar.getU32());
+        return p;
+    }
+};
+
 /** A clocked hardware component. */
-class Unit
+class Unit : public Checkpointable
 {
   public:
-    virtual ~Unit() = default;
+    ~Unit() override = default;
 
     /** Advance the component by one clock edge. */
     virtual void cycle() = 0;
@@ -67,6 +93,15 @@ class Unit
     {
         os << name() << ": (no state exposed)\n";
     }
+
+    /**
+     * Checkpointing defaults: a unit whose only persistent state lives
+     * in the StatsRegistry (checkpointed separately) has nothing of
+     * its own to serialize. Units with per-cycle issue state or other
+     * members override both.
+     */
+    void saveState(ArchiveWriter &) const override {}
+    void loadState(ArchiveReader &) override {}
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "checkpoint/archive.hpp"
 #include "common/json_writer.hpp"
 #include "common/logging.hpp"
 
@@ -325,6 +326,72 @@ Tracer::toJson() const
     other.set("sample_cycles", static_cast<std::uint64_t>(sample_cycles_));
     root["otherData"] = other;
     return root;
+}
+
+void
+Tracer::saveState(ArchiveWriter &ar) const
+{
+    ar.putU64(now_);
+    ar.putU64(next_sample_);
+    ar.putU64(last_sample_ts_);
+    ar.putCounts(last_sample_);
+    ar.putBool(in_bulk_);
+    ar.putCounts(bulk_pre_);
+    ar.putString(phase_);
+    ar.putU64(phase_start_);
+    ar.putBool(overflow_warned_);
+
+    ar.putU64(events_.size());
+    for (const TraceEvent &ev : events_) {
+        ar.putU32(static_cast<std::uint32_t>(ev.kind));
+        ar.putString(ev.name);
+        ar.putU64(ev.ts);
+        ar.putU64(ev.dur);
+        ar.putI64(ev.track);
+        ar.putU64(ev.value);
+        ar.putDouble(ev.dvalue);
+        ar.putU64(ev.args.size());
+        for (const auto &[name, value] : ev.args) {
+            ar.putString(name);
+            ar.putU64(value);
+        }
+    }
+}
+
+void
+Tracer::loadState(ArchiveReader &ar)
+{
+    now_ = ar.getU64();
+    next_sample_ = ar.getU64();
+    last_sample_ts_ = ar.getU64();
+    last_sample_ = ar.getCounts();
+    in_bulk_ = ar.getBool();
+    bulk_pre_ = ar.getCounts();
+    phase_ = ar.getString();
+    phase_start_ = ar.getU64();
+    overflow_warned_ = ar.getBool();
+
+    const std::uint64_t n = ar.getU64();
+    events_.clear();
+    events_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        TraceEvent ev;
+        ev.kind = static_cast<TraceEvent::Kind>(ar.getU32());
+        ev.name = ar.getString();
+        ev.ts = ar.getU64();
+        ev.dur = ar.getU64();
+        ev.track = ar.getI64();
+        ev.value = ar.getU64();
+        ev.dvalue = ar.getDouble();
+        const std::uint64_t n_args = ar.getU64();
+        ev.args.reserve(static_cast<std::size_t>(n_args));
+        for (std::uint64_t a = 0; a < n_args; ++a) {
+            std::string name = ar.getString();
+            const count_t value = ar.getU64();
+            ev.args.emplace_back(std::move(name), value);
+        }
+        events_.push_back(std::move(ev));
+    }
 }
 
 } // namespace stonne

@@ -42,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "checkpoint/checkpointable.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -75,7 +76,7 @@ struct TraceEvent {
  * every recording entry point is a no-op-cheap call guarded by the
  * caller's null check, so `trace = OFF` costs one branch per site.
  */
-class Tracer
+class Tracer : public Checkpointable
 {
   public:
     /** tid of controller phase spans. */
@@ -140,6 +141,16 @@ class Tracer
      * the whole file.
      */
     void flush();
+
+    /**
+     * Serialize the full recording state: the monotone clock, the
+     * sample window (so the next sample lands on the same cycle it
+     * would have without the interruption), the open phase span, the
+     * bulk-region bracket and every recorded event — a restored run's
+     * flush() writes a byte-identical trace file.
+     */
+    void saveState(ArchiveWriter &ar) const override;
+    void loadState(ArchiveReader &ar) override;
 
   private:
     void record(TraceEvent ev);

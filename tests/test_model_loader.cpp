@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
-#include "common/logging.hpp"
 #include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
 
 #include "frontend/model_loader.hpp"
 #include "frontend/runner.hpp"
@@ -127,6 +130,81 @@ TEST(ModelLoader, ErrorsAreFatalWithLineNumbers)
     EXPECT_THROW(loadModelFromText("sparsity 1.5\ninput 3 8 8\n"),
                  FatalError);
     EXPECT_THROW(loadModelFromText(""), FatalError);
+}
+
+/** Expect a FatalError whose message contains every given fragment. */
+void
+expectLoadError(const std::string &text,
+                const std::vector<std::string> &fragments)
+{
+    try {
+        loadModelFromText(text);
+        FAIL() << "expected FatalError for:\n" << text;
+    } catch (const FatalError &e) {
+        for (const std::string &frag : fragments)
+            EXPECT_NE(std::string(e.what()).find(frag), std::string::npos)
+                << "missing '" << frag << "' in: " << e.what();
+    }
+}
+
+TEST(ModelLoader, MalformedStatementsFailLoudlyWithContext)
+{
+    // Trailing junk after a number must not silently truncate: before
+    // the hardening, 'seed 5x' configured seed 5 and 'out=16x' built a
+    // 16-channel conv.
+    expectLoadError("seed 5x\ninput 3 8 8\nconv out=4 kernel=3\n",
+                    {"<string>:1", "trailing characters"});
+    expectLoadError("input 3 8 8\nconv out=16x kernel=3\n",
+                    {"<string>:2", "out", "16x"});
+    expectLoadError("input 3 8 8 junk\nconv out=4 kernel=3\n",
+                    {"<string>:1", "trailing characters", "junk"});
+    expectLoadError("sparsity 0.5abc\ninput 3 8 8\nconv out=4 kernel=3\n",
+                    {"<string>:1", "trailing characters"});
+    expectLoadError("input2d 8 16 9\nlinear out=4\n",
+                    {"<string>:1", "trailing characters"});
+    expectLoadError("model a b\ninput 3 8 8\nconv out=4 kernel=3\n",
+                    {"<string>:1", "trailing characters"});
+
+    // Truncated argument lists and malformed key=value tokens.
+    expectLoadError("input 3 8\nconv out=4 kernel=3\n",
+                    {"<string>:1", "input expects"});
+    expectLoadError("model\n", {"<string>:1", "model expects a name"});
+    expectLoadError("input 3 8 8\nconv out=4 kernel\n",
+                    {"<string>:2", "key=value"});
+    expectLoadError("input 3 8 8\nconv =4 kernel=3\n",
+                    {"<string>:2", "key=value"});
+    expectLoadError("input 3 8 8\nconv out=4 out=8 kernel=3\n",
+                    {"<string>:2", "duplicate key 'out'"});
+    expectLoadError("input 3 8 8\nconv out= kernel=3\n",
+                    {"<string>:2", "integer"});
+
+    // Nonsensical dimensions are rejected at the statement, not deep
+    // inside the tensor code.
+    expectLoadError("input -3 8 8\nconv out=4 kernel=3\n",
+                    {"<string>:1", "must be positive"});
+    expectLoadError("input2d 0 16\nlinear out=4\n",
+                    {"<string>:1", "must be positive"});
+
+    // Model-level diagnostics carry the origin too.
+    expectLoadError("", {"<string>", "no input statement"});
+    expectLoadError("input 3 8 8\n", {"<string>", "no layers"});
+}
+
+TEST(ModelLoader, FileErrorsNameThePath)
+{
+    const std::string path = "/tmp/stonne_test_model_bad.txt";
+    {
+        std::ofstream out(path);
+        out << "input 3 8 8\nconv out=4x kernel=3\n";
+    }
+    try {
+        loadModelFromFile(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find(path + ":2"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(ModelLoader, FileRoundTrip)
