@@ -8,53 +8,62 @@
  * simulated cycle count, not wall time) and then prints the
  * paper-formatted rows/series.
  *
- * The eight Figure 1 layers (S-SC, S-EC, M-FC, M-L, R-C, R-L, B-TR,
- * B-L) are the representative layer types of Squeezenet, Mobilenets,
- * Resnets-50 and BERT, at the Bench scale of the model zoo.
+ * Workload construction (the Figure 1 layer set, synthetic operands,
+ * one-call layer execution) lives in the library (src/engine/workload)
+ * so the design-space tuner evaluates candidates through exactly the
+ * construction path the benchmarks time; this header re-exports it and
+ * adds the bench-only pieces: a one-call full-model runner and the
+ * paper-style table printer.
  */
 
 #ifndef STONNE_BENCH_BENCH_COMMON_HPP
 #define STONNE_BENCH_BENCH_COMMON_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "controller/layer.hpp"
+#include "controller/scheduler.hpp"
 #include "engine/stonne_api.hpp"
+#include "engine/workload.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
 #include "tensor/tensor.hpp"
 
 namespace stonne::bench {
 
 /** One of the eight representative DNN layers of Figure 1. */
-struct Fig1Layer {
-    std::string tag;  //!< paper notation, e.g. "S-SC"
-    LayerSpec spec;
+using Fig1Layer = stonne::NamedLayer;
+
+using stonne::LayerData;
+using stonne::fig1Layers;
+using stonne::makeLayerData;
+using stonne::runLayer;
+
+/** Per-run knobs of runModel() beyond the hardware configuration. */
+struct ModelRunOptions {
+    /** Sparse-controller filter scheduling (use case 3). */
+    std::optional<SchedulingPolicy> policy;
+    std::uint64_t policy_seed = 1;
+    /** SNAPEA early negative cut-off (use case 2). */
+    std::optional<bool> snapea_early_exit;
 };
 
-/** The eight Figure 1 layers at Bench scale. */
-std::vector<Fig1Layer> fig1Layers();
-
-/** Operand bundle for one layer. */
-struct LayerData {
-    Tensor input;
-    Tensor weights;
-    Tensor bias;
+/** Everything a figure needs from one full-model inference. */
+struct ModelRunOutput {
+    SimulationResult total;
+    std::vector<LayerRunRecord> records;
 };
 
 /**
- * Deterministic synthetic operands for a layer, with the weights
- * magnitude-pruned to `sparsity` (0 keeps them dense). `jitter` spreads
- * the per-filter density as real pruned networks do (Fig 7b).
+ * Build a zoo model at Bench scale, run one inference on a fresh
+ * accelerator instance and return the aggregated result plus the
+ * per-layer records — the construction boilerplate every full-model
+ * figure (5, 6, 9) repeats.
  */
-LayerData makeLayerData(const LayerSpec &layer, double sparsity,
-                        std::uint64_t seed, double jitter = 0.15);
-
-/**
- * Run one layer on an accelerator instance via the STONNE API,
- * dispatching on the layer kind.
- */
-SimulationResult runLayer(Stonne &st, const LayerSpec &layer,
-                          const LayerData &data);
+ModelRunOutput runModel(ModelId id, const HardwareConfig &cfg,
+                        const ModelRunOptions &opts = {});
 
 /** Simple fixed-width table printer for the paper-style output. */
 class TablePrinter

@@ -16,8 +16,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "frontend/model_zoo.hpp"
-#include "frontend/runner.hpp"
 
 namespace {
 
@@ -42,13 +40,8 @@ void
 runConfig(benchmark::State &state, ModelId id, int arch)
 {
     SimulationResult total;
-    for (auto _ : state) {
-        const DnnModel model = buildModel(id, ModelScale::Bench);
-        const Tensor input = makeModelInput(id, ModelScale::Bench);
-        ModelRunner runner(model, archConfig(arch));
-        runner.run(input);
-        total = runner.total();
-    }
+    for (auto _ : state)
+        total = runModel(id, archConfig(arch)).total;
     state.counters["cycles"] = static_cast<double>(total.cycles);
     state.counters["energy_uJ"] = total.energy.total();
     g_results[{arch, id}] = total;

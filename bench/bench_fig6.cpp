@@ -14,8 +14,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "frontend/model_zoo.hpp"
-#include "frontend/runner.hpp"
 
 namespace {
 
@@ -28,14 +26,11 @@ void
 runConfig(benchmark::State &state, ModelId id, bool early_exit)
 {
     SimulationResult total;
-    for (auto _ : state) {
-        const DnnModel model = buildModel(id, ModelScale::Bench);
-        const Tensor input = makeModelInput(id, ModelScale::Bench);
-        ModelRunner runner(model, HardwareConfig::snapeaLike(64, 64));
-        runner.setSnapeaEarlyExit(early_exit);
-        runner.run(input);
-        total = runner.total();
-    }
+    ModelRunOptions opts;
+    opts.snapea_early_exit = early_exit;
+    for (auto _ : state)
+        total = runModel(id, HardwareConfig::snapeaLike(64, 64),
+                         opts).total;
     state.counters["cycles"] = static_cast<double>(total.cycles);
     state.counters["ops"] = static_cast<double>(total.macs);
     g_results[{id, early_exit}] = total;

@@ -15,8 +15,6 @@
 #include <map>
 
 #include "bench_common.hpp"
-#include "frontend/model_zoo.hpp"
-#include "frontend/runner.hpp"
 
 namespace {
 
@@ -38,14 +36,14 @@ void
 runConfig(benchmark::State &state, ModelId id, SchedulingPolicy policy)
 {
     ModelRun run;
+    ModelRunOptions opts;
+    opts.policy = policy;
+    opts.policy_seed = 21;
     for (auto _ : state) {
-        const DnnModel model = buildModel(id, ModelScale::Bench);
-        const Tensor input = makeModelInput(id, ModelScale::Bench);
-        ModelRunner runner(model, HardwareConfig::sigmaLike(256, 128));
-        runner.setSchedulingPolicy(policy, 21);
-        runner.run(input);
-        run.total = runner.total();
-        run.records = runner.records();
+        ModelRunOutput out =
+            runModel(id, HardwareConfig::sigmaLike(256, 128), opts);
+        run.total = out.total;
+        run.records = std::move(out.records);
     }
     state.counters["cycles"] = static_cast<double>(run.total.cycles);
     state.counters["utilization"] = run.total.ms_utilization;

@@ -1,14 +1,11 @@
 /**
  * @file
- * Thread-pooled sweep runner for independent benchmark points.
+ * Crash-recovering sweep harness for independent benchmark points.
  *
- * Design-space sweeps are embarrassingly parallel: every point owns its
- * Stonne instance (and therefore its StatsRegistry, watchdog and RNG
- * streams), the SimContext error scopes are thread-local, and logging
- * keeps no mutable global state — so points can run concurrently with
- * no sharing at all. The runner executes a list of closures over a
- * fixed pool, preserves submission order in the results, and rethrows
- * the first failure after the pool drains.
+ * The underlying thread pool (stonne::SweepRunner) lives in the
+ * library (src/common/sweep_pool) so the design-space explorer can
+ * share it; this header re-exports it into the bench namespace and
+ * adds the checkpointed retry orchestration benchmarks use.
  */
 
 #ifndef STONNE_BENCH_SWEEP_HPP
@@ -22,32 +19,11 @@
 
 #include "common/config.hpp"
 #include "common/json_writer.hpp"
+#include "common/sweep_pool.hpp"
 
 namespace stonne::bench {
 
-/** Fixed-size thread pool running independent simulation points. */
-class SweepRunner
-{
-  public:
-    /**
-     * @param threads pool size; 0 picks the hardware concurrency
-     *        (at least 1).
-     */
-    explicit SweepRunner(std::size_t threads = 0);
-
-    std::size_t threadCount() const { return threads_; }
-
-    /**
-     * Run every job over the pool and block until all complete. Jobs
-     * are claimed in submission order; a job that throws does not stop
-     * the others, and the first exception (lowest job index) is
-     * rethrown once the pool has drained.
-     */
-    void run(const std::vector<std::function<void()>> &jobs) const;
-
-  private:
-    std::size_t threads_;
-};
+using stonne::SweepRunner;
 
 /** One execution attempt handed to a recovering-sweep point function. */
 struct SweepAttempt {

@@ -20,6 +20,7 @@
 #include "checkpoint/checkpoint.hpp"
 #include "common/logging.hpp"
 #include "common/watchdog.hpp"
+#include "dse/tuner.hpp"
 #include "engine/output_module.hpp"
 #include "engine/stonne_api.hpp"
 #include "tensor/prune.hpp"
@@ -76,6 +77,10 @@ printHelp()
         "  spmm M N K                      configure a sparse GEMM\n"
         "  linear N IN OUT                 configure a linear layer\n"
         "  tile TR TS TC TG TK TN TX TY    explicit tile (else auto)\n"
+        "  tune [top_k]                    search the configured layer's\n"
+        "                                  tile space (analytical pre-\n"
+        "                                  filter + cycle-level top-K);\n"
+        "                                  the winner becomes the tile\n"
         "  sparsity <ratio>                prune weights to the ratio\n"
         "  policy <NS|RDM|LFF>             sparse filter scheduling\n"
         "  seed <n>                        RNG seed for random tensors\n"
@@ -330,6 +335,61 @@ handle(CliState &st, const std::string &line)
                     cfg.name.c_str(), path.c_str(),
                     static_cast<unsigned long long>(
                         st.stonne->totalCycles()));
+            }
+        } else if (cmd == "tune") {
+            if (!st.stonne) {
+                std::printf("error: no instance; use 'create' first\n");
+            } else if (!st.layer_set) {
+                std::printf("error: no layer configured\n");
+            } else {
+                const HardwareConfig &cfg = st.stonne->config();
+                dse::TuneOptions opts;
+                opts.top_k = cfg.dse_top_k;
+                opts.cache_file = cfg.dse_cache_file;
+                opts.sparsity = st.sparsity;
+                opts.seed = st.seed;
+                index_t k = 0;
+                if (in >> k) {
+                    fatalIf(k <= 0, "tune top_k must be positive");
+                    opts.top_k = k;
+                }
+                dse::AutoTuner tuner(cfg, opts);
+                const dse::TuneReport rep = tuner.tuneLayer(st.layer);
+                std::printf("%-22s %12s %12s  %s\n", "tile",
+                            "analytical", "simulated", "source");
+                for (const dse::EvaluatedTile &et : rep.ranked)
+                    std::printf(
+                        "%-22s %12llu %12llu  %s\n",
+                        et.tile.canonical().c_str(),
+                        static_cast<unsigned long long>(
+                            et.analytical_cycles),
+                        static_cast<unsigned long long>(
+                            et.simulated_cycles),
+                        et.from_cache ? "cache" : "simulated");
+                std::printf(
+                    "tune: space %llu evaluated %zu cache_hits %llu "
+                    "simulations %llu\n",
+                    static_cast<unsigned long long>(rep.space_size),
+                    rep.ranked.size(),
+                    static_cast<unsigned long long>(rep.cache_hits),
+                    static_cast<unsigned long long>(rep.simulations_run));
+                std::printf("tune: rank_correlation %.3f\n",
+                            rep.rank_correlation);
+                std::printf(
+                    "tune: greedy %s -> %llu cycles\n",
+                    rep.greedy_tile.canonical().c_str(),
+                    static_cast<unsigned long long>(rep.greedy_cycles));
+                std::printf(
+                    "tune: chosen %s -> %llu cycles (saved %lld vs "
+                    "greedy)\n",
+                    rep.best.canonical().c_str(),
+                    static_cast<unsigned long long>(rep.best_cycles),
+                    static_cast<long long>(
+                        static_cast<std::int64_t>(rep.greedy_cycles) -
+                        static_cast<std::int64_t>(rep.best_cycles)));
+                st.tile = rep.best;
+                std::printf("tile set to the chosen mapping; 'run' uses "
+                            "it\n");
             }
         } else if (cmd == "counters") {
             if (st.stonne)

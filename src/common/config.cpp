@@ -131,6 +131,14 @@ HardwareConfig::validate() const
     fatalIf(checkpoint_interval_cycles <= 0,
             "checkpoint_interval_cycles must be positive, got ",
             checkpoint_interval_cycles);
+    fatalIf(dse_top_k <= 0, "dse_top_k must be positive, got ",
+            dse_top_k);
+    // Only the dense controller consumes explicit tiles (the sparse
+    // controller sizes clusters dynamically and SNAPEA's convolution
+    // path maps whole filters), so there is nothing to tune elsewhere.
+    fatalIf(autotune && controller_type != ControllerType::Dense,
+            "config '", name, "': autotune tunes the dense controller's "
+            "tile; it requires controller = DENSE");
     faults.validate();
 
     // Controller / substrate compatibility (Section IV-B: "the configured
@@ -387,6 +395,12 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.checkpoint_file = val;
         } else if (key == "CHECKPOINT_INTERVAL_CYCLES") {
             c.checkpoint_interval_cycles = as_int();
+        } else if (key == "AUTOTUNE") {
+            c.autotune = as_flag();
+        } else if (key == "DSE_TOP_K") {
+            c.dse_top_k = as_int();
+        } else if (key == "DSE_CACHE_FILE") {
+            c.dse_cache_file = val;
         } else if (key == "FAULTS") {
             c.faults.enabled = as_flag();
         } else if (key == "FAULT_SEED") {
@@ -456,9 +470,31 @@ HardwareConfig::toConfigText() const
            << "checkpoint_interval_cycles = " << checkpoint_interval_cycles
            << "\n";
     }
+    if (autotune) {
+        os << "autotune = ON\n"
+           << "dse_top_k = " << dse_top_k << "\n";
+        if (!dse_cache_file.empty())
+            os << "dse_cache_file = " << dse_cache_file << "\n";
+    }
     if (faults.enabled)
         os << faults.toConfigText();
     return os.str();
+}
+
+std::string
+HardwareConfig::structuralText() const
+{
+    HardwareConfig c = *this;
+    c.fast_forward = true;
+    c.watchdog_cycles = 1;
+    c.checkpoint = false;
+    c.checkpoint_file.clear();
+    c.checkpoint_interval_cycles = 1;
+    c.trace_file.clear();
+    c.autotune = false;
+    c.dse_top_k = 1;
+    c.dse_cache_file.clear();
+    return c.toConfigText();
 }
 
 } // namespace stonne

@@ -162,6 +162,25 @@ struct HardwareConfig {
     /** Fault-injection subsystem configuration (`fault_*` keys). */
     FaultConfig faults;
 
+    /**
+     * Design-space auto-tuning (src/dse): when on, the ModelRunner
+     * tunes every dense-controller operation's tile before running it
+     * — enumerate the legal tile space, rank it with the analytical
+     * model, simulate the top `dse_top_k` candidates (results served
+     * from `dse_cache_file` when already known) and run the layer with
+     * the fastest tile instead of the greedy mapper's choice.
+     */
+    bool autotune = false;
+
+    /** Candidates the tuner evaluates cycle-level per layer. */
+    index_t dse_top_k = 8;
+
+    /**
+     * Content-addressed result-cache file the tuner persists simulated
+     * outcomes to ("" keeps the cache in memory only).
+     */
+    std::string dse_cache_file = "stonne_dse.cache";
+
     /** Validate the composition, throwing FatalError on conflicts. */
     void validate() const;
 
@@ -206,6 +225,19 @@ struct HardwareConfig {
 
     /** Serialize back to key = value form. */
     std::string toConfigText() const;
+
+    /**
+     * Configuration text with the execution-policy knobs normalized
+     * away: fast-forward mode, watchdog budget, trace/checkpoint
+     * destinations and the dse tuning knobs may all legitimately
+     * differ between two runs of the *same* simulated hardware
+     * (fast-forward and exact execution are bit-identical; the
+     * recovering sweep runner's degraded retries and the dse result
+     * cache rely on exactly that), but everything architectural must
+     * match exactly. Checkpoint restores compare snapshots with this,
+     * and the dse cache keys simulation outcomes on it.
+     */
+    std::string structuralText() const;
 };
 
 } // namespace stonne

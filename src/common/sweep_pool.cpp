@@ -1,0 +1,58 @@
+#include "common/sweep_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace stonne {
+
+SweepRunner::SweepRunner(std::size_t threads)
+    : threads_(threads)
+{
+    if (threads_ == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads_ = hw > 0 ? hw : 1;
+    }
+}
+
+void
+SweepRunner::run(const std::vector<std::function<void()>> &jobs) const
+{
+    if (jobs.empty())
+        return;
+
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size())
+                return;
+            try {
+                jobs[i]();
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
+    };
+
+    const std::size_t n = std::min(threads_, jobs.size());
+    if (n <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n);
+        for (std::size_t t = 0; t < n; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace stonne

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Thread-pooled runner for independent simulation jobs.
+ *
+ * Simulation points are embarrassingly parallel: every point owns its
+ * Stonne instance (and therefore its StatsRegistry, watchdog and RNG
+ * streams), the SimContext error scopes are thread-local, and logging
+ * keeps no mutable global state — so points can run concurrently with
+ * no sharing at all. The runner executes a list of closures over a
+ * fixed pool, preserves submission order in the results, and rethrows
+ * the first failure after the pool drains.
+ *
+ * Lives in the library (not bench/) because the design-space explorer
+ * (src/dse) evaluates its top-K mapping candidates over the same pool
+ * the benchmark sweeps use.
+ */
+
+#ifndef STONNE_COMMON_SWEEP_POOL_HPP
+#define STONNE_COMMON_SWEEP_POOL_HPP
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace stonne {
+
+/** Fixed-size thread pool running independent simulation points. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param threads pool size; 0 picks the hardware concurrency
+     *        (at least 1).
+     */
+    explicit SweepRunner(std::size_t threads = 0);
+
+    std::size_t threadCount() const { return threads_; }
+
+    /**
+     * Run every job over the pool and block until all complete. Jobs
+     * are claimed in submission order; a job that throws does not stop
+     * the others, and the first exception (lowest job index) is
+     * rethrown once the pool has drained.
+     */
+    void run(const std::vector<std::function<void()>> &jobs) const;
+
+  private:
+    std::size_t threads_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_COMMON_SWEEP_POOL_HPP

@@ -36,6 +36,15 @@ Tile::validate(const LayerSpec &layer, index_t ms_size) const
 }
 
 std::string
+Tile::canonical() const
+{
+    std::ostringstream os;
+    os << t_r << 'x' << t_s << 'x' << t_c << 'x' << t_g << 'x' << t_k
+       << 'x' << t_n << 'x' << t_x << 'x' << t_y;
+    return os.str();
+}
+
+std::string
 Tile::toString() const
 {
     std::ostringstream os;

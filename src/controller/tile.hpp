@@ -13,6 +13,8 @@
 #ifndef STONNE_CONTROLLER_TILE_HPP
 #define STONNE_CONTROLLER_TILE_HPP
 
+#include <cstddef>
+#include <functional>
 #include <string>
 
 #include "controller/layer.hpp"
@@ -51,8 +53,51 @@ struct Tile {
     void validate(const LayerSpec &layer, index_t ms_size) const;
 
     std::string toString() const;
+
+    /**
+     * Canonical key form: the eight dimensions in declaration order,
+     * 'x'-separated ("1x1x64x1x4x1x1x1"). Stable across builds and
+     * platforms — two tiles compare equal iff their canonical forms are
+     * byte-identical, which makes this the tile component of
+     * content-addressed cache keys (src/dse).
+     */
+    std::string canonical() const;
+
+    /** Dimension-wise equality (the same partition of the array). */
+    bool operator==(const Tile &o) const = default;
 };
 
 } // namespace stonne
+
+/**
+ * Stable hash over the eight dimensions (FNV-1a, 64-bit folded to
+ * size_t): deterministic across runs and platforms, unlike the
+ * implementation-defined std::hash<integral> — cache keys and test
+ * expectations may depend on it.
+ */
+template <>
+struct std::hash<stonne::Tile> {
+    std::size_t
+    operator()(const stonne::Tile &t) const noexcept
+    {
+        std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+        const auto mix = [&h](stonne::index_t v) {
+            auto u = static_cast<std::uint64_t>(v);
+            for (int byte = 0; byte < 8; ++byte) {
+                h ^= (u >> (byte * 8)) & 0xffu;
+                h *= 1099511628211ull; // FNV prime
+            }
+        };
+        mix(t.t_r);
+        mix(t.t_s);
+        mix(t.t_c);
+        mix(t.t_g);
+        mix(t.t_k);
+        mix(t.t_n);
+        mix(t.t_x);
+        mix(t.t_y);
+        return static_cast<std::size_t>(h);
+    }
+};
 
 #endif // STONNE_CONTROLLER_TILE_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Design-space exploration summary attached to simulation results.
+ *
+ * A plain value type with no dependency on the rest of src/dse, so the
+ * engine's SimulationResult can carry it (and the Output Module can
+ * report it) without the engine depending on the tuner.
+ */
+
+#ifndef STONNE_DSE_DSE_STATS_HPP
+#define STONNE_DSE_DSE_STATS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace stonne {
+
+/** What one (or an aggregation of) tuned operation(s) cost and won. */
+struct DseSummary {
+    /** Whether any tuning happened (gates the JSON `dse` block). */
+    bool enabled = false;
+
+    /** Legal tile candidates enumerated (after constraint pruning). */
+    std::uint64_t space_size = 0;
+
+    /** Candidates evaluated cycle-level (cache hits + simulations). */
+    std::uint64_t evaluated = 0;
+
+    /** Evaluations served from the content-addressed result cache. */
+    std::uint64_t cache_hits = 0;
+
+    /** Cycle-level simulations actually run. */
+    std::uint64_t simulations_run = 0;
+
+    /**
+     * Spearman rank correlation between the analytical pre-filter's
+     * ordering and the simulated ordering of the evaluated candidates
+     * (1 = the cheap model ranks exactly like the simulator). For an
+     * aggregation, the evaluation-weighted mean of the per-layer
+     * correlations.
+     */
+    double rank_correlation = 0.0;
+
+    /** Canonical form of the winning tile (last tuned operation). */
+    std::string chosen_tile;
+
+    /** Simulated cycles of the winning tile. */
+    std::uint64_t chosen_cycles = 0;
+
+    /** Simulated cycles of the greedy Mapper::generateTile choice. */
+    std::uint64_t greedy_cycles = 0;
+
+    /** greedy_cycles - chosen_cycles, summed over tuned operations. */
+    std::int64_t cycles_saved_vs_greedy = 0;
+
+    /** Aggregate another tuned operation's summary into this one. */
+    void
+    merge(const DseSummary &o)
+    {
+        if (!o.enabled)
+            return;
+        const double w =
+            static_cast<double>(evaluated + o.evaluated);
+        if (w > 0.0)
+            rank_correlation =
+                (rank_correlation * static_cast<double>(evaluated) +
+                 o.rank_correlation * static_cast<double>(o.evaluated)) /
+                w;
+        enabled = true;
+        space_size += o.space_size;
+        evaluated += o.evaluated;
+        cache_hits += o.cache_hits;
+        simulations_run += o.simulations_run;
+        chosen_tile = o.chosen_tile;
+        chosen_cycles += o.chosen_cycles;
+        greedy_cycles += o.greedy_cycles;
+        cycles_saved_vs_greedy += o.cycles_saved_vs_greedy;
+    }
+};
+
+} // namespace stonne
+
+#endif // STONNE_DSE_DSE_STATS_HPP

@@ -179,30 +179,6 @@ Accelerator::reset()
     watchdog_->reset();
 }
 
-namespace {
-
-/**
- * Configuration text with the execution-policy knobs normalized away:
- * a snapshot may legitimately be restored under a different
- * fast-forward mode, watchdog budget or checkpoint/trace destination
- * (the recovering sweep runner relies on exactly that for degraded
- * retries — fast-forward and exact execution are bit-identical), but
- * everything architectural must match exactly.
- */
-std::string
-structuralConfigText(HardwareConfig c)
-{
-    c.fast_forward = true;
-    c.watchdog_cycles = 1;
-    c.checkpoint = false;
-    c.checkpoint_file.clear();
-    c.checkpoint_interval_cycles = 1;
-    c.trace_file.clear();
-    return c.toConfigText();
-}
-
-} // namespace
-
 void
 Accelerator::checkpoint(ArchiveWriter &ar) const
 {
@@ -253,7 +229,10 @@ Accelerator::restore(ArchiveReader &ar)
     ar.leaveSection();
     const HardwareConfig snap_cfg =
         HardwareConfig::parse(snap_text, "<checkpoint>");
-    if (structuralConfigText(snap_cfg) != structuralConfigText(cfg_))
+    // Snapshots restore across differing execution-policy knobs
+    // (fast-forward, watchdog, trace/checkpoint destinations, dse
+    // tuning) but never across architectural changes.
+    if (snap_cfg.structuralText() != cfg_.structuralText())
         ar.fail("the snapshot was taken on accelerator '" +
                 snap_cfg.name + "' whose hardware configuration differs "
                 "from this instance ('" + cfg_.name +

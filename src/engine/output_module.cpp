@@ -65,6 +65,21 @@ OutputModule::summary(const HardwareConfig &cfg,
     area.set("total_um2", result.area.total());
     j["area"] = area;
 
+    if (result.dse.enabled) {
+        JsonValue dse = JsonValue::makeObject();
+        dse.set("space_size", result.dse.space_size);
+        dse.set("candidates_evaluated", result.dse.evaluated);
+        dse.set("cache_hits", result.dse.cache_hits);
+        dse.set("simulations_run", result.dse.simulations_run);
+        dse.set("rank_correlation", result.dse.rank_correlation);
+        dse.set("chosen_tile", result.dse.chosen_tile);
+        dse.set("chosen_cycles", result.dse.chosen_cycles);
+        dse.set("greedy_cycles", result.dse.greedy_cycles);
+        dse.set("cycles_saved_vs_greedy",
+                static_cast<double>(result.dse.cycles_saved_vs_greedy));
+        j["dse"] = dse;
+    }
+
     return j;
 }
 

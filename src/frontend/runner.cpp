@@ -40,6 +40,16 @@ saveResult(ArchiveWriter &ar, const SimulationResult &r)
     ar.putString(r.trace_path);
     ar.putString(r.checkpoint_path);
     ar.putU64(r.restored_from_cycle);
+    ar.putBool(r.dse.enabled);
+    ar.putU64(r.dse.space_size);
+    ar.putU64(r.dse.evaluated);
+    ar.putU64(r.dse.cache_hits);
+    ar.putU64(r.dse.simulations_run);
+    ar.putDouble(r.dse.rank_correlation);
+    ar.putString(r.dse.chosen_tile);
+    ar.putU64(r.dse.chosen_cycles);
+    ar.putU64(r.dse.greedy_cycles);
+    ar.putI64(r.dse.cycles_saved_vs_greedy);
 }
 
 SimulationResult
@@ -69,6 +79,16 @@ loadResult(ArchiveReader &ar)
     r.trace_path = ar.getString();
     r.checkpoint_path = ar.getString();
     r.restored_from_cycle = ar.getU64();
+    r.dse.enabled = ar.getBool();
+    r.dse.space_size = ar.getU64();
+    r.dse.evaluated = ar.getU64();
+    r.dse.cache_hits = ar.getU64();
+    r.dse.simulations_run = ar.getU64();
+    r.dse.rank_correlation = ar.getDouble();
+    r.dse.chosen_tile = ar.getString();
+    r.dse.chosen_cycles = ar.getU64();
+    r.dse.greedy_cycles = ar.getU64();
+    r.dse.cycles_saved_vs_greedy = ar.getI64();
     return r;
 }
 
@@ -124,6 +144,13 @@ ModelRunner::ModelRunner(const DnnModel &model, const HardwareConfig &cfg)
     // forward-pass cursor); the engine's per-operation auto-checkpoint
     // would race it to the same file with a resume-blind snapshot.
     stonne_.setAutoCheckpoint(false);
+
+    if (cfg.autotune) {
+        dse::TuneOptions opts;
+        opts.top_k = cfg.dse_top_k;
+        opts.cache_file = cfg.dse_cache_file;
+        tuner_ = std::make_unique<dse::AutoTuner>(cfg, opts);
+    }
 }
 
 void
@@ -281,15 +308,34 @@ ModelRunner::forward(ForwardState st, bool simulate,
         }
     };
 
+    // With `autotune = ON`, every dense operation's tile is searched
+    // before the operation runs; the tuning summary is stamped onto the
+    // operation's own SimulationResult so total() aggregates it.
+    std::optional<DseSummary> pending_dse;
+    auto tune_tile = [&](const LayerSpec &spec) -> std::optional<Tile> {
+        if (!tuner_)
+            return std::nullopt;
+        const dse::TuneReport rep = tuner_->tuneLayer(spec);
+        pending_dse = rep.summary();
+        return rep.best;
+    };
+    auto stamp_dse = [&](SimulationResult sim) {
+        if (pending_dse) {
+            sim.dse = *pending_dse;
+            pending_dse.reset();
+        }
+        return sim;
+    };
+
     auto run_linear = [&](const Tensor &in, const Tensor &w,
                           const Tensor &bias, const std::string &name) {
         if (!simulate)
             return ref::linear(in, w, bias);
         const LayerSpec spec =
             LayerSpec::linear(name, in.dim(0), in.dim(1), w.dim(0));
-        stonne_.configureLinear(spec);
+        stonne_.configureLinear(spec, tune_tile(spec));
         stonne_.configureData(in, w, bias);
-        const SimulationResult sim = stonne_.runOperation();
+        const SimulationResult sim = stamp_dse(stonne_.runOperation());
         record_sim(name, OpType::Linear, sim);
         return stonne_.output();
     };
@@ -300,9 +346,9 @@ ModelRunner::forward(ForwardState st, bool simulate,
             return ref::gemm(a, b);
         const LayerSpec spec = LayerSpec::gemmLayer(
             name, a.dim(0), b.dim(1), a.dim(1));
-        stonne_.configureDmm(spec);
+        stonne_.configureDmm(spec, tune_tile(spec));
         stonne_.configureData(b, a);
-        const SimulationResult sim = stonne_.runOperation();
+        const SimulationResult sim = stamp_dse(stonne_.runOperation());
         record_sim(name, OpType::SelfAttention, sim);
         return stonne_.output();
     };
@@ -326,9 +372,10 @@ ModelRunner::forward(ForwardState st, bool simulate,
                     model_.layers[i + 1].op == OpType::ReLU;
                 stonne_.setSnapeaEarlyExit(snapea_early_exit_ &&
                                            relu_next);
-                stonne_.configureConv(l.spec);
+                stonne_.configureConv(l.spec, tune_tile(l.spec));
                 stonne_.configureData(in, l.weights, l.bias);
-                const SimulationResult sim = stonne_.runOperation();
+                const SimulationResult sim =
+                    stamp_dse(stonne_.runOperation());
                 record_sim(l.name, l.op, sim);
                 cur = stonne_.output();
             } else {

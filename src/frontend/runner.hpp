@@ -16,8 +16,10 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "dse/tuner.hpp"
 #include "engine/stonne_api.hpp"
 #include "frontend/dnn_layer.hpp"
 
@@ -105,6 +107,8 @@ class ModelRunner
 
     const DnnModel &model_;
     mutable Stonne stonne_;
+    /** Mapping auto-tuner, present only with `autotune = ON`. */
+    mutable std::unique_ptr<dse::AutoTuner> tuner_;
     std::vector<LayerRunRecord> records_;
     bool snapea_early_exit_ = true;
     bool offload_pooling_ = true;

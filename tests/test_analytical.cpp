@@ -13,7 +13,9 @@
 #include "common/logging.hpp"
 #include "analytical/scalesim_model.hpp"
 #include "analytical/sigma_model.hpp"
+#include "controller/mapper.hpp"
 #include "engine/accelerator.hpp"
+#include "engine/workload.hpp"
 #include "tensor/prune.hpp"
 
 namespace stonne {
@@ -199,6 +201,70 @@ TEST(MaeriAm, WeightDistributionScalesWithBandwidth)
     const cycle_t slow = analytical::maeriCycles(
         layer, tile, HardwareConfig::maeriLike(128, 8));
     EXPECT_GE(slow, fast);
+}
+
+// --- Monotonicity over the Figure 1 layer set ------------------------
+//
+// The analytical models feed the design-space explorer's pre-filter, so
+// their qualitative shape matters beyond point accuracy: giving the
+// accelerator strictly more of a resource must never *increase* the
+// predicted cycles on the axis each model is sensitive to. Each test
+// sweeps a resource axis over every Fig-1 layer.
+
+TEST(MaeriAm, CyclesNonIncreasingAsBandwidthGrows)
+{
+    for (const NamedLayer &nl : fig1Layers()) {
+        if (nl.spec.kind != LayerKind::Convolution &&
+            nl.spec.kind != LayerKind::Linear &&
+            nl.spec.kind != LayerKind::Gemm)
+            continue;
+        // The tile is held fixed so the axis isolates pure bandwidth.
+        const Tile tile = Mapper(256).generateTile(nl.spec);
+        cycle_t prev = 0;
+        for (const index_t bw : {8, 16, 32, 64, 128, 256}) {
+            const cycle_t c = analytical::maeriCycles(
+                nl.spec, tile, HardwareConfig::maeriLike(256, bw));
+            if (prev > 0)
+                EXPECT_LE(c, prev)
+                    << nl.tag << " regressed at bw=" << bw;
+            prev = c;
+        }
+    }
+}
+
+TEST(ScaleSimAm, CyclesNonIncreasingAsArrayGrows)
+{
+    for (const NamedLayer &nl : fig1Layers()) {
+        if (nl.spec.kind == LayerKind::SparseGemm ||
+            nl.spec.kind == LayerKind::MaxPool)
+            continue;
+        cycle_t prev = 0;
+        for (const index_t d : {4, 8, 16, 32, 64}) {
+            const cycle_t c =
+                analytical::scaleSimOsCycles(nl.spec, d, d);
+            if (prev > 0)
+                EXPECT_LE(c, prev)
+                    << nl.tag << " regressed at " << d << "x" << d;
+            prev = c;
+        }
+    }
+}
+
+TEST(SigmaAm, CyclesNonIncreasingAsBandwidthGrows)
+{
+    for (const NamedLayer &nl : fig1Layers()) {
+        const GemmDims g = nl.spec.gemmView();
+        const index_t nnz = g.m * g.k / 2; // half-dense stationary op
+        cycle_t prev = 0;
+        for (const index_t bw : {8, 16, 32, 64, 128, 256}) {
+            const cycle_t c = analytical::sigmaCycles(
+                g.m, g.n, g.k, nnz, HardwareConfig::sigmaLike(256, bw));
+            if (prev > 0)
+                EXPECT_LE(c, prev)
+                    << nl.tag << " regressed at bw=" << bw;
+            prev = c;
+        }
+    }
 }
 
 } // namespace

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Tests for the design-space exploration subsystem: tile-space
+ * enumeration, the content-addressed result cache, the auto-tuner's
+ * search (including the acceptance claims: beats the greedy mapper on
+ * shipped configurations; a warm cache serves a repeat run without a
+ * single cycle-level simulation) and the autotune front-end wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "analytical/maeri_model.hpp"
+#include "common/logging.hpp"
+#include "controller/mapper.hpp"
+#include "dse/cache.hpp"
+#include "dse/tile_space.hpp"
+#include "dse/tuner.hpp"
+#include "engine/output_module.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+
+namespace stonne {
+namespace {
+
+using dse::AutoTuner;
+using dse::CachedOutcome;
+using dse::ResultCache;
+using dse::TileSpace;
+using dse::TuneOptions;
+using dse::TuneReport;
+
+/** Self-deleting cache file (covers the .tmp sibling too). */
+struct TempFile {
+    std::string path;
+
+    explicit TempFile(std::string p) : path(std::move(p))
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        std::filesystem::remove(path + ".tmp", ec);
+    }
+
+    ~TempFile()
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        std::filesystem::remove(path + ".tmp", ec);
+    }
+};
+
+LayerSpec
+secLayer()
+{
+    // The S-EC layer of Figure 1 at Bench scale: 3x3x16 -> 64, 13x13.
+    Conv2dShape c;
+    c.R = 3;
+    c.S = 3;
+    c.C = 16;
+    c.K = 64;
+    c.X = 13;
+    c.Y = 13;
+    c.padding = 1;
+    return LayerSpec::convolution("S-EC", c);
+}
+
+// --- TileSpace -------------------------------------------------------
+
+TEST(TileSpace, DivisorsAscendingAndComplete)
+{
+    EXPECT_EQ(TileSpace::divisors(12),
+              (std::vector<index_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(TileSpace::divisors(13), (std::vector<index_t>{1, 13}));
+    EXPECT_EQ(TileSpace::divisors(1), (std::vector<index_t>{1}));
+    EXPECT_THROW(TileSpace::divisors(0), FatalError);
+}
+
+TEST(TileSpace, CandidatesAreLegalDivisorTilesPlusGreedy)
+{
+    const LayerSpec layer = secLayer();
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 64);
+    const std::vector<Tile> space = TileSpace::enumerate(layer, cfg);
+    ASSERT_FALSE(space.empty());
+
+    const Tile greedy = Mapper(cfg.ms_size).generateTile(layer);
+    bool greedy_found = false;
+    for (const Tile &t : space) {
+        EXPECT_NO_THROW(t.validate(layer, cfg.ms_size));
+        EXPECT_LE(t.usedMs(), cfg.ms_size);
+        if (t == greedy)
+            greedy_found = true;
+    }
+    EXPECT_TRUE(greedy_found);
+
+    // No duplicates survive the enumeration.
+    for (std::size_t i = 0; i < space.size(); ++i)
+        for (std::size_t j = i + 1; j < space.size(); ++j)
+            EXPECT_FALSE(space[i] == space[j])
+                << space[i].canonical() << " appears twice";
+}
+
+TEST(TileSpace, LargerArrayNeverShrinksTheSpace)
+{
+    const LayerSpec layer = secLayer();
+    const std::size_t small =
+        TileSpace::enumerate(layer, HardwareConfig::maeriLike(32, 32))
+            .size();
+    const std::size_t large =
+        TileSpace::enumerate(layer, HardwareConfig::maeriLike(256, 128))
+            .size();
+    EXPECT_GT(small, 0u);
+    EXPECT_GT(large, small);
+}
+
+TEST(TileSpace, GemmSpaceOnlyUsesGemmDims)
+{
+    const LayerSpec gemm = LayerSpec::gemmLayer("g", 48, 128, 48);
+    const HardwareConfig cfg = HardwareConfig::maeriLike(128, 64);
+    const std::vector<Tile> space = TileSpace::enumerate(gemm, cfg);
+    ASSERT_FALSE(space.empty());
+    for (const Tile &t : space) {
+        EXPECT_EQ(t.t_r, 1);
+        EXPECT_EQ(t.t_s, 1);
+        EXPECT_EQ(t.t_g, 1);
+        EXPECT_EQ(t.t_n, 1);
+        EXPECT_EQ(t.t_x, 1);
+    }
+}
+
+TEST(TileSpace, RejectsKindsWithoutATileSpace)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 64);
+    EXPECT_THROW(
+        TileSpace::enumerate(LayerSpec::sparseGemm("s", 8, 8, 8), cfg),
+        FatalError);
+    Conv2dShape in;
+    in.C = 4;
+    in.X = 8;
+    in.Y = 8;
+    EXPECT_THROW(
+        TileSpace::enumerate(LayerSpec::maxPool("p", in, 2, 2), cfg),
+        FatalError);
+}
+
+// --- ResultCache -----------------------------------------------------
+
+TEST(ResultCache, LookupDemandsExactKeyText)
+{
+    ResultCache cache; // in-memory
+    cache.insert("key-a", CachedOutcome{123, 4.5, 0.75});
+    ASSERT_TRUE(cache.lookup("key-a").has_value());
+    EXPECT_EQ(cache.lookup("key-a")->cycles, 123u);
+    EXPECT_FALSE(cache.lookup("key-b").has_value());
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.insert("key-a", CachedOutcome{99, 1.0, 0.5});
+    EXPECT_EQ(cache.lookup("key-a")->cycles, 99u); // overwrite
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, RoundTripsThroughTheArchiveFile)
+{
+    TempFile f("test_dse_roundtrip.dse.cache");
+    {
+        ResultCache cache(f.path);
+        EXPECT_EQ(cache.size(), 0u); // missing file starts empty
+        cache.insert("point-1", CachedOutcome{1000, 2.0, 0.5});
+        cache.insert("point-2", CachedOutcome{2000, 4.0, 0.25});
+        cache.save();
+    }
+    ResultCache reloaded(f.path);
+    EXPECT_FALSE(reloaded.loadFailed());
+    ASSERT_EQ(reloaded.size(), 2u);
+    ASSERT_TRUE(reloaded.lookup("point-1").has_value());
+    EXPECT_EQ(reloaded.lookup("point-1")->cycles, 1000u);
+    EXPECT_DOUBLE_EQ(reloaded.lookup("point-1")->energy_uj, 2.0);
+    EXPECT_DOUBLE_EQ(reloaded.lookup("point-2")->ms_utilization, 0.25);
+}
+
+TEST(ResultCache, CorruptFileIsDiscardedNotFatal)
+{
+    TempFile f("test_dse_corrupt.dse.cache");
+    {
+        std::ofstream os(f.path, std::ios::binary);
+        os << "this is not an archive";
+    }
+    ResultCache cache(f.path);
+    EXPECT_TRUE(cache.loadFailed());
+    EXPECT_EQ(cache.size(), 0u);
+
+    // The next save replaces the damaged file with a valid one.
+    cache.insert("fresh", CachedOutcome{7, 0.0, 0.0});
+    cache.save();
+    ResultCache reloaded(f.path);
+    EXPECT_FALSE(reloaded.loadFailed());
+    EXPECT_EQ(reloaded.size(), 1u);
+}
+
+TEST(ResultCache, KeyTextSeparatesLayersTilesAndPolicies)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 64);
+    const LayerSpec layer = secLayer();
+    const Tile tile = Mapper(cfg.ms_size).generateTile(layer);
+
+    const std::string base =
+        ResultCache::keyText(cfg, layer, tile, "seed=1 sparsity=0");
+
+    // The layer *name* is cosmetic; the shape is what addresses.
+    LayerSpec renamed = layer;
+    renamed.name = "other-name";
+    EXPECT_EQ(base,
+              ResultCache::keyText(cfg, renamed, tile, "seed=1 sparsity=0"));
+
+    LayerSpec reshaped = layer;
+    reshaped.conv.K *= 2;
+    EXPECT_NE(base, ResultCache::keyText(cfg, reshaped, tile,
+                                         "seed=1 sparsity=0"));
+
+    Tile other = tile;
+    other.t_k = other.t_k > 1 ? 1 : 2;
+    EXPECT_NE(base,
+              ResultCache::keyText(cfg, layer, other, "seed=1 sparsity=0"));
+
+    EXPECT_NE(base,
+              ResultCache::keyText(cfg, layer, tile, "seed=2 sparsity=0"));
+
+    // Policy-only knobs must not split the cache: the outcome of the
+    // same structural hardware is the same.
+    HardwareConfig knobs = cfg;
+    knobs.fast_forward = !knobs.fast_forward;
+    knobs.autotune = true;
+    knobs.dse_top_k = 3;
+    knobs.watchdog_cycles += 1;
+    EXPECT_EQ(base,
+              ResultCache::keyText(knobs, layer, tile, "seed=1 sparsity=0"));
+
+    HardwareConfig smaller = cfg;
+    smaller.dn_bandwidth /= 2;
+    EXPECT_NE(base, ResultCache::keyText(smaller, layer, tile,
+                                         "seed=1 sparsity=0"));
+}
+
+// --- Spearman --------------------------------------------------------
+
+TEST(Spearman, AgreementDisagreementAndTies)
+{
+    EXPECT_DOUBLE_EQ(
+        dse::spearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+    EXPECT_DOUBLE_EQ(
+        dse::spearmanCorrelation({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+    EXPECT_DOUBLE_EQ(dse::spearmanCorrelation({5}, {9}), 1.0);
+    // A constant side carries no ordering information.
+    EXPECT_DOUBLE_EQ(dse::spearmanCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+    const double mid =
+        dse::spearmanCorrelation({1, 2, 3, 4}, {10, 20, 40, 30});
+    EXPECT_GT(mid, 0.0);
+    EXPECT_LT(mid, 1.0);
+}
+
+// --- AutoTuner -------------------------------------------------------
+
+TEST(AutoTuner, BeatsGreedyMapperOnShippedConfigs)
+{
+    // Acceptance: on at least two shipped dense configurations the
+    // search finds a tile with strictly fewer simulated cycles than
+    // Mapper::generateTile's choice.
+    for (const char *path :
+         {"configs/maeri_256.cfg", "configs/maeri_128_traced.cfg"}) {
+        const HardwareConfig cfg = HardwareConfig::parseFile(path);
+        AutoTuner tuner(cfg, TuneOptions{}); // in-memory cache
+        const TuneReport rep = tuner.tuneLayer(secLayer());
+        EXPECT_LT(rep.best_cycles, rep.greedy_cycles) << path;
+        EXPECT_GT(rep.space_size, rep.ranked.size()) << path;
+    }
+}
+
+TEST(AutoTuner, ReportIsConsistentAndDeterministic)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 32);
+    TuneOptions opts;
+    opts.top_k = 6;
+    AutoTuner tuner(cfg, opts);
+    const TuneReport rep = tuner.tuneLayer(secLayer());
+
+    EXPECT_EQ(rep.ranked.size(), rep.cache_hits + rep.simulations_run);
+    EXPECT_GE(rep.ranked.size(), 6u); // top-K plus maybe the greedy tile
+    EXPECT_TRUE(std::is_sorted(
+        rep.ranked.begin(), rep.ranked.end(),
+        [](const dse::EvaluatedTile &a, const dse::EvaluatedTile &b) {
+            return a.simulated_cycles < b.simulated_cycles;
+        }));
+    EXPECT_EQ(rep.best, rep.ranked.front().tile);
+    EXPECT_EQ(rep.best_cycles, rep.ranked.front().simulated_cycles);
+    EXPECT_LE(rep.best_cycles, rep.greedy_cycles); // greedy always in set
+    EXPECT_GE(rep.rank_correlation, -1.0);
+    EXPECT_LE(rep.rank_correlation, 1.0);
+
+    // The greedy tile was evaluated cycle-level.
+    const bool greedy_ranked = std::any_of(
+        rep.ranked.begin(), rep.ranked.end(),
+        [&](const dse::EvaluatedTile &et) {
+            return et.tile == rep.greedy_tile;
+        });
+    EXPECT_TRUE(greedy_ranked);
+
+    // Determinism: an independent tuner picks the identical tile.
+    AutoTuner again(cfg, opts);
+    const TuneReport rep2 = again.tuneLayer(secLayer());
+    EXPECT_EQ(rep.best, rep2.best);
+    EXPECT_EQ(rep.best_cycles, rep2.best_cycles);
+
+    const DseSummary s = rep.summary();
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.space_size, rep.space_size);
+    EXPECT_EQ(s.evaluated, rep.ranked.size());
+    EXPECT_EQ(s.chosen_tile, rep.best.canonical());
+    EXPECT_EQ(s.cycles_saved_vs_greedy,
+              static_cast<std::int64_t>(rep.greedy_cycles) -
+                  static_cast<std::int64_t>(rep.best_cycles));
+}
+
+TEST(AutoTuner, WarmCacheRunsZeroSimulations)
+{
+    // Acceptance: a re-run over a warm cache performs zero redundant
+    // cycle-level simulations, proven by the invocation counter.
+    TempFile f("test_dse_warm.dse.cache");
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 64);
+    TuneOptions opts;
+    opts.top_k = 5;
+    opts.cache_file = f.path;
+
+    Tile first_choice;
+    {
+        AutoTuner cold(cfg, opts);
+        const TuneReport rep = cold.tuneLayer(secLayer());
+        EXPECT_GT(rep.simulations_run, 0u);
+        EXPECT_EQ(rep.cache_hits, 0u);
+        EXPECT_EQ(cold.totalSimulations(), rep.simulations_run);
+        first_choice = rep.best;
+    }
+    AutoTuner warm(cfg, opts);
+    const TuneReport rep = warm.tuneLayer(secLayer());
+    EXPECT_EQ(warm.totalSimulations(), 0u);
+    EXPECT_EQ(rep.simulations_run, 0u);
+    EXPECT_EQ(rep.cache_hits, rep.ranked.size());
+    EXPECT_EQ(rep.best, first_choice);
+    for (const dse::EvaluatedTile &et : rep.ranked)
+        EXPECT_TRUE(et.from_cache) << et.tile.canonical();
+}
+
+TEST(AutoTuner, CacheOutcomesMatchFreshSimulation)
+{
+    // A cache hit must report exactly what a simulation would have: tune
+    // twice in one tuner (second call all-hits) and compare reports.
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 32);
+    TuneOptions opts;
+    opts.top_k = 4;
+    AutoTuner tuner(cfg, opts);
+    const TuneReport cold = tuner.tuneLayer(secLayer());
+    const TuneReport warm = tuner.tuneLayer(secLayer());
+    EXPECT_EQ(warm.simulations_run, 0u);
+    ASSERT_EQ(cold.ranked.size(), warm.ranked.size());
+    for (std::size_t i = 0; i < cold.ranked.size(); ++i) {
+        EXPECT_EQ(cold.ranked[i].tile, warm.ranked[i].tile);
+        EXPECT_EQ(cold.ranked[i].simulated_cycles,
+                  warm.ranked[i].simulated_cycles);
+    }
+}
+
+// --- Front-end wiring ------------------------------------------------
+
+TEST(Autotune, ModelRunnerStaysExactAndNeverSlower)
+{
+    HardwareConfig tuned = HardwareConfig::maeriLike(64, 64);
+    tuned.autotune = true;
+    tuned.dse_top_k = 4;
+    tuned.dse_cache_file.clear(); // in-memory: tests must not litter
+
+    const DnnModel model =
+        buildModel(ModelId::SqueezeNet, ModelScale::Tiny);
+    const Tensor input =
+        makeModelInput(ModelId::SqueezeNet, ModelScale::Tiny);
+
+    ModelRunner runner(model, tuned);
+    const Tensor sim = runner.run(input);
+    const Tensor native = runner.runNative(input);
+    EXPECT_TRUE(sim.equals(native))
+        << "max diff " << sim.maxAbsDiff(native);
+
+    const SimulationResult total = runner.total();
+    EXPECT_TRUE(total.dse.enabled);
+    EXPECT_GT(total.dse.evaluated, 0u);
+    EXPECT_GE(total.dse.cycles_saved_vs_greedy, 0);
+
+    HardwareConfig untuned = tuned;
+    untuned.autotune = false;
+    ModelRunner baseline(model, untuned);
+    baseline.run(input);
+    EXPECT_FALSE(baseline.total().dse.enabled);
+    EXPECT_LE(total.cycles, baseline.total().cycles);
+}
+
+TEST(Autotune, ConfigKeysParseValidateAndRoundTrip)
+{
+    const HardwareConfig cfg = HardwareConfig::parse(
+        "controller = DENSE\nautotune = ON\ndse_top_k = 12\n"
+        "dse_cache_file = layer.cache\n");
+    EXPECT_TRUE(cfg.autotune);
+    EXPECT_EQ(cfg.dse_top_k, 12);
+    EXPECT_EQ(cfg.dse_cache_file, "layer.cache");
+
+    const HardwareConfig round =
+        HardwareConfig::parse(cfg.toConfigText());
+    EXPECT_TRUE(round.autotune);
+    EXPECT_EQ(round.dse_top_k, 12);
+    EXPECT_EQ(round.dse_cache_file, "layer.cache");
+
+    // Tuning targets the dense controller's explicit tiles.
+    HardwareConfig sparse = HardwareConfig::sigmaLike(64, 64);
+    sparse.autotune = true;
+    EXPECT_THROW(sparse.validate(), FatalError);
+
+    HardwareConfig bad = HardwareConfig::maeriLike(64, 64);
+    bad.autotune = true;
+    bad.dse_top_k = 0;
+    EXPECT_THROW(bad.validate(), FatalError);
+}
+
+TEST(Autotune, StructuralTextIgnoresTuningKnobs)
+{
+    const HardwareConfig a = HardwareConfig::maeriLike(64, 64);
+    HardwareConfig b = a;
+    b.autotune = true;
+    b.dse_top_k = 3;
+    b.dse_cache_file = "elsewhere.cache";
+    EXPECT_EQ(a.structuralText(), b.structuralText());
+
+    HardwareConfig c = a;
+    c.ms_size = 128;
+    EXPECT_NE(a.structuralText(), c.structuralText());
+}
+
+TEST(Autotune, SummaryJsonCarriesTheDseBlockOnlyWhenTuned)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 64);
+    SimulationResult r;
+    r.layer_name = "layer";
+    r.accelerator = cfg.name;
+    r.cycles = 100;
+
+    const std::string plain = OutputModule::summary(cfg, r).dump();
+    EXPECT_EQ(plain.find("\"dse\""), std::string::npos);
+
+    r.dse.enabled = true;
+    r.dse.space_size = 42;
+    r.dse.evaluated = 9;
+    r.dse.cache_hits = 4;
+    r.dse.simulations_run = 5;
+    r.dse.rank_correlation = 0.75;
+    r.dse.chosen_tile = "1x1x16x1x16x1x1x1";
+    r.dse.chosen_cycles = 90;
+    r.dse.greedy_cycles = 100;
+    r.dse.cycles_saved_vs_greedy = 10;
+    const std::string tuned = OutputModule::summary(cfg, r).dump();
+    EXPECT_NE(tuned.find("\"dse\""), std::string::npos);
+    EXPECT_NE(tuned.find("\"chosen_tile\""), std::string::npos);
+    EXPECT_NE(tuned.find("1x1x16x1x16x1x1x1"), std::string::npos);
+    EXPECT_NE(tuned.find("\"cache_hits\""), std::string::npos);
+    EXPECT_NE(tuned.find("\"rank_correlation\""), std::string::npos);
+}
+
+TEST(Autotune, MergedSummariesAggregateAcrossLayers)
+{
+    DseSummary a;
+    a.enabled = true;
+    a.space_size = 10;
+    a.evaluated = 4;
+    a.cache_hits = 1;
+    a.simulations_run = 3;
+    a.rank_correlation = 1.0;
+    a.chosen_cycles = 100;
+    a.greedy_cycles = 120;
+    a.cycles_saved_vs_greedy = 20;
+
+    DseSummary b = a;
+    b.evaluated = 4;
+    b.rank_correlation = 0.5;
+
+    DseSummary sum;
+    sum.merge(a);
+    sum.merge(b);
+    sum.merge(DseSummary{}); // disabled: must be a no-op
+    EXPECT_TRUE(sum.enabled);
+    EXPECT_EQ(sum.space_size, 20u);
+    EXPECT_EQ(sum.evaluated, 8u);
+    EXPECT_EQ(sum.simulations_run, 6u);
+    EXPECT_DOUBLE_EQ(sum.rank_correlation, 0.75);
+    EXPECT_EQ(sum.cycles_saved_vs_greedy, 40);
+}
+
+} // namespace
+} // namespace stonne

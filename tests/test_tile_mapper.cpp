@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <unordered_set>
 
 #include "common/logging.hpp"
 #include "controller/mapper.hpp"
@@ -77,6 +79,66 @@ TEST(Tile, GemmTilesOnlyUseGemmDims)
     Tile bad = t;
     bad.t_r = 2;
     EXPECT_THROW(bad.validate(gemm, 256), FatalError);
+}
+
+TEST(Tile, EqualityComparesEveryDimension)
+{
+    Tile a;
+    a.t_r = 3;
+    a.t_s = 3;
+    a.t_c = 2;
+    a.t_k = 4;
+    Tile b = a;
+    EXPECT_EQ(a, b);
+    b.t_y = 2;
+    EXPECT_NE(a, b);
+    b = a;
+    b.t_g = 2;
+    EXPECT_NE(a, b);
+}
+
+TEST(Tile, CanonicalFormIsStableAndDistinct)
+{
+    Tile a;
+    a.t_r = 3;
+    a.t_s = 3;
+    a.t_c = 2;
+    a.t_k = 4;
+    EXPECT_EQ(a.canonical(), "3x3x2x1x4x1x1x1");
+    EXPECT_EQ(Tile{}.canonical(), "1x1x1x1x1x1x1x1");
+
+    // Swapping values between dimensions must change the key: the
+    // canonical form is positional, not a multiset of the dims.
+    Tile b = a;
+    std::swap(b.t_r, b.t_k);
+    EXPECT_NE(a.canonical(), b.canonical());
+}
+
+TEST(Tile, HashMatchesEqualityAndSpreadsDistinctTiles)
+{
+    Tile a;
+    a.t_r = 3;
+    a.t_s = 3;
+    a.t_c = 2;
+    const Tile b = a;
+    EXPECT_EQ(std::hash<Tile>{}(a), std::hash<Tile>{}(b));
+
+    // Equal tiles collapse to one set entry; distinct tiles don't.
+    std::unordered_set<Tile> set;
+    set.insert(a);
+    set.insert(b);
+    EXPECT_EQ(set.size(), 1u);
+    std::size_t distinct = 0;
+    for (index_t c = 1; c <= 8; ++c)
+        for (index_t k = 1; k <= 8; ++k) {
+            Tile t;
+            t.t_c = c;
+            t.t_k = k;
+            distinct += set.insert(t).second ? 1 : 0;
+        }
+    // All 64 (c, k) tiles differ from each other and from `a`.
+    EXPECT_EQ(distinct, 64u);
+    EXPECT_EQ(set.size(), 65u);
 }
 
 TEST(Mapper, SmallWindowFillsArrayWithClusters)
