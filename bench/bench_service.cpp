@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Service throughput benchmark: the simulation-as-a-service daemon
+ * under a synthetic client storm.
+ *
+ * A load generator submits a large NDJSON batch (kJobs run requests,
+ * a mix of cold points, cache-warm resubmissions and a sprinkle of
+ * budget-limited jobs that time out terminally) into an in-process
+ * ServiceDaemon, then drains it and reports:
+ *
+ *   - end-to-end throughput (completed jobs per second of wall time),
+ *   - per-job latency percentiles (p50 / p99 of queue wait + run wall,
+ *     as reported in each job's own `service` block),
+ *   - the admission/outcome counter snapshot.
+ *
+ * Results go to stdout and to BENCH_service.json.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json_writer.hpp"
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "service/daemon.hpp"
+
+namespace {
+
+using namespace stonne;
+using namespace stonne::bench;
+
+/** Submitted run jobs (≥ 1000: a real queue storm, not a smoke test). */
+constexpr int kJobs = 1200;
+
+/** Distinct layer shapes; jobs cycle through them. */
+constexpr int kShapes = 16;
+
+/** Distinct data seeds per shape (shapes x seeds = cold cache keys). */
+constexpr int kSeeds = 4;
+
+/** Every Nth job runs under a hopeless cycle budget (timeout path). */
+constexpr int kTimeoutStride = 97;
+
+std::string
+layerJson(int shape)
+{
+    std::ostringstream os;
+    if (shape % 4 == 3) {
+        // Small transformer-style GEMMs.
+        const int m = 16 + 8 * (shape / 4);
+        os << R"({"kind":"gemm","name":"bench_g)" << shape
+           << R"(","M":)" << m << R"(,"N":)" << m << R"(,"K":32})";
+    } else {
+        // Small convs with varying channel/filter counts.
+        const int c = 4 + 4 * (shape % 4);
+        const int k = 8 + 4 * (shape / 4);
+        os << R"({"kind":"conv","name":"bench_c)" << shape
+           << R"(","R":3,"S":3,"C":)" << c << R"(,"K":)" << k
+           << R"(,"X":8,"Y":8,"pad":1})";
+    }
+    return os.str();
+}
+
+std::string
+requestJson(int job)
+{
+    const int shape = job % kShapes;
+    const std::uint64_t seed = 42 + (job / kShapes) % kSeeds;
+    std::ostringstream os;
+    os << R"({"type":"run","id":"bench-)" << job << R"(","seed":)" << seed
+       << R"(,"layer":)" << layerJson(shape);
+    if (job % kTimeoutStride == 0)
+        os << R"(,"budget_cycles":8)";
+    os << "}";
+    return os.str();
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+int
+main()
+{
+    std::ostringstream out;
+    service::ServiceOptions opts;
+    opts.base = HardwareConfig::maeriLike(64, 16);
+    opts.base.service_queue_depth = kJobs; // admit the whole storm
+    service::ServiceDaemon daemon(opts, out);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int job = 0; job < kJobs; ++job)
+        daemon.handleLine(requestJson(job));
+    const auto t_submitted = std::chrono::steady_clock::now();
+    daemon.finish();
+    const auto t_drained = std::chrono::steady_clock::now();
+
+    const double submit_s =
+        std::chrono::duration<double>(t_submitted - t0).count();
+    const double total_s =
+        std::chrono::duration<double>(t_drained - t0).count();
+
+    // Harvest per-job latencies from the daemon's own response stream.
+    std::vector<double> latencies_ms;
+    std::uint64_t cache_hits = 0;
+    {
+        std::istringstream lines(out.str());
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (line.empty())
+                continue;
+            const JsonValue r = JsonValue::parse(line);
+            const JsonValue *type = r.find("type");
+            if (!type || type->asString() != "result")
+                continue;
+            const JsonValue *svc = r.find("service");
+            if (!svc)
+                continue;
+            latencies_ms.push_back(svc->find("queue_wait_ms")->asDouble() +
+                                   svc->find("wall_ms")->asDouble());
+            if (svc->find("cache_hit")->asBool())
+                ++cache_hits;
+        }
+    }
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+
+    const service::ServiceCounters c = daemon.counters();
+    const std::uint64_t completed = c.done + c.failed + c.timeout;
+    fatalIf(completed + c.rejected !=
+                static_cast<std::uint64_t>(kJobs),
+            "lost jobs: ", completed, " completed + ", c.rejected,
+            " rejected != ", kJobs, " submitted");
+
+    const double jobs_per_s =
+        total_s > 0.0 ? static_cast<double>(completed) / total_s : 0.0;
+    const double p50 = percentile(latencies_ms, 0.50);
+    const double p99 = percentile(latencies_ms, 0.99);
+
+    banner("Simulation service under a " + std::to_string(kJobs) +
+           "-job storm (" + std::to_string(daemon.workerCount()) +
+           " workers)");
+    TablePrinter t({"metric", "value"});
+    t.addRow({"jobs submitted", TablePrinter::num(count_t{kJobs})});
+    t.addRow({"done", TablePrinter::num(static_cast<count_t>(c.done))});
+    t.addRow({"timeout (budget)",
+              TablePrinter::num(static_cast<count_t>(c.timeout))});
+    t.addRow({"failed", TablePrinter::num(static_cast<count_t>(c.failed))});
+    t.addRow({"rejected",
+              TablePrinter::num(static_cast<count_t>(c.rejected))});
+    t.addRow({"cache hits",
+              TablePrinter::num(static_cast<count_t>(c.cache_hits))});
+    t.addRow({"submit wall [s]", TablePrinter::num(submit_s, 3)});
+    t.addRow({"total wall [s]", TablePrinter::num(total_s, 3)});
+    t.addRow({"throughput [jobs/s]", TablePrinter::num(jobs_per_s, 0)});
+    t.addRow({"latency p50 [ms]", TablePrinter::num(p50, 3)});
+    t.addRow({"latency p99 [ms]", TablePrinter::num(p99, 3)});
+    t.print();
+
+    JsonValue j = JsonValue::makeObject();
+    j.set("benchmark", std::string("service"));
+    j.set("jobs", static_cast<std::int64_t>(kJobs));
+    j.set("distinct_shapes", static_cast<std::int64_t>(kShapes));
+    j.set("distinct_seeds", static_cast<std::int64_t>(kSeeds));
+    j.set("workers", static_cast<std::uint64_t>(daemon.workerCount()));
+    j.set("queue_depth", static_cast<std::uint64_t>(daemon.queueDepth()));
+    j.set("submit_wall_seconds", submit_s);
+    j.set("total_wall_seconds", total_s);
+    j.set("jobs_per_second", jobs_per_s);
+    j.set("latency_p50_ms", p50);
+    j.set("latency_p99_ms", p99);
+    j.set("done", c.done);
+    j.set("timeout", c.timeout);
+    j.set("failed", c.failed);
+    j.set("rejected", c.rejected);
+    j.set("cache_hits", c.cache_hits);
+    j.set("retries", c.retries);
+    OutputModule::writeFile("BENCH_service.json", j.dump() + "\n");
+    std::printf("wrote BENCH_service.json\n");
+    return 0;
+}

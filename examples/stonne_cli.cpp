@@ -11,7 +11,9 @@
  *         run" | ./stonne_cli
  */
 
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -23,7 +25,8 @@
 #include "dse/tuner.hpp"
 #include "engine/output_module.hpp"
 #include "engine/stonne_api.hpp"
-#include "tensor/prune.hpp"
+#include "engine/workload.hpp"
+#include "service/daemon.hpp"
 
 using namespace stonne;
 
@@ -112,54 +115,18 @@ runOp(CliState &st)
         return;
     }
 
-    Rng rng(st.seed);
-    Tensor input, weights, bias;
-    switch (st.layer.kind) {
-      case LayerKind::Convolution: {
-        const Conv2dShape &c = st.layer.conv;
-        input = Tensor({c.N, c.C, c.X, c.Y});
-        weights = Tensor({c.K, c.cPerGroup(), c.R, c.S});
-        bias = Tensor({c.K});
-        st.stonne->configureConv(st.layer, st.tile);
-        break;
-      }
-      case LayerKind::Linear: {
-        const GemmDims g = st.layer.gemm;
-        input = Tensor({g.n, g.k});
-        weights = Tensor({g.m, g.k});
-        bias = Tensor({g.m});
-        st.stonne->configureLinear(st.layer, st.tile);
-        break;
-      }
-      case LayerKind::Gemm: {
-        const GemmDims g = st.layer.gemm;
-        input = Tensor({g.k, g.n});
-        weights = Tensor({g.m, g.k});
-        st.stonne->configureDmm(st.layer, st.tile);
-        break;
-      }
-      case LayerKind::SparseGemm: {
-        const GemmDims g = st.layer.gemm;
-        input = Tensor({g.k, g.n});
-        weights = Tensor({g.m, g.k});
-        st.stonne->configureSpmm(st.layer);
-        break;
-      }
-      case LayerKind::MaxPool:
+    if (st.layer.kind == LayerKind::MaxPool) {
         std::printf("error: use the model runner for pooling\n");
         return;
     }
-    input.fillUniform(rng, 0.0f, 1.0f);
-    weights.fillNormal(rng, 0.0f, 0.2f);
-    if (st.sparsity > 0.0)
-        pruneFiltersWithJitter(weights, st.sparsity, 0.15, rng);
-    if (!bias.empty())
-        bias.fillUniform(rng, -0.1f, 0.1f);
 
+    // One construction path with the benchmarks and the service daemon:
+    // the same (layer, seed, sparsity) always yields bit-identical
+    // operands, so a CLI run reproduces a service job exactly.
+    const LayerData data = makeLayerData(st.layer, st.sparsity, st.seed);
     st.stonne->setSchedulingPolicy(st.policy, st.seed);
-    st.stonne->configureData(std::move(input), std::move(weights),
-                             std::move(bias));
-    const SimulationResult r = st.stonne->runOperation();
+    const SimulationResult r =
+        runLayer(*st.stonne, st.layer, data, st.tile);
     std::printf("%s\n",
                 OutputModule::summary(st.stonne->config(), r)
                     .dump().c_str());
@@ -418,11 +385,63 @@ handle(CliState &st, const std::string &line)
     return true;
 }
 
+/** Set by the signal handlers; observed by the daemon's read loop. */
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+/**
+ * `stonne_cli serve [stonne_hw.cfg]`: the simulation service. SIGINT
+ * and SIGTERM trigger a graceful shutdown — installed without
+ * SA_RESTART so the blocking getline breaks on EINTR, after which the
+ * daemon drains queued and running jobs, persists the result cache,
+ * and exits 0.
+ */
+int
+serveMain(int argc, char **argv)
+{
+    service::ServiceOptions opts;
+    if (argc > 2)
+        opts.base = HardwareConfig::parseFile(argv[2]);
+    opts.cache_file = opts.base.dse_cache_file;
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: getline must return on EINTR
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+
+    service::ServiceDaemon daemon(opts, std::cout);
+    return daemon.serve(std::cin, &g_stop);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc > 1 && std::string(argv[1]) == "serve") {
+        try {
+            return serveMain(argc, argv);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "serve: %s\n", e.what());
+            return 1;
+        }
+    }
+    if (argc > 1) {
+        std::fprintf(stderr,
+                     "usage: %s            interactive prompt\n"
+                     "       %s serve [stonne_hw.cfg]\n",
+                     argv[0], argv[0]);
+        return 2;
+    }
+
     std::printf("STONNE user interface — 'help' for commands\n");
     CliState st;
     std::string line;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "engine/stonne_api.hpp"
+
 namespace stonne {
 
 void
@@ -25,6 +27,84 @@ loadTensor(ArchiveReader &ar)
     return t;
 }
 
+void
+saveSimulationResult(ArchiveWriter &ar, const SimulationResult &r)
+{
+    ar.putString(r.layer_name);
+    ar.putString(r.accelerator);
+    ar.putU64(r.cycles);
+    ar.putDouble(r.time_ms);
+    ar.putDouble(r.wall_seconds);
+    ar.putDouble(r.sim_cycles_per_second);
+    ar.putU64(r.macs);
+    ar.putU64(r.skipped_macs);
+    ar.putU64(r.mem_accesses);
+    ar.putDouble(r.ms_utilization);
+    ar.putDouble(r.energy.gb_uj);
+    ar.putDouble(r.energy.dn_uj);
+    ar.putDouble(r.energy.mn_uj);
+    ar.putDouble(r.energy.rn_uj);
+    ar.putDouble(r.energy.dram_uj);
+    ar.putDouble(r.energy.static_uj);
+    ar.putDouble(r.area.gb_um2);
+    ar.putDouble(r.area.dn_um2);
+    ar.putDouble(r.area.mn_um2);
+    ar.putDouble(r.area.rn_um2);
+    ar.putString(r.trace_path);
+    ar.putString(r.checkpoint_path);
+    ar.putU64(r.restored_from_cycle);
+    ar.putBool(r.dse.enabled);
+    ar.putU64(r.dse.space_size);
+    ar.putU64(r.dse.evaluated);
+    ar.putU64(r.dse.cache_hits);
+    ar.putU64(r.dse.simulations_run);
+    ar.putDouble(r.dse.rank_correlation);
+    ar.putString(r.dse.chosen_tile);
+    ar.putU64(r.dse.chosen_cycles);
+    ar.putU64(r.dse.greedy_cycles);
+    ar.putI64(r.dse.cycles_saved_vs_greedy);
+}
+
+SimulationResult
+loadSimulationResult(ArchiveReader &ar)
+{
+    SimulationResult r;
+    r.layer_name = ar.getString();
+    r.accelerator = ar.getString();
+    r.cycles = ar.getU64();
+    r.time_ms = ar.getDouble();
+    r.wall_seconds = ar.getDouble();
+    r.sim_cycles_per_second = ar.getDouble();
+    r.macs = ar.getU64();
+    r.skipped_macs = ar.getU64();
+    r.mem_accesses = ar.getU64();
+    r.ms_utilization = ar.getDouble();
+    r.energy.gb_uj = ar.getDouble();
+    r.energy.dn_uj = ar.getDouble();
+    r.energy.mn_uj = ar.getDouble();
+    r.energy.rn_uj = ar.getDouble();
+    r.energy.dram_uj = ar.getDouble();
+    r.energy.static_uj = ar.getDouble();
+    r.area.gb_um2 = ar.getDouble();
+    r.area.dn_um2 = ar.getDouble();
+    r.area.mn_um2 = ar.getDouble();
+    r.area.rn_um2 = ar.getDouble();
+    r.trace_path = ar.getString();
+    r.checkpoint_path = ar.getString();
+    r.restored_from_cycle = ar.getU64();
+    r.dse.enabled = ar.getBool();
+    r.dse.space_size = ar.getU64();
+    r.dse.evaluated = ar.getU64();
+    r.dse.cache_hits = ar.getU64();
+    r.dse.simulations_run = ar.getU64();
+    r.dse.rank_correlation = ar.getDouble();
+    r.dse.chosen_tile = ar.getString();
+    r.dse.chosen_cycles = ar.getU64();
+    r.dse.greedy_cycles = ar.getU64();
+    r.dse.cycles_saved_vs_greedy = ar.getI64();
+    return r;
+}
+
 namespace {
 
 /** Open `path` and read the "meta" section: (kind, config text). */
@@ -36,7 +116,8 @@ readMeta(const std::string &path)
     const std::uint32_t kind = r.getU32();
     std::string cfg_text = r.getString();
     r.leaveSection();
-    if (kind != kCheckpointKindEngine && kind != kCheckpointKindModelRun)
+    if (kind != kCheckpointKindEngine && kind != kCheckpointKindModelRun &&
+        kind != kCheckpointKindServiceJob)
         r.fail("unknown checkpoint kind " + std::to_string(kind));
     return {kind, std::move(cfg_text)};
 }

@@ -28,15 +28,29 @@
 
 namespace stonne {
 
+struct SimulationResult;
+
 /** Checkpoint kinds stored in the "meta" section. */
-constexpr std::uint32_t kCheckpointKindEngine = 1;   //!< Stonne only
-constexpr std::uint32_t kCheckpointKindModelRun = 2; //!< + "runner"
+constexpr std::uint32_t kCheckpointKindEngine = 1;     //!< Stonne only
+constexpr std::uint32_t kCheckpointKindModelRun = 2;   //!< + "runner"
+constexpr std::uint32_t kCheckpointKindServiceJob = 3; //!< + "service_job"
 
 /** Serialize a tensor (shape + raw float payload). */
 void saveTensor(ArchiveWriter &ar, const Tensor &t);
 
 /** Deserialize a tensor written by saveTensor(). */
 Tensor loadTensor(ArchiveReader &ar);
+
+/**
+ * Serialize one SimulationResult at full fidelity: a run restored from
+ * a snapshot must report byte-identically to the uninterrupted one.
+ * Shared by the ModelRunner's layer-boundary snapshots and the service
+ * daemon's per-job snapshots.
+ */
+void saveSimulationResult(ArchiveWriter &ar, const SimulationResult &r);
+
+/** Deserialize a saveSimulationResult() record. */
+SimulationResult loadSimulationResult(ArchiveReader &ar);
 
 /**
  * Read the HardwareConfig text embedded in a checkpoint file without

@@ -133,6 +133,19 @@ HardwareConfig::validate() const
             checkpoint_interval_cycles);
     fatalIf(dse_top_k <= 0, "dse_top_k must be positive, got ",
             dse_top_k);
+    fatalIf(service_queue_depth <= 0,
+            "service_queue_depth must be positive, got ",
+            service_queue_depth);
+    fatalIf(service_workers < 0, "service_workers must be >= 0, got ",
+            service_workers);
+    fatalIf(job_budget_cycles < 0,
+            "job_budget_cycles must be >= 0 (0 = unlimited), got ",
+            job_budget_cycles);
+    fatalIf(job_budget_wall_ms < 0,
+            "job_budget_wall_ms must be >= 0 (0 = unlimited), got ",
+            job_budget_wall_ms);
+    fatalIf(job_retries < 0, "job_retries must be >= 0, got ",
+            job_retries);
     // Only the dense controller consumes explicit tiles (the sparse
     // controller sizes clusters dynamically and SNAPEA's convolution
     // path maps whole filters), so there is nothing to tune elsewhere.
@@ -401,6 +414,16 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.dse_top_k = as_int();
         } else if (key == "DSE_CACHE_FILE") {
             c.dse_cache_file = val;
+        } else if (key == "SERVICE_QUEUE_DEPTH") {
+            c.service_queue_depth = as_int();
+        } else if (key == "SERVICE_WORKERS") {
+            c.service_workers = as_int();
+        } else if (key == "JOB_BUDGET_CYCLES") {
+            c.job_budget_cycles = as_int();
+        } else if (key == "JOB_BUDGET_WALL_MS") {
+            c.job_budget_wall_ms = as_int();
+        } else if (key == "JOB_RETRIES") {
+            c.job_retries = as_int();
         } else if (key == "FAULTS") {
             c.faults.enabled = as_flag();
         } else if (key == "FAULT_SEED") {
@@ -476,6 +499,20 @@ HardwareConfig::toConfigText() const
         if (!dse_cache_file.empty())
             os << "dse_cache_file = " << dse_cache_file << "\n";
     }
+    // Service/job-envelope knobs are emitted only when they differ
+    // from the defaults, keeping pre-service config texts (and the
+    // snapshots embedding them) byte-stable.
+    const HardwareConfig defaults;
+    if (service_queue_depth != defaults.service_queue_depth)
+        os << "service_queue_depth = " << service_queue_depth << "\n";
+    if (service_workers != defaults.service_workers)
+        os << "service_workers = " << service_workers << "\n";
+    if (job_budget_cycles != defaults.job_budget_cycles)
+        os << "job_budget_cycles = " << job_budget_cycles << "\n";
+    if (job_budget_wall_ms != defaults.job_budget_wall_ms)
+        os << "job_budget_wall_ms = " << job_budget_wall_ms << "\n";
+    if (job_retries != defaults.job_retries)
+        os << "job_retries = " << job_retries << "\n";
     if (faults.enabled)
         os << faults.toConfigText();
     return os.str();
@@ -494,6 +531,12 @@ HardwareConfig::structuralText() const
     c.autotune = false;
     c.dse_top_k = 1;
     c.dse_cache_file.clear();
+    const HardwareConfig defaults;
+    c.service_queue_depth = defaults.service_queue_depth;
+    c.service_workers = defaults.service_workers;
+    c.job_budget_cycles = defaults.job_budget_cycles;
+    c.job_budget_wall_ms = defaults.job_budget_wall_ms;
+    c.job_retries = defaults.job_retries;
     return c.toConfigText();
 }
 

@@ -181,6 +181,48 @@ struct HardwareConfig {
      */
     std::string dse_cache_file = "stonne_dse.cache";
 
+    /**
+     * Simulation-service knobs (src/service). These configure the
+     * daemon wrapped around the simulator, not the simulated hardware:
+     * all of them are execution policy, normalized away by
+     * structuralText().
+     */
+
+    /**
+     * Bound of the service's admission queue: jobs waiting for a
+     * worker beyond the ones already running. A submission arriving
+     * with the queue full is rejected with a structured reason —
+     * backpressure instead of unbounded growth.
+     */
+    index_t service_queue_depth = 64;
+
+    /** Service worker threads (0 picks the hardware concurrency). */
+    index_t service_workers = 0;
+
+    /**
+     * Per-operation simulated-cycle budget enforced by the progress
+     * watchdog: a job whose operation observes more cycles than this
+     * aborts with BudgetExceededError and is reported as `timeout`.
+     * 0 leaves operations unbounded.
+     */
+    index_t job_budget_cycles = 0;
+
+    /**
+     * Per-job wall-clock budget in milliseconds, enforced by the
+     * service's robustness envelope across all attempts of a job.
+     * 0 leaves jobs unbounded.
+     */
+    index_t job_budget_wall_ms = 0;
+
+    /**
+     * Retries after a job's first failed attempt (DeadlockError or
+     * CheckpointError): bounded exponential backoff between attempts,
+     * and the final attempt runs degraded (fast_forward OFF, watchdog
+     * budget x4) exactly like the recovering sweep runner. 0 disables
+     * retrying.
+     */
+    index_t job_retries = 2;
+
     /** Validate the composition, throwing FatalError on conflicts. */
     void validate() const;
 

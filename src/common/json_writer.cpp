@@ -1,7 +1,12 @@
 #include "common/json_writer.hpp"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 
 #include "common/logging.hpp"
 
@@ -66,6 +71,93 @@ JsonValue::makeObject()
     JsonValue v;
     v.kind_ = Kind::Object;
     return v;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        throw JsonParseError("value is not a string");
+    return string_;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        throw JsonParseError("value is not a boolean");
+    return bool_;
+}
+
+std::int64_t
+JsonValue::asInt64() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return int_;
+      case Kind::Uint:
+        if (uint_ > static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int64_t>::max()))
+            throw JsonParseError("number does not fit a signed 64-bit "
+                                 "integer");
+        return static_cast<std::int64_t>(uint_);
+      case Kind::Double: {
+        const double d = double_;
+        if (d != std::trunc(d) || d < -9.2233720368547758e18 ||
+            d > 9.2233720368547758e18)
+            throw JsonParseError("number is not an integer");
+        return static_cast<std::int64_t>(d);
+      }
+      default:
+        throw JsonParseError("value is not a number");
+    }
+}
+
+std::uint64_t
+JsonValue::asUint64() const
+{
+    switch (kind_) {
+      case Kind::Uint:
+        return uint_;
+      case Kind::Int:
+        if (int_ < 0)
+            throw JsonParseError("number is negative");
+        return static_cast<std::uint64_t>(int_);
+      case Kind::Double: {
+        const double d = double_;
+        if (d != std::trunc(d) || d < 0.0 || d > 1.8446744073709552e19)
+            throw JsonParseError("number is not an unsigned integer");
+        return static_cast<std::uint64_t>(d);
+      }
+      default:
+        throw JsonParseError("value is not a number");
+    }
+}
+
+double
+JsonValue::asDouble() const
+{
+    switch (kind_) {
+      case Kind::Int:
+        return static_cast<double>(int_);
+      case Kind::Uint:
+        return static_cast<double>(uint_);
+      case Kind::Double:
+        return double_;
+      default:
+        throw JsonParseError("value is not a number");
+    }
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &m : members_)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
 }
 
 JsonValue &
@@ -209,12 +301,358 @@ JsonValue::dumpInto(std::string &out, int indent, int depth) const
     }
 }
 
+void
+JsonValue::dumpCompactInto(std::string &out) const
+{
+    switch (kind_) {
+      case Kind::Array: {
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            array_[i].dumpCompactInto(out);
+        }
+        out += ']';
+        break;
+      }
+      case Kind::Object: {
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            escapeInto(out, members_[i].first);
+            out += ':';
+            members_[i].second.dumpCompactInto(out);
+        }
+        out += '}';
+        break;
+      }
+      default:
+        // Scalars render identically in both forms.
+        dumpInto(out, 0, 0);
+        break;
+    }
+}
+
 std::string
 JsonValue::dump(int indent) const
 {
     std::string out;
     dumpInto(out, indent, 0);
     return out;
+}
+
+std::string
+JsonValue::dumpLine() const
+{
+    std::string out;
+    dumpCompactInto(out);
+    return out;
+}
+
+// --- strict parser ----------------------------------------------------
+
+namespace {
+
+/** Recursive-descent RFC 8259 parser over a byte string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        skipWs();
+        JsonValue v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after the document");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        throw JsonParseError(msg + " at byte " + std::to_string(pos_));
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                return;
+            ++pos_;
+        }
+    }
+
+    char peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        const std::size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting deeper than 64 levels");
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        switch (peek()) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            return JsonValue::makeString(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::makeBool(true);
+            fail("invalid literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::makeBool(false);
+            fail("invalid literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            fail("invalid literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseObject(int depth)
+    {
+        expect('{');
+        JsonValue obj = JsonValue::makeObject();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected a string object key");
+            std::string key = parseString();
+            if (obj.find(key) != nullptr)
+                fail("duplicate object key '" + key + "'");
+            skipWs();
+            expect(':');
+            skipWs();
+            obj[key] = parseValue(depth + 1);
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue parseArray(int depth)
+    {
+        expect('[');
+        JsonValue arr = JsonValue::makeArray();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            skipWs();
+            arr.append(parseValue(depth + 1));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return out;
+            }
+            if (c < 0x20)
+                fail("raw control character inside a string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_; // consume the backslash
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':  out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                unsigned cp = parseHex4();
+                // Surrogate pairs combine into one code point.
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    if (!consumeLiteral("\\u"))
+                        fail("unpaired surrogate");
+                    const unsigned lo = parseHex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                    fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    unsigned parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return v;
+    }
+
+    static void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        bool negative = false;
+        if (peek() == '-') {
+            negative = true;
+            ++pos_;
+        }
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        // No leading zeros (RFC 8259 section 6).
+        if (peek() == '0' && pos_ + 1 < text_.size() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))
+            fail("leading zero in number");
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        bool is_integer = true;
+        if (peek() == '.') {
+            is_integer = false;
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("expected digits after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            is_integer = false;
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                fail("expected digits in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        if (is_integer) {
+            errno = 0;
+            if (negative) {
+                const long long v = std::strtoll(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return JsonValue::makeInt(v);
+            } else {
+                const unsigned long long v =
+                    std::strtoull(tok.c_str(), nullptr, 10);
+                if (errno != ERANGE)
+                    return JsonValue::makeUint(v);
+            }
+            // Out-of-range integers degrade to double like most
+            // parsers do.
+        }
+        errno = 0;
+        const double d = std::strtod(tok.c_str(), nullptr);
+        if (errno == ERANGE && (d == 0.0 || std::isinf(d)))
+            fail("number out of range");
+        return JsonValue::makeDouble(d);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
 }
 
 } // namespace stonne

@@ -1,9 +1,11 @@
 /**
  * @file
- * Minimal JSON emitter for the output module's stats summary file.
+ * Minimal JSON value tree: the emitter behind the output module's
+ * stats summary files, plus a strict RFC 8259 parser for the line-
+ * delimited request protocol of the simulation service (src/service).
  *
- * Supports exactly what the output module needs: nested objects, arrays,
- * string/number/bool values, and stable insertion order. No parsing.
+ * Supports nested objects, arrays, string/number/bool values, and
+ * stable insertion order.
  */
 
 #ifndef STONNE_COMMON_JSON_WRITER_HPP
@@ -11,11 +13,26 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace stonne {
+
+/**
+ * Thrown by JsonValue::parse on malformed input. The message carries
+ * the byte offset of the problem so a protocol error response can
+ * point at the defect.
+ */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    explicit JsonParseError(const std::string &msg)
+        : std::runtime_error("json: " + msg)
+    {
+    }
+};
 
 /** A JSON value tree with insertion-ordered object members. */
 class JsonValue
@@ -33,7 +50,49 @@ class JsonValue
     static JsonValue makeArray();
     static JsonValue makeObject();
 
+    /**
+     * Strict parse of one JSON document (RFC 8259: objects, arrays,
+     * strings with escapes, numbers, true/false/null). Trailing
+     * non-whitespace, unterminated constructs, raw control characters
+     * in strings and nesting deeper than 64 levels all throw
+     * JsonParseError. Duplicate object keys throw, so a consumer can
+     * trust member lookups to be unambiguous.
+     */
+    static JsonValue parse(const std::string &text);
+
     Kind kind() const { return kind_; }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::Int || kind_ == Kind::Uint ||
+               kind_ == Kind::Double;
+    }
+
+    // --- checked readers (throw JsonParseError on a kind mismatch) ----
+
+    const std::string &asString() const;
+    bool asBool() const;
+    /** Any numeric kind, range-checked into the target type. */
+    std::int64_t asInt64() const;
+    std::uint64_t asUint64() const;
+    double asDouble() const;
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Object members in insertion order (empty for non-objects). */
+    const std::vector<std::pair<std::string, JsonValue>> &members() const
+    {
+        return members_;
+    }
+
+    /** Array elements (empty for non-arrays). */
+    const std::vector<JsonValue> &items() const { return array_; }
 
     /** Object member access, creating the member when absent. */
     JsonValue &operator[](const std::string &key);
@@ -43,6 +102,9 @@ class JsonValue
 
     /** Serialize with 2-space indentation. */
     std::string dump(int indent = 2) const;
+
+    /** Compact single-line serialization (the NDJSON protocol form). */
+    std::string dumpLine() const;
 
     // Convenience setters keeping call sites terse.
     void set(const std::string &k, std::int64_t v);
@@ -54,6 +116,7 @@ class JsonValue
 
   private:
     void dumpInto(std::string &out, int indent, int depth) const;
+    void dumpCompactInto(std::string &out) const;
     static void escapeInto(std::string &out, const std::string &s);
 
     Kind kind_;

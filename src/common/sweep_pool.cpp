@@ -3,17 +3,152 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <thread>
+#include <stdexcept>
+#include <utility>
 
 namespace stonne {
 
-SweepRunner::SweepRunner(std::size_t threads)
-    : threads_(threads)
+namespace {
+
+std::size_t
+resolveThreads(std::size_t threads)
 {
-    if (threads_ == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads_ = hw > 0 ? hw : 1;
+    if (threads != 0)
+        return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(std::size_t threads, bool start_workers)
+    : thread_count_(resolveThreads(threads))
+{
+    if (start_workers)
+        start();
+}
+
+WorkerPool::~WorkerPool()
+{
+    shutdown();
+}
+
+void
+WorkerPool::start()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_)
+        return;
+    started_ = true;
+    workers_.reserve(thread_count_);
+    for (std::size_t t = 0; t < thread_count_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+WorkerPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            throw std::runtime_error("WorkerPool: submit after shutdown");
+        queue_.push_back(std::move(task));
     }
+    work_cv_.notify_one();
+}
+
+std::size_t
+WorkerPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+std::size_t
+WorkerPool::running() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+}
+
+std::uint64_t
+WorkerPool::tasksRun() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_run_;
+}
+
+std::uint64_t
+WorkerPool::tasksFailed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return tasks_failed_;
+}
+
+void
+WorkerPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+WorkerPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        bool failed = false;
+        try {
+            task();
+        } catch (...) {
+            // The last line of defense: a task that leaks any
+            // exception must never take the worker (and with it the
+            // daemon) down. Errors the caller cares about are captured
+            // inside the task closure itself.
+            failed = true;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --running_;
+            ++tasks_run_;
+            if (failed)
+                ++tasks_failed_;
+            if (queue_.empty() && running_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+SweepRunner::SweepRunner(std::size_t threads)
+    : threads_(resolveThreads(threads))
+{
 }
 
 void
@@ -22,32 +157,30 @@ SweepRunner::run(const std::vector<std::function<void()>> &jobs) const
     if (jobs.empty())
         return;
 
-    std::atomic<std::size_t> next{0};
     std::vector<std::exception_ptr> errors(jobs.size());
+    const std::size_t n = std::min(threads_, jobs.size());
 
-    auto worker = [&]() {
-        while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= jobs.size())
-                return;
+    if (n <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
             try {
                 jobs[i]();
             } catch (...) {
                 errors[i] = std::current_exception();
             }
         }
-    };
-
-    const std::size_t n = std::min(threads_, jobs.size());
-    if (n <= 1) {
-        worker();
     } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n);
-        for (std::size_t t = 0; t < n; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
+        WorkerPool pool(n);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&jobs, &errors, i] {
+                try {
+                    jobs[i]();
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+        pool.drain();
+        pool.shutdown();
     }
 
     for (const std::exception_ptr &e : errors)

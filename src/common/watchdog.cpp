@@ -28,9 +28,32 @@ Watchdog::addSource(std::string name, SnapshotFn dump)
 }
 
 void
+Watchdog::checkBudgets(bool check_wall)
+{
+    if (cycle_budget_ != 0 && cycles_ > cycle_budget_) {
+        std::ostringstream msg;
+        msg << "simulated-cycle budget exhausted: " << cycles_
+            << " cycles observed, budget " << cycle_budget_
+            << SimContext::suffix();
+        throw BudgetExceededError(BudgetExceededError::Kind::Cycles,
+                                  msg.str());
+    }
+    if (check_wall && wall_deadline_ &&
+        std::chrono::steady_clock::now() > *wall_deadline_) {
+        std::ostringstream msg;
+        msg << "wall-clock budget exhausted at simulated cycle "
+            << cycles_ << SimContext::suffix();
+        throw BudgetExceededError(BudgetExceededError::Kind::WallClock,
+                                  msg.str());
+    }
+}
+
+void
 Watchdog::tick(count_t progress)
 {
     ++cycles_;
+    if (cycle_budget_ != 0 || wall_deadline_)
+        checkBudgets((cycles_ & 8191) == 0);
     if (progress > 0) {
         stall_ = 0;
         return;
@@ -45,6 +68,8 @@ Watchdog::bulkTick(cycle_t cycles, count_t progress_per_cycle)
     if (cycles == 0)
         return;
     cycles_ += cycles;
+    if (cycle_budget_ != 0 || wall_deadline_)
+        checkBudgets(true);
     if (progress_per_cycle > 0) {
         stall_ = 0;
         return;

@@ -17,7 +17,9 @@
 #ifndef STONNE_COMMON_WATCHDOG_HPP
 #define STONNE_COMMON_WATCHDOG_HPP
 
+#include <chrono>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -46,6 +48,30 @@ class DeadlockError : public std::runtime_error
 
   private:
     std::string report_;
+};
+
+/**
+ * Thrown when a simulation exceeds an externally imposed budget — the
+ * simulated-cycle ceiling (`job_budget_cycles`) or a wall-clock
+ * deadline the service's robustness envelope arms per job. Unlike a
+ * DeadlockError the run *was* making progress, so a retry under a
+ * different execution policy cannot help: callers treat this as a
+ * terminal timeout, not a retryable fault.
+ */
+class BudgetExceededError : public std::runtime_error
+{
+  public:
+    enum class Kind { Cycles, WallClock };
+
+    BudgetExceededError(Kind kind, const std::string &msg)
+        : std::runtime_error("budget: " + msg), kind_(kind)
+    {
+    }
+
+    Kind budgetKind() const { return kind_; }
+
+  private:
+    Kind kind_;
 };
 
 /** Monitors per-cycle progress and fires DeadlockError on a stall. */
@@ -84,6 +110,28 @@ class Watchdog : public Checkpointable
      */
     void bulkTick(cycle_t cycles, count_t progress_per_cycle);
 
+    /**
+     * Arm a simulated-cycle ceiling: tick()/bulkTick() throw
+     * BudgetExceededError once the cycles observed for the current
+     * operation pass `budget` (0 disarms). The budget is a bound, not
+     * an exact stop — a fast-forward bulk region may overshoot it
+     * before the check fires. A disarmed budget adds no observable
+     * behavior, keeping budget-free runs bit-identical.
+     */
+    void setCycleBudget(cycle_t budget) { cycle_budget_ = budget; }
+    cycle_t cycleBudget() const { return cycle_budget_; }
+
+    /**
+     * Arm a host wall-clock deadline, checked every 8192 ticks and on
+     * every bulk region so the cost stays off the per-cycle hot path;
+     * std::nullopt disarms. Crossing it throws BudgetExceededError.
+     */
+    void setWallDeadline(
+        std::optional<std::chrono::steady_clock::time_point> deadline)
+    {
+        wall_deadline_ = deadline;
+    }
+
     /** Cycles observed since construction/reset. */
     cycle_t cyclesObserved() const { return cycles_; }
 
@@ -102,10 +150,13 @@ class Watchdog : public Checkpointable
 
   private:
     [[noreturn]] void fire();
+    void checkBudgets(bool check_wall);
 
     cycle_t limit_;
     cycle_t cycles_ = 0;
     cycle_t stall_ = 0;
+    cycle_t cycle_budget_ = 0; //!< 0 = unlimited
+    std::optional<std::chrono::steady_clock::time_point> wall_deadline_;
     std::vector<std::pair<std::string, SnapshotFn>> sources_;
 };
 

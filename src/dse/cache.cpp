@@ -66,6 +66,7 @@ ResultCache::keyText(const HardwareConfig &cfg, const LayerSpec &layer,
 std::optional<CachedOutcome>
 ResultCache::lookup(const std::string &key_text) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = entries_.find(hashKey(key_text));
     if (it == entries_.end() || it->second.key_text != key_text)
         return std::nullopt;
@@ -76,7 +77,15 @@ void
 ResultCache::insert(const std::string &key_text,
                     const CachedOutcome &outcome)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     entries_[hashKey(key_text)] = Entry{key_text, outcome};
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
 }
 
 void
@@ -114,10 +123,20 @@ ResultCache::save() const
 {
     if (path_.empty())
         return;
+    // Snapshot under the entries lock, serialize and write outside it:
+    // the archive write (CRC + tmp/rename) must not stall concurrent
+    // lookups. Writers themselves are serialized by save_mu_ — two
+    // concurrent saves would race on the shared .tmp sibling.
+    std::lock_guard<std::mutex> save_lock(save_mu_);
+    std::map<std::uint64_t, Entry> snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        snapshot = entries_;
+    }
     ArchiveWriter ar;
     ar.beginSection("dse_cache");
-    ar.putU64(entries_.size());
-    for (const auto &[hash, e] : entries_) {
+    ar.putU64(snapshot.size());
+    for (const auto &[hash, e] : snapshot) {
         (void)hash;
         ar.putString(e.key_text);
         ar.putU64(e.outcome.cycles);

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -40,7 +41,16 @@ struct CachedOutcome {
     double ms_utilization = 0.0;
 };
 
-/** Content-addressed, archive-persisted simulation-outcome cache. */
+/**
+ * Content-addressed, archive-persisted simulation-outcome cache.
+ *
+ * Thread-safe: lookup/insert/save/size may be called concurrently from
+ * any number of threads (the simulation service shares one instance
+ * between all of its workers and every tuner they run). The internal
+ * mutex covers each call; save() snapshots the entries under the lock
+ * and serializes outside it, so a long archive write never stalls the
+ * hot lookup path.
+ */
 class ResultCache
 {
   public:
@@ -74,7 +84,7 @@ class ResultCache
     /** Persist to the cache file (no-op for in-memory caches). */
     void save() const;
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const;
     const std::string &path() const { return path_; }
 
     /** Entries whose file could not be parsed at load (0 or all). */
@@ -89,6 +99,8 @@ class ResultCache
     void load();
 
     std::string path_;
+    mutable std::mutex mu_;      //!< guards entries_
+    mutable std::mutex save_mu_; //!< serializes writers of the file
     // Ordered by hash so the persisted file is deterministic.
     std::map<std::uint64_t, Entry> entries_;
     bool load_failed_ = false;

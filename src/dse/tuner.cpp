@@ -115,7 +115,17 @@ TuneReport::summary() const
 
 AutoTuner::AutoTuner(const HardwareConfig &cfg, TuneOptions opts)
     : cfg_(evalConfig(cfg)), opts_(std::move(opts)),
-      cache_(opts_.cache_file)
+      own_cache_(std::make_unique<ResultCache>(opts_.cache_file)),
+      cache_(own_cache_.get())
+{
+    fatalIf(opts_.top_k <= 0, "AutoTuner: top_k must be positive, got ",
+            opts_.top_k);
+    cfg_.validate();
+}
+
+AutoTuner::AutoTuner(const HardwareConfig &cfg, TuneOptions opts,
+                     ResultCache &shared_cache)
+    : cfg_(evalConfig(cfg)), opts_(std::move(opts)), cache_(&shared_cache)
 {
     fatalIf(opts_.top_k <= 0, "AutoTuner: top_k must be positive, got ",
             opts_.top_k);
@@ -173,7 +183,7 @@ AutoTuner::tuneLayer(const LayerSpec &layer)
         s.et.tile = eval[i].tile;
         s.et.analytical_cycles = eval[i].analytical;
         s.key = ResultCache::keyText(cfg_, layer, eval[i].tile, policy);
-        if (const auto hit = cache_.lookup(s.key)) {
+        if (const auto hit = cache_->lookup(s.key)) {
             s.et.simulated_cycles = hit->cycles;
             s.et.energy_uj = hit->energy_uj;
             s.et.ms_utilization = hit->ms_utilization;
@@ -201,11 +211,14 @@ AutoTuner::tuneLayer(const LayerSpec &layer)
             });
         SweepRunner(opts_.threads).run(work);
         for (const std::size_t i : jobs)
-            cache_.insert(slots[i].key,
-                          CachedOutcome{slots[i].et.simulated_cycles,
-                                        slots[i].et.energy_uj,
-                                        slots[i].et.ms_utilization});
-        cache_.save();
+            cache_->insert(slots[i].key,
+                           CachedOutcome{slots[i].et.simulated_cycles,
+                                         slots[i].et.energy_uj,
+                                         slots[i].et.ms_utilization});
+        // A shared cache is persisted by its owner (the service saves
+        // once at shutdown), not after every layer.
+        if (own_cache_)
+            own_cache_->save();
     }
 
     TuneReport rep;

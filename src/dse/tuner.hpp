@@ -24,6 +24,7 @@
 #define STONNE_DSE_TUNER_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,15 @@ class AutoTuner
     explicit AutoTuner(const HardwareConfig &cfg, TuneOptions opts = {});
 
     /**
+     * Tuner over an externally owned (thread-safe) result cache: the
+     * simulation service shares one ResultCache between all concurrent
+     * jobs this way. `opts.cache_file` is ignored — persistence
+     * belongs to the cache's owner, so this tuner never calls save().
+     */
+    AutoTuner(const HardwareConfig &cfg, TuneOptions opts,
+              ResultCache &shared_cache);
+
+    /**
      * Tune one dense-controller layer (Convolution / Linear / Gemm):
      * enumerate, pre-filter analytically, evaluate top-K cycle-level,
      * persist new outcomes to the cache. Deterministic: same layer,
@@ -100,7 +110,7 @@ class AutoTuner
      */
     TuneReport tuneLayer(const LayerSpec &layer);
 
-    const ResultCache &cache() const { return cache_; }
+    const ResultCache &cache() const { return *cache_; }
 
     /** Cycle-level simulations run over this tuner's lifetime. */
     std::uint64_t totalSimulations() const { return total_simulations_; }
@@ -108,7 +118,8 @@ class AutoTuner
   private:
     HardwareConfig cfg_; //!< evaluation config (policy knobs silenced)
     TuneOptions opts_;
-    ResultCache cache_;
+    std::unique_ptr<ResultCache> own_cache_; //!< null when shared
+    ResultCache *cache_;                     //!< owned or shared
     std::uint64_t total_simulations_ = 0;
 };
 

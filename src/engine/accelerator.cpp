@@ -17,6 +17,10 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
     cfg_.validate();
 
     watchdog_ = std::make_unique<Watchdog>(cfg_.watchdog_cycles);
+    // The per-operation simulated-cycle ceiling of the service's
+    // robustness envelope; 0 (the default) leaves runs unbounded.
+    watchdog_->setCycleBudget(
+        static_cast<cycle_t>(cfg_.job_budget_cycles));
     if (cfg_.faults.enabled)
         faults_ = std::make_unique<FaultInjector>(cfg_.faults,
                                                   cfg_.ms_size, stats_);

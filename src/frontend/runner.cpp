@@ -12,86 +12,6 @@ namespace stonne {
 
 namespace {
 
-/** Serialize one SimulationResult (full fidelity: a restored run's
- *  reports must be byte-identical to the uninterrupted run's). */
-void
-saveResult(ArchiveWriter &ar, const SimulationResult &r)
-{
-    ar.putString(r.layer_name);
-    ar.putString(r.accelerator);
-    ar.putU64(r.cycles);
-    ar.putDouble(r.time_ms);
-    ar.putDouble(r.wall_seconds);
-    ar.putDouble(r.sim_cycles_per_second);
-    ar.putU64(r.macs);
-    ar.putU64(r.skipped_macs);
-    ar.putU64(r.mem_accesses);
-    ar.putDouble(r.ms_utilization);
-    ar.putDouble(r.energy.gb_uj);
-    ar.putDouble(r.energy.dn_uj);
-    ar.putDouble(r.energy.mn_uj);
-    ar.putDouble(r.energy.rn_uj);
-    ar.putDouble(r.energy.dram_uj);
-    ar.putDouble(r.energy.static_uj);
-    ar.putDouble(r.area.gb_um2);
-    ar.putDouble(r.area.dn_um2);
-    ar.putDouble(r.area.mn_um2);
-    ar.putDouble(r.area.rn_um2);
-    ar.putString(r.trace_path);
-    ar.putString(r.checkpoint_path);
-    ar.putU64(r.restored_from_cycle);
-    ar.putBool(r.dse.enabled);
-    ar.putU64(r.dse.space_size);
-    ar.putU64(r.dse.evaluated);
-    ar.putU64(r.dse.cache_hits);
-    ar.putU64(r.dse.simulations_run);
-    ar.putDouble(r.dse.rank_correlation);
-    ar.putString(r.dse.chosen_tile);
-    ar.putU64(r.dse.chosen_cycles);
-    ar.putU64(r.dse.greedy_cycles);
-    ar.putI64(r.dse.cycles_saved_vs_greedy);
-}
-
-SimulationResult
-loadResult(ArchiveReader &ar)
-{
-    SimulationResult r;
-    r.layer_name = ar.getString();
-    r.accelerator = ar.getString();
-    r.cycles = ar.getU64();
-    r.time_ms = ar.getDouble();
-    r.wall_seconds = ar.getDouble();
-    r.sim_cycles_per_second = ar.getDouble();
-    r.macs = ar.getU64();
-    r.skipped_macs = ar.getU64();
-    r.mem_accesses = ar.getU64();
-    r.ms_utilization = ar.getDouble();
-    r.energy.gb_uj = ar.getDouble();
-    r.energy.dn_uj = ar.getDouble();
-    r.energy.mn_uj = ar.getDouble();
-    r.energy.rn_uj = ar.getDouble();
-    r.energy.dram_uj = ar.getDouble();
-    r.energy.static_uj = ar.getDouble();
-    r.area.gb_um2 = ar.getDouble();
-    r.area.dn_um2 = ar.getDouble();
-    r.area.mn_um2 = ar.getDouble();
-    r.area.rn_um2 = ar.getDouble();
-    r.trace_path = ar.getString();
-    r.checkpoint_path = ar.getString();
-    r.restored_from_cycle = ar.getU64();
-    r.dse.enabled = ar.getBool();
-    r.dse.space_size = ar.getU64();
-    r.dse.evaluated = ar.getU64();
-    r.dse.cache_hits = ar.getU64();
-    r.dse.simulations_run = ar.getU64();
-    r.dse.rank_correlation = ar.getDouble();
-    r.dse.chosen_tile = ar.getString();
-    r.dse.chosen_cycles = ar.getU64();
-    r.dse.greedy_cycles = ar.getU64();
-    r.dse.cycles_saved_vs_greedy = ar.getI64();
-    return r;
-}
-
 /** Channel-wise concatenation of two (N, C, X, Y) tensors. */
 Tensor
 concatChannels(const Tensor &a, const Tensor &b)
@@ -201,7 +121,7 @@ ModelRunner::resume(const std::string &path)
         r.name = ar.getString();
         r.op = static_cast<OpType>(ar.getU32());
         r.offloaded = ar.getBool();
-        r.sim = loadResult(ar);
+        r.sim = loadSimulationResult(ar);
         records_.push_back(std::move(r));
     }
     ar.leaveSection();
@@ -249,7 +169,7 @@ ModelRunner::maybeCheckpoint(const ForwardState &st,
         ar.putString(r.name);
         ar.putU32(static_cast<std::uint32_t>(r.op));
         ar.putBool(r.offloaded);
-        saveResult(ar, r.sim);
+        saveSimulationResult(ar, r.sim);
     }
     ar.endSection();
     ar.writeFile(cfg.checkpoint_file);

@@ -1,0 +1,493 @@
+#include "service/daemon.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "dse/tuner.hpp"
+#include "engine/output_module.hpp"
+#include "service/envelope.hpp"
+
+namespace stonne::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Completed-id memory bound: duplicate detection without unbounded
+ *  growth (graceful degradation: very old ids may be reused). */
+constexpr std::size_t kRecentIdCapacity = 4096;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+std::size_t
+validatedQueueDepth(const HardwareConfig &base)
+{
+    base.validate();
+    return static_cast<std::size_t>(base.service_queue_depth);
+}
+
+} // namespace
+
+ServiceDaemon::ServiceDaemon(ServiceOptions opts, std::ostream &out)
+    : opts_(std::move(opts)), out_(&out),
+      queue_depth_(validatedQueueDepth(opts_.base)),
+      cache_(opts_.cache_file),
+      pool_(static_cast<std::size_t>(opts_.base.service_workers),
+            opts_.start_workers)
+{
+}
+
+ServiceDaemon::~ServiceDaemon()
+{
+    finish();
+}
+
+void
+ServiceDaemon::startWorkers()
+{
+    pool_.start();
+}
+
+void
+ServiceDaemon::emit(const JsonValue &response)
+{
+    std::lock_guard<std::mutex> lock(out_mu_);
+    (*out_) << response.dumpLine() << "\n" << std::flush;
+}
+
+void
+ServiceDaemon::emitStatus(const std::string &id, const std::string &state)
+{
+    JsonValue r = JsonValue::makeObject();
+    r.set("type", "status");
+    r.set("id", id);
+    r.set("state", state);
+    emit(r);
+}
+
+void
+ServiceDaemon::emitError(const std::string &id, const std::string &code,
+                         const std::string &message, bool rejected_job)
+{
+    JsonValue r = JsonValue::makeObject();
+    if (rejected_job) {
+        r.set("type", "result");
+        r.set("id", id);
+        r.set("status", "rejected");
+    } else {
+        r.set("type", "error");
+        if (!id.empty())
+            r.set("id", id);
+    }
+    r.set("code", code);
+    r.set("message", message);
+    emit(r);
+}
+
+std::string
+ServiceDaemon::snapshotPathFor(const std::string &id) const
+{
+    std::string sanitized;
+    sanitized.reserve(id.size());
+    for (const char c : id)
+        sanitized.push_back(
+            std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                    c == '_'
+                ? c
+                : '_');
+    // The id hash keeps sanitized collisions ("a/b" vs "a_b") apart.
+    std::ostringstream os;
+    os << opts_.snapshot_dir << "/service_" << sanitized << "_" << std::hex
+       << (dse::ResultCache::hashKey(id) & 0xffffffffu) << ".ckpt";
+    return os.str();
+}
+
+bool
+ServiceDaemon::handleLine(const std::string &line)
+{
+    if (line.find_first_not_of(" \t\r") == std::string::npos)
+        return !shutdownRequested();
+
+    JobRequest req;
+    try {
+        req = parseRequest(line);
+    } catch (const ProtocolError &e) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.protocol_errors;
+        }
+        emitError("", e.code(), e.what(), /*rejected_job=*/false);
+        return !shutdownRequested();
+    }
+
+    switch (req.type) {
+      case RequestType::Ping: {
+        JsonValue r = JsonValue::makeObject();
+        r.set("type", "pong");
+        emit(r);
+        return !shutdownRequested();
+      }
+      case RequestType::Stats: {
+        const ServiceCounters c = counters();
+        JsonValue r = JsonValue::makeObject();
+        r.set("type", "stats");
+        r.set("workers", static_cast<std::uint64_t>(pool_.threadCount()));
+        r.set("queue_depth", static_cast<std::uint64_t>(queue_depth_));
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            r.set("queued", static_cast<std::uint64_t>(queued_));
+            r.set("shutting_down", shutdown_);
+        }
+        r.set("running", static_cast<std::uint64_t>(pool_.running()));
+        r.set("submitted", c.submitted);
+        r.set("admitted", c.admitted);
+        r.set("rejected", c.rejected);
+        r.set("protocol_errors", c.protocol_errors);
+        r.set("done", c.done);
+        r.set("failed", c.failed);
+        r.set("timeout", c.timeout);
+        r.set("retries", c.retries);
+        r.set("cache_hits", c.cache_hits);
+        r.set("cache_size", static_cast<std::uint64_t>(cache_.size()));
+        emit(r);
+        return !shutdownRequested();
+      }
+      case RequestType::Shutdown: {
+        requestShutdown();
+        JsonValue r = JsonValue::makeObject();
+        r.set("type", "shutting_down");
+        emit(r);
+        return false;
+      }
+      case RequestType::Run:
+      case RequestType::Tune:
+        break;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.submitted;
+    }
+    emitStatus(req.id, "queued");
+
+    // The configuration is resolved on the input thread so a broken
+    // config rejects synchronously, before it can occupy a worker.
+    HardwareConfig cfg;
+    try {
+        cfg = resolveConfig(req, opts_.base);
+    } catch (const ProtocolError &e) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.rejected;
+        }
+        emitError(req.id, e.code(), e.what(), /*rejected_job=*/true);
+        return !shutdownRequested();
+    }
+    // Per-request envelope overrides land in the job's config, where
+    // the engine (cycle budget) and the envelope (wall/retries) read
+    // them.
+    if (req.budget_cycles)
+        cfg.job_budget_cycles = *req.budget_cycles;
+    if (req.budget_wall_ms)
+        cfg.job_budget_wall_ms = *req.budget_wall_ms;
+    if (req.retries)
+        cfg.job_retries = *req.retries;
+
+    // Admission control: duplicate ids and the bounded queue, checked
+    // and claimed under one lock.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutdown_) {
+            ++counters_.rejected;
+            emitError(req.id, kErrShuttingDown,
+                      "the service is shutting down", true);
+            return false;
+        }
+        if (active_ids_.count(req.id) || recent_id_set_.count(req.id)) {
+            ++counters_.rejected;
+            emitError(req.id, kErrDuplicateId,
+                      "a job with id '" + req.id +
+                          "' is already live or recently completed",
+                      true);
+            return true;
+        }
+        if (queued_ >= queue_depth_) {
+            ++counters_.rejected;
+            std::ostringstream msg;
+            msg << "admission queue is full (" << queued_ << "/"
+                << queue_depth_
+                << " jobs waiting); resubmit after a result drains";
+            emitError(req.id, kErrQueueFull, msg.str(), true);
+            return true;
+        }
+        active_ids_.insert(req.id);
+        ++queued_;
+        ++counters_.admitted;
+    }
+    emitStatus(req.id, "admitted");
+
+    const Clock::time_point admitted_at = Clock::now();
+    const JobRequest job = req;
+    if (req.type == RequestType::Run)
+        pool_.submit([this, job, cfg, admitted_at] {
+            runJob(job, cfg, admitted_at);
+        });
+    else
+        pool_.submit([this, job, cfg, admitted_at] {
+            runTune(job, cfg, admitted_at);
+        });
+    return !shutdownRequested();
+}
+
+void
+ServiceDaemon::runJob(const JobRequest &req, const HardwareConfig &cfg,
+                      Clock::time_point admitted_at)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+    }
+    const double queue_wait_ms = msSince(admitted_at);
+    emitStatus(req.id, "running");
+
+    EnvelopeOptions eo;
+    eo.max_attempts = static_cast<int>(cfg.job_retries) + 1;
+    eo.backoff_base = opts_.backoff_base;
+    eo.budget_wall_ms = cfg.job_budget_wall_ms;
+    if (req.repeat > 1)
+        eo.snapshot_path = snapshotPathFor(req.id);
+    eo.cache = &cache_;
+    eo.use_cache = req.use_cache;
+    eo.on_retry = [this, &req](int next_attempt, const std::string &cause,
+                               bool degraded) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.retries;
+        }
+        JsonValue r = JsonValue::makeObject();
+        r.set("type", "status");
+        r.set("id", req.id);
+        r.set("state", "retrying");
+        r.set("attempt", static_cast<std::int64_t>(next_attempt));
+        r.set("degraded", degraded);
+        r.set("cause", cause);
+        emit(r);
+    };
+
+    const JobOutcome out = runJobEnvelope(cfg, req.layer, req.tile,
+                                          req.seed, req.sparsity,
+                                          req.repeat, eo);
+
+    JsonValue r = JsonValue::makeObject();
+    r.set("type", "result");
+    r.set("id", req.id);
+    r.set("status", out.status);
+    if (out.status == "done") {
+        if (out.cache_hit) {
+            JsonValue s = JsonValue::makeObject();
+            s.set("cycles", static_cast<std::uint64_t>(out.cached->cycles));
+            s.set("energy_uj", out.cached->energy_uj);
+            s.set("ms_utilization", out.cached->ms_utilization);
+            r["summary"] = std::move(s);
+        } else {
+            r["summary"] = OutputModule::summary(cfg, out.result);
+        }
+    } else {
+        r.set("error", out.error);
+    }
+
+    JsonValue svc = JsonValue::makeObject();
+    svc.set("attempts", static_cast<std::int64_t>(out.attempts));
+    svc.set("degraded", out.degraded);
+    svc.set("cache_hit", out.cache_hit);
+    svc.set("ops", static_cast<std::uint64_t>(req.repeat));
+    svc.set("ops_resumed", static_cast<std::uint64_t>(out.ops_resumed));
+    svc.set("queue_wait_ms", queue_wait_ms);
+    svc.set("wall_ms", msSince(admitted_at) - queue_wait_ms);
+    svc.set("output_crc32", static_cast<std::uint64_t>(out.output_crc32));
+    JsonValue failures = JsonValue::makeArray();
+    for (const AttemptFailure &f : out.failures) {
+        JsonValue fj = JsonValue::makeObject();
+        fj.set("attempt", static_cast<std::int64_t>(f.attempt));
+        fj.set("cause", f.cause);
+        failures.append(std::move(fj));
+    }
+    r["service"] = std::move(svc);
+    r["service"]["failures"] = std::move(failures);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (out.status == "done")
+            ++counters_.done;
+        else if (out.status == "timeout")
+            ++counters_.timeout;
+        else
+            ++counters_.failed;
+        if (out.cache_hit)
+            ++counters_.cache_hits;
+    }
+    finishJob(req.id);
+    emit(r);
+}
+
+void
+ServiceDaemon::runTune(const JobRequest &req, const HardwareConfig &cfg,
+                       Clock::time_point admitted_at)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+    }
+    const double queue_wait_ms = msSince(admitted_at);
+    emitStatus(req.id, "running");
+
+    JsonValue r = JsonValue::makeObject();
+    r.set("type", "result");
+    r.set("id", req.id);
+    std::uint64_t hit_count = 0;
+    bool ok = false;
+    try {
+        dse::TuneOptions topts;
+        topts.top_k = req.top_k ? *req.top_k : cfg.dse_top_k;
+        // The daemon's workers are the parallelism; a nested candidate
+        // pool per tune job would oversubscribe the host.
+        topts.threads = 1;
+        topts.sparsity = req.sparsity;
+        topts.seed = req.seed;
+        dse::AutoTuner tuner(cfg, topts, cache_);
+        const dse::TuneReport rep = tuner.tuneLayer(req.layer);
+        hit_count = rep.cache_hits;
+        ok = true;
+
+        r.set("status", "done");
+        JsonValue s = JsonValue::makeObject();
+        s.set("chosen_tile", rep.best.canonical());
+        s.set("chosen_cycles", static_cast<std::uint64_t>(rep.best_cycles));
+        s.set("greedy_tile", rep.greedy_tile.canonical());
+        s.set("greedy_cycles",
+              static_cast<std::uint64_t>(rep.greedy_cycles));
+        s.set("space_size", rep.space_size);
+        s.set("evaluated", static_cast<std::uint64_t>(rep.ranked.size()));
+        s.set("cache_hits", rep.cache_hits);
+        s.set("simulations_run", rep.simulations_run);
+        s.set("rank_correlation", rep.rank_correlation);
+        r["summary"] = std::move(s);
+    } catch (const std::exception &e) {
+        r.set("status", "failed");
+        r.set("error", e.what());
+    }
+
+    JsonValue svc = JsonValue::makeObject();
+    svc.set("attempts", static_cast<std::int64_t>(1));
+    svc.set("degraded", false);
+    svc.set("cache_hit", hit_count > 0);
+    svc.set("queue_wait_ms", queue_wait_ms);
+    svc.set("wall_ms", msSince(admitted_at) - queue_wait_ms);
+    r["service"] = std::move(svc);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (ok)
+            ++counters_.done;
+        else
+            ++counters_.failed;
+        counters_.cache_hits += hit_count;
+    }
+    finishJob(req.id);
+    emit(r);
+}
+
+void
+ServiceDaemon::finishJob(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ids_.erase(id);
+    recent_ids_.push_back(id);
+    recent_id_set_.insert(id);
+    while (recent_ids_.size() > kRecentIdCapacity) {
+        recent_id_set_.erase(recent_ids_.front());
+        recent_ids_.pop_front();
+    }
+}
+
+void
+ServiceDaemon::requestShutdown()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+}
+
+bool
+ServiceDaemon::shutdownRequested() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+}
+
+void
+ServiceDaemon::drain()
+{
+    pool_.drain();
+}
+
+void
+ServiceDaemon::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+        if (finished_)
+            return;
+        finished_ = true;
+    }
+    // Paused pools (start_workers=false) must still drain their queue.
+    pool_.start();
+    pool_.drain();
+    cache_.save();
+    pool_.shutdown();
+}
+
+int
+ServiceDaemon::serve(std::istream &in,
+                     const volatile std::sig_atomic_t *stop_flag)
+{
+    std::string line;
+    while (true) {
+        if (stop_flag && *stop_flag)
+            break;
+        if (!std::getline(in, line))
+            break; // EOF, stream error, or EINTR from a signal
+        if (!handleLine(line))
+            break;
+    }
+    requestShutdown();
+    finish();
+
+    JsonValue bye = JsonValue::makeObject();
+    bye.set("type", "bye");
+    const ServiceCounters c = counters();
+    bye.set("done", c.done);
+    bye.set("failed", c.failed);
+    bye.set("timeout", c.timeout);
+    bye.set("rejected", c.rejected);
+    emit(bye);
+    return 0;
+}
+
+ServiceCounters
+ServiceDaemon::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+} // namespace stonne::service

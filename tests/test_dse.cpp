@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "analytical/maeri_model.hpp"
 #include "common/logging.hpp"
@@ -499,6 +500,83 @@ TEST(Autotune, MergedSummariesAggregateAcrossLayers)
     EXPECT_EQ(sum.simulations_run, 6u);
     EXPECT_DOUBLE_EQ(sum.rank_correlation, 0.75);
     EXPECT_EQ(sum.cycles_saved_vs_greedy, 40);
+}
+
+TEST(ResultCacheTest, ConcurrentHammerStaysConsistent)
+{
+    TempFile tmp("test_dse_hammer.cache");
+    ResultCache cache(tmp.path);
+
+    // 8 threads insert/look up/save over 64 shared keys concurrently.
+    // Under TSan/ASan this is the thread-safety regression for the
+    // service's shared cache; functionally every key must end up
+    // holding one of the values some thread wrote for it.
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 64;
+    constexpr int kIters = 400;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const int k = (t * 31 + i) % kKeys;
+                const std::string key = "hammer-key-" + std::to_string(k);
+                CachedOutcome out;
+                out.cycles = static_cast<cycle_t>(1000 + k);
+                out.energy_uj = static_cast<double>(k);
+                out.ms_utilization = 0.5;
+                cache.insert(key, out);
+                const auto hit = cache.lookup(key);
+                ASSERT_TRUE(hit.has_value());
+                EXPECT_EQ(hit->cycles, static_cast<cycle_t>(1000 + k));
+                if (i % 100 == 0)
+                    cache.save();
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+    cache.save();
+
+    // The persisted file round-trips every entry.
+    ResultCache reloaded(tmp.path);
+    EXPECT_FALSE(reloaded.loadFailed());
+    EXPECT_EQ(reloaded.size(), static_cast<std::size_t>(kKeys));
+    for (int k = 0; k < kKeys; ++k) {
+        const auto hit =
+            reloaded.lookup("hammer-key-" + std::to_string(k));
+        ASSERT_TRUE(hit.has_value());
+        EXPECT_EQ(hit->cycles, static_cast<cycle_t>(1000 + k));
+    }
+}
+
+TEST(ResultCacheTest, TunersShareAnExternalCache)
+{
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+    TuneOptions opts;
+    opts.top_k = 2;
+    opts.threads = 1;
+
+    ResultCache shared; // in-memory, externally owned
+    TuneReport first;
+    {
+        AutoTuner tuner(cfg, opts, shared);
+        first = tuner.tuneLayer(secLayer());
+        EXPECT_GT(first.simulations_run, 0u);
+    }
+    EXPECT_GT(shared.size(), 0u);
+    {
+        // A second tuner over the same shared cache re-tunes the same
+        // layer without a single new simulation.
+        AutoTuner tuner(cfg, opts, shared);
+        const TuneReport again = tuner.tuneLayer(secLayer());
+        EXPECT_EQ(again.simulations_run, 0u);
+        EXPECT_EQ(again.cache_hits, again.ranked.size());
+        EXPECT_EQ(again.best.canonical(), first.best.canonical());
+        EXPECT_EQ(again.best_cycles, first.best_cycles);
+    }
 }
 
 } // namespace

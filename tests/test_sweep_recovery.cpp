@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <deque>
 #include <filesystem>
 #include <fstream>
@@ -23,6 +25,7 @@
 #include "common/config.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/sweep_pool.hpp"
 #include "common/watchdog.hpp"
 #include "engine/stonne_api.hpp"
 #include "sweep.hpp"
@@ -347,6 +350,93 @@ TEST(SweepRecovery, RejectsAZeroAttemptBudget)
     EXPECT_THROW(
         RecoveringSweepRunner(1, 0, std::chrono::milliseconds(0)),
         FatalError);
+}
+
+// --- WorkerPool / SweepRunner exception-safety regressions ----------
+
+TEST(WorkerPool, SurvivesThrowingTasksAndKeepsServing)
+{
+    WorkerPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran, i] {
+            if (i % 2 == 0)
+                ++ran;
+            else if (i == 1)
+                throw std::runtime_error("std failure");
+            else
+                throw 42; // non-std exceptions must not kill workers
+        });
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_EQ(pool.tasksRun(), 8u);
+    EXPECT_EQ(pool.tasksFailed(), 4u);
+
+    // The workers are still alive after every failure mode.
+    std::atomic<bool> after{false};
+    pool.submit([&after] { after = true; });
+    pool.drain();
+    EXPECT_TRUE(after.load());
+    EXPECT_EQ(pool.tasksRun(), 9u);
+    EXPECT_EQ(pool.tasksFailed(), 4u);
+}
+
+TEST(WorkerPool, PausedPoolQueuesUntilStarted)
+{
+    WorkerPool pool(2, /*start_workers=*/false);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 5; ++i)
+        pool.submit([&ran] { ++ran; });
+    EXPECT_EQ(pool.pending(), 5u);
+    EXPECT_EQ(ran.load(), 0);
+
+    pool.start();
+    pool.drain();
+    EXPECT_EQ(ran.load(), 5);
+    EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(WorkerPool, SubmitAfterShutdownIsRejected)
+{
+    WorkerPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(SweepRunnerPool, RethrowsFirstErrorAfterAllJobsRan)
+{
+    SweepRunner runner(4);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 12; ++i) {
+        jobs.push_back([&ran, i] {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("job three");
+            if (i == 7)
+                throw std::runtime_error("job seven");
+        });
+    }
+    try {
+        runner.run(jobs);
+        FAIL() << "expected the first job error to be rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job three");
+    }
+    // A failing job never stops its siblings.
+    EXPECT_EQ(ran.load(), 12);
+}
+
+TEST(SweepRunnerPool, SingleThreadPathIsExceptionSafeToo)
+{
+    SweepRunner runner(1);
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> jobs;
+    jobs.push_back([] { throw 7; }); // non-std
+    jobs.push_back([&ran] { ++ran; });
+    EXPECT_THROW(runner.run(jobs), int);
+    EXPECT_EQ(ran.load(), 1);
 }
 
 } // namespace
