@@ -1,20 +1,27 @@
 /**
  * @file
- * Simulator-speed benchmark: fast-forward vs. exact per-cycle engine.
+ * Simulator-speed benchmark: tick vs. event engine, exact vs.
+ * fast-forward.
  *
  * Unlike the bench_fig* binaries (whose metric is the simulated cycle
  * count), this harness measures the *simulator's own* wall-clock
- * throughput. Every Figure 1 workload below runs twice on the same
- * operands — once with `fast_forward = OFF` (the exact per-cycle
- * reference) and once with the default `fast_forward = ON` — and the
- * harness panics unless both modes produce bit-identical results:
- * same cycle count, same activity-counter snapshot, same output
- * tensor. The wall times, speedups and cycles/second go to stdout and
- * to BENCH_sim_speed.json.
+ * throughput. Every Figure 1 workload below runs three times on the
+ * same operands:
+ *
+ *  - `engine = TICK`, `fast_forward = OFF`: the original
+ *    tick-everything exact loop (the pre-event-engine reference),
+ *  - `engine = EVENT`, `fast_forward = OFF`: exact mode on the wakeup
+ *    scheduler (steady idle spans skipped in closed form),
+ *  - `engine = EVENT`, `fast_forward = ON`: the fast-forward engine.
+ *
+ * The harness panics unless all three modes produce bit-identical
+ * results: same cycle count, same activity-counter snapshot, same
+ * output tensor. The wall times, speedups and cycles/second go to
+ * stdout and to BENCH_sim_speed.json; the CI perf-smoke job gates on
+ * the exact-mode S-EC throughput.
  *
  * The workload points run concurrently over the SweepRunner thread
- * pool (each point owns its Stonne instances), which is itself part of
- * what this PR ships.
+ * pool (each point owns its Stonne instances).
  */
 
 #include <algorithm>
@@ -79,9 +86,11 @@ struct ModeResult {
 };
 
 struct PointResult {
-    ModeResult ref;
-    ModeResult fast;
-    double speedup = 0.0;
+    ModeResult tick;  //!< TICK engine, exact (pre-event-engine ref)
+    ModeResult exact; //!< EVENT engine, exact
+    ModeResult fast;  //!< EVENT engine, fast-forward
+    double exact_speedup = 0.0; //!< tick exact / event exact
+    double ff_speedup = 0.0;    //!< tick exact / event fast-forward
 };
 
 const LayerSpec &
@@ -95,11 +104,13 @@ layerByTag(const std::string &tag)
 }
 
 ModeResult
-runMode(const Workload &w, const LayerData &data, bool fast_forward)
+runMode(const Workload &w, const LayerData &data, EngineType engine,
+        bool fast_forward)
 {
     ModeResult m;
     for (int rep = 0; rep < kReps; ++rep) {
         HardwareConfig cfg = w.cfg;
+        cfg.engine_type = engine;
         cfg.fast_forward = fast_forward;
         Stonne st(cfg);
         const SimulationResult r = runLayer(st, layerByTag(w.tag), data);
@@ -120,8 +131,8 @@ void
 checkParity(const Workload &w, const ModeResult &ref, const ModeResult &fast)
 {
     panicIf(ref.sim.cycles != fast.sim.cycles, "'", w.name,
-            "': fast-forward cycle mismatch (reference ", ref.sim.cycles,
-            ", fast ", fast.sim.cycles, ")");
+            "': cycle mismatch (reference ", ref.sim.cycles,
+            ", compared mode ", fast.sim.cycles, ")");
     panicIf(ref.counters.size() != fast.counters.size(), "'", w.name,
             "': counter set size mismatch");
     for (std::size_t i = 0; i < ref.counters.size(); ++i) {
@@ -165,11 +176,19 @@ main()
                  const LayerData data =
                      makeLayerData(layerByTag(w.tag), w.sparsity, 42);
                  PointResult &p = results[i];
-                 p.ref = runMode(w, data, /*fast_forward=*/false);
-                 p.fast = runMode(w, data, /*fast_forward=*/true);
-                 checkParity(w, p.ref, p.fast);
-                 p.speedup = p.fast.best_wall > 0.0
-                     ? p.ref.best_wall / p.fast.best_wall
+                 p.tick = runMode(w, data, EngineType::Tick,
+                                  /*fast_forward=*/false);
+                 p.exact = runMode(w, data, EngineType::Event,
+                                   /*fast_forward=*/false);
+                 p.fast = runMode(w, data, EngineType::Event,
+                                  /*fast_forward=*/true);
+                 checkParity(w, p.tick, p.exact);
+                 checkParity(w, p.tick, p.fast);
+                 p.exact_speedup = p.exact.best_wall > 0.0
+                     ? p.tick.best_wall / p.exact.best_wall
+                     : 0.0;
+                 p.ff_speedup = p.fast.best_wall > 0.0
+                     ? p.tick.best_wall / p.fast.best_wall
                      : 0.0;
              }});
     }
@@ -180,29 +199,34 @@ main()
                 o.failures.empty() ? "unknown"
                                    : o.failures.back().cause.c_str());
 
-    banner("Simulator speed — exact per-cycle vs. fast-forward engine (" +
+    banner("Simulator speed — tick vs. event engine (" +
            std::to_string(runner.threadCount()) + " sweep threads)");
-    TablePrinter t({"workload", "cycles", "ref wall [s]", "ff wall [s]",
-                    "speedup", "ff cycles/s"});
-    double max_speedup = 0.0;
+    TablePrinter t({"workload", "cycles", "tick wall [s]",
+                    "event wall [s]", "exact speedup", "ff wall [s]",
+                    "exact cycles/s"});
+    double max_exact_speedup = 0.0;
+    double max_ff_speedup = 0.0;
     for (std::size_t i = 0; i < points.size(); ++i) {
         const PointResult &p = results[i];
-        max_speedup = std::max(max_speedup, p.speedup);
+        max_exact_speedup = std::max(max_exact_speedup, p.exact_speedup);
+        max_ff_speedup = std::max(max_ff_speedup, p.ff_speedup);
         t.addRow({points[i].name,
-                  TablePrinter::num(static_cast<count_t>(p.ref.sim.cycles)),
-                  TablePrinter::num(p.ref.best_wall, 4),
+                  TablePrinter::num(static_cast<count_t>(p.tick.sim.cycles)),
+                  TablePrinter::num(p.tick.best_wall, 4),
+                  TablePrinter::num(p.exact.best_wall, 4),
+                  TablePrinter::num(p.exact_speedup, 2),
                   TablePrinter::num(p.fast.best_wall, 4),
-                  TablePrinter::num(p.speedup, 2),
-                  TablePrinter::num(p.fast.best_wall > 0.0
+                  TablePrinter::num(p.exact.best_wall > 0.0
                                         ? static_cast<double>(
-                                              p.fast.sim.cycles) /
-                                            p.fast.best_wall
+                                              p.exact.sim.cycles) /
+                                            p.exact.best_wall
                                         : 0.0,
                                     0)});
     }
     t.print();
-    std::printf("\nmax speedup: %.2fx (parity held on all %zu points)\n",
-                max_speedup, points.size());
+    std::printf("\nmax exact speedup: %.2fx, max fast-forward speedup: "
+                "%.2fx (parity held on all %zu points)\n",
+                max_exact_speedup, max_ff_speedup, points.size());
 
     JsonValue j = JsonValue::makeObject();
     j.set("benchmark", std::string("sim_speed"));
@@ -218,10 +242,17 @@ main()
         o.set("config", points[i].cfg.name);
         o.set("dn_bandwidth", points[i].cfg.dn_bandwidth);
         o.set("sparsity", points[i].sparsity);
-        o.set("cycles", static_cast<std::uint64_t>(p.ref.sim.cycles));
-        o.set("reference_wall_seconds", p.ref.best_wall);
+        o.set("cycles", static_cast<std::uint64_t>(p.tick.sim.cycles));
+        o.set("tick_exact_wall_seconds", p.tick.best_wall);
+        o.set("event_exact_wall_seconds", p.exact.best_wall);
         o.set("fast_forward_wall_seconds", p.fast.best_wall);
-        o.set("speedup", p.speedup);
+        o.set("exact_speedup", p.exact_speedup);
+        o.set("fast_forward_speedup", p.ff_speedup);
+        o.set("exact_cycles_per_second",
+              p.exact.best_wall > 0.0
+                  ? static_cast<double>(p.exact.sim.cycles) /
+                        p.exact.best_wall
+                  : 0.0);
         o.set("fast_forward_cycles_per_second",
               p.fast.best_wall > 0.0
                   ? static_cast<double>(p.fast.sim.cycles) / p.fast.best_wall
@@ -230,7 +261,8 @@ main()
         arr.append(std::move(o));
     }
     j["points"] = arr;
-    j.set("max_speedup", max_speedup);
+    j.set("max_exact_speedup", max_exact_speedup);
+    j.set("max_fast_forward_speedup", max_ff_speedup);
     j["recovery"] = RecoveringSweepRunner::summary(outcomes);
     OutputModule::writeFile("BENCH_sim_speed.json", j.dump() + "\n");
     std::printf("wrote BENCH_sim_speed.json\n");

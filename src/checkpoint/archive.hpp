@@ -52,8 +52,11 @@ std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
 class ArchiveWriter
 {
   public:
-    /** Archive format version emitted by this writer. */
-    static constexpr std::uint32_t kVersion = 1;
+    /** Archive format version emitted by this writer. Version 2 added
+     *  the accelerator's "engine" section (event-engine wakeup
+     *  bookkeeping); older archives are rejected with a version
+     *  diagnostic rather than misparsed. */
+    static constexpr std::uint32_t kVersion = 2;
 
     void putU8(std::uint8_t v);
     void putU32(std::uint32_t v);

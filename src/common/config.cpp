@@ -65,6 +65,16 @@ dataflowName(Dataflow d)
     return "?";
 }
 
+const char *
+engineTypeName(EngineType t)
+{
+    switch (t) {
+      case EngineType::Event: return "EVENT";
+      case EngineType::Tick:  return "TICK";
+    }
+    return "?";
+}
+
 namespace {
 
 bool
@@ -396,6 +406,11 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.watchdog_cycles = as_int();
         } else if (key == "FAST_FORWARD") {
             c.fast_forward = as_flag();
+        } else if (key == "ENGINE") {
+            if (uval == "EVENT") c.engine_type = EngineType::Event;
+            else if (uval == "TICK") c.engine_type = EngineType::Tick;
+            else fatal(origin, ":", lineno, ": unknown ENGINE '", val,
+                       "'");
         } else if (key == "TRACE") {
             c.trace = as_flag();
         } else if (key == "TRACE_FILE") {
@@ -499,10 +514,12 @@ HardwareConfig::toConfigText() const
         if (!dse_cache_file.empty())
             os << "dse_cache_file = " << dse_cache_file << "\n";
     }
-    // Service/job-envelope knobs are emitted only when they differ
-    // from the defaults, keeping pre-service config texts (and the
-    // snapshots embedding them) byte-stable.
+    // Policy knobs below are emitted only when they differ from the
+    // defaults, keeping pre-existing config texts (and the snapshots
+    // embedding them) byte-stable.
     const HardwareConfig defaults;
+    if (engine_type != defaults.engine_type)
+        os << "engine = " << engineTypeName(engine_type) << "\n";
     if (service_queue_depth != defaults.service_queue_depth)
         os << "service_queue_depth = " << service_queue_depth << "\n";
     if (service_workers != defaults.service_workers)
@@ -523,6 +540,7 @@ HardwareConfig::structuralText() const
 {
     HardwareConfig c = *this;
     c.fast_forward = true;
+    c.engine_type = EngineType::Event;
     c.watchdog_cycles = 1;
     c.checkpoint = false;
     c.checkpoint_file.clear();

@@ -60,11 +60,24 @@ enum class SparseFormat {
     Bitmap,
 };
 
+/**
+ * Delivery/drain engine driving the per-cycle loops (src/engine).
+ * Event mode skips steady-state spans where every unit's next-active
+ * cycle is known in closed form; Tick mode keeps the original
+ * tick-everything loops. Both are bit-identical — the knob exists so
+ * parity can be tested against the reference path.
+ */
+enum class EngineType {
+    Event, //!< wakeup-scheduled engine with closed-form idle skipping
+    Tick,  //!< reference per-cycle loops (pre-event engine)
+};
+
 const char *dnTypeName(DnType t);
 const char *mnTypeName(MnType t);
 const char *rnTypeName(RnType t);
 const char *controllerTypeName(ControllerType t);
 const char *dataflowName(Dataflow d);
+const char *engineTypeName(EngineType t);
 
 /** Full description of one simulated accelerator instance. */
 struct HardwareConfig {
@@ -128,6 +141,17 @@ struct HardwareConfig {
      * injector is attached. `fast_forward = on|off`, default on.
      */
     bool fast_forward = true;
+
+    /**
+     * Delivery/drain engine selection: `engine = EVENT|TICK`, default
+     * EVENT. The event engine advances watchdog, tracer samples and
+     * occupancy counters in exact closed form across idle-skipped
+     * spans, so both settings produce bit-identical cycles, counters,
+     * outputs and traces; TICK keeps the reference per-cycle loops
+     * in-tree for direct parity testing. Execution policy, normalized
+     * away by structuralText().
+     */
+    EngineType engine_type = EngineType::Event;
 
     /**
      * Cycle-level tracing (src/trace): when on, every RunOperation

@@ -87,15 +87,20 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
                 bool fast_forward = false,
                 Tracer *trace = nullptr)
 {
-    panicIf(count < 0, "delivery of ", count,
-            " elements through '", dn.name(), "': count must not be "
-            "negative");
-    panicIf(fanout <= 0, "delivery through '", dn.name(),
-            "' with non-positive fanout ", fanout,
-            " (destination range is empty)");
-    panicIf(dn.bandwidth() <= 0, "delivery through '", dn.name(),
-            "' with non-positive bandwidth ", dn.bandwidth(),
-            " (should have been rejected by HardwareConfig::validate)");
+    // Guards are open-coded `if (...) panic(...)`: panicIf evaluates
+    // its message arguments eagerly, and constructing dn.name() here
+    // on every delivery is measurable on the hot path.
+    if (count < 0)
+        panic("delivery of ", count, " elements through '", dn.name(),
+              "': count must not be negative");
+    if (fanout <= 0)
+        panic("delivery through '", dn.name(),
+              "' with non-positive fanout ", fanout,
+              " (destination range is empty)");
+    if (dn.bandwidth() <= 0)
+        panic("delivery through '", dn.name(),
+              "' with non-positive bandwidth ", dn.bandwidth(),
+              " (should have been rejected by HardwareConfig::validate)");
 
     // Queue-occupancy telemetry (dn.inject_queue_occ): the backlog
     // integral of the whole delivery, accounted up front in closed form
@@ -149,9 +154,9 @@ deliverElements(DistributionNetwork &dn, GlobalBuffer &gb, index_t count,
         }
         if (watchdog != nullptr)
             watchdog->tick(static_cast<count_t>(sent));
-        else
-            panicIf(sent <= 0, "delivery through '", dn.name(),
-                    "' made no progress in a cycle");
+        else if (sent <= 0)
+            panic("delivery through '", dn.name(),
+                  "' made no progress in a cycle");
         remaining -= sent;
         ++cycles;
     }
@@ -173,8 +178,9 @@ inline cycle_t
 drainOutputs(GlobalBuffer &gb, index_t count, Watchdog *watchdog = nullptr,
              bool fast_forward = false, Tracer *trace = nullptr)
 {
-    panicIf(count < 0, "drain of ", count, " outputs through '", gb.name(),
-            "': count must not be negative");
+    if (count < 0)
+        panic("drain of ", count, " outputs through '", gb.name(),
+              "': count must not be negative");
 
     // Write-queue occupancy telemetry (gb.write_queue_occ), closed form
     // for the same exact-vs-fast-forward parity reason as delivery.
@@ -209,9 +215,9 @@ drainOutputs(GlobalBuffer &gb, index_t count, Watchdog *watchdog = nullptr,
             trace->tick();
         if (watchdog != nullptr)
             watchdog->tick(static_cast<count_t>(granted));
-        else
-            panicIf(granted <= 0, "drain through '", gb.name(),
-                    "' made no progress in a cycle");
+        else if (granted <= 0)
+            panic("drain through '", gb.name(),
+                  "' made no progress in a cycle");
         remaining -= granted;
         ++cycles;
     }

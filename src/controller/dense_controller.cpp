@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "controller/delivery.hpp"
+#include "engine/event_engine.hpp"
 #include "network/dn_popn.hpp"
 #include "network/rn_linear.hpp"
 #include "network/systolic.hpp"
@@ -24,13 +25,15 @@ blocks(index_t total, index_t t)
 } // namespace
 
 DenseController::DenseController(const HardwareConfig &cfg,
+                                 EventEngine &engine,
                                  DistributionNetwork &dn,
                                  MultiplierArray &mn, ReductionNetwork &rn,
                                  GlobalBuffer &gb, Dram &dram,
                                  Watchdog *watchdog, FaultInjector *faults,
                                  Tracer *trace)
-    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      wd_(watchdog), faults_(faults), trace_(trace), mapper_(cfg.ms_size)
+    : cfg_(cfg), engine_(engine), dn_(dn), mn_(mn), rn_(rn), gb_(gb),
+      dram_(dram), wd_(watchdog), faults_(faults), trace_(trace),
+      mapper_(cfg.ms_size)
 {
     cfg_.validate();
 }
@@ -38,6 +41,11 @@ DenseController::DenseController(const HardwareConfig &cfg,
 void
 DenseController::setPhase(const char *phase)
 {
+    // Call sites pass string literals, so a pointer compare recognises
+    // the (very common) same-phase call without touching the string.
+    if (phase == phase_tag_)
+        return;
+    phase_tag_ = phase;
     phase_ = phase;
     if (trace_ != nullptr)
         trace_->setPhase(phase_);
@@ -63,23 +71,30 @@ DenseController::convOutputValue(const Conv2dShape &shape,
     const index_t in_c_stride = shape.X * shape.Y;
     const index_t in_n_stride = shape.C * in_c_stride;
 
+    // The in-bounds filter rows/columns of this output position are a
+    // contiguous sub-rectangle, invariant across channels: hoisting the
+    // bounds out of the inner loops leaves a branch-free multiply-add
+    // kernel. Skipped out-of-bounds terms contribute nothing, and the
+    // kept terms accumulate in the identical (c, r, s) order, so the
+    // float result is bit-identical to the guarded form.
+    const index_t x_base = ox * shape.stride - shape.padding;
+    const index_t y_base = oy * shape.stride - shape.padding;
+    const index_t r_lo = std::max<index_t>(0, -x_base);
+    const index_t r_hi = std::min(shape.R, shape.X - x_base);
+    const index_t s_lo = std::max<index_t>(0, -y_base);
+    const index_t s_hi = std::min(shape.S, shape.Y - y_base);
+
     float acc = 0.0f;
     for (index_t c = 0; c < cg; ++c) {
         const float *in_c =
             in + n * in_n_stride + (g * cg + c) * in_c_stride;
-        for (index_t r = 0; r < shape.R; ++r) {
-            const index_t ix = ox * shape.stride + r - shape.padding;
-            if (ix < 0 || ix >= shape.X) {
-                w += shape.S;
-                continue;
-            }
-            const float *in_row = in_c + ix * shape.Y;
-            for (index_t s = 0; s < shape.S; ++s, ++w) {
-                const index_t iy = oy * shape.stride + s - shape.padding;
-                if (iy < 0 || iy >= shape.Y)
-                    continue;
-                acc += *w * in_row[iy];
-            }
+        const float *wc = w + c * shape.R * shape.S;
+        for (index_t r = r_lo; r < r_hi; ++r) {
+            const float *in_row =
+                in_c + (x_base + r) * shape.Y + y_base;
+            const float *wr = wc + r * shape.S;
+            for (index_t s = s_lo; s < s_hi; ++s)
+                acc += wr[s] * in_row[s];
         }
     }
     return acc + (bias.empty() ? 0.0f : bias.at(ko));
@@ -154,6 +169,84 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     fetch.reserve(step_capacity);
     prev_abs.reserve(step_capacity);
     cur_abs.reserve(step_capacity);
+    // Per-fold coordinate tables: the e -> (c, r, s2) decomposition is
+    // identical for every mapped position of a fold, so the div/mod
+    // chain is hoisted out of the per-element loop into three small
+    // tables indexed by the fold-local element offset.
+    std::vector<index_t> cxy, rpad, spad;
+    cxy.reserve(static_cast<std::size_t>(vn));
+    rpad.reserve(static_cast<std::size_t>(vn));
+    spad.reserve(static_cast<std::size_t>(vn));
+
+    // Single-lane tiles (one mapped position cluster per step) fetch a
+    // footprint whose in-bounds count and sliding-window overlap depend
+    // only on (fold, x, y): the batch/group/filter-block indices shift
+    // every coordinate by a common offset, which cancels in both the
+    // bounds test and the equality comparison against the previous
+    // step. Both counts are therefore tabulated once per layer and the
+    // per-step loop skips the footprint enumeration entirely; the
+    // values are the same ones the enumeration would produce, so
+    // delivered-element and forwarding counters are unchanged.
+    const bool lane1_tile = tile.t_g == 1 && tile.t_n == 1 &&
+        tile.t_x == 1 && tile.t_y == 1;
+    std::vector<index_t> kept_tbl, ovl_tbl;
+    if (lane1_tile) {
+        const std::size_t cells =
+            static_cast<std::size_t>(folds) * xo * yo;
+        kept_tbl.assign(cells, 0);
+        ovl_tbl.assign(cells, 0);
+        std::vector<std::int64_t> cur, prev;
+        cur.reserve(static_cast<std::size_t>(vn));
+        prev.reserve(static_cast<std::size_t>(vn));
+        for (index_t f = 0; f < folds; ++f) {
+            const index_t e0 = f * vn;
+            const index_t len = std::min(vn, window - e0);
+            cxy.clear();
+            rpad.clear();
+            spad.clear();
+            for (index_t e = e0; e < e0 + len; ++e) {
+                const index_t c = e / (shape.R * shape.S);
+                const index_t rem = e % (shape.R * shape.S);
+                cxy.push_back(c * shape.X * shape.Y);
+                rpad.push_back(rem / shape.S - shape.padding);
+                spad.push_back(rem % shape.S - shape.padding);
+            }
+            for (index_t x = 0; x < xo; ++x) {
+                const index_t x_st = x * shape.stride;
+                prev.clear();
+                for (index_t y = 0; y < yo; ++y) {
+                    const index_t y_st = y * shape.stride;
+                    cur.clear();
+                    for (index_t j = 0; j < len; ++j) {
+                        const index_t ix = x_st + rpad[j];
+                        const index_t iy = y_st + spad[j];
+                        if (ix < 0 || ix >= shape.X || iy < 0 ||
+                            iy >= shape.Y)
+                            continue;
+                        cur.push_back(cxy[j] + ix * shape.Y + iy);
+                    }
+                    const std::size_t idx = static_cast<std::size_t>(
+                        (f * xo + x) * yo + y);
+                    kept_tbl[idx] = static_cast<index_t>(cur.size());
+                    if (y > 0) {
+                        // Footprints are sorted by construction (see
+                        // the enumeration comment below), so a
+                        // two-pointer sweep counts the overlap.
+                        index_t ovl = 0;
+                        std::size_t pi = 0;
+                        for (const std::int64_t code : cur) {
+                            while (pi < prev.size() && prev[pi] < code)
+                                ++pi;
+                            if (pi < prev.size() && prev[pi] == code)
+                                ++ovl;
+                        }
+                        ovl_tbl[idx] = ovl;
+                    }
+                    prev.swap(cur);
+                }
+            }
+        }
+    }
     cycle_t prev_block_cycles = 0;
 
     // Pipeline fill: the multiply/reduce/collect pipeline fills once and
@@ -196,15 +289,26 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                     const index_t e0 = f * vn;
                     const index_t len = std::min(vn, window - e0);
 
+                    cxy.clear();
+                    rpad.clear();
+                    spad.clear();
+                    for (index_t e = e0; e < e0 + len; ++e) {
+                        const index_t c = e / (shape.R * shape.S);
+                        const index_t rem = e % (shape.R * shape.S);
+                        cxy.push_back(c * shape.X * shape.Y);
+                        rpad.push_back(rem / shape.S - shape.padding);
+                        spad.push_back(rem % shape.S - shape.padding);
+                    }
+
                     // Weight reconfiguration: tg*tk*len distinct values,
                     // multicast across the position clusters; only the
                     // part the previous fold's compute could not hide
                     // is exposed.
                     setPhase("weight fold delivery");
-                    const cycle_t w_cycles = deliverElements(
+                    const cycle_t w_cycles = engine_.deliver(
                         dn_, gb_, tg * tk * len,
                         tile.t_n * tile.t_x * tile.t_y,
-                        PackageKind::Weight, wd_, faults_, ff, trace_);
+                        PackageKind::Weight, ff);
                     block_cycles += w_cycles > prev_fold_cycles
                         ? w_cycles - prev_fold_cycles : 0;
                     cycle_t fold_cycles = 0;
@@ -233,58 +337,80 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                         // tagged per lane, and only the lane's own
                         // sliding-window overlap is reused (over the LMN
                         // forwarding links).
+                        // The list is sorted and duplicate-free by
+                        // construction, so no sort/unique pass is
+                        // needed: the lane tag ascends over the
+                        // (g, n, x, y) nest, and within a lane the kept
+                        // codes strictly increase with e — an s2 step
+                        // adds 1 to iy; an r step adds Y to ix*Y while
+                        // iy moves by at most Y-1 (both endpoints pass
+                        // the [0, Y) bounds filter); a c step adds X*Y
+                        // while ix*Y+iy stays below X*Y for in-bounds
+                        // coordinates.
+                        // Single-lane tiles take the tabulated counts
+                        // instead (x0p == x and y0p == y there).
+                        constexpr std::int64_t kAbsMask =
+                            (std::int64_t{1} << 44) - 1;
+                        index_t distinct;
+                        bool single_lane = false;
+                        if (lane1_tile) {
+                            distinct = kept_tbl[static_cast<std::size_t>(
+                                (f * xo + x0p) * yo + y0p)];
+                        } else {
                         fetch.clear();
                         index_t lane = 0;
                         for (index_t g = g0; g < g0 + tg; ++g) {
                             for (index_t n = n0p; n < n0p + tn; ++n) {
+                                const index_t nbase =
+                                    (n * shape.C + g * cg) *
+                                    shape.X * shape.Y;
                                 for (index_t x = x0p; x < x0p + tx; ++x) {
+                                    const index_t x_st = x * shape.stride;
                                     for (index_t y = y0p; y < y0p + ty;
                                          ++y, ++lane) {
-                                        for (index_t e = e0; e < e0 + len;
-                                             ++e) {
-                                            const index_t c =
-                                                e / (shape.R * shape.S);
-                                            const index_t rem =
-                                                e % (shape.R * shape.S);
-                                            const index_t r = rem / shape.S;
-                                            const index_t s2 =
-                                                rem % shape.S;
+                                        const index_t y_st =
+                                            y * shape.stride;
+                                        const std::int64_t lane_tag =
+                                            lane << 44;
+                                        for (index_t j = 0; j < len; ++j) {
                                             const index_t ix =
-                                                x * shape.stride + r -
-                                                shape.padding;
+                                                x_st + rpad[j];
                                             const index_t iy =
-                                                y * shape.stride + s2 -
-                                                shape.padding;
+                                                y_st + spad[j];
                                             if (ix < 0 || ix >= shape.X ||
                                                 iy < 0 || iy >= shape.Y)
                                                 continue;
-                                            const std::int64_t code =
-                                                ((n * shape.C +
-                                                  g * cg + c) * shape.X +
-                                                 ix) * shape.Y + iy;
                                             fetch.push_back(
-                                                (lane << 44) | code);
+                                                lane_tag |
+                                                (nbase + cxy[j] +
+                                                 ix * shape.Y + iy));
                                         }
                                     }
                                 }
                             }
                         }
-                        std::sort(fetch.begin(), fetch.end());
-                        fetch.erase(
-                            std::unique(fetch.begin(), fetch.end()),
-                            fetch.end());
-                        const auto distinct =
-                            static_cast<index_t>(fetch.size());
+                        distinct = static_cast<index_t>(fetch.size());
 
-                        constexpr std::int64_t kAbsMask =
-                            (std::int64_t{1} << 44) - 1;
-                        cur_abs.clear();
-                        for (const std::int64_t code : fetch)
-                            cur_abs.push_back(code & kAbsMask);
-                        std::sort(cur_abs.begin(), cur_abs.end());
-                        cur_abs.erase(std::unique(cur_abs.begin(),
-                                                  cur_abs.end()),
-                                      cur_abs.end());
+                        // The lane-stripped footprint is only consulted
+                        // by the forwarding-link reuse check below, so
+                        // arrays without LMN links skip building it.
+                        // With a single mapped lane the tag is zero and
+                        // the list is already sorted and duplicate-free,
+                        // so the sort/unique pass degenerates to a copy.
+                        single_lane = lane == 1;
+                        if (mn_.hasForwardingLinks()) {
+                            cur_abs.clear();
+                            for (const std::int64_t code : fetch)
+                                cur_abs.push_back(code & kAbsMask);
+                            if (!single_lane) {
+                                std::sort(cur_abs.begin(), cur_abs.end());
+                                cur_abs.erase(
+                                    std::unique(cur_abs.begin(),
+                                                cur_abs.end()),
+                                    cur_abs.end());
+                            }
+                        }
+                        }
 
                         // Spatio-temporal reuse over the LMN forwarding
                         // links: operands already in the array from the
@@ -297,22 +423,43 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                             fresh = 0;
                         } else if (mn_.hasForwardingLinks() && have_prev &&
                             yb > 0) {
+                            if (lane1_tile) {
+                                const index_t ovl = ovl_tbl[
+                                    static_cast<std::size_t>(
+                                        (f * xo + x0p) * yo + y0p)];
+                                fresh = distinct - ovl;
+                                mn_.forwardOperands(ovl);
+                            } else {
                             fresh = 0;
-                            for (const std::int64_t code : fetch) {
-                                if (!std::binary_search(
-                                        prev_abs.begin(),
-                                        prev_abs.end(),
-                                        code & kAbsMask))
-                                    ++fresh;
+                            if (single_lane) {
+                                // Both footprints are sorted, so a
+                                // two-pointer sweep replaces the
+                                // per-element binary search.
+                                std::size_t pi = 0;
+                                const std::size_t pn = prev_abs.size();
+                                for (const std::int64_t code : fetch) {
+                                    while (pi < pn && prev_abs[pi] < code)
+                                        ++pi;
+                                    if (pi >= pn || prev_abs[pi] != code)
+                                        ++fresh;
+                                }
+                            } else {
+                                for (const std::int64_t code : fetch) {
+                                    if (!std::binary_search(
+                                            prev_abs.begin(),
+                                            prev_abs.end(),
+                                            code & kAbsMask))
+                                        ++fresh;
+                                }
                             }
                             mn_.forwardOperands(distinct - fresh);
+                            }
                         }
 
                         setPhase("input streaming");
-                        cycle_t dl = deliverElements(dn_, gb_, fresh, tk,
+                        cycle_t dl = engine_.deliver(dn_, gb_, fresh, tk,
                                                      PackageKind::Input,
-                                                     wd_, faults_, ff,
-                                                     trace_);
+                                                     ff);
 
                         const index_t active_vns = tg * tk * tn * tx * ty;
                         mn_.fireMultipliers(
@@ -330,26 +477,24 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
                                 // psums round-trip through the GB and
                                 // re-enter via the MN forwarders.
                                 setPhase("psum spill");
-                                drain = drainOutputs(gb_, active_vns, wd_,
-                                                     ff, trace_);
+                                drain = engine_.drain(gb_, active_vns, ff);
                                 mn_.forwardPsums(active_vns);
                                 if (f > 0)
-                                    dl += deliverElements(
+                                    dl += engine_.deliver(
                                         dn_, gb_, active_vns, 1,
-                                        PackageKind::Psum, wd_, faults_,
-                                        ff, trace_);
+                                        PackageKind::Psum, ff);
                             }
                         } else {
                             setPhase("output drain");
-                            drain = drainOutputs(gb_, active_vns, wd_, ff,
-                                                 trace_);
+                            drain = engine_.drain(gb_, active_vns, ff);
                         }
                         if (f + 1 == folds)
                             chunk_outputs += active_vns;
 
                         fold_cycles += std::max<cycle_t>(
                             {1, dl, drain});
-                        prev_abs.swap(cur_abs);
+                        if (!lane1_tile)
+                            prev_abs.swap(cur_abs);
                         have_prev = true;
                     }
                     block_cycles += fold_cycles;
@@ -358,8 +503,7 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
 
                 if (folding && !psum_spill) {
                     setPhase("output drain");
-                    block_cycles += drainOutputs(gb_, chunk_outputs, wd_,
-                                                 ff, trace_);
+                    block_cycles += engine_.drain(gb_, chunk_outputs, ff);
                 }
             }
 
@@ -369,14 +513,99 @@ DenseController::runConvFlexible(const Conv2dShape &shape, const Tile &tile,
     }
 
     // Functional results: every output reduced in canonical order so the
-    // simulator output bit-matches the CPU reference.
+    // simulator output bit-matches the CPU reference. Interior columns
+    // (where the whole S window is in bounds) are computed a block at a
+    // time: each output still accumulates its own terms in (c, r, s)
+    // order — the per-column chains are merely independent, which lets
+    // the compiler overlap their serial float-add latencies — so the
+    // values stay bit-identical to the scalar convOutputValue() used on
+    // the edge columns.
     setPhase("functional reduce");
-    for (index_t n = 0; n < shape.N; ++n)
-        for (index_t ko = 0; ko < shape.K; ++ko)
-            for (index_t ox = 0; ox < xo; ++ox)
-                for (index_t oy = 0; oy < yo; ++oy)
-                    output.at(n, ko, ox, oy) = convOutputValue(
-                        shape, input, weights, bias, n, ko, ox, oy);
+    {
+        const index_t st = shape.stride;
+        const index_t pad = shape.padding;
+        const index_t oy_lo = std::min<index_t>(yo, (pad + st - 1) / st);
+        index_t oy_hi = oy_lo;
+        if (shape.Y - shape.S + pad >= 0)
+            oy_hi = std::max(
+                oy_lo, std::min<index_t>(
+                           yo, (shape.Y - shape.S + pad) / st + 1));
+        const index_t in_c_stride = shape.X * shape.Y;
+        const index_t in_n_stride = shape.C * in_c_stride;
+        constexpr index_t kBlock = 16;
+        float acc[kBlock];
+        for (index_t n = 0; n < shape.N; ++n) {
+            for (index_t ko = 0; ko < shape.K; ++ko) {
+                const index_t g = ko / shape.kPerGroup();
+                const float *w =
+                    weights.data() + ko * cg * shape.R * shape.S;
+                const float bias_v = bias.empty() ? 0.0f : bias.at(ko);
+                const float *in_n = input.data() + n * in_n_stride +
+                    g * cg * in_c_stride;
+                for (index_t ox = 0; ox < xo; ++ox) {
+                    float *out_row = output.data() +
+                        ((n * shape.K + ko) * xo + ox) * yo;
+                    const index_t x_base = ox * st - pad;
+                    const index_t r_lo = std::max<index_t>(0, -x_base);
+                    const index_t r_hi =
+                        std::min(shape.R, shape.X - x_base);
+                    for (index_t oy = 0; oy < oy_lo; ++oy)
+                        out_row[oy] = convOutputValue(
+                            shape, input, weights, bias, n, ko, ox, oy);
+                    for (index_t oy0 = oy_lo; oy0 < oy_hi;
+                         oy0 += kBlock) {
+                        const index_t m =
+                            std::min(kBlock, oy_hi - oy0);
+                        for (index_t i = 0; i < m; ++i)
+                            acc[i] = 0.0f;
+                        for (index_t c = 0; c < cg; ++c) {
+                            const float *in_c = in_n + c * in_c_stride;
+                            const float *wc =
+                                w + c * shape.R * shape.S;
+                            for (index_t r = r_lo; r < r_hi; ++r) {
+                                const float *in_row = in_c +
+                                    (x_base + r) * shape.Y +
+                                    oy0 * st - pad;
+                                const float *wr = wc + r * shape.S;
+                                for (index_t s = 0; s < shape.S; ++s) {
+                                    const float ws = wr[s];
+                                    const float *ir = in_row + s;
+                                    if (st == 1) {
+                                        // Unit stride: adjacent
+                                        // columns read adjacent input
+                                        // elements. The constant-trip
+                                        // groups of four below map to
+                                        // one 4-float SIMD fma each
+                                        // under basic-block
+                                        // vectorization; per-column
+                                        // accumulation order is
+                                        // untouched.
+                                        index_t i = 0;
+                                        for (; i + 4 <= m; i += 4) {
+                                            acc[i] += ws * ir[i];
+                                            acc[i + 1] += ws * ir[i + 1];
+                                            acc[i + 2] += ws * ir[i + 2];
+                                            acc[i + 3] += ws * ir[i + 3];
+                                        }
+                                        for (; i < m; ++i)
+                                            acc[i] += ws * ir[i];
+                                    } else {
+                                        for (index_t i = 0; i < m; ++i)
+                                            acc[i] += ws * ir[i * st];
+                                    }
+                                }
+                            }
+                        }
+                        for (index_t i = 0; i < m; ++i)
+                            out_row[oy0 + i] = acc[i] + bias_v;
+                    }
+                    for (index_t oy = oy_hi; oy < yo; ++oy)
+                        out_row[oy] = convOutputValue(
+                            shape, input, weights, bias, n, ko, ox, oy);
+                }
+            }
+        }
+    }
 
     res.mem_accesses = gb_.totalReads() + gb_.totalWrites() - mem0;
     res.ms_utilization = res.cycles > 0
@@ -601,6 +830,10 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
     const auto step_capacity = static_cast<std::size_t>(tk * ty * vn);
     fetch.reserve(step_capacity);
     prev_fetch.reserve(step_capacity);
+    // Per-fold offset table: e -> r*Y + s2, shared by every position of
+    // the fold (same hoisting as the convolution fetch loop).
+    std::vector<index_t> roff;
+    roff.reserve(static_cast<std::size_t>(vn));
 
     for (index_t c0 = 0; c0 < c.C; c0 += tk) {
         const index_t tkc = std::min(tk, c.C - c0);
@@ -611,6 +844,14 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
             for (index_t f = 0; f < folds; ++f) {
                 const index_t e0 = f * vn;
                 const index_t len = std::min(vn, window - e0);
+                roff.clear();
+                for (index_t e = e0; e < e0 + len; ++e)
+                    roff.push_back((e / w) * c.Y + e % w);
+                // Sorted and duplicate-free by construction: the lane
+                // tag ascends over the (ch, p) nest; within a lane every
+                // window coordinate is in bounds (pooling never pads),
+                // so an s2 step adds 1 and an r step adds Y - (w-1) >= 1
+                // (the window fits: w <= Y).
                 fetch.clear();
                 index_t lane = 0;
                 for (index_t ch = c0; ch < c0 + tkc; ++ch) {
@@ -618,28 +859,22 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
                         const index_t n = p / (xo * yo);
                         const index_t ox = (p / yo) % xo;
                         const index_t oy = p % yo;
-                        for (index_t e = e0; e < e0 + len; ++e) {
-                            const index_t r = e / w;
-                            const index_t s2 = e % w;
-                            const std::int64_t code =
-                                ((n * c.C + ch) * c.X + ox * st + r) *
-                                c.Y + oy * st + s2;
-                            fetch.push_back((lane << 44) | code);
-                        }
+                        const index_t base =
+                            ((n * c.C + ch) * c.X + ox * st) * c.Y +
+                            oy * st;
+                        const std::int64_t lane_tag = lane << 44;
+                        for (index_t j = 0; j < len; ++j)
+                            fetch.push_back(lane_tag | (base + roff[j]));
                     }
                 }
-                std::sort(fetch.begin(), fetch.end());
-                fetch.erase(std::unique(fetch.begin(), fetch.end()),
-                            fetch.end());
                 const auto distinct = static_cast<index_t>(fetch.size());
                 index_t fresh = distinct;
                 if (mn_.hasForwardingLinks() && have_prev && st < w) {
                     fresh = countFresh(fetch, prev_fetch);
                     mn_.forwardOperands(distinct - fresh);
                 }
-                dl_total += deliverElements(dn_, gb_, fresh, 1,
-                                            PackageKind::Input, wd_,
-                                            faults_, ff, trace_);
+                dl_total += engine_.deliver(dn_, gb_, fresh, 1,
+                                            PackageKind::Input, ff);
                 const index_t clusters = tkc * typ;
                 rn_.bulkReduce(clusters, len);
                 if (folds > 1 && rn_.supportsAccumulation())
@@ -648,8 +883,7 @@ DenseController::runMaxPool(const LayerSpec &layer, const Tensor &input,
                 have_prev = true;
             }
             setPhase("output drain");
-            const cycle_t drain = drainOutputs(gb_, tkc * typ, wd_, ff,
-                                               trace_);
+            const cycle_t drain = engine_.drain(gb_, tkc * typ, ff);
             setPhase("max pool streaming");
             res.cycles += std::max<cycle_t>({1, dl_total, drain});
         }

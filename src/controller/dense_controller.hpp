@@ -38,6 +38,7 @@
 
 namespace stonne {
 
+class EventEngine;
 class Watchdog;
 class FaultInjector;
 class Tracer;
@@ -47,15 +48,18 @@ class DenseController : public Checkpointable
 {
   public:
     /**
+     * @param engine the delivery/drain engine every streaming phase
+     *        goes through (owned by the Accelerator) — the single
+     *        place components are ticked from
      * @param watchdog optional progress watchdog ticked by the delivery
      *        and drain loops (owned by the Accelerator)
      * @param faults optional fault injector applied to the flit stream
      * @param trace optional cycle-level tracer (owned by the
      *        Accelerator when `trace = ON`)
      */
-    DenseController(const HardwareConfig &cfg, DistributionNetwork &dn,
-                    MultiplierArray &mn, ReductionNetwork &rn,
-                    GlobalBuffer &gb, Dram &dram,
+    DenseController(const HardwareConfig &cfg, EventEngine &engine,
+                    DistributionNetwork &dn, MultiplierArray &mn,
+                    ReductionNetwork &rn, GlobalBuffer &gb, Dram &dram,
                     Watchdog *watchdog = nullptr,
                     FaultInjector *faults = nullptr,
                     Tracer *trace = nullptr);
@@ -107,7 +111,11 @@ class DenseController : public Checkpointable
         ar.putString(phase_);
     }
 
-    void loadState(ArchiveReader &ar) override { phase_ = ar.getString(); }
+    void loadState(ArchiveReader &ar) override
+    {
+        phase_ = ar.getString();
+        phase_tag_ = nullptr;
+    }
 
   protected:
     /** Flexible-pipeline convolution (tree / Benes DN). */
@@ -159,6 +167,7 @@ class DenseController : public Checkpointable
 
   private:
     HardwareConfig cfg_;
+    EventEngine &engine_;
     DistributionNetwork &dn_;
     MultiplierArray &mn_;
     ReductionNetwork &rn_;
@@ -169,6 +178,8 @@ class DenseController : public Checkpointable
     Tracer *trace_;
     Mapper mapper_;
     std::string phase_ = "idle";
+    //! Literal last passed to setPhase(), for a cheap same-phase check.
+    const char *phase_tag_ = nullptr;
 };
 
 } // namespace stonne

@@ -4,8 +4,8 @@
 #include <numeric>
 
 #include "common/logging.hpp"
-#include "controller/delivery.hpp"
 #include "controller/tile.hpp"
+#include "engine/event_engine.hpp"
 
 namespace stonne {
 
@@ -58,13 +58,15 @@ SnapeaReorderTable::build(const Tensor &weights)
 }
 
 SnapeaController::SnapeaController(const HardwareConfig &cfg,
+                                   EventEngine &engine,
                                    DistributionNetwork &dn,
                                    MultiplierArray &mn, ReductionNetwork &rn,
                                    GlobalBuffer &gb, Dram &dram,
                                    Watchdog *watchdog, FaultInjector *faults,
                                    Tracer *trace)
-    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      wd_(watchdog), faults_(faults), trace_(trace), mapper_(cfg.ms_size)
+    : cfg_(cfg), engine_(engine), dn_(dn), mn_(mn), rn_(rn), gb_(gb),
+      dram_(dram), wd_(watchdog), faults_(faults), trace_(trace),
+      mapper_(cfg.ms_size)
 {
     cfg_.validate();
     fatalIf(cfg_.controller_type != ControllerType::Snapea,
@@ -273,13 +275,13 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                                 fetch.end());
 
                     setPhase("sorted weight streaming");
-                    cycle_t dl = deliverElements(
+                    cycle_t dl = engine_.deliver(
                         dn_, gb_, stream_elems, tn * tx * ty,
-                        PackageKind::Weight, wd_, faults_, ff, trace_);
+                        PackageKind::Weight, ff);
                     setPhase("activation gather");
-                    dl += deliverElements(
+                    dl += engine_.deliver(
                         dn_, gb_, static_cast<index_t>(fetch.size()), 1,
-                        PackageKind::Input, wd_, faults_, ff, trace_);
+                        PackageKind::Input, ff);
 
                     // Compute and sign-check.
                     index_t fired = 0;
@@ -338,9 +340,8 @@ SnapeaController::runConvolution(const LayerSpec &layer, const Tensor &input,
                 // Drain: every mapped window emits its psum (cut windows
                 // emit the non-positive value the ReLU will zero).
                 setPhase("output drain");
-                res.cycles += drainOutputs(
-                    gb_, static_cast<index_t>(vns.size()), wd_, ff,
-                    trace_);
+                res.cycles += engine_.drain(
+                    gb_, static_cast<index_t>(vns.size()), ff);
                 for (const VnState &v : vns)
                     output.at(v.n, v.ko, v.ox, v.oy) = v.psum;
             }

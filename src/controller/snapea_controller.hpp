@@ -58,6 +58,7 @@ struct SnapeaReorderTable {
     static SnapeaReorderTable build(const Tensor &weights);
 };
 
+class EventEngine;
 class Watchdog;
 class FaultInjector;
 class Tracer;
@@ -67,15 +68,18 @@ class SnapeaController : public Checkpointable
 {
   public:
     /**
+     * @param engine the delivery/drain engine every streaming phase
+     *        goes through (owned by the Accelerator) — the single
+     *        place components are ticked from
      * @param watchdog optional progress watchdog ticked by the delivery
      *        and drain loops (owned by the Accelerator)
      * @param faults optional fault injector applied to the flit stream
      * @param trace optional cycle-level tracer (owned by the
      *        Accelerator when `trace = ON`)
      */
-    SnapeaController(const HardwareConfig &cfg, DistributionNetwork &dn,
-                     MultiplierArray &mn, ReductionNetwork &rn,
-                     GlobalBuffer &gb, Dram &dram,
+    SnapeaController(const HardwareConfig &cfg, EventEngine &engine,
+                     DistributionNetwork &dn, MultiplierArray &mn,
+                     ReductionNetwork &rn, GlobalBuffer &gb, Dram &dram,
                      Watchdog *watchdog = nullptr,
                      FaultInjector *faults = nullptr,
                      Tracer *trace = nullptr);
@@ -113,6 +117,7 @@ class SnapeaController : public Checkpointable
     void setPhase(const char *phase);
 
     HardwareConfig cfg_;
+    EventEngine &engine_;
     DistributionNetwork &dn_;
     MultiplierArray &mn_;
     ReductionNetwork &rn_;

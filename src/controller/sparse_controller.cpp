@@ -4,19 +4,20 @@
 #include <vector>
 
 #include "common/logging.hpp"
-#include "controller/delivery.hpp"
+#include "engine/event_engine.hpp"
 #include "network/dn_benes.hpp"
 
 namespace stonne {
 
 SparseController::SparseController(const HardwareConfig &cfg,
+                                   EventEngine &engine,
                                    DistributionNetwork &dn,
                                    MultiplierArray &mn, ReductionNetwork &rn,
                                    GlobalBuffer &gb, Dram &dram,
                                    Watchdog *watchdog, FaultInjector *faults,
                                    Tracer *trace)
-    : cfg_(cfg), dn_(dn), mn_(mn), rn_(rn), gb_(gb), dram_(dram),
-      wd_(watchdog), faults_(faults), trace_(trace)
+    : cfg_(cfg), engine_(engine), dn_(dn), mn_(mn), rn_(rn), gb_(gb),
+      dram_(dram), wd_(watchdog), faults_(faults), trace_(trace)
 {
     cfg_.validate();
     fatalIf(cfg_.controller_type != ControllerType::Sparse,
@@ -80,9 +81,8 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
     for (const SparseRound &round : rounds_) {
         // Stationary non-zeros enter through the Benes (unicast).
         setPhase("stationary nnz load");
-        res.cycles += deliverElements(dn_, gb_, round.nnz, 1,
-                                      PackageKind::Weight, wd_, faults_,
-                                      ff, trace_);
+        res.cycles += engine_.deliver(dn_, gb_, round.nnz, 1,
+                                      PackageKind::Weight, ff);
 
         // Streaming operands: the union of column indices the mapped
         // segments need; shared indices are multicast.
@@ -129,12 +129,10 @@ SparseController::runSpMM(const CsrMatrix &a, const Tensor &b, Tensor &c,
             }
 
             setPhase("streaming operand multicast");
-            const cycle_t dl = deliverElements(dn_, gb_, needed, 1,
-                                               PackageKind::Input, wd_,
-                                               faults_, ff, trace_);
+            const cycle_t dl = engine_.deliver(dn_, gb_, needed, 1,
+                                               PackageKind::Input, ff);
             setPhase("output drain");
-            const cycle_t drain = drainOutputs(gb_, completions, wd_, ff,
-                                               trace_);
+            const cycle_t drain = engine_.drain(gb_, completions, ff);
 
             mn_.fireMultipliers(std::min(fired, cfg_.ms_size));
             res.macs += static_cast<count_t>(fired);

@@ -29,6 +29,10 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
             stats_, static_cast<cycle_t>(cfg_.trace_sample_cycles),
             cfg_.trace_file, cfg_.name);
 
+    engine_ = std::make_unique<EventEngine>(cfg_.engine_type,
+                                            watchdog_.get(), faults_.get(),
+                                            trace_.get());
+
     gb_ = std::make_unique<GlobalBuffer>(
         cfg_.gb_size_kib, cfg_.dn_bandwidth, cfg_.rn_bandwidth,
         bytesPerElement(cfg_.data_type), stats_);
@@ -74,18 +78,18 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
     switch (cfg_.controller_type) {
       case ControllerType::Dense:
         dense_ = std::make_unique<DenseController>(
-            cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
-            faults_.get(), trace_.get());
+            cfg_, *engine_, *dn_, *mn_, *rn_, *gb_, *dram_,
+            watchdog_.get(), faults_.get(), trace_.get());
         break;
       case ControllerType::Sparse:
         sparse_ = std::make_unique<SparseController>(
-            cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
-            faults_.get(), trace_.get());
+            cfg_, *engine_, *dn_, *mn_, *rn_, *gb_, *dram_,
+            watchdog_.get(), faults_.get(), trace_.get());
         break;
       case ControllerType::Snapea:
         snapea_ = std::make_unique<SnapeaController>(
-            cfg_, *dn_, *mn_, *rn_, *gb_, *dram_, watchdog_.get(),
-            faults_.get(), trace_.get());
+            cfg_, *engine_, *dn_, *mn_, *rn_, *gb_, *dram_,
+            watchdog_.get(), faults_.get(), trace_.get());
         break;
     }
 
@@ -181,6 +185,7 @@ Accelerator::reset()
     rn_->reset();
     stats_.reset();
     watchdog_->reset();
+    engine_->reset();
 }
 
 void
@@ -222,6 +227,10 @@ Accelerator::checkpoint(ArchiveWriter &ar) const
     ar.putBool(trace_ != nullptr);
     if (trace_)
         trace_->saveState(ar);
+    ar.endSection();
+
+    ar.beginSection("engine");
+    engine_->saveState(ar);
     ar.endSection();
 }
 
@@ -286,6 +295,10 @@ Accelerator::restore(ArchiveReader &ar)
                       "carries no tracer state");
     if (trace_)
         trace_->loadState(ar);
+    ar.leaveSection();
+
+    ar.enterSection("engine");
+    engine_->loadState(ar);
     ar.leaveSection();
 }
 

@@ -22,6 +22,7 @@
 #include "faults/fault_injector.hpp"
 #include "controller/snapea_controller.hpp"
 #include "controller/sparse_controller.hpp"
+#include "engine/event_engine.hpp"
 #include "mem/dram.hpp"
 #include "mem/global_buffer.hpp"
 #include "network/mn_array.hpp"
@@ -76,6 +77,9 @@ class Accelerator : public Unit
     /** Cycle-level tracer, or nullptr when `trace = OFF`. */
     Tracer *tracer() { return trace_.get(); }
 
+    /** Delivery/drain engine every controller streams through. */
+    EventEngine &engine() { return *engine_; }
+
     /** Current memory-controller phase ("idle" between operations). */
     const std::string &controllerPhase() const;
 
@@ -114,6 +118,7 @@ class Accelerator : public Unit
     std::unique_ptr<Watchdog> watchdog_;
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<Tracer> trace_;
+    std::unique_ptr<EventEngine> engine_;
     std::unique_ptr<GlobalBuffer> gb_;
     std::unique_ptr<Dram> dram_;
     std::unique_ptr<DistributionNetwork> dn_;

@@ -25,7 +25,7 @@ log2Ceil(index_t v)
 BenesDistributionNetwork::BenesDistributionNetwork(index_t ms_size,
                                                    index_t bandwidth,
                                                    StatsRegistry &stats)
-    : DistributionNetwork(ms_size, bandwidth),
+    : DistributionNetwork(DnKind::Benes, ms_size, bandwidth),
       levels_(2 * log2Ceil(ms_size) + 1),
       packages_(&stats.counter("dn.packages",
                                StatGroup::DistributionNetwork)),

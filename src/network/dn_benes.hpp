@@ -20,7 +20,7 @@
 namespace stonne {
 
 /** SIGMA-style non-blocking Benes distribution network. */
-class BenesDistributionNetwork : public DistributionNetwork
+class BenesDistributionNetwork final : public DistributionNetwork
 {
   public:
     BenesDistributionNetwork(index_t ms_size, index_t bandwidth,
@@ -35,6 +35,13 @@ class BenesDistributionNetwork : public DistributionNetwork
     void cycle() override;
     void reset() override;
     std::string name() const override { return "dn_benes"; }
+
+    /** Issued packages occupy switch levels until the next edge. */
+    cycle_t
+    nextActiveCycle() const override
+    {
+        return issued_this_cycle_ > 0 ? 0 : kIdle;
+    }
 
     /** Issue/activity state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const override;

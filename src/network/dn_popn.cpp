@@ -8,7 +8,7 @@ namespace stonne {
 
 PointToPointNetwork::PointToPointNetwork(index_t ms_size, index_t bandwidth,
                                          StatsRegistry &stats)
-    : DistributionNetwork(ms_size, bandwidth),
+    : DistributionNetwork(DnKind::PointToPoint, ms_size, bandwidth),
       packages_(&stats.counter("dn.packages",
                                StatGroup::DistributionNetwork)),
       link_hops_(&stats.counter("dn.link_hops",

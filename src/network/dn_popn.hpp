@@ -17,7 +17,7 @@
 namespace stonne {
 
 /** Unicast-only point-to-point injection links. */
-class PointToPointNetwork : public DistributionNetwork
+class PointToPointNetwork final : public DistributionNetwork
 {
   public:
     PointToPointNetwork(index_t ms_size, index_t bandwidth,
@@ -32,6 +32,13 @@ class PointToPointNetwork : public DistributionNetwork
     void cycle() override;
     void reset() override;
     std::string name() const override { return "dn_popn"; }
+
+    /** Issued packages occupy the injection links until the next edge. */
+    cycle_t
+    nextActiveCycle() const override
+    {
+        return issued_this_cycle_ > 0 ? 0 : kIdle;
+    }
 
     /** Issue/activity state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const override;

@@ -25,7 +25,7 @@ log2Ceil(index_t v)
 TreeDistributionNetwork::TreeDistributionNetwork(index_t ms_size,
                                                  index_t bandwidth,
                                                  StatsRegistry &stats)
-    : DistributionNetwork(ms_size, bandwidth),
+    : DistributionNetwork(DnKind::Tree, ms_size, bandwidth),
       levels_(log2Ceil(ms_size)),
       packages_(&stats.counter("dn.packages",
                                StatGroup::DistributionNetwork)),
@@ -66,15 +66,16 @@ TreeDistributionNetwork::inject(const DataPackage &pkg)
     }
     // One package per leaf per cycle: overlapping ranges conflict on the
     // shared subtree links.
-    for (const auto &r : ranges_this_cycle_) {
-        if (pkg.dest_lo < r.second && r.first < pkg.dest_hi) {
+    for (std::size_t i = 0; i < range_lo_.size(); ++i) {
+        if (pkg.dest_lo < range_hi_[i] && range_lo_[i] < pkg.dest_hi) {
             ++stalls_->value;
             return false;
         }
     }
 
     ++issued_this_cycle_;
-    ranges_this_cycle_.emplace_back(pkg.dest_lo, pkg.dest_hi);
+    range_lo_.push_back(pkg.dest_lo);
+    range_hi_.push_back(pkg.dest_hi);
     ++packages_->value;
     const index_t hops = traversalSwitches(pkg.fanout());
     switch_hops_->value += static_cast<count_t>(hops);
@@ -128,7 +129,8 @@ void
 TreeDistributionNetwork::cycle()
 {
     issued_this_cycle_ = 0;
-    ranges_this_cycle_.clear();
+    range_lo_.clear();
+    range_hi_.clear();
 }
 
 void
@@ -142,21 +144,22 @@ TreeDistributionNetwork::dumpState(std::ostream &os) const
 {
     os << name() << ": " << ms_size_ << " leaves over " << levels_
        << " levels, bandwidth " << bandwidth_ << ", issued this cycle "
-       << issued_this_cycle_ << " (" << ranges_this_cycle_.size()
+       << issued_this_cycle_ << " (" << range_lo_.size()
        << " live ranges), delivered " << packages_->value << ", stalls "
        << stalls_->value << "\n";
-    for (const auto &[lo, hi] : ranges_this_cycle_)
-        os << "  in-flight range [" << lo << ", " << hi << ")\n";
+    for (std::size_t i = 0; i < range_lo_.size(); ++i)
+        os << "  in-flight range [" << range_lo_[i] << ", "
+           << range_hi_[i] << ")\n";
 }
 
 void
 TreeDistributionNetwork::saveState(ArchiveWriter &ar) const
 {
     ar.putI64(issued_this_cycle_);
-    ar.putU64(ranges_this_cycle_.size());
-    for (const auto &[lo, hi] : ranges_this_cycle_) {
-        ar.putI64(lo);
-        ar.putI64(hi);
+    ar.putU64(range_lo_.size());
+    for (std::size_t i = 0; i < range_lo_.size(); ++i) {
+        ar.putI64(range_lo_[i]);
+        ar.putI64(range_hi_[i]);
     }
 }
 
@@ -165,12 +168,13 @@ TreeDistributionNetwork::loadState(ArchiveReader &ar)
 {
     issued_this_cycle_ = ar.getI64();
     const std::uint64_t n = ar.getU64();
-    ranges_this_cycle_.clear();
-    ranges_this_cycle_.reserve(static_cast<std::size_t>(n));
+    range_lo_.clear();
+    range_hi_.clear();
+    range_lo_.reserve(static_cast<std::size_t>(n));
+    range_hi_.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) {
-        const index_t lo = ar.getI64();
-        const index_t hi = ar.getI64();
-        ranges_this_cycle_.emplace_back(lo, hi);
+        range_lo_.push_back(ar.getI64());
+        range_hi_.push_back(ar.getI64());
     }
 }
 

@@ -21,7 +21,7 @@
 namespace stonne {
 
 /** MAERI-style binary distribution tree. */
-class TreeDistributionNetwork : public DistributionNetwork
+class TreeDistributionNetwork final : public DistributionNetwork
 {
   public:
     /**
@@ -42,6 +42,13 @@ class TreeDistributionNetwork : public DistributionNetwork
     void reset() override;
     std::string name() const override { return "dn_tree"; }
 
+    /** Issued packages still occupy subtree links until the next edge. */
+    cycle_t
+    nextActiveCycle() const override
+    {
+        return issued_this_cycle_ > 0 ? 0 : kIdle;
+    }
+
     /** Issue/activity state for watchdog deadlock snapshots. */
     void dumpState(std::ostream &os) const override;
 
@@ -61,7 +68,11 @@ class TreeDistributionNetwork : public DistributionNetwork
   private:
     index_t levels_;
     index_t issued_this_cycle_ = 0;
-    std::vector<std::pair<index_t, index_t>> ranges_this_cycle_;
+    // In-flight leaf ranges of the current cycle as a struct-of-arrays
+    // pair: the overlap scan in inject() walks a dense index_t array
+    // instead of striding over pairs.
+    std::vector<index_t> range_lo_;
+    std::vector<index_t> range_hi_;
     StatCounter *packages_;
     StatCounter *switch_hops_;
     StatCounter *link_hops_;

@@ -23,7 +23,7 @@
 namespace stonne {
 
 /** Array of multiplier switches with optional neighbour forwarding. */
-class MultiplierArray : public Unit
+class MultiplierArray final : public Unit
 {
   public:
     MultiplierArray(index_t ms_size, MnType type, StatsRegistry &stats);

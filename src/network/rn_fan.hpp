@@ -17,7 +17,7 @@
 namespace stonne {
 
 /** SIGMA-style forwarding adder network with 2:1 adders. */
-class FanReductionNetwork : public ReductionNetwork
+class FanReductionNetwork final : public ReductionNetwork
 {
   public:
     FanReductionNetwork(index_t ms_size, StatsRegistry &stats);

@@ -17,7 +17,7 @@
 namespace stonne {
 
 /** TPU-style linear accumulation chain. */
-class LinearReductionNetwork : public ReductionNetwork
+class LinearReductionNetwork final : public ReductionNetwork
 {
   public:
     LinearReductionNetwork(index_t ms_size, StatsRegistry &stats);

@@ -20,7 +20,7 @@
 namespace stonne {
 
 /** ART / ART+ACC reduction network. */
-class ArtReductionNetwork : public ReductionNetwork
+class ArtReductionNetwork final : public ReductionNetwork
 {
   public:
     /**

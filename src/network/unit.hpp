@@ -72,6 +72,13 @@ struct FifoElementIo<DataPackage> {
 class Unit : public Checkpointable
 {
   public:
+    /**
+     * nextActiveCycle() sentinel: the unit has no queued work, no
+     * in-flight pipeline contents and no pending injections, so the
+     * wakeup scheduler may skip it for any number of cycles.
+     */
+    static constexpr cycle_t kIdle = ~cycle_t{0};
+
     ~Unit() override = default;
 
     /** Advance the component by one clock edge. */
@@ -82,6 +89,16 @@ class Unit : public Checkpointable
 
     /** Component instance name used in stats. */
     virtual std::string name() const = 0;
+
+    /**
+     * Relative cycle (0 = the next clock edge) at which the unit next
+     * has work that requires an exact cycle() tick, or kIdle when the
+     * unit is drained: nothing queued, nothing in flight, nothing
+     * pending injection. The event engine only skips a span when every
+     * scheduled unit reports kIdle — a unit reporting 0 pins the
+     * scheduler to exact per-cycle stepping.
+     */
+    virtual cycle_t nextActiveCycle() const { return kIdle; }
 
     /**
      * Dump the component's cycle-level state into a watchdog deadlock
@@ -114,11 +131,27 @@ class Unit : public Checkpointable
  * the same cycle). Successful injections are delivered within the cycle
  * (single-cycle delivery as in the MAERI and SIGMA fabrics).
  */
+/**
+ * Concrete distribution-network topology tag. The event engine's inner
+ * delivery loop switches on this once per delivery and then runs a
+ * devirtualized per-cycle loop against the concrete class — one
+ * indirect-call-free path per topology instead of three virtual calls
+ * per simulated cycle.
+ */
+enum class DnKind {
+    Tree,         //!< TreeDistributionNetwork
+    Benes,        //!< BenesDistributionNetwork
+    PointToPoint, //!< PointToPointNetwork
+};
+
 class DistributionNetwork : public Unit
 {
   public:
-    DistributionNetwork(index_t ms_size, index_t bandwidth)
-        : ms_size_(ms_size), bandwidth_(bandwidth) {}
+    DistributionNetwork(DnKind kind, index_t ms_size, index_t bandwidth)
+        : kind_(kind), ms_size_(ms_size), bandwidth_(bandwidth) {}
+
+    /** Concrete topology tag for devirtualized dispatch. */
+    DnKind kind() const { return kind_; }
 
     /**
      * Attempt to inject a package this cycle.
@@ -174,6 +207,7 @@ class DistributionNetwork : public Unit
     }
 
   protected:
+    DnKind kind_;
     index_t ms_size_;
     index_t bandwidth_;
     //! dn.inject_queue_occ occupancy integral, registered by the

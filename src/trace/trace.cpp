@@ -179,6 +179,29 @@ Tracer::bulkEnd(cycle_t cycles, const char *what)
     }
     record(std::move(span));
 
+    interpolateSamples(post, cycles);
+}
+
+void
+Tracer::steadyBegin()
+{
+    panicIf(in_bulk_, "trace steadyBegin inside an open bulk region");
+    in_bulk_ = true;
+    bulk_pre_ = stats_.snapshot();
+}
+
+void
+Tracer::steadyEnd(cycle_t cycles)
+{
+    panicIf(!in_bulk_, "trace steadyEnd without steadyBegin");
+    in_bulk_ = false;
+    interpolateSamples(stats_.snapshot(), cycles);
+}
+
+void
+Tracer::interpolateSamples(const std::vector<count_t> &post,
+                           cycle_t cycles)
+{
     const cycle_t start = now_;
     const cycle_t end = now_ + cycles;
     std::vector<count_t> at(post.size());

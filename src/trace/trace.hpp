@@ -128,6 +128,18 @@ class Tracer : public Checkpointable
      */
     void bulkEnd(cycle_t cycles, const char *what);
 
+    /** Mark the start of an event-engine steady-state skipped span. */
+    void steadyBegin();
+
+    /**
+     * Close an event-engine steady span of `cycles` cycles: sample
+     * boundaries inside it are exactly interpolated like bulkEnd(),
+     * but no fast-forward span is recorded — the event stream stays
+     * byte-identical to `cycles` exact tick() calls (exact mode
+     * records no region spans either).
+     */
+    void steadyEnd(cycle_t cycles);
+
     /** Controller phase change: closes the open span, opens the next. */
     void setPhase(const std::string &name);
 
@@ -155,6 +167,8 @@ class Tracer : public Checkpointable
   private:
     void record(TraceEvent ev);
     void emitSample(cycle_t ts, const std::vector<count_t> &values);
+    void interpolateSamples(const std::vector<count_t> &post,
+                            cycle_t cycles);
     JsonValue toJson() const;
 
     const StatsRegistry &stats_;

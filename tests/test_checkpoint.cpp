@@ -532,6 +532,75 @@ TEST(ResumeParity, PolicyKnobsMayDifferAcrossTheResume)
     expectIdenticalOutput(ref.output(), second.output());
 }
 
+TEST(ResumeParity, SnapshotRestoresAcrossTheEngineKnob)
+{
+    // `engine = EVENT|TICK` is an execution policy like fast_forward:
+    // a snapshot taken under the wakeup scheduler must restore under
+    // the tick-everything engine (and back) bit-identically. The
+    // "engine" archive section advances identically in both modes, so
+    // nothing in the snapshot pins the mode.
+    const HardwareConfig base = HardwareConfig::maeriLike(64, 16);
+
+    HardwareConfig ref_cfg = base;
+    ref_cfg.engine_type = EngineType::Tick;
+    Stonne ref(ref_cfg);
+    configureParityOp(ref, ref_cfg);
+    ref.runOperation();
+    configureParityOp(ref, ref_cfg);
+    ref.runOperation();
+
+    for (const bool event_first : {true, false}) {
+        SCOPED_TRACE(event_first ? "event -> tick" : "tick -> event");
+        TempFile snap("test_ckpt_engine_knob.ckpt");
+
+        HardwareConfig first_cfg = base;
+        first_cfg.engine_type =
+            event_first ? EngineType::Event : EngineType::Tick;
+        Stonne first(first_cfg);
+        configureParityOp(first, first_cfg);
+        first.runOperation();
+        first.saveCheckpoint(snap.path);
+
+        HardwareConfig second_cfg = base;
+        second_cfg.engine_type =
+            event_first ? EngineType::Tick : EngineType::Event;
+        Stonne second(second_cfg);
+        second.loadCheckpoint(snap.path);
+        configureParityOp(second, second_cfg);
+        second.runOperation();
+
+        EXPECT_EQ(second.totalCycles(), ref.totalCycles());
+        expectIdenticalCounters(ref.stats(), second.stats());
+        expectIdenticalOutput(ref.output(), second.output());
+    }
+}
+
+TEST(EngineCheckpoint, WakeupBookkeepingRoundTrips)
+{
+    // The event engine's clock and per-stream last-active cycles live
+    // in the version-2 "engine" archive section; a restored instance
+    // must resume the wakeup records exactly.
+    TempFile snap("test_ckpt_engine_state.ckpt");
+    const HardwareConfig cfg = HardwareConfig::maeriLike(64, 16);
+
+    Stonne st(cfg);
+    configureParityOp(st, cfg);
+    st.runOperation();
+    const EventEngine &engine = st.accelerator().engine();
+    const cycle_t now = engine.now();
+    const cycle_t dl = engine.lastActive(EventEngine::Delivery);
+    const cycle_t dr = engine.lastActive(EventEngine::Drain);
+    EXPECT_GT(now, 0u);
+    st.saveCheckpoint(snap.path);
+
+    Stonne resumed(cfg);
+    resumed.loadCheckpoint(snap.path);
+    const EventEngine &rengine = resumed.accelerator().engine();
+    EXPECT_EQ(rengine.now(), now);
+    EXPECT_EQ(rengine.lastActive(EventEngine::Delivery), dl);
+    EXPECT_EQ(rengine.lastActive(EventEngine::Drain), dr);
+}
+
 TEST(EngineCheckpoint, RejectsAStructurallyDifferentInstance)
 {
     TempFile snap("test_ckpt_mismatch.ckpt");
@@ -642,10 +711,13 @@ TEST(ModelRunCheckpoint, MidRunSnapshotResumesBitIdentically)
     ASSERT_TRUE(std::filesystem::exists(snap.path));
     EXPECT_TRUE(checkpointHasRunnerSection(snap.path));
 
-    // Resume in a fresh runner — under the opposite engine mode, as a
-    // degraded sweep retry would — and complete bit-identically.
+    // Resume in a fresh runner — under the opposite execution policies
+    // (fast-forward flipped, wakeup scheduler swapped for the
+    // tick-everything engine), as a degraded sweep retry would — and
+    // complete bit-identically.
     HardwareConfig resume_cfg = cfg;
     resume_cfg.fast_forward = !cfg.fast_forward;
+    resume_cfg.engine_type = EngineType::Tick;
     ModelRunner resumer(model, resume_cfg);
     const Tensor out_res = resumer.resume(snap.path);
 

@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Event-engine parity tests: the wakeup scheduler (`engine = EVENT`)
+ * must be bit-identical to the original tick-everything loops
+ * (`engine = TICK`) — cycles, every activity counter, output tensors,
+ * watchdog accounting, budget aborts and the recorded trace event
+ * stream — on bare units and on every shipped configs/*.cfg, in exact
+ * and fast-forward execution, with and without a fault injector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/watchdog.hpp"
+#include "engine/event_engine.hpp"
+#include "engine/stonne_api.hpp"
+#include "faults/fault_injector.hpp"
+#include "mem/global_buffer.hpp"
+#include "network/dn_benes.hpp"
+#include "network/dn_popn.hpp"
+#include "network/dn_tree.hpp"
+#include "network/mn_array.hpp"
+#include "tensor/prune.hpp"
+#include "trace/trace.hpp"
+
+namespace stonne {
+namespace {
+
+/** Every counter in `a` must exist in `b` with the same value. */
+void
+expectSameCounters(const StatsRegistry &a, const StatsRegistry &b)
+{
+    const auto &ca = a.counters();
+    const auto &cb = b.counters();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t i = 0; i < ca.size(); ++i) {
+        EXPECT_EQ(ca[i].name, cb[i].name);
+        EXPECT_EQ(ca[i].value, cb[i].value) << "counter " << ca[i].name;
+    }
+}
+
+// --- configuration surface --------------------------------------------
+
+TEST(EngineConfig, DefaultsEventAndRoundTrips)
+{
+    EXPECT_EQ(HardwareConfig().engine_type, EngineType::Event);
+    // The default is not emitted, keeping pre-existing config text and
+    // checkpoint bytes stable.
+    EXPECT_EQ(HardwareConfig().toConfigText().find("engine ="),
+              std::string::npos);
+
+    const HardwareConfig tick = HardwareConfig::parse("engine = TICK");
+    EXPECT_EQ(tick.engine_type, EngineType::Tick);
+    EXPECT_NE(tick.toConfigText().find("engine = TICK"),
+              std::string::npos);
+
+    const HardwareConfig round = HardwareConfig::parse(tick.toConfigText());
+    EXPECT_EQ(round.engine_type, EngineType::Tick);
+
+    const HardwareConfig ev = HardwareConfig::parse("engine = EVENT");
+    EXPECT_EQ(ev.engine_type, EngineType::Event);
+
+    EXPECT_THROW(HardwareConfig::parse("engine = maybe"), FatalError);
+}
+
+TEST(EngineConfig, StructuralTextNormalizesTheEngineKnob)
+{
+    // The engine is an execution policy, not hardware: snapshots taken
+    // under one engine must restore under the other.
+    const HardwareConfig ev = HardwareConfig::maeriLike(64, 8);
+    HardwareConfig tick = ev;
+    tick.engine_type = EngineType::Tick;
+    EXPECT_EQ(ev.structuralText(), tick.structuralText());
+}
+
+// --- wakeup reporting -------------------------------------------------
+
+TEST(NextActiveCycle, DnReportsIdleWhenDrainedAndZeroWhenIssuing)
+{
+    StatsRegistry s;
+    TreeDistributionNetwork dn(64, 8, s);
+    EXPECT_EQ(dn.nextActiveCycle(), Unit::kIdle);
+
+    dn.cycle();
+    EXPECT_EQ(dn.injectBulk(4, 2, PackageKind::Input), 4);
+    // Issued flits retire at the next clock edge.
+    EXPECT_EQ(dn.nextActiveCycle(), 0u);
+    dn.cycle();
+    EXPECT_EQ(dn.nextActiveCycle(), Unit::kIdle);
+}
+
+TEST(NextActiveCycle, PureAccountingUnitsDefaultToIdle)
+{
+    StatsRegistry s;
+    MultiplierArray mn(64, MnType::Linear, s);
+    EXPECT_EQ(mn.nextActiveCycle(), Unit::kIdle);
+}
+
+// --- delivery / drain parity on bare units ----------------------------
+
+TEST(EventEngineDelivery, CyclesAndCountersMatchTickLoop)
+{
+    // GB read bandwidth (4) below DN bandwidth (8) exercises the
+    // min() in the steady-state grant; counts below/at/above one
+    // grant exercise the tail handling.
+    for (const bool ff : {false, true}) {
+        for (const index_t count : {1, 3, 4, 5, 37, 128}) {
+            StatsRegistry s1;
+            TreeDistributionNetwork dn1(64, 8, s1);
+            GlobalBuffer gb1(108, 4, 4, 1, s1);
+            Watchdog wd1(1000);
+            EventEngine tick(EngineType::Tick, &wd1);
+            const cycle_t ref = tick.deliver(dn1, gb1, count, 2,
+                                             PackageKind::Input, ff);
+
+            StatsRegistry s2;
+            TreeDistributionNetwork dn2(64, 8, s2);
+            GlobalBuffer gb2(108, 4, 4, 1, s2);
+            Watchdog wd2(1000);
+            EventEngine ev(EngineType::Event, &wd2);
+            const cycle_t got = ev.deliver(dn2, gb2, count, 2,
+                                           PackageKind::Input, ff);
+
+            EXPECT_EQ(ref, got) << "count " << count << " ff " << ff;
+            EXPECT_EQ(wd1.cyclesObserved(), wd2.cyclesObserved());
+            EXPECT_EQ(wd1.stallCycles(), wd2.stallCycles());
+            EXPECT_EQ(tick.now(), ev.now());
+            expectSameCounters(s1, s2);
+        }
+    }
+}
+
+TEST(EventEngineDelivery, EveryDnTopologyMatchesTickLoop)
+{
+    // One run per concrete DN class exercises each devirtualized
+    // dispatch arm of the tail loop (fanout 1: the systolic links
+    // cannot multicast).
+    const auto run = [](EngineType mode, DnType type, StatsRegistry &s,
+                        Watchdog &wd) {
+        std::unique_ptr<DistributionNetwork> dn;
+        switch (type) {
+          case DnType::Tree:
+            dn = std::make_unique<TreeDistributionNetwork>(64, 8, s);
+            break;
+          case DnType::Benes:
+            dn = std::make_unique<BenesDistributionNetwork>(64, 8, s);
+            break;
+          case DnType::PointToPoint:
+            dn = std::make_unique<PointToPointNetwork>(64, 8, s);
+            break;
+        }
+        GlobalBuffer gb(108, 8, 8, 1, s);
+        EventEngine engine(mode, &wd);
+        return engine.deliver(*dn, gb, 77, 1, PackageKind::Weight,
+                              /*fast_forward=*/false);
+    };
+
+    for (const DnType type :
+         {DnType::Tree, DnType::Benes, DnType::PointToPoint}) {
+        StatsRegistry s1, s2;
+        Watchdog wd1(1000), wd2(1000);
+        const cycle_t ref = run(EngineType::Tick, type, s1, wd1);
+        const cycle_t got = run(EngineType::Event, type, s2, wd2);
+        EXPECT_EQ(ref, got) << dnTypeName(type);
+        EXPECT_EQ(wd1.cyclesObserved(), wd2.cyclesObserved());
+        expectSameCounters(s1, s2);
+    }
+}
+
+TEST(EventEngineDelivery, DrainMatchesTickLoop)
+{
+    for (const bool ff : {false, true}) {
+        for (const index_t count : {1, 2, 3, 64, 129}) {
+            StatsRegistry s1;
+            GlobalBuffer gb1(108, 4, 3, 1, s1);
+            Watchdog wd1(1000);
+            EventEngine tick(EngineType::Tick, &wd1);
+            const cycle_t ref = tick.drain(gb1, count, ff);
+
+            StatsRegistry s2;
+            GlobalBuffer gb2(108, 4, 3, 1, s2);
+            Watchdog wd2(1000);
+            EventEngine ev(EngineType::Event, &wd2);
+            const cycle_t got = ev.drain(gb2, count, ff);
+
+            EXPECT_EQ(ref, got) << "count " << count << " ff " << ff;
+            EXPECT_EQ(wd1.cyclesObserved(), wd2.cyclesObserved());
+            EXPECT_EQ(tick.now(), ev.now());
+            expectSameCounters(s1, s2);
+        }
+    }
+}
+
+TEST(EventEngineDelivery, FaultInjectorPinsTheExactLoop)
+{
+    // A fault injector draws from its seeded RNG stream once per
+    // delivery cycle; the engines must consume the stream identically,
+    // which the *second* delivery verifies (any divergence in the
+    // first leaves the streams at different positions).
+    FaultConfig fc;
+    fc.enabled = true;
+    fc.seed = 42;
+    fc.flit_drop_rate = 0.05;
+
+    const auto run = [&fc](EngineType mode, StatsRegistry &s,
+                           Watchdog &wd) {
+        TreeDistributionNetwork dn(64, 8, s);
+        GlobalBuffer gb(108, 8, 8, 1, s);
+        FaultInjector faults(fc, 64, s);
+        EventEngine engine(mode, &wd, &faults);
+        cycle_t cycles = engine.deliver(dn, gb, 200, 2,
+                                        PackageKind::Input, true);
+        cycles += engine.deliver(dn, gb, 150, 1, PackageKind::Weight,
+                                 true);
+        return cycles;
+    };
+
+    StatsRegistry s1, s2;
+    Watchdog wd1(10000), wd2(10000);
+    const cycle_t ref = run(EngineType::Tick, s1, wd1);
+    const cycle_t got = run(EngineType::Event, s2, wd2);
+    EXPECT_EQ(ref, got);
+    EXPECT_EQ(wd1.cyclesObserved(), wd2.cyclesObserved());
+    expectSameCounters(s1, s2);
+}
+
+// --- budget aborts ----------------------------------------------------
+
+TEST(EventEngineBudget, AbortsOnTheSameCycleWithTheSameMessage)
+{
+    // The steady-state skip must be clamped so an armed
+    // simulated-cycle budget aborts with the identical cycles-observed
+    // figure the exact loop reports.
+    const auto run = [](EngineType mode) {
+        StatsRegistry s;
+        TreeDistributionNetwork dn(64, 8, s);
+        GlobalBuffer gb(108, 4, 4, 1, s);
+        Watchdog wd(100000);
+        wd.setCycleBudget(17);
+        EventEngine engine(mode, &wd);
+        std::string what;
+        cycle_t observed = 0;
+        try {
+            (void)engine.deliver(dn, gb, 400, 2, PackageKind::Input,
+                                 /*fast_forward=*/false);
+            ADD_FAILURE() << "budget must abort the delivery";
+        } catch (const BudgetExceededError &e) {
+            what = e.what();
+            observed = wd.cyclesObserved();
+        }
+        return std::make_pair(what, observed);
+    };
+
+    const auto [ref_what, ref_cycles] = run(EngineType::Tick);
+    const auto [got_what, got_cycles] = run(EngineType::Event);
+    EXPECT_EQ(ref_what, got_what);
+    EXPECT_EQ(ref_cycles, got_cycles);
+    EXPECT_NE(ref_what.find("cycles observed"), std::string::npos);
+}
+
+TEST(EventEngineBudget, BudgetAlreadySpentStillAborts)
+{
+    // A budget exhausted by earlier operations clamps the skip to
+    // zero; the exact loop's first tick must still fire.
+    const auto run = [](EngineType mode) {
+        StatsRegistry s;
+        TreeDistributionNetwork dn(64, 8, s);
+        GlobalBuffer gb(108, 4, 4, 1, s);
+        Watchdog wd(100000);
+        wd.setCycleBudget(5);
+        wd.bulkTick(5, 1); // earlier work consumed the whole budget
+        EventEngine engine(mode, &wd);
+        cycle_t observed = 0;
+        try {
+            (void)engine.deliver(dn, gb, 64, 1, PackageKind::Input,
+                                 false);
+            ADD_FAILURE() << "budget must abort the delivery";
+        } catch (const BudgetExceededError &) {
+            observed = wd.cyclesObserved();
+        }
+        return observed;
+    };
+    EXPECT_EQ(run(EngineType::Tick), run(EngineType::Event));
+}
+
+// --- whole-simulation parity on every shipped config ------------------
+
+std::vector<std::string>
+configFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator("configs"))
+        if (entry.path().extension() == ".cfg")
+            files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+struct RunOutcome {
+    SimulationResult sim;
+    std::deque<StatCounter> counters;
+    Tensor output;
+};
+
+/** Run a small layer appropriate for the config's controller. */
+RunOutcome
+runOnce(HardwareConfig cfg, EngineType engine, bool fast_forward)
+{
+    cfg.engine_type = engine;
+    cfg.fast_forward = fast_forward;
+    Stonne st(cfg);
+    Rng rng(7);
+
+    if (cfg.controller_type == ControllerType::Sparse) {
+        const LayerSpec layer =
+            LayerSpec::sparseGemm("parity_spmm", 32, 16, 64);
+        Tensor b({64, 16});
+        Tensor a({32, 64});
+        b.fillUniform(rng, 0.0f, 1.0f);
+        a.fillNormal(rng, 0.0f, 0.2f);
+        pruneFiltersWithJitter(a, 0.5, 0.15, rng);
+        st.configureSpmm(layer);
+        st.configureData(std::move(b), std::move(a));
+    } else {
+        Conv2dShape c;
+        c.R = 3;
+        c.S = 3;
+        c.C = 8;
+        c.K = 8;
+        c.X = 8;
+        c.Y = 8;
+        c.padding = 1;
+        const LayerSpec layer = LayerSpec::convolution("parity_conv", c);
+        Tensor input({c.N, c.C, c.X, c.Y});
+        Tensor weights({c.K, c.cPerGroup(), c.R, c.S});
+        Tensor bias({c.K});
+        input.fillUniform(rng, 0.0f, 1.0f);
+        weights.fillNormal(rng, 0.0f, 0.2f);
+        bias.fillUniform(rng, -0.1f, 0.1f);
+        st.configureConv(layer);
+        st.configureData(std::move(input), std::move(weights),
+                         std::move(bias));
+    }
+
+    RunOutcome r;
+    r.sim = st.runOperation();
+    r.counters = st.stats().counters();
+    r.output = st.output();
+    return r;
+}
+
+TEST(EventEngineParity, AllShippedConfigsAreBitIdentical)
+{
+    const std::vector<std::string> files = configFiles();
+    ASSERT_FALSE(files.empty());
+    bool any_faulty = false;
+
+    for (const std::string &path : files) {
+        const HardwareConfig cfg = HardwareConfig::parseFile(path);
+        any_faulty |= cfg.faults.enabled;
+        for (const bool ff : {false, true}) {
+            SCOPED_TRACE(path + (ff ? " [fast-forward]" : " [exact]"));
+
+            const RunOutcome ref = runOnce(cfg, EngineType::Tick, ff);
+            const RunOutcome got = runOnce(cfg, EngineType::Event, ff);
+
+            EXPECT_EQ(ref.sim.cycles, got.sim.cycles);
+            EXPECT_EQ(ref.sim.macs, got.sim.macs);
+            EXPECT_EQ(ref.sim.skipped_macs, got.sim.skipped_macs);
+            EXPECT_EQ(ref.sim.mem_accesses, got.sim.mem_accesses);
+            EXPECT_DOUBLE_EQ(ref.sim.ms_utilization,
+                             got.sim.ms_utilization);
+
+            ASSERT_EQ(ref.counters.size(), got.counters.size());
+            for (std::size_t i = 0; i < ref.counters.size(); ++i) {
+                EXPECT_EQ(ref.counters[i].name, got.counters[i].name);
+                EXPECT_EQ(ref.counters[i].value, got.counters[i].value)
+                    << "counter " << ref.counters[i].name;
+            }
+
+            ASSERT_EQ(ref.output.shape(), got.output.shape());
+            EXPECT_EQ(
+                std::memcmp(ref.output.data(), got.output.data(),
+                            static_cast<std::size_t>(ref.output.size()) *
+                                sizeof(float)),
+                0);
+        }
+    }
+    // The sweep must cover a config whose fault injector pins the
+    // delivery stream to the exact loop under both engines.
+    EXPECT_TRUE(any_faulty);
+}
+
+// --- trace parity -----------------------------------------------------
+
+std::vector<TraceEvent>
+runTraced(EngineType engine, const std::string &file)
+{
+    HardwareConfig cfg = HardwareConfig::maeriLike(128, 8);
+    cfg.engine_type = engine;
+    cfg.fast_forward = false; // exact mode: no fast-forward track
+    cfg.trace = true;
+    cfg.trace_file = file;
+    // A short window lands many sample boundaries inside skipped
+    // spans, exercising the steady-state interpolation.
+    cfg.trace_sample_cycles = 16;
+
+    Stonne st(cfg);
+    Rng rng(11);
+    Conv2dShape c;
+    c.R = 3;
+    c.S = 3;
+    c.C = 8;
+    c.K = 8;
+    c.X = 8;
+    c.Y = 8;
+    c.padding = 1;
+    Tensor input({c.N, c.C, c.X, c.Y});
+    Tensor weights({c.K, c.cPerGroup(), c.R, c.S});
+    input.fillUniform(rng, 0.0f, 1.0f);
+    weights.fillNormal(rng, 0.0f, 0.2f);
+    st.configureConv(LayerSpec::convolution("traced_conv", c));
+    st.configureData(std::move(input), std::move(weights), Tensor());
+    (void)st.runOperation();
+
+    const Tracer *tr = st.accelerator().tracer();
+    EXPECT_NE(tr, nullptr);
+    return tr->events();
+}
+
+TEST(EventEngineParity, TraceEventStreamIsIdentical)
+{
+    // Exact mode records no fast-forward spans under either engine, so
+    // the full event streams — phases, counter samples, gauges,
+    // instants, timestamps — must match event-for-event.
+    const std::vector<TraceEvent> ref = runTraced(
+        EngineType::Tick, "/tmp/stonne_event_parity_tick.trace.json");
+    const std::vector<TraceEvent> got = runTraced(
+        EngineType::Event, "/tmp/stonne_event_parity_event.trace.json");
+
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        SCOPED_TRACE("event " + std::to_string(i) + " '" + ref[i].name +
+                     "'");
+        EXPECT_EQ(ref[i].kind, got[i].kind);
+        EXPECT_EQ(ref[i].name, got[i].name);
+        EXPECT_EQ(ref[i].ts, got[i].ts);
+        EXPECT_EQ(ref[i].dur, got[i].dur);
+        EXPECT_EQ(ref[i].track, got[i].track);
+        EXPECT_EQ(ref[i].value, got[i].value);
+        EXPECT_DOUBLE_EQ(ref[i].dvalue, got[i].dvalue);
+        EXPECT_EQ(ref[i].args, got[i].args);
+    }
+    std::filesystem::remove("/tmp/stonne_event_parity_tick.trace.json");
+    std::filesystem::remove("/tmp/stonne_event_parity_event.trace.json");
+}
+
+} // namespace
+} // namespace stonne

@@ -684,7 +684,10 @@ TEST(TracedRun, TraceOffLeavesNoPathAndNoFile)
 class WedgedNetwork : public DistributionNetwork
 {
   public:
-    WedgedNetwork(index_t ms, index_t bw) : DistributionNetwork(ms, bw) {}
+    WedgedNetwork(index_t ms, index_t bw)
+        : DistributionNetwork(DnKind::Tree, ms, bw)
+    {
+    }
     bool inject(const DataPackage &) override { return false; }
     index_t
     injectBulk(index_t, index_t, PackageKind) override
