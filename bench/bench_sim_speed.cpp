@@ -35,6 +35,9 @@
 #include "common/json_writer.hpp"
 #include "common/logging.hpp"
 #include "engine/output_module.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+#include "multicore/multicore_runner.hpp"
 #include "sweep.hpp"
 
 namespace {
@@ -153,6 +156,74 @@ checkParity(const Workload &w, const ModeResult &ref, const ModeResult &fast)
             "'", w.name, "': output tensor mismatch");
 }
 
+/** One full-model throughput point (the multi-core/batch regimes the
+ *  per-layer sweep above cannot reach). */
+struct ModelPoint {
+    std::string name;
+    cycle_t cycles = 0;       //!< composed makespan (or total cycles)
+    double best_wall = 0.0;   //!< min-of-kReps simulator wall seconds
+    count_t dram_stalls = 0;  //!< summed shared-DRAM stall cycles
+};
+
+/** 2-core pipeline of SqueezeNet-tiny behind one shared DRAM channel. */
+ModelPoint
+runMulticorePoint()
+{
+    const DnnModel model =
+        buildModel(ModelId::SqueezeNet, ModelScale::Tiny, 7, 1);
+    const Tensor input =
+        makeModelInput(ModelId::SqueezeNet, ModelScale::Tiny, 11, 1);
+    HardwareConfig cfg = HardwareConfig::maeriLike(128, 64);
+    cfg.cores = 2;
+    cfg.dram_channels = 1;
+    cfg.partition = PartitionStrategy::Pipeline;
+
+    ModelPoint p{"squeezenet-tiny x2 pipeline"};
+    for (int rep = 0; rep < kReps; ++rep) {
+        MulticoreRunner runner(model, cfg);
+        const Tensor out = runner.run(input);
+        panicIf(!out.equals(runner.runNative(input)),
+                "multicore bench point diverged from the native path");
+        const double wall = runner.total().wall_seconds;
+        if (rep == 0) {
+            p.cycles = runner.makespanCycles();
+            p.best_wall = wall;
+            for (index_t c = 0; c < cfg.cores; ++c)
+                p.dram_stalls += runner.arbiter().stallCycles(c);
+        } else {
+            p.best_wall = std::min(p.best_wall, wall);
+        }
+    }
+    return p;
+}
+
+/** Batched inference (N = 4) through the single-accelerator runner. */
+ModelPoint
+runBatchPoint()
+{
+    const DnnModel model =
+        buildModel(ModelId::SqueezeNet, ModelScale::Tiny, 7, 4);
+    const Tensor input =
+        makeModelInput(ModelId::SqueezeNet, ModelScale::Tiny, 11, 4);
+    const HardwareConfig cfg = HardwareConfig::maeriLike(128, 64);
+
+    ModelPoint p{"squeezenet-tiny batch4"};
+    for (int rep = 0; rep < kReps; ++rep) {
+        ModelRunner runner(model, cfg);
+        const Tensor out = runner.run(input);
+        panicIf(!out.equals(runner.runNative(input)),
+                "batch bench point diverged from the native path");
+        const SimulationResult total = runner.total();
+        if (rep == 0) {
+            p.cycles = total.cycles;
+            p.best_wall = total.wall_seconds;
+        } else {
+            p.best_wall = std::min(p.best_wall, total.wall_seconds);
+        }
+    }
+    return p;
+}
+
 } // namespace
 
 int
@@ -263,6 +334,34 @@ main()
     j["points"] = arr;
     j.set("max_exact_speedup", max_exact_speedup);
     j.set("max_fast_forward_speedup", max_ff_speedup);
+
+    // Full-model points: the multi-core and batched regimes.
+    const std::vector<ModelPoint> model_points = {runMulticorePoint(),
+                                                  runBatchPoint()};
+    TablePrinter mt({"model point", "cycles", "wall [s]", "cycles/s",
+                     "dram stalls"});
+    JsonValue marr = JsonValue::makeArray();
+    for (const ModelPoint &p : model_points) {
+        mt.addRow({p.name, TablePrinter::num(static_cast<count_t>(p.cycles)),
+                   TablePrinter::num(p.best_wall, 4),
+                   TablePrinter::num(p.best_wall > 0.0
+                                         ? static_cast<double>(p.cycles) /
+                                               p.best_wall
+                                         : 0.0,
+                                     0),
+                   TablePrinter::num(p.dram_stalls)});
+        JsonValue o = JsonValue::makeObject();
+        o.set("workload", p.name);
+        o.set("cycles", static_cast<std::uint64_t>(p.cycles));
+        o.set("wall_seconds", p.best_wall);
+        o.set("dram_stall_cycles", static_cast<std::uint64_t>(p.dram_stalls));
+        o.set("parity", true);
+        marr.append(std::move(o));
+    }
+    std::printf("\n");
+    mt.print();
+    j["model_points"] = marr;
+
     j["recovery"] = RecoveringSweepRunner::summary(outcomes);
     OutputModule::writeFile("BENCH_sim_speed.json", j.dump() + "\n");
     std::printf("wrote BENCH_sim_speed.json\n");

@@ -13,6 +13,7 @@
 
 #include "frontend/model_loader.hpp"
 #include "frontend/runner.hpp"
+#include "multicore/multicore_runner.hpp"
 
 using namespace stonne;
 
@@ -51,6 +52,38 @@ main(int argc, char **argv)
         input = Tensor({g.n, g.k});
     }
     input.fillUniform(rng, 0.0f, 1.0f);
+
+    // A cores > 1 configuration runs the multi-core composition:
+    // N accelerators behind the shared DRAM, with per-core stall
+    // counters from the bandwidth arbiter.
+    if (cfg.cores > 1) {
+        MulticoreRunner runner(model, cfg);
+        const Tensor out = runner.run(input);
+        const SimulationResult total = runner.total();
+        std::printf("%-10s %12s %14s %10s %12s\n", "core", "cycles",
+                    "dram stalls", "grants", "bytes");
+        for (index_t c = 0; c < runner.coreCount(); ++c)
+            std::printf("%-10lld %12llu %14llu %10llu %12llu\n",
+                        static_cast<long long>(c),
+                        static_cast<unsigned long long>(
+                            runner.core(c).totalCycles()),
+                        static_cast<unsigned long long>(
+                            runner.arbiter().stallCycles(c)),
+                        static_cast<unsigned long long>(
+                            runner.arbiter().grantCount(c)),
+                        static_cast<unsigned long long>(
+                            runner.arbiter().bytesRequested(c)));
+        std::printf("\n%s over %lld cores: makespan %llu cycles, sum "
+                    "%llu cycles, %.2f uJ, functional match: %s\n",
+                    partitionStrategyName(cfg.partition),
+                    static_cast<long long>(cfg.cores),
+                    static_cast<unsigned long long>(
+                        runner.makespanCycles()),
+                    static_cast<unsigned long long>(total.cycles),
+                    total.energy.total(),
+                    out.equals(runner.runNative(input)) ? "exact" : "NO");
+        return 0;
+    }
 
     ModelRunner runner(model, cfg);
     const Tensor out = runner.run(input);

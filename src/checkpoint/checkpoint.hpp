@@ -34,6 +34,9 @@ struct SimulationResult;
 constexpr std::uint32_t kCheckpointKindEngine = 1;     //!< Stonne only
 constexpr std::uint32_t kCheckpointKindModelRun = 2;   //!< + "runner"
 constexpr std::uint32_t kCheckpointKindServiceJob = 3; //!< + "service_job"
+/** MulticoreRunner snapshot: "multicore" cursor + one section per core
+ *  + the shared-DRAM arbiter ledger. */
+constexpr std::uint32_t kCheckpointKindMulticoreRun = 4;
 
 /** Serialize a tensor (shape + raw float payload). */
 void saveTensor(ArchiveWriter &ar, const Tensor &t);

@@ -75,6 +75,16 @@ engineTypeName(EngineType t)
     return "?";
 }
 
+const char *
+partitionStrategyName(PartitionStrategy p)
+{
+    switch (p) {
+      case PartitionStrategy::Pipeline: return "PIPELINE";
+      case PartitionStrategy::KSplit:   return "KSPLIT";
+    }
+    return "?";
+}
+
 namespace {
 
 bool
@@ -156,6 +166,22 @@ HardwareConfig::validate() const
             job_budget_wall_ms);
     fatalIf(job_retries < 0, "job_retries must be >= 0, got ",
             job_retries);
+    fatalIf(cores <= 0, "config '", name,
+            "': cores must be positive, got ", cores);
+    fatalIf(dram_channels <= 0, "config '", name,
+            "': dram_channels must be positive, got ", dram_channels);
+    fatalIf(dram_channels > cores, "config '", name,
+            "': dram_channels must lie in [1, cores]; ", dram_channels,
+            " channels cannot all be reached by ", cores,
+            " statically striped core(s)");
+    // K-split shards a layer's output channels, which only the dense
+    // controller's explicit tiling executes deterministically; the
+    // sparse controller's cluster sizes and SNAPEA's sign-sorted
+    // early exit both depend on the whole-K value distribution.
+    fatalIf(cores > 1 && partition == PartitionStrategy::KSplit &&
+            controller_type != ControllerType::Dense,
+            "config '", name, "': partition = KSPLIT shards the dense "
+            "controller's K axis; it requires controller = DENSE");
     // Only the dense controller consumes explicit tiles (the sparse
     // controller sizes clusters dynamically and SNAPEA's convolution
     // path maps whole filters), so there is nothing to tune elsewhere.
@@ -402,6 +428,17 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             else if (uval == "FP32") c.data_type = DataType::FP32;
             else fatal(origin, ":", lineno, ": unknown DATA_TYPE '", val,
                        "'");
+        } else if (key == "CORES") {
+            c.cores = as_int();
+        } else if (key == "DRAM_CHANNELS") {
+            c.dram_channels = as_int();
+        } else if (key == "PARTITION") {
+            if (uval == "PIPELINE")
+                c.partition = PartitionStrategy::Pipeline;
+            else if (uval == "KSPLIT")
+                c.partition = PartitionStrategy::KSplit;
+            else fatal(origin, ":", lineno, ": unknown PARTITION '", val,
+                       "' (expected PIPELINE or KSPLIT)");
         } else if (key == "WATCHDOG_CYCLES") {
             c.watchdog_cycles = as_int();
         } else if (key == "FAST_FORWARD") {
@@ -514,10 +551,18 @@ HardwareConfig::toConfigText() const
         if (!dse_cache_file.empty())
             os << "dse_cache_file = " << dse_cache_file << "\n";
     }
-    // Policy knobs below are emitted only when they differ from the
-    // defaults, keeping pre-existing config texts (and the snapshots
-    // embedding them) byte-stable.
+    // Multi-core composition keys are structural but emitted only when
+    // they differ from the single-core defaults, keeping pre-existing
+    // config texts (and the snapshots and cache keys embedding them)
+    // byte-stable.
     const HardwareConfig defaults;
+    if (cores != defaults.cores)
+        os << "cores = " << cores << "\n";
+    if (dram_channels != defaults.dram_channels)
+        os << "dram_channels = " << dram_channels << "\n";
+    if (partition != defaults.partition)
+        os << "partition = " << partitionStrategyName(partition) << "\n";
+    // Policy knobs below are likewise emitted only on divergence.
     if (engine_type != defaults.engine_type)
         os << "engine = " << engineTypeName(engine_type) << "\n";
     if (service_queue_depth != defaults.service_queue_depth)

@@ -72,12 +72,23 @@ enum class EngineType {
     Tick,  //!< reference per-cycle loops (pre-event engine)
 };
 
+/**
+ * Model-to-cores mapping strategy of a multi-core composition
+ * (src/multicore). Structural: a cached single-core result can never
+ * answer a multi-core request.
+ */
+enum class PartitionStrategy {
+    Pipeline, //!< contiguous layer stages, one stage per core
+    KSplit,   //!< K/N-split tensor parallelism, all cores per layer
+};
+
 const char *dnTypeName(DnType t);
 const char *mnTypeName(MnType t);
 const char *rnTypeName(RnType t);
 const char *controllerTypeName(ControllerType t);
 const char *dataflowName(Dataflow d);
 const char *engineTypeName(EngineType t);
+const char *partitionStrategyName(PartitionStrategy p);
 
 /** Full description of one simulated accelerator instance. */
 struct HardwareConfig {
@@ -120,6 +131,32 @@ struct HardwareConfig {
 
     /** Numeric format of DNN parameters in simulated memory. */
     DataType data_type = DataType::FP8;
+
+    /**
+     * Accelerator cores composed behind the shared DRAM
+     * (src/multicore). 1 keeps the single-accelerator path; N > 1
+     * instantiates N identical accelerators whose off-chip traffic
+     * contends through the shared-DRAM arbiter. Structural.
+     */
+    index_t cores = 1;
+
+    /**
+     * Independent DRAM channels of the shared memory system. The
+     * aggregate `dram_bandwidth_gbps` is split evenly across channels
+     * and cores are striped over them (core % channels), so fewer
+     * channels than cores means arbitrated contention. Structural.
+     */
+    index_t dram_channels = 1;
+
+    /**
+     * Mapping strategy of a multi-core run: `partition =
+     * PIPELINE|KSPLIT`. Pipeline assigns contiguous layer stages to
+     * cores (MAC-balanced) and streams activations between stages
+     * through the shared DRAM; KSplit shards each offloaded layer's
+     * output channels (Conv K axis / Linear output features) across
+     * all cores. Structural.
+     */
+    PartitionStrategy partition = PartitionStrategy::Pipeline;
 
     /** Optional energy-table file (empty = per-datatype defaults). */
     std::string energy_table_path;

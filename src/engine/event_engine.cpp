@@ -109,7 +109,15 @@ EventEngine::deliver(DistributionNetwork &dn, GlobalBuffer &gb,
     cycle_t cycles = 0;
     index_t remaining = count;
 
-    if (faults_ == nullptr && remaining > 0) {
+    if (remaining > 0 && skipInhibited()) {
+        // Multicore contention gate closed: a sibling core overlaps
+        // this span in simulated time, so the whole delivery is
+        // stepped exactly below. Count the cycles the gate cost.
+        const index_t grant =
+            std::min(dn.bandwidth(), gb.readBandwidth());
+        gated_cycles_ +=
+            static_cast<cycle_t>((remaining + grant - 1) / grant);
+    } else if (faults_ == nullptr && remaining > 0) {
         const index_t grant =
             std::min(dn.bandwidth(), gb.readBandwidth());
         const cycle_t total =
@@ -197,7 +205,12 @@ EventEngine::drain(GlobalBuffer &gb, index_t count, bool fast_forward)
     cycle_t cycles = 0;
     index_t remaining = count;
 
-    if (remaining > 0) {
+    if (remaining > 0 && skipInhibited()) {
+        // See deliver(): the gate pins the drain to the exact loop.
+        const index_t grant = gb.writeBandwidth();
+        gated_cycles_ +=
+            static_cast<cycle_t>((remaining + grant - 1) / grant);
+    } else if (remaining > 0) {
         const index_t grant = gb.writeBandwidth();
         const cycle_t total =
             static_cast<cycle_t>((remaining + grant - 1) / grant);

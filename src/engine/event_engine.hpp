@@ -98,6 +98,24 @@ class EventEngine : public Checkpointable
     /** Cycle the stream last completed a span at (wakeup record). */
     cycle_t lastActive(Stream s) const { return next_active_[s]; }
 
+    /**
+     * Pin deliver/drain to exact per-cycle stepping while `*flag` is
+     * true (nullptr reopens the gate). The multicore composition
+     * closes the gate on a core whose span overlaps a sibling core in
+     * simulated time: idle stretches may only be skipped when every
+     * core is in steady state. Because skipped and exact spans are
+     * bit-identical (cycles, counters, outputs, trace samples), the
+     * gate trades speed for conservatism, never results — per-core
+     * fast-forward parity holds with the gate open or closed.
+     */
+    void setSkipInhibit(const bool *flag) { skip_inhibit_ = flag; }
+
+    /**
+     * Cycles stepped exactly because the inhibit gate was closed.
+     * Observability only: not serialized, not a StatCounter.
+     */
+    cycle_t gatedCycles() const { return gated_cycles_; }
+
     void reset();
 
     /**
@@ -139,10 +157,19 @@ class EventEngine : public Checkpointable
         next_active_[s] = now_;
     }
 
+    bool
+    skipInhibited() const
+    {
+        return skip_inhibit_ != nullptr && *skip_inhibit_;
+    }
+
     EngineType mode_;
     Watchdog *watchdog_;
     FaultInjector *faults_;
     Tracer *trace_;
+
+    const bool *skip_inhibit_ = nullptr;
+    cycle_t gated_cycles_ = 0;
 
     cycle_t now_ = 0;
     cycle_t next_active_[kStreams] = {0, 0};

@@ -20,8 +20,12 @@ SimulationResult::merge(const SimulationResult &o)
     cycles += o.cycles;
     time_ms += o.time_ms;
     wall_seconds += o.wall_seconds;
-    sim_cycles_per_second = wall_seconds > 0.0
-        ? static_cast<double>(cycles) / wall_seconds : 0.0;
+    // An event-engine operation can finish inside one clock tick, so
+    // the summed wall time may still be 0.0; clamp the denominator to
+    // one nanosecond so the throughput stays a finite JSON number.
+    sim_cycles_per_second = cycles > 0
+        ? static_cast<double>(cycles) / std::max(wall_seconds, 1e-9)
+        : 0.0;
     macs += o.macs;
     skipped_macs += o.skipped_macs;
     mem_accesses += o.mem_accesses;
@@ -436,10 +440,18 @@ Stonne::runOperationImpl()
         faults->applyStuckMultipliers(output_);
 
     SimulationResult r = finishOperation(cr, before);
-    r.wall_seconds = std::chrono::duration<double>(
-        std::chrono::steady_clock::now() - wall_start).count();
-    r.sim_cycles_per_second = r.wall_seconds > 0.0
-        ? static_cast<double>(r.cycles) / r.wall_seconds : 0.0;
+    // Integer nanoseconds from the monotonic clock, not a truncated
+    // double: a sub-microsecond event-engine run must still measure a
+    // nonzero wall time, and the clamped denominator keeps the
+    // throughput finite even on a clock whose tick it undercuts
+    // (inf/0 here used to poison the JSON summary downstream).
+    const auto wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    r.wall_seconds = static_cast<double>(wall_ns) * 1e-9;
+    r.sim_cycles_per_second =
+        static_cast<double>(r.cycles) / std::max(r.wall_seconds, 1e-9);
     if (Tracer *t = accel_->tracer()) {
         t->flush();
         r.trace_path = t->filePath();

@@ -1,0 +1,253 @@
+#include "frontend/layer_exec.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+
+namespace {
+
+/** Channel-wise concatenation of two (N, C, X, Y) tensors. */
+Tensor
+concatChannels(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.rank() != 4 || b.rank() != 4 || a.dim(0) != b.dim(0) ||
+            a.dim(2) != b.dim(2) || a.dim(3) != b.dim(3),
+            "concat shape mismatch");
+    Tensor out({a.dim(0), a.dim(1) + b.dim(1), a.dim(2), a.dim(3)});
+    for (index_t n = 0; n < a.dim(0); ++n) {
+        for (index_t c = 0; c < a.dim(1); ++c)
+            for (index_t x = 0; x < a.dim(2); ++x)
+                for (index_t y = 0; y < a.dim(3); ++y)
+                    out.at(n, c, x, y) = a.at(n, c, x, y);
+        for (index_t c = 0; c < b.dim(1); ++c)
+            for (index_t x = 0; x < a.dim(2); ++x)
+                for (index_t y = 0; y < a.dim(3); ++y)
+                    out.at(n, a.dim(1) + c, x, y) = b.at(n, c, x, y);
+    }
+    return out;
+}
+
+/** Column slice [c0, c0 + w) of a rank-2 tensor. */
+Tensor
+sliceCols(const Tensor &t, index_t c0, index_t w)
+{
+    Tensor out({t.dim(0), w});
+    for (index_t i = 0; i < t.dim(0); ++i)
+        for (index_t j = 0; j < w; ++j)
+            out.at(i, j) = t.at(i, c0 + j);
+    return out;
+}
+
+/** Transposed column slice: (w x rows) from columns [c0, c0 + w). */
+Tensor
+sliceColsT(const Tensor &t, index_t c0, index_t w)
+{
+    Tensor out({w, t.dim(0)});
+    for (index_t i = 0; i < t.dim(0); ++i)
+        for (index_t j = 0; j < w; ++j)
+            out.at(j, i) = t.at(i, c0 + j);
+    return out;
+}
+
+} // namespace
+
+LayerExecutor::LayerExecutor(const DnnModel &model, Stonne &stonne,
+                             dse::AutoTuner *tuner,
+                             const LayerExecOptions &opts,
+                             std::vector<LayerRunRecord> *records)
+    : model_(model), stonne_(stonne), tuner_(tuner), opts_(opts),
+      records_(records)
+{
+}
+
+const Tensor &
+LayerExecutor::resolve(int idx, const Tensor &model_input,
+                       const std::map<int, Tensor> &saved) const
+{
+    if (idx == DnnLayer::kFromModelInput)
+        return model_input;
+    return saved.at(idx);
+}
+
+void
+LayerExecutor::recordSim(const std::string &name, OpType op,
+                         const SimulationResult &sim)
+{
+    if (records_) {
+        LayerRunRecord r;
+        r.name = name;
+        r.op = op;
+        r.offloaded = true;
+        r.sim = sim;
+        records_->push_back(std::move(r));
+    }
+}
+
+void
+LayerExecutor::recordNative(const std::string &name, OpType op)
+{
+    if (records_) {
+        LayerRunRecord r;
+        r.name = name;
+        r.op = op;
+        records_->push_back(std::move(r));
+    }
+}
+
+// With `autotune = ON`, every dense operation's tile is searched before
+// the operation runs; the tuning summary is stamped onto the operation's
+// own SimulationResult so aggregation picks it up.
+std::optional<Tile>
+LayerExecutor::tuneTile(const LayerSpec &spec)
+{
+    if (!tuner_)
+        return std::nullopt;
+    const dse::TuneReport rep = tuner_->tuneLayer(spec);
+    pending_dse_ = rep.summary();
+    return rep.best;
+}
+
+SimulationResult
+LayerExecutor::stampDse(SimulationResult sim)
+{
+    if (pending_dse_) {
+        sim.dse = *pending_dse_;
+        pending_dse_.reset();
+    }
+    return sim;
+}
+
+Tensor
+LayerExecutor::runLinear(const Tensor &in, const Tensor &w,
+                         const Tensor &bias, const std::string &name)
+{
+    if (!opts_.simulate)
+        return ref::linear(in, w, bias);
+    const LayerSpec spec =
+        LayerSpec::linear(name, in.dim(0), in.dim(1), w.dim(0));
+    stonne_.configureLinear(spec, tuneTile(spec));
+    stonne_.configureData(in, w, bias);
+    const SimulationResult sim = stampDse(stonne_.runOperation());
+    recordSim(name, OpType::Linear, sim);
+    return stonne_.output();
+}
+
+Tensor
+LayerExecutor::runGemm(const Tensor &a, const Tensor &b,
+                       const std::string &name)
+{
+    if (!opts_.simulate)
+        return ref::gemm(a, b);
+    const LayerSpec spec =
+        LayerSpec::gemmLayer(name, a.dim(0), b.dim(1), a.dim(1));
+    stonne_.configureDmm(spec, tuneTile(spec));
+    stonne_.configureData(b, a);
+    const SimulationResult sim = stampDse(stonne_.runOperation());
+    recordSim(name, OpType::SelfAttention, sim);
+    return stonne_.output();
+}
+
+Tensor
+LayerExecutor::runLayer(std::size_t i, const Tensor &cur,
+                        const Tensor &model_input,
+                        const std::map<int, Tensor> &saved)
+{
+    const DnnLayer &l = model_.layers[i];
+    const Tensor &in = l.input_from == -1
+        ? cur
+        : resolve(l.input_from, model_input, saved);
+
+    switch (l.op) {
+      case OpType::Conv2d: {
+        if (opts_.simulate) {
+            const bool relu_next =
+                i + 1 < model_.layers.size() &&
+                model_.layers[i + 1].op == OpType::ReLU;
+            stonne_.setSnapeaEarlyExit(opts_.snapea_early_exit &&
+                                       relu_next);
+            stonne_.configureConv(l.spec, tuneTile(l.spec));
+            stonne_.configureData(in, l.weights, l.bias);
+            const SimulationResult sim =
+                stampDse(stonne_.runOperation());
+            recordSim(l.name, l.op, sim);
+            return stonne_.output();
+        }
+        return ref::conv2d(in, l.weights, l.bias, l.spec.conv);
+      }
+      case OpType::Linear:
+        return runLinear(in, l.weights, l.bias, l.name);
+      case OpType::MaxPool2d: {
+        const bool offload = opts_.simulate && opts_.offload_pooling &&
+            stonne_.accelerator().supportsMaxPool();
+        if (offload) {
+            stonne_.configureMaxPool(l.spec);
+            stonne_.configureData(in, Tensor());
+            const SimulationResult sim = stonne_.runOperation();
+            recordSim(l.name, l.op, sim);
+            return stonne_.output();
+        }
+        recordNative(l.name, l.op);
+        return ref::maxPool2d(in, l.spec.pool_window, l.spec.pool_stride);
+      }
+      case OpType::GlobalAvgPool:
+        recordNative(l.name, l.op);
+        return ref::globalAvgPool(in);
+      case OpType::ReLU:
+        recordNative(l.name, l.op);
+        return ref::relu(in);
+      case OpType::AddResidual:
+        recordNative(l.name, l.op);
+        return ref::add(in, resolve(l.operand_from, model_input, saved));
+      case OpType::Concat:
+        recordNative(l.name, l.op);
+        return concatChannels(in,
+                              resolve(l.operand_from, model_input, saved));
+      case OpType::Flatten:
+        recordNative(l.name, l.op);
+        return in.reshaped({in.dim(0),
+                            in.size() / std::max<index_t>(1, in.dim(0))});
+      case OpType::Softmax:
+        recordNative(l.name, l.op);
+        return ref::softmax(in);
+      case OpType::LogSoftmax:
+        recordNative(l.name, l.op);
+        return ref::logSoftmax(in);
+      case OpType::LayerNorm:
+        recordNative(l.name, l.op);
+        return ref::layerNorm(in);
+      case OpType::SelfAttention: {
+        const AttentionSpec &a = l.attention;
+        const Tensor q = runLinear(in, l.weights, l.bias, l.name + ".q");
+        const Tensor k = runLinear(in, l.extra_weights[0],
+                                   l.extra_bias[0], l.name + ".k");
+        const Tensor v = runLinear(in, l.extra_weights[1],
+                                   l.extra_bias[1], l.name + ".v");
+        const index_t dk = a.headDim();
+        const float scale = 1.0f / std::sqrt(static_cast<float>(dk));
+        Tensor ctx({a.seq_len, a.d_model});
+        for (index_t h = 0; h < a.heads; ++h) {
+            const Tensor qh = sliceCols(q, h * dk, dk);
+            const Tensor kht = sliceColsT(k, h * dk, dk);
+            Tensor scores = runGemm(
+                qh, kht, l.name + ".scores.h" + std::to_string(h));
+            for (index_t e = 0; e < scores.size(); ++e)
+                scores.at(e) *= scale;
+            const Tensor probs = ref::softmax(scores);
+            const Tensor vh = sliceCols(v, h * dk, dk);
+            const Tensor ctx_h = runGemm(
+                probs, vh, l.name + ".ctx.h" + std::to_string(h));
+            for (index_t s = 0; s < a.seq_len; ++s)
+                for (index_t d = 0; d < dk; ++d)
+                    ctx.at(s, h * dk + d) = ctx_h.at(s, d);
+        }
+        return runLinear(ctx, l.extra_weights[2], l.extra_bias[2],
+                         l.name + ".out");
+      }
+    }
+    panic("unhandled layer op in LayerExecutor");
+}
+
+} // namespace stonne

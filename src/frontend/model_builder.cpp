@@ -16,9 +16,10 @@ ModelBuilder::ModelBuilder(std::string name, double sparsity, std::uint64_t seed
 }
 
 void
-ModelBuilder::setInput(index_t c, index_t x, index_t y)
+ModelBuilder::setInput(index_t c, index_t x, index_t y, index_t n)
 {
-    input_shape_ = {1, c, x, y};
+    panicIf(n <= 0, "input batch must be positive");
+    input_shape_ = {n, c, x, y};
 }
 
 void
@@ -270,11 +271,5 @@ ModelBuilder::push(DnnLayer l, std::vector<index_t> out_shape)
     shapes_.push_back(std::move(out_shape));
     return last();
 }
-
-DnnModel model_;
-double sparsity_;
-Rng rng_;
-std::vector<index_t> input_shape_;
-std::vector<std::vector<index_t>> shapes_;
 
 } // namespace stonne

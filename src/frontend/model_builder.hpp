@@ -27,8 +27,8 @@ class ModelBuilder
   public:
     ModelBuilder(std::string name, double sparsity, std::uint64_t seed);
 
-    /** Set a (1, c, x, y) image input. */
-    void setInput(index_t c, index_t x, index_t y);
+    /** Set an (n, c, x, y) image input (n = batch, default 1). */
+    void setInput(index_t c, index_t x, index_t y, index_t n = 1);
 
     /** Set a rank-2 (rows, features) input (sequence models). */
     void setInput2d(index_t rows, index_t features);

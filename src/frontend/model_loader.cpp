@@ -152,14 +152,20 @@ loadModelFromText(const std::string &text, std::uint64_t default_seed,
         } else if (op == "input") {
             index_t c = 0, x = 0, y = 0;
             fatalIf(!(ls >> c >> x >> y), origin, ":", lineno,
-                    ": input expects <channels> <X> <Y>");
+                    ": input expects <channels> <X> <Y> [batch]");
+            index_t n = 1;
+            if (ls >> n)
+                fatalIf(n <= 0, origin, ":", lineno,
+                        ": input batch must be positive, got ", n);
+            else
+                ls.clear();
             expect_end(ls, "input");
             fatalIf(c <= 0 || x <= 0 || y <= 0, origin, ":", lineno,
                     ": input dimensions must be positive, got ", c, " ",
                     x, " ", y);
             b = std::make_unique<ModelBuilder>(model_name, sparsity,
                                                seed);
-            b->setInput(c, x, y);
+            b->setInput(c, x, y, n);
             has_input = true;
         } else if (op == "input2d") {
             index_t rows = 0, feats = 0;

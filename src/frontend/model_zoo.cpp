@@ -23,6 +23,8 @@ struct ScaleParams {
     index_t blocks;   //!< BERT encoder blocks
     index_t ff;       //!< BERT feed-forward width
     index_t resnet_depth; //!< bottleneck blocks per ResNet stage
+    /** Input batch N (vision models; BERT's rank-2 input has none). */
+    index_t batch = 1;
 };
 
 ScaleParams
@@ -54,7 +56,7 @@ DnnModel
 buildAlexNet(const ScaleParams &p, std::uint64_t seed)
 {
     ModelBuilder b("Alexnet", modelSparsity(ModelId::AlexNet), seed);
-    b.setInput(3, p.img, p.img);
+    b.setInput(3, p.img, p.img, p.batch);
     b.conv("conv1", ch(64, p.ch_div), 11, 4, 2);
     b.relu();
     b.maybeMaxPool(3, 2);
@@ -82,7 +84,7 @@ DnnModel
 buildVgg16(const ScaleParams &p, std::uint64_t seed)
 {
     ModelBuilder b("VGG-16", modelSparsity(ModelId::Vgg16), seed);
-    b.setInput(3, p.img, p.img);
+    b.setInput(3, p.img, p.img, p.batch);
     const index_t widths[5] = {ch(64, p.ch_div), ch(128, p.ch_div),
                                ch(256, p.ch_div), ch(512, p.ch_div),
                                ch(512, p.ch_div)};
@@ -109,7 +111,7 @@ DnnModel
 buildResNet50(const ScaleParams &p, std::uint64_t seed)
 {
     ModelBuilder b("Resnets-50", modelSparsity(ModelId::ResNet50), seed);
-    b.setInput(3, p.img, p.img);
+    b.setInput(3, p.img, p.img, p.batch);
     b.conv("conv1", ch(64, p.ch_div), 7, 2, 3);
     b.relu();
     b.maybeMaxPool(2, 2);
@@ -153,7 +155,7 @@ buildMobileNetV1(const ScaleParams &p, std::uint64_t seed,
                  bool with_head)
 {
     ModelBuilder b(name, sparsity, seed);
-    b.setInput(3, p.img, p.img);
+    b.setInput(3, p.img, p.img, p.batch);
     b.conv("conv0", ch(32, p.ch_div), 3, 2, 1);
     b.relu();
 
@@ -189,7 +191,7 @@ DnnModel
 buildSqueezeNet(const ScaleParams &p, std::uint64_t seed)
 {
     ModelBuilder b("Squeezenet", modelSparsity(ModelId::SqueezeNet), seed);
-    b.setInput(3, p.img, p.img);
+    b.setInput(3, p.img, p.img, p.batch);
     b.conv("conv1", ch(64, p.ch_div), 3, 2, 0);
     b.relu();
     b.maybeMaxPool(3, 2);
@@ -230,7 +232,7 @@ buildSsdMobileNet(const ScaleParams &p, std::uint64_t seed)
     // feature layers and a detection head.
     ModelBuilder b("SSD-Mobilenets", modelSparsity(ModelId::SsdMobileNet),
               seed + 1);
-    b.setInput(3, p.img, p.img);
+    b.setInput(3, p.img, p.img, p.batch);
     b.conv("conv0", ch(32, p.ch_div), 3, 2, 1);
     b.relu();
     struct Block { index_t out; index_t stride; };
@@ -356,9 +358,13 @@ modelSparsity(ModelId id)
 }
 
 DnnModel
-buildModel(ModelId id, ModelScale scale, std::uint64_t seed)
+buildModel(ModelId id, ModelScale scale, std::uint64_t seed, index_t batch)
 {
-    const ScaleParams p = scaleParams(scale);
+    fatalIf(batch <= 0, "model batch must be positive, got ", batch);
+    fatalIf(batch > 1 && id == ModelId::Bert,
+            "BERT's (seq, hidden) input carries no batch axis");
+    ScaleParams p = scaleParams(scale);
+    p.batch = batch;
     switch (id) {
       case ModelId::MobileNetV1:
         return buildMobileNetV1(p, seed, 13, "Mobilenets-V1",
@@ -380,16 +386,20 @@ buildModel(ModelId id, ModelScale scale, std::uint64_t seed)
 }
 
 Tensor
-makeModelInput(ModelId id, ModelScale scale, std::uint64_t seed)
+makeModelInput(ModelId id, ModelScale scale, std::uint64_t seed,
+               index_t batch)
 {
+    fatalIf(batch <= 0, "input batch must be positive, got ", batch);
     const ScaleParams p = scaleParams(scale);
     Rng rng(seed);
     if (id == ModelId::Bert) {
+        fatalIf(batch > 1,
+                "BERT's (seq, hidden) input carries no batch axis");
         Tensor t({p.seq, p.hidden});
         t.fillUniform(rng, -1.0f, 1.0f);
         return t;
     }
-    Tensor t({1, 3, p.img, p.img});
+    Tensor t({batch, 3, p.img, p.img});
     t.fillUniform(rng, 0.0f, 1.0f);
     return t;
 }

@@ -60,14 +60,22 @@ const char *modelShortName(ModelId id);
 /** Table I target weight sparsity ratio. */
 double modelSparsity(ModelId id);
 
-/** Build a model with pruned synthetic weights. */
-DnnModel buildModel(ModelId id, ModelScale scale, std::uint64_t seed = 7);
+/**
+ * Build a model with pruned synthetic weights. `batch` sets the input
+ * batch N of the vision models (every conv layer becomes batch-aware);
+ * BERT's rank-2 (seq, hidden) input carries no batch axis, so batch > 1
+ * is rejected there.
+ */
+DnnModel buildModel(ModelId id, ModelScale scale, std::uint64_t seed = 7,
+                    index_t batch = 1);
 
 /**
- * A deterministic input sample: (1, C, X, Y) in [0, 1] for the vision
- * models (non-negative, as SNAPEA requires), (seq, hidden) for BERT.
+ * A deterministic input sample: (batch, C, X, Y) in [0, 1] for the
+ * vision models (non-negative, as SNAPEA requires), (seq, hidden) for
+ * BERT.
  */
-Tensor makeModelInput(ModelId id, ModelScale scale, std::uint64_t seed = 11);
+Tensor makeModelInput(ModelId id, ModelScale scale, std::uint64_t seed = 11,
+                      index_t batch = 1);
 
 } // namespace stonne
 

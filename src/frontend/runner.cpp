@@ -10,53 +10,6 @@
 
 namespace stonne {
 
-namespace {
-
-/** Channel-wise concatenation of two (N, C, X, Y) tensors. */
-Tensor
-concatChannels(const Tensor &a, const Tensor &b)
-{
-    fatalIf(a.rank() != 4 || b.rank() != 4 || a.dim(0) != b.dim(0) ||
-            a.dim(2) != b.dim(2) || a.dim(3) != b.dim(3),
-            "concat shape mismatch");
-    Tensor out({a.dim(0), a.dim(1) + b.dim(1), a.dim(2), a.dim(3)});
-    for (index_t n = 0; n < a.dim(0); ++n) {
-        for (index_t c = 0; c < a.dim(1); ++c)
-            for (index_t x = 0; x < a.dim(2); ++x)
-                for (index_t y = 0; y < a.dim(3); ++y)
-                    out.at(n, c, x, y) = a.at(n, c, x, y);
-        for (index_t c = 0; c < b.dim(1); ++c)
-            for (index_t x = 0; x < a.dim(2); ++x)
-                for (index_t y = 0; y < a.dim(3); ++y)
-                    out.at(n, a.dim(1) + c, x, y) = b.at(n, c, x, y);
-    }
-    return out;
-}
-
-/** Column slice [c0, c0 + w) of a rank-2 tensor. */
-Tensor
-sliceCols(const Tensor &t, index_t c0, index_t w)
-{
-    Tensor out({t.dim(0), w});
-    for (index_t i = 0; i < t.dim(0); ++i)
-        for (index_t j = 0; j < w; ++j)
-            out.at(i, j) = t.at(i, c0 + j);
-    return out;
-}
-
-/** Transposed column slice: (w x rows) from columns [c0, c0 + w). */
-Tensor
-sliceColsT(const Tensor &t, index_t c0, index_t w)
-{
-    Tensor out({w, t.dim(0)});
-    for (index_t i = 0; i < t.dim(0); ++i)
-        for (index_t j = 0; j < w; ++j)
-            out.at(j, i) = t.at(i, c0 + j);
-    return out;
-}
-
-} // namespace
-
 ModelRunner::ModelRunner(const DnnModel &model, const HardwareConfig &cfg)
     : model_(model), stonne_(cfg)
 {
@@ -205,192 +158,17 @@ Tensor
 ModelRunner::forward(ForwardState st, bool simulate,
                      std::vector<LayerRunRecord> *records) const
 {
-    std::map<int, Tensor> &saved = st.saved;
-    Tensor &cur = st.cur;
-
-    auto record_sim = [&](const std::string &name, OpType op,
-                          const SimulationResult &sim) {
-        if (records) {
-            LayerRunRecord r;
-            r.name = name;
-            r.op = op;
-            r.offloaded = true;
-            r.sim = sim;
-            records->push_back(std::move(r));
-        }
-    };
-    auto record_native = [&](const std::string &name, OpType op) {
-        if (records) {
-            LayerRunRecord r;
-            r.name = name;
-            r.op = op;
-            records->push_back(std::move(r));
-        }
-    };
-
-    // With `autotune = ON`, every dense operation's tile is searched
-    // before the operation runs; the tuning summary is stamped onto the
-    // operation's own SimulationResult so total() aggregates it.
-    std::optional<DseSummary> pending_dse;
-    auto tune_tile = [&](const LayerSpec &spec) -> std::optional<Tile> {
-        if (!tuner_)
-            return std::nullopt;
-        const dse::TuneReport rep = tuner_->tuneLayer(spec);
-        pending_dse = rep.summary();
-        return rep.best;
-    };
-    auto stamp_dse = [&](SimulationResult sim) {
-        if (pending_dse) {
-            sim.dse = *pending_dse;
-            pending_dse.reset();
-        }
-        return sim;
-    };
-
-    auto run_linear = [&](const Tensor &in, const Tensor &w,
-                          const Tensor &bias, const std::string &name) {
-        if (!simulate)
-            return ref::linear(in, w, bias);
-        const LayerSpec spec =
-            LayerSpec::linear(name, in.dim(0), in.dim(1), w.dim(0));
-        stonne_.configureLinear(spec, tune_tile(spec));
-        stonne_.configureData(in, w, bias);
-        const SimulationResult sim = stamp_dse(stonne_.runOperation());
-        record_sim(name, OpType::Linear, sim);
-        return stonne_.output();
-    };
-
-    auto run_gemm = [&](const Tensor &a, const Tensor &b,
-                        const std::string &name) {
-        if (!simulate)
-            return ref::gemm(a, b);
-        const LayerSpec spec = LayerSpec::gemmLayer(
-            name, a.dim(0), b.dim(1), a.dim(1));
-        stonne_.configureDmm(spec, tune_tile(spec));
-        stonne_.configureData(b, a);
-        const SimulationResult sim = stamp_dse(stonne_.runOperation());
-        record_sim(name, OpType::SelfAttention, sim);
-        return stonne_.output();
-    };
-
-    auto resolve = [&](int idx) -> const Tensor & {
-        if (idx == DnnLayer::kFromModelInput)
-            return st.input;
-        return saved.at(idx);
-    };
+    LayerExecOptions opts;
+    opts.simulate = simulate;
+    opts.snapea_early_exit = snapea_early_exit_;
+    opts.offload_pooling = offload_pooling_;
+    LayerExecutor exec(model_, stonne_, tuner_.get(), opts, records);
 
     for (std::size_t i = st.next_layer; i < model_.layers.size(); ++i) {
-        const DnnLayer &l = model_.layers[i];
-        const Tensor &in = l.input_from == -1 ? cur
-                                              : resolve(l.input_from);
+        st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
 
-        switch (l.op) {
-          case OpType::Conv2d: {
-            if (simulate) {
-                const bool relu_next =
-                    i + 1 < model_.layers.size() &&
-                    model_.layers[i + 1].op == OpType::ReLU;
-                stonne_.setSnapeaEarlyExit(snapea_early_exit_ &&
-                                           relu_next);
-                stonne_.configureConv(l.spec, tune_tile(l.spec));
-                stonne_.configureData(in, l.weights, l.bias);
-                const SimulationResult sim =
-                    stamp_dse(stonne_.runOperation());
-                record_sim(l.name, l.op, sim);
-                cur = stonne_.output();
-            } else {
-                cur = ref::conv2d(in, l.weights, l.bias, l.spec.conv);
-            }
-            break;
-          }
-          case OpType::Linear:
-            cur = run_linear(in, l.weights, l.bias, l.name);
-            break;
-          case OpType::MaxPool2d: {
-            const bool offload = simulate && offload_pooling_ &&
-                stonne_.accelerator().supportsMaxPool();
-            if (offload) {
-                stonne_.configureMaxPool(l.spec);
-                stonne_.configureData(in, Tensor());
-                const SimulationResult sim = stonne_.runOperation();
-                record_sim(l.name, l.op, sim);
-                cur = stonne_.output();
-            } else {
-                record_native(l.name, l.op);
-                cur = ref::maxPool2d(in, l.spec.pool_window,
-                                     l.spec.pool_stride);
-            }
-            break;
-          }
-          case OpType::GlobalAvgPool:
-            record_native(l.name, l.op);
-            cur = ref::globalAvgPool(in);
-            break;
-          case OpType::ReLU:
-            record_native(l.name, l.op);
-            cur = ref::relu(in);
-            break;
-          case OpType::AddResidual:
-            record_native(l.name, l.op);
-            cur = ref::add(in, resolve(l.operand_from));
-            break;
-          case OpType::Concat:
-            record_native(l.name, l.op);
-            cur = concatChannels(in, resolve(l.operand_from));
-            break;
-          case OpType::Flatten:
-            record_native(l.name, l.op);
-            cur = in.reshaped({in.dim(0),
-                               in.size() / std::max<index_t>(1, in.dim(0))});
-            break;
-          case OpType::Softmax:
-            record_native(l.name, l.op);
-            cur = ref::softmax(in);
-            break;
-          case OpType::LogSoftmax:
-            record_native(l.name, l.op);
-            cur = ref::logSoftmax(in);
-            break;
-          case OpType::LayerNorm:
-            record_native(l.name, l.op);
-            cur = ref::layerNorm(in);
-            break;
-          case OpType::SelfAttention: {
-            const AttentionSpec &a = l.attention;
-            const Tensor q = run_linear(in, l.weights, l.bias,
-                                        l.name + ".q");
-            const Tensor k = run_linear(in, l.extra_weights[0],
-                                        l.extra_bias[0], l.name + ".k");
-            const Tensor v = run_linear(in, l.extra_weights[1],
-                                        l.extra_bias[1], l.name + ".v");
-            const index_t dk = a.headDim();
-            const float scale =
-                1.0f / std::sqrt(static_cast<float>(dk));
-            Tensor ctx({a.seq_len, a.d_model});
-            for (index_t h = 0; h < a.heads; ++h) {
-                const Tensor qh = sliceCols(q, h * dk, dk);
-                const Tensor kht = sliceColsT(k, h * dk, dk);
-                Tensor scores = run_gemm(
-                    qh, kht,
-                    l.name + ".scores.h" + std::to_string(h));
-                for (index_t e = 0; e < scores.size(); ++e)
-                    scores.at(e) *= scale;
-                const Tensor probs = ref::softmax(scores);
-                const Tensor vh = sliceCols(v, h * dk, dk);
-                const Tensor ctx_h = run_gemm(
-                    probs, vh, l.name + ".ctx.h" + std::to_string(h));
-                for (index_t s = 0; s < a.seq_len; ++s)
-                    for (index_t d = 0; d < dk; ++d)
-                        ctx.at(s, h * dk + d) = ctx_h.at(s, d);
-            }
-            cur = run_linear(ctx, l.extra_weights[2], l.extra_bias[2],
-                             l.name + ".out");
-            break;
-          }
-        }
-
-        if (l.save_output)
-            saved[static_cast<int>(i)] = cur;
+        if (model_.layers[i].save_output)
+            st.saved[static_cast<int>(i)] = st.cur;
 
         // Layer boundaries are the quiescent points of the engine (the
         // controllers run whole operations synchronously), so this is
@@ -399,7 +177,7 @@ ModelRunner::forward(ForwardState st, bool simulate,
         if (simulate && records)
             maybeCheckpoint(st, *records);
     }
-    return cur;
+    return st.cur;
 }
 
 } // namespace stonne

@@ -22,16 +22,9 @@
 #include "dse/tuner.hpp"
 #include "engine/stonne_api.hpp"
 #include "frontend/dnn_layer.hpp"
+#include "frontend/layer_exec.hpp"
 
 namespace stonne {
-
-/** Record of one operation executed during a simulated inference. */
-struct LayerRunRecord {
-    std::string name;
-    OpType op;
-    bool offloaded = false;
-    SimulationResult sim; //!< valid when offloaded
-};
 
 /** Runs a DnnModel on a simulated accelerator instance. */
 class ModelRunner

@@ -1,0 +1,753 @@
+#include "multicore/multicore_runner.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "checkpoint/checkpoint.hpp"
+#include "common/logging.hpp"
+#include "engine/output_module.hpp"
+#include "tensor/reference.hpp"
+
+namespace stonne {
+
+namespace {
+
+const HardwareConfig &
+validated(const HardwareConfig &cfg)
+{
+    cfg.validate();
+    return cfg;
+}
+
+/** Dim-0 slice [at, at + len) of a tensor (outer rows, flat copy). */
+Tensor
+sliceOuterDim(const Tensor &t, index_t at, index_t len)
+{
+    std::vector<index_t> shape = t.shape();
+    fatalIf(shape.empty() || at < 0 || len <= 0 || at + len > shape[0],
+            "outer-dim slice out of range");
+    const index_t inner = t.size() / shape[0];
+    shape[0] = len;
+    Tensor out(shape);
+    std::copy_n(t.data() + at * inner, len * inner, out.data());
+    return out;
+}
+
+/**
+ * N-way concatenation along dim 1 (Conv K axis of (N, K, X', Y') shard
+ * outputs, output-feature axis of (batch, out) linear shards). Bit-
+ * exact reassembly: each output channel's reduction ran whole on one
+ * core, so element values match the unsharded operation.
+ */
+Tensor
+concatDim1(const std::vector<Tensor> &parts)
+{
+    panicIf(parts.empty(), "cannot concatenate zero shard outputs");
+    const Tensor &f = parts.front();
+    panicIf(f.rank() < 2, "shard outputs must have a dim-1 axis");
+    std::vector<index_t> shape = f.shape();
+    index_t d1 = 0;
+    for (const Tensor &p : parts)
+        d1 += p.dim(1);
+    shape[1] = d1;
+    Tensor out(shape);
+
+    index_t inner = 1;
+    for (index_t i = 2; i < f.rank(); ++i)
+        inner *= f.dim(i);
+    const index_t outer = f.dim(0);
+
+    float *dst = out.data();
+    for (index_t o = 0; o < outer; ++o)
+        for (const Tensor &p : parts) {
+            const index_t block = p.dim(1) * inner;
+            std::copy_n(p.data() + o * block, block, dst);
+            dst += block;
+        }
+    return out;
+}
+
+/**
+ * Tensor-with-presence-flag archive field: samples not yet entered
+ * into the pipeline (and output slots not yet produced) hold empty
+ * tensors, which the plain tensor codec cannot represent.
+ */
+void
+saveOptTensor(ArchiveWriter &ar, const Tensor &t)
+{
+    ar.putBool(!t.empty());
+    if (!t.empty())
+        saveTensor(ar, t);
+}
+
+Tensor
+loadOptTensor(ArchiveReader &ar)
+{
+    if (!ar.getBool())
+        return Tensor();
+    return loadTensor(ar);
+}
+
+} // namespace
+
+MulticoreRunner::MulticoreRunner(const DnnModel &model,
+                                 const HardwareConfig &cfg)
+    : model_(model), cfg_(validated(cfg)),
+      arbiter_(cfg_.cores, cfg_.dram_channels,
+               cfg_.dram_bandwidth_gbps / cfg_.clock_ghz),
+      part_(assignPipelineStages(model, cfg_.cores))
+{
+    for (index_t c = 0; c < cfg_.cores; ++c) {
+        HardwareConfig cc = cfg_;
+        cc.cores = 1;
+        cc.dram_channels = 1;
+        // A core's private DRAM model sees its channel's share of the
+        // aggregate bandwidth, so its own simulated cycles already
+        // carry the nominal transfer cost; the arbiter adds only the
+        // interference of cores sharing a channel. With one core and
+        // one channel this leaves the configuration untouched — the
+        // composition is the legacy single-accelerator instance.
+        cc.dram_bandwidth_gbps =
+            cfg_.dram_bandwidth_gbps / static_cast<double>(cfg_.dram_channels);
+        if (cfg_.cores > 1 && cfg_.trace)
+            cc.trace_file = cfg_.trace_file + ".core" + std::to_string(c);
+        cores_.push_back(std::make_unique<Stonne>(cc));
+        // The runner writes its own composition-level snapshots; the
+        // engine's per-operation auto-checkpoint would race them.
+        cores_.back()->setAutoCheckpoint(false);
+    }
+
+    if (cfg_.autotune) {
+        dse::TuneOptions opts;
+        opts.top_k = cfg_.dse_top_k;
+        opts.cache_file = cfg_.dse_cache_file;
+        // Keyed on the original multi-core configuration: its
+        // structural text carries cores/channels/partition, so cached
+        // single-core outcomes can never answer a multi-core request.
+        tuner_ = std::make_unique<dse::AutoTuner>(cfg_, opts);
+    }
+
+    if (cfg_.cores > 1) {
+        contended_ = std::make_unique<bool[]>(
+            static_cast<std::size_t>(cfg_.cores));
+        for (index_t c = 0; c < cfg_.cores; ++c) {
+            contended_[c] = false;
+            cores_[static_cast<std::size_t>(c)]
+                ->accelerator()
+                .engine()
+                .setSkipInhibit(&contended_[c]);
+        }
+    }
+}
+
+Tensor
+MulticoreRunner::run(const Tensor &input)
+{
+    std::vector<Tensor> in;
+    in.push_back(input);
+    return runBatch(std::move(in)).front();
+}
+
+std::vector<Tensor>
+MulticoreRunner::runBatch(std::vector<Tensor> inputs)
+{
+    fatalIf(inputs.empty(), "multicore runBatch needs at least one sample");
+    resetRunState(std::move(inputs));
+    if (cfg_.partition == PartitionStrategy::Pipeline)
+        runPipeline();
+    else
+        runKSplit();
+    finishRun();
+    return outputs_;
+}
+
+Tensor
+MulticoreRunner::resume(const std::string &path)
+{
+    std::vector<Tensor> out = resumeBatch(path);
+    fatalIf(out.size() != 1,
+            "the snapshot carries a batch; use resumeBatch()");
+    return out.front();
+}
+
+Tensor
+MulticoreRunner::runNative(const Tensor &input) const
+{
+    LayerExecOptions opts;
+    opts.simulate = false;
+    LayerExecutor exec(model_, *cores_.front(), nullptr, opts, nullptr);
+    Tensor cur = input;
+    std::map<int, Tensor> saved;
+    for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+        cur = exec.runLayer(i, cur, input, saved);
+        if (model_.layers[i].save_output)
+            saved[static_cast<int>(i)] = cur;
+    }
+    return cur;
+}
+
+void
+MulticoreRunner::resetRunState(std::vector<Tensor> inputs)
+{
+    samples_.clear();
+    samples_.reserve(inputs.size());
+    for (Tensor &in : inputs) {
+        SampleState st;
+        st.input = in;
+        st.cur = std::move(in);
+        samples_.push_back(std::move(st));
+    }
+    outputs_.assign(samples_.size(), Tensor());
+    core_records_.assign(static_cast<std::size_t>(cfg_.cores), {});
+    next_b_ = 0;
+    next_s_ = 0;
+    next_layer_ = 0;
+    stage_free_.assign(part_.stage_bounds.size(), 0);
+    ready_.assign(samples_.size(), 0);
+    ksplit_t_ = 0;
+    makespan_ = 0;
+    arbiter_ = SharedDramArbiter(cfg_.cores, cfg_.dram_channels,
+                                 cfg_.dram_bandwidth_gbps / cfg_.clock_ghz);
+
+    cycle_t sum = 0;
+    for (const auto &core : cores_)
+        sum += core->totalCycles();
+    last_ckpt_cycles_ = sum;
+    last_checkpoint_path_.clear();
+}
+
+bool
+MulticoreRunner::siblingBusyPast(index_t self, cycle_t at) const
+{
+    for (std::size_t s = 0; s < stage_free_.size(); ++s)
+        if (static_cast<index_t>(s) != self && stage_free_[s] > at)
+            return true;
+    return false;
+}
+
+count_t
+MulticoreRunner::dramBytes(index_t core) const
+{
+    return cores_[static_cast<std::size_t>(core)]
+        ->accelerator()
+        .dram()
+        .bytesTransferred();
+}
+
+cycle_t
+MulticoreRunner::internalNominal(index_t core, count_t bytes) const
+{
+    (void)core;
+    // Per-core DRAM bandwidth equals the arbiter's channel share (see
+    // the constructor), so the arbiter's own nominal is exactly the
+    // cost the core already carries — avoiding a second floating-point
+    // path whose rounding could differ by one cycle.
+    return arbiter_.nominalCycles(bytes);
+}
+
+const Tensor &
+MulticoreRunner::resolveRef(const SampleState &st, int idx) const
+{
+    if (idx == -1)
+        return st.cur;
+    if (idx == DnnLayer::kFromModelInput)
+        return st.input;
+    return st.saved.at(idx);
+}
+
+void
+MulticoreRunner::runPipeline()
+{
+    const std::size_t S = part_.stage_bounds.size();
+    const std::size_t B = samples_.size();
+    while (next_b_ < B) {
+        runPipelineStage(next_b_, next_s_);
+        ++next_s_;
+        if (next_s_ == S) {
+            next_s_ = 0;
+            ++next_b_;
+        }
+        maybeCheckpoint();
+    }
+}
+
+void
+MulticoreRunner::runPipelineStage(std::size_t b, std::size_t s)
+{
+    SampleState &st = samples_[b];
+    const auto [first, last] = part_.stage_bounds[s];
+    const auto core_idx = static_cast<index_t>(s);
+    Stonne &core = *cores_[s];
+    const index_t bpe = bytesPerElement(cfg_.data_type);
+
+    cycle_t t = std::max(stage_free_[s], ready_[b]);
+
+    // Charge cross-stage skip-link reads up front: tensors this stage's
+    // layers reference that were produced on another core (or the model
+    // input, resident in DRAM, for any stage but the first) must be
+    // fetched through the shared memory system before the stage runs.
+    std::set<int> cross_refs;
+    for (std::size_t i = first; i < last; ++i) {
+        const DnnLayer &l = model_.layers[i];
+        for (const int idx : {l.input_from, l.operand_from}) {
+            if (idx == -1)
+                continue;
+            if (idx == DnnLayer::kFromModelInput && s != 0)
+                cross_refs.insert(idx);
+            if (idx >= 0 &&
+                part_.stage_of_layer[static_cast<std::size_t>(idx)] !=
+                    core_idx)
+                cross_refs.insert(idx);
+        }
+    }
+    for (const int idx : cross_refs) {
+        const Tensor &ref = resolveRef(st, idx);
+        const count_t bytes = static_cast<count_t>(ref.size()) * bpe;
+        const SharedDramArbiter::Grant g = arbiter_.request(
+            core_idx, t, bytes, arbiter_.nominalCycles(bytes));
+        t = g.completion;
+    }
+
+    if (contended_)
+        contended_[core_idx] = siblingBusyPast(core_idx, t);
+
+    LayerExecOptions opts;
+    opts.simulate = true;
+    opts.snapea_early_exit = snapea_early_exit_;
+    opts.offload_pooling = offload_pooling_;
+    LayerExecutor exec(model_, core, tuner_.get(), opts,
+                       &core_records_[s]);
+
+    for (std::size_t i = first; i < last; ++i) {
+        const cycle_t op_start = t;
+        const cycle_t cyc0 = core.totalCycles();
+        const count_t bytes0 = dramBytes(core_idx);
+
+        st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
+        if (model_.layers[i].save_output)
+            st.saved[static_cast<int>(i)] = st.cur;
+
+        const cycle_t d = core.totalCycles() - cyc0;
+        const count_t nb = dramBytes(core_idx) - bytes0;
+        if (d == 0 && nb == 0)
+            continue; // native host op: free on the global timeline
+        const SharedDramArbiter::Grant g = arbiter_.request(
+            core_idx, op_start, nb, internalNominal(core_idx, nb));
+        t = op_start + d + g.contention;
+    }
+
+    stage_free_[s] = t;
+    if (s + 1 < part_.stage_bounds.size()) {
+        // Push the stage output to the next stage's core through the
+        // shared DRAM; the consumer starts once the transfer lands.
+        const count_t bytes = static_cast<count_t>(st.cur.size()) * bpe;
+        const SharedDramArbiter::Grant g = arbiter_.request(
+            core_idx, t, bytes, arbiter_.nominalCycles(bytes));
+        ready_[b] = g.completion;
+    } else {
+        outputs_[b] = st.cur;
+        makespan_ = std::max(makespan_, t);
+    }
+}
+
+void
+MulticoreRunner::runKSplit()
+{
+    const std::size_t B = samples_.size();
+    const std::size_t L = model_.layers.size();
+    while (next_b_ < B) {
+        runKSplitLayer(next_b_, next_layer_);
+        ++next_layer_;
+        if (next_layer_ == L) {
+            outputs_[next_b_] = samples_[next_b_].cur;
+            makespan_ = std::max(makespan_, ksplit_t_);
+            next_layer_ = 0;
+            ++next_b_;
+        }
+        maybeCheckpoint();
+    }
+}
+
+void
+MulticoreRunner::runKSplitLayer(std::size_t b, std::size_t i)
+{
+    SampleState &st = samples_[b];
+    const DnnLayer &l = model_.layers[i];
+    const index_t bpe = bytesPerElement(cfg_.data_type);
+    const index_t n_cores = coreCount();
+
+    const bool shard = n_cores > 1 && kSplitShardable(l) &&
+        (l.op == OpType::Conv2d || l.op == OpType::Linear);
+
+    if (!shard) {
+        // Whole layer on core 0 (grouped convs, attention, pooling and
+        // every native host op), exactly as the single-core path runs
+        // it.
+        if (contended_)
+            contended_[0] = false;
+        Stonne &core = *cores_.front();
+        LayerExecOptions opts;
+        opts.simulate = true;
+        opts.snapea_early_exit = snapea_early_exit_;
+        opts.offload_pooling = offload_pooling_;
+        LayerExecutor exec(model_, core, tuner_.get(), opts,
+                           &core_records_.front());
+        const cycle_t cyc0 = core.totalCycles();
+        const count_t bytes0 = dramBytes(0);
+        st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
+        const cycle_t d = core.totalCycles() - cyc0;
+        const count_t nb = dramBytes(0) - bytes0;
+        if (d != 0 || nb != 0) {
+            const SharedDramArbiter::Grant g = arbiter_.request(
+                0, ksplit_t_, nb, internalNominal(0, nb));
+            ksplit_t_ += d + g.contention;
+        }
+    } else {
+        const Tensor &in = resolveRef(st, l.input_from);
+        const bool relu_next = i + 1 < model_.layers.size() &&
+            model_.layers[i + 1].op == OpType::ReLU;
+        const index_t k_total = l.op == OpType::Conv2d
+            ? l.spec.conv.K
+            : l.weights.dim(0);
+        const auto shards = splitOutputChannels(k_total, n_cores);
+
+        index_t active = 0;
+        for (const auto &[k0, len] : shards)
+            if (len > 0)
+                ++active;
+        if (contended_)
+            for (index_t c = 0; c < n_cores; ++c)
+                contended_[c] = active > 1;
+
+        const cycle_t start = ksplit_t_;
+        cycle_t finish_max = start;
+        std::vector<Tensor> parts;
+        for (index_t c = 0; c < n_cores; ++c) {
+            const auto [k0, len] = shards[static_cast<std::size_t>(c)];
+            if (len == 0)
+                continue;
+            Stonne &core = *cores_[static_cast<std::size_t>(c)];
+
+            LayerSpec spec = l.spec;
+            spec.name = l.name + ".k" + std::to_string(c);
+            Tensor w = sliceOuterDim(l.weights, k0, len);
+            Tensor bias = l.bias.empty()
+                ? Tensor()
+                : sliceOuterDim(l.bias, k0, len);
+            if (l.op == OpType::Conv2d) {
+                spec.conv.K = len;
+            } else {
+                spec = LayerSpec::linear(spec.name, in.dim(0), in.dim(1),
+                                         len);
+            }
+
+            std::optional<Tile> tile;
+            std::optional<DseSummary> dse;
+            if (tuner_) {
+                const dse::TuneReport rep = tuner_->tuneLayer(spec);
+                tile = rep.best;
+                dse = rep.summary();
+            }
+
+            const cycle_t cyc0 = core.totalCycles();
+            const count_t bytes0 = dramBytes(c);
+            if (l.op == OpType::Conv2d) {
+                core.setSnapeaEarlyExit(snapea_early_exit_ && relu_next);
+                core.configureConv(spec, tile);
+            } else {
+                core.configureLinear(spec, tile);
+            }
+            core.configureData(in, std::move(w), std::move(bias));
+            SimulationResult sim = core.runOperation();
+            if (dse)
+                sim.dse = *dse;
+
+            LayerRunRecord r;
+            r.name = spec.name;
+            r.op = l.op;
+            r.offloaded = true;
+            r.sim = sim;
+            core_records_[static_cast<std::size_t>(c)].push_back(
+                std::move(r));
+
+            const cycle_t d = core.totalCycles() - cyc0;
+            const count_t nb = dramBytes(c) - bytes0;
+            const SharedDramArbiter::Grant g = arbiter_.request(
+                c, start, nb, internalNominal(c, nb));
+            cycle_t finish = start + d + g.contention;
+
+            // Gather: every shard's output channels go back through
+            // the shared DRAM so the next layer can read the full
+            // activation from any core.
+            const count_t out_bytes =
+                static_cast<count_t>(core.output().size()) * bpe;
+            const SharedDramArbiter::Grant push = arbiter_.request(
+                c, finish, out_bytes, arbiter_.nominalCycles(out_bytes));
+            finish = push.completion;
+
+            finish_max = std::max(finish_max, finish);
+            parts.push_back(core.output());
+        }
+        if (contended_)
+            for (index_t c = 0; c < n_cores; ++c)
+                contended_[c] = false;
+
+        ksplit_t_ = finish_max;
+        st.cur = concatDim1(parts);
+    }
+
+    if (l.save_output)
+        st.saved[static_cast<int>(i)] = st.cur;
+}
+
+void
+MulticoreRunner::finishRun()
+{
+    if (cfg_.trace) {
+        std::vector<Tracer *> tracers;
+        for (const auto &core : cores_)
+            if (Tracer *t = core->accelerator().tracer())
+                tracers.push_back(t);
+        if (!tracers.empty())
+            Tracer::writeMerged(tracers, cfg_.trace_file);
+    }
+    if (contended_)
+        for (index_t c = 0; c < coreCount(); ++c)
+            contended_[c] = false;
+}
+
+void
+MulticoreRunner::maybeCheckpoint()
+{
+    if (!cfg_.checkpoint)
+        return;
+    cycle_t sum = 0;
+    for (const auto &core : cores_)
+        sum += core->totalCycles();
+    if (sum - last_ckpt_cycles_ <
+        static_cast<cycle_t>(cfg_.checkpoint_interval_cycles))
+        return;
+    writeSnapshot();
+    last_ckpt_cycles_ = sum;
+    last_checkpoint_path_ = cfg_.checkpoint_file;
+}
+
+void
+MulticoreRunner::writeSnapshot()
+{
+    ArchiveWriter ar;
+    ar.beginSection("meta");
+    ar.putU32(kCheckpointKindMulticoreRun);
+    ar.putString(cfg_.toConfigText());
+    ar.endSection();
+
+    ar.beginSection("multicore");
+    ar.putString(model_.name);
+    ar.putU32(static_cast<std::uint32_t>(cfg_.partition));
+    ar.putU64(samples_.size());
+    ar.putU64(next_b_);
+    ar.putU64(next_s_);
+    ar.putU64(next_layer_);
+    ar.putU64(ksplit_t_);
+    ar.putU64(makespan_);
+    ar.putCounts(stage_free_);
+    ar.putCounts(ready_);
+    for (const SampleState &st : samples_) {
+        saveOptTensor(ar, st.input);
+        saveOptTensor(ar, st.cur);
+        ar.putU64(st.saved.size());
+        for (const auto &[idx, t] : st.saved) {
+            ar.putI64(idx);
+            saveTensor(ar, t);
+        }
+    }
+    ar.putU64(outputs_.size());
+    for (const Tensor &t : outputs_)
+        saveOptTensor(ar, t);
+    for (const auto &records : core_records_) {
+        ar.putU64(records.size());
+        for (const LayerRunRecord &r : records) {
+            ar.putString(r.name);
+            ar.putU32(static_cast<std::uint32_t>(r.op));
+            ar.putBool(r.offloaded);
+            saveSimulationResult(ar, r.sim);
+        }
+    }
+    ar.endSection();
+
+    for (index_t c = 0; c < coreCount(); ++c) {
+        ar.beginSection("core" + std::to_string(c));
+        cores_[static_cast<std::size_t>(c)]->saveCheckpointTo(
+            ar, kCheckpointKindEngine);
+        ar.endSection();
+    }
+
+    ar.beginSection("arbiter");
+    arbiter_.saveState(ar);
+    ar.endSection();
+
+    ar.writeFile(cfg_.checkpoint_file);
+}
+
+std::vector<Tensor>
+MulticoreRunner::resumeBatch(const std::string &path)
+{
+    ArchiveReader ar(path);
+    ar.enterSection("meta");
+    const std::uint32_t kind = ar.getU32();
+    if (kind != kCheckpointKindMulticoreRun)
+        ar.fail("the snapshot is not a multi-core run checkpoint");
+    const std::string cfg_text = ar.getString();
+    ar.leaveSection();
+    const HardwareConfig snap_cfg =
+        HardwareConfig::parse(cfg_text, "<checkpoint>");
+    if (snap_cfg.structuralText() != cfg_.structuralText())
+        ar.fail("the snapshot belongs to a structurally different "
+                "multi-core composition");
+
+    ar.enterSection("multicore");
+    const std::string model_name = ar.getString();
+    if (model_name != model_.name)
+        ar.fail("the snapshot belongs to model '" + model_name +
+                "', this runner wraps '" + model_.name + "'");
+    const auto strategy =
+        static_cast<PartitionStrategy>(ar.getU32());
+    if (strategy != cfg_.partition)
+        ar.fail("the snapshot was written under a different partition "
+                "strategy");
+    const std::uint64_t n_samples = ar.getU64();
+    next_b_ = static_cast<std::size_t>(ar.getU64());
+    next_s_ = static_cast<std::size_t>(ar.getU64());
+    next_layer_ = static_cast<std::size_t>(ar.getU64());
+    ksplit_t_ = ar.getU64();
+    makespan_ = ar.getU64();
+    stage_free_ = ar.getCounts();
+    ready_ = ar.getCounts();
+    if (stage_free_.size() != part_.stage_bounds.size())
+        ar.fail("snapshot stage count does not match the partition");
+    if (ready_.size() != n_samples)
+        ar.fail("snapshot sample-readiness size mismatch");
+    samples_.clear();
+    samples_.reserve(static_cast<std::size_t>(n_samples));
+    for (std::uint64_t i = 0; i < n_samples; ++i) {
+        SampleState st;
+        st.input = loadOptTensor(ar);
+        st.cur = loadOptTensor(ar);
+        const std::uint64_t n_saved = ar.getU64();
+        for (std::uint64_t j = 0; j < n_saved; ++j) {
+            const int idx = static_cast<int>(ar.getI64());
+            st.saved.emplace(idx, loadTensor(ar));
+        }
+        samples_.push_back(std::move(st));
+    }
+    const std::uint64_t n_outputs = ar.getU64();
+    if (n_outputs != n_samples)
+        ar.fail("snapshot output-slot count mismatch");
+    outputs_.clear();
+    outputs_.reserve(static_cast<std::size_t>(n_outputs));
+    for (std::uint64_t i = 0; i < n_outputs; ++i)
+        outputs_.push_back(loadOptTensor(ar));
+    core_records_.assign(static_cast<std::size_t>(cfg_.cores), {});
+    for (auto &records : core_records_) {
+        const std::uint64_t n_records = ar.getU64();
+        records.reserve(static_cast<std::size_t>(n_records));
+        for (std::uint64_t i = 0; i < n_records; ++i) {
+            LayerRunRecord r;
+            r.name = ar.getString();
+            r.op = static_cast<OpType>(ar.getU32());
+            r.offloaded = ar.getBool();
+            r.sim = loadSimulationResult(ar);
+            records.push_back(std::move(r));
+        }
+    }
+    ar.leaveSection();
+
+    for (index_t c = 0; c < coreCount(); ++c) {
+        ar.enterSection("core" + std::to_string(c));
+        cores_[static_cast<std::size_t>(c)]->loadCheckpointFrom(ar);
+        ar.leaveSection();
+    }
+
+    ar.enterSection("arbiter");
+    arbiter_.loadState(ar);
+    ar.leaveSection();
+
+    last_checkpoint_path_ = path;
+    cycle_t sum = 0;
+    for (const auto &core : cores_)
+        sum += core->totalCycles();
+    last_ckpt_cycles_ = sum;
+
+    if (cfg_.partition == PartitionStrategy::Pipeline)
+        runPipeline();
+    else
+        runKSplit();
+    finishRun();
+    return outputs_;
+}
+
+std::vector<LayerRunRecord>
+MulticoreRunner::allRecords() const
+{
+    std::vector<LayerRunRecord> all;
+    for (const auto &records : core_records_)
+        all.insert(all.end(), records.begin(), records.end());
+    return all;
+}
+
+SimulationResult
+MulticoreRunner::total() const
+{
+    SimulationResult t;
+    t.layer_name = model_.name;
+    t.accelerator = cfg_.name;
+    bool first = true;
+    for (const auto &records : core_records_)
+        for (const LayerRunRecord &r : records) {
+            if (!r.offloaded)
+                continue;
+            if (first) {
+                t = r.sim;
+                t.layer_name = model_.name;
+                first = false;
+            } else {
+                t.merge(r.sim);
+            }
+        }
+    if (t.checkpoint_path.empty())
+        t.checkpoint_path = last_checkpoint_path_;
+    return t;
+}
+
+JsonValue
+MulticoreRunner::reportJson() const
+{
+    JsonValue root =
+        OutputModule::modelReport(model_.name, cfg_, allRecords(), total());
+    root.set("cores", static_cast<std::int64_t>(coreCount()));
+    root.set("dram_channels", static_cast<std::int64_t>(cfg_.dram_channels));
+    root.set("partition", partitionStrategyName(cfg_.partition));
+    root.set("makespan_cycles", static_cast<std::uint64_t>(makespan_));
+    JsonValue per_core = JsonValue::makeArray();
+    for (index_t c = 0; c < coreCount(); ++c) {
+        JsonValue entry = JsonValue::makeObject();
+        entry.set("core", static_cast<std::int64_t>(c));
+        entry.set("cycles", static_cast<std::uint64_t>(
+                                cores_[static_cast<std::size_t>(c)]
+                                    ->totalCycles()));
+        entry.set("dram_channel",
+                  static_cast<std::int64_t>(arbiter_.channelOf(c)));
+        entry.set("dram_stall_cycles",
+                  static_cast<std::uint64_t>(arbiter_.stallCycles(c)));
+        entry.set("dram_grants",
+                  static_cast<std::uint64_t>(arbiter_.grantCount(c)));
+        entry.set("dram_bytes",
+                  static_cast<std::uint64_t>(arbiter_.bytesRequested(c)));
+        per_core.append(std::move(entry));
+    }
+    root["per_core"] = std::move(per_core);
+    return root;
+}
+
+} // namespace stonne

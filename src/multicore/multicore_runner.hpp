@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Multi-accelerator model runner: composes N Accelerator instances
+ * behind a shared DRAM and schedules a DNN inference across them.
+ *
+ * Each core is a complete cycle-level Stonne instance; operations run
+ * on their core exactly as in the single-accelerator path (bit-exact —
+ * the 1-core composition reproduces ModelRunner's cycles, counters,
+ * outputs and trace). What multi-core adds is a global timeline
+ * composed over the per-core ones:
+ *
+ *  - PIPELINE partition: contiguous MAC-balanced layer stages, one per
+ *    core; sample b enters stage s when both the stage's core and the
+ *    sample's previous-stage activations are ready, so batches overlap
+ *    across cores like a hardware pipeline. Activations crossing a
+ *    stage boundary (and skip-link tensors read from another stage)
+ *    pay an explicit shared-DRAM transfer.
+ *  - KSPLIT partition: every shardable layer's output channels (Conv K
+ *    axis, Linear output features) split across all cores, which run
+ *    their shards concurrently from the same input; the layer finishes
+ *    when the slowest shard does. Requires the dense controller.
+ *
+ *  Off-chip traffic of concurrent operations contends through the
+ *  SharedDramArbiter; its per-core stall counters quantify the
+ *  interference. While any sibling core is busy past an operation's
+ *  start cycle, the operation's core runs with the event engine's
+ *  skip-inhibit gate closed, so idle stretches are only skipped when
+ *  every core is in steady state (the gate is timing-neutral).
+ */
+
+#ifndef STONNE_MULTICORE_MULTICORE_RUNNER_HPP
+#define STONNE_MULTICORE_MULTICORE_RUNNER_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.hpp"
+#include "dse/tuner.hpp"
+#include "engine/stonne_api.hpp"
+#include "frontend/layer_exec.hpp"
+#include "multicore/partition.hpp"
+#include "multicore/shared_dram.hpp"
+
+namespace stonne {
+
+/** Runs a DnnModel across N accelerator cores behind a shared DRAM. */
+class MulticoreRunner
+{
+  public:
+    /**
+     * @param model the network (must outlive the runner)
+     * @param cfg hardware configuration; `cores`, `dram_channels` and
+     *        `partition` select the composition (cores = 1 reproduces
+     *        the single-accelerator path bit-identically)
+     */
+    MulticoreRunner(const DnnModel &model, const HardwareConfig &cfg);
+
+    /** Simulated inference of one sample. */
+    Tensor run(const Tensor &input);
+
+    /**
+     * Simulated inference of a batch of samples. Under PIPELINE the
+     * samples stream through the stages concurrently; under KSPLIT
+     * they run back to back with every layer sharded across cores.
+     */
+    std::vector<Tensor> runBatch(std::vector<Tensor> inputs);
+
+    /**
+     * Resume a batch from a MulticoreRunner snapshot (one archive
+     * section per core plus the arbiter ledger and the schedule
+     * cursor); completes bit-identically to the uninterrupted run.
+     */
+    std::vector<Tensor> resumeBatch(const std::string &path);
+
+    /** resumeBatch() for single-sample runs. */
+    Tensor resume(const std::string &path);
+
+    /** Native CPU inference (the functional golden path). */
+    Tensor runNative(const Tensor &input) const;
+
+    index_t coreCount() const
+    {
+        return static_cast<index_t>(cores_.size());
+    }
+    Stonne &core(index_t c) { return *cores_[static_cast<std::size_t>(c)]; }
+    const Stonne &core(index_t c) const
+    {
+        return *cores_[static_cast<std::size_t>(c)];
+    }
+
+    const SharedDramArbiter &arbiter() const { return arbiter_; }
+    const HardwareConfig &config() const { return cfg_; }
+    const PipelinePartition &partition() const { return part_; }
+
+    /** Global makespan of the last runBatch (composed timeline). */
+    cycle_t makespanCycles() const { return makespan_; }
+
+    /** Per-core operation records of the last runBatch. */
+    const std::vector<LayerRunRecord> &coreRecords(index_t c) const
+    {
+        return core_records_[static_cast<std::size_t>(c)];
+    }
+
+    /** All cores' records, core-major (core 0 first). */
+    std::vector<LayerRunRecord> allRecords() const;
+
+    /** Aggregated simulation result across all cores' operations. */
+    SimulationResult total() const;
+
+    /**
+     * JSON report of the composition: the aggregate summary plus one
+     * entry per core with its cycles and shared-DRAM stall/grant/byte
+     * counters, and the global makespan.
+     */
+    JsonValue reportJson() const;
+
+    /** Path of the last snapshot written ("" if none yet). */
+    const std::string &lastCheckpointPath() const
+    {
+        return last_checkpoint_path_;
+    }
+
+    void setSnapeaEarlyExit(bool enabled) { snapea_early_exit_ = enabled; }
+    void setOffloadPooling(bool enabled) { offload_pooling_ = enabled; }
+
+  private:
+    /** Per-sample forward-pass state (pipeline keeps one per sample
+     *  in flight; ksplit one at a time). */
+    struct SampleState {
+        Tensor input;
+        Tensor cur;
+        std::map<int, Tensor> saved;
+    };
+
+    void resetRunState(std::vector<Tensor> inputs);
+    void runPipeline();
+    void runPipelineStage(std::size_t b, std::size_t s);
+    void runKSplit();
+    void runKSplitLayer(std::size_t b, std::size_t i);
+    void finishRun();
+
+    /** Whether any core other than `self` is busy past `at`. */
+    bool siblingBusyPast(index_t self, cycle_t at) const;
+
+    count_t dramBytes(index_t core) const;
+    /** Core-internal nominal cycles of `bytes` of its own traffic. */
+    cycle_t internalNominal(index_t core, count_t bytes) const;
+
+    const Tensor &resolveRef(const SampleState &st, int idx) const;
+
+    void maybeCheckpoint();
+    void writeSnapshot();
+
+    const DnnModel &model_;
+    HardwareConfig cfg_;
+    mutable std::vector<std::unique_ptr<Stonne>> cores_;
+    /** Mapping auto-tuner, present only with `autotune = ON`; shared by
+     *  all cores (keyed on the multi-core structural text). */
+    mutable std::unique_ptr<dse::AutoTuner> tuner_;
+    SharedDramArbiter arbiter_;
+    PipelinePartition part_;
+    /** Skip-inhibit flags the cores' event engines watch (stable
+     *  storage; only wired for cores > 1). */
+    std::unique_ptr<bool[]> contended_;
+
+    bool snapea_early_exit_ = true;
+    bool offload_pooling_ = true;
+
+    // --- last-run state (also the checkpoint cursor) -----------------
+    std::vector<SampleState> samples_;
+    std::vector<Tensor> outputs_;
+    std::vector<std::vector<LayerRunRecord>> core_records_;
+    std::size_t next_b_ = 0;
+    std::size_t next_s_ = 0;     //!< pipeline stage cursor
+    std::size_t next_layer_ = 0; //!< ksplit layer cursor
+    std::vector<cycle_t> stage_free_;
+    std::vector<cycle_t> ready_;
+    cycle_t ksplit_t_ = 0;
+    cycle_t makespan_ = 0;
+
+    cycle_t last_ckpt_cycles_ = 0;
+    std::string last_checkpoint_path_;
+};
+
+} // namespace stonne
+
+#endif // STONNE_MULTICORE_MULTICORE_RUNNER_HPP

@@ -1,0 +1,120 @@
+#include "multicore/partition.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace stonne {
+
+count_t
+layerMacCost(const DnnLayer &l)
+{
+    switch (l.op) {
+      case OpType::Conv2d: {
+        const Conv2dShape &s = l.spec.conv;
+        return static_cast<count_t>(s.N) * s.K * s.outX() * s.outY() *
+            s.cPerGroup() * s.R * s.S;
+      }
+      case OpType::Linear:
+        // weights are (out, in); every output row is an in-length dot.
+        return static_cast<count_t>(l.weights.dim(0)) * l.weights.dim(1);
+      case OpType::SelfAttention: {
+        const AttentionSpec &a = l.attention;
+        const count_t seq = a.seq_len;
+        const count_t d = a.d_model;
+        // Four projections plus the two per-head score/context GEMMs.
+        return 4 * seq * d * d + 2 * seq * seq * d;
+      }
+      case OpType::MaxPool2d: {
+        const Conv2dShape &s = l.spec.conv;
+        return static_cast<count_t>(s.N) * s.C * s.X * s.Y;
+      }
+      default:
+        // Native host ops are free on the accelerator; a nominal cost
+        // keeps stage cuts well-defined across runs of free layers.
+        return 1;
+    }
+}
+
+PipelinePartition
+assignPipelineStages(const DnnModel &model, index_t cores)
+{
+    const std::size_t n = model.layers.size();
+    fatalIf(n == 0, "cannot partition a model with no layers");
+    fatalIf(cores <= 0, "pipeline partitioning needs at least one core");
+
+    const auto stages =
+        static_cast<std::size_t>(std::min<count_t>(cores,
+                                                   static_cast<count_t>(n)));
+
+    std::vector<count_t> cost(n);
+    count_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        cost[i] = layerMacCost(model.layers[i]);
+        total += cost[i];
+    }
+
+    PipelinePartition part;
+    part.stage_of_layer.assign(n, 0);
+
+    std::size_t first = 0;
+    count_t remaining = total;
+    for (std::size_t s = 0; s < stages; ++s) {
+        const std::size_t stages_left = stages - s;
+        // Proportional share of what is still unassigned; recomputing
+        // per stage self-corrects when one heavy layer overshoots.
+        const count_t target = remaining / static_cast<count_t>(stages_left);
+        std::size_t last = first;
+        count_t acc = 0;
+        while (last < n) {
+            // Leave at least one layer per remaining stage.
+            if (n - (last + 1) < stages_left - 1)
+                break;
+            acc += cost[last];
+            ++last;
+            if (stages_left > 1 && acc >= target)
+                break;
+        }
+        panicIf(last <= first, "empty pipeline stage");
+        for (std::size_t i = first; i < last; ++i)
+            part.stage_of_layer[i] = static_cast<index_t>(s);
+        part.stage_bounds.emplace_back(first, last);
+        remaining -= acc;
+        first = last;
+    }
+    panicIf(first != n, "pipeline partition did not cover every layer");
+    return part;
+}
+
+std::vector<std::pair<index_t, index_t>>
+splitOutputChannels(index_t k, index_t cores)
+{
+    fatalIf(k <= 0, "cannot shard a non-positive channel count");
+    fatalIf(cores <= 0, "channel sharding needs at least one core");
+    std::vector<std::pair<index_t, index_t>> shards;
+    shards.reserve(static_cast<std::size_t>(cores));
+    const index_t base = k / cores;
+    const index_t rem = k % cores;
+    index_t at = 0;
+    for (index_t c = 0; c < cores; ++c) {
+        const index_t len = base + (c < rem ? 1 : 0);
+        shards.emplace_back(at, len);
+        at += len;
+    }
+    return shards;
+}
+
+bool
+kSplitShardable(const DnnLayer &l)
+{
+    // Grouped convolutions interleave input channels with output
+    // channels, so a contiguous K shard would need a matching C shard;
+    // they run whole on core 0 instead.
+    if (l.op == OpType::Conv2d)
+        return l.spec.conv.G == 1 && l.spec.conv.K > 1;
+    if (l.op == OpType::Linear)
+        return l.weights.dim(0) > 1;
+    return false;
+}
+
+} // namespace stonne

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model partitioning for multi-core compositions: MAC-balanced
+ * contiguous layer stages (layer-pipeline parallelism) and output-
+ * channel shard ranges (K/N-split tensor parallelism).
+ *
+ * Partitioning is pure arithmetic over the model description — no
+ * simulator state — so both the scheduler and the tests can reason
+ * about assignments independently of execution.
+ */
+
+#ifndef STONNE_MULTICORE_PARTITION_HPP
+#define STONNE_MULTICORE_PARTITION_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "frontend/dnn_layer.hpp"
+
+namespace stonne {
+
+/** Contiguous layer-range assignment of a pipeline-parallel run. */
+struct PipelinePartition {
+    /** Stage (= core) index of every layer. */
+    std::vector<index_t> stage_of_layer;
+    /** [first, last) layer range of every stage; size() is the stage
+     *  count, at most the core count and never more than the layer
+     *  count. */
+    std::vector<std::pair<std::size_t, std::size_t>> stage_bounds;
+
+    index_t stages() const
+    {
+        return static_cast<index_t>(stage_bounds.size());
+    }
+};
+
+/**
+ * Estimated MAC cost of one layer (the balancing weight). Offloaded
+ * operations count their arithmetic; native host ops count 1 so empty
+ * stages cannot arise from runs of free layers.
+ */
+count_t layerMacCost(const DnnLayer &l);
+
+/**
+ * Assign contiguous, MAC-balanced layer stages to at most `cores`
+ * cores: walk the layers accumulating cost and cut a stage whenever it
+ * reaches its proportional share of the remaining work, keeping one
+ * layer minimum per stage. Deterministic in the model and core count.
+ */
+PipelinePartition assignPipelineStages(const DnnModel &model,
+                                       index_t cores);
+
+/**
+ * Contiguous (first, length) shard ranges splitting `k` output
+ * channels across `cores` cores, remainder spread over the leading
+ * shards. Length-0 shards appear when k < cores; callers skip them.
+ */
+std::vector<std::pair<index_t, index_t>> splitOutputChannels(
+    index_t k, index_t cores);
+
+/** Whether KSPLIT can shard this layer across cores. */
+bool kSplitShardable(const DnnLayer &l);
+
+} // namespace stonne
+
+#endif // STONNE_MULTICORE_PARTITION_HPP

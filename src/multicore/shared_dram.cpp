@@ -1,0 +1,173 @@
+#include "multicore/shared_dram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "checkpoint/archive.hpp"
+#include "common/logging.hpp"
+
+namespace stonne {
+
+SharedDramArbiter::SharedDramArbiter(index_t cores, index_t channels,
+                                     double total_bytes_per_cycle)
+    : cores_(cores), channels_(channels),
+      channel_bytes_per_cycle_(total_bytes_per_cycle /
+                               static_cast<double>(channels)),
+      ledger_(static_cast<std::size_t>(channels)),
+      stalls_(static_cast<std::size_t>(cores), 0),
+      grants_(static_cast<std::size_t>(cores), 0),
+      bytes_(static_cast<std::size_t>(cores), 0)
+{
+    fatalIf(cores <= 0, "shared DRAM arbiter needs at least one core");
+    fatalIf(channels <= 0 || channels > cores,
+            "shared DRAM channels must lie in [1, cores]");
+    fatalIf(total_bytes_per_cycle <= 0.0,
+            "shared DRAM bandwidth must be positive");
+}
+
+cycle_t
+SharedDramArbiter::nominalCycles(count_t bytes) const
+{
+    if (bytes == 0)
+        return 0;
+    return static_cast<cycle_t>(
+        std::ceil(static_cast<double>(bytes) / channel_bytes_per_cycle_));
+}
+
+cycle_t
+SharedDramArbiter::completionOn(index_t ch, index_t core, cycle_t start,
+                                cycle_t work) const
+{
+    const auto &ledger = ledger_[static_cast<std::size_t>(ch)];
+
+    // Boundaries where the committed-overlap count can change.
+    std::vector<cycle_t> bounds;
+    for (const Interval &iv : ledger) {
+        if (iv.core == core || iv.e <= start)
+            continue;
+        bounds.push_back(std::max(iv.s, start));
+        bounds.push_back(iv.e);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    auto overlap_at = [&](cycle_t t) {
+        cycle_t k = 0;
+        for (const Interval &iv : ledger)
+            if (iv.core != core && iv.s <= t && t < iv.e)
+                ++k;
+        return k;
+    };
+
+    // Fair time-sharing: in a segment with k committed transfers this
+    // one progresses at 1/(k+1) of channel bandwidth. The remaining
+    // work is tracked in long double; the ledger holds integral
+    // intervals so the walk is deterministic.
+    long double remaining = static_cast<long double>(work);
+    cycle_t t = start;
+    for (cycle_t nb : bounds) {
+        if (nb <= t)
+            continue;
+        if (remaining <= 0.0L)
+            break;
+        const cycle_t k = overlap_at(t);
+        const long double capacity =
+            static_cast<long double>(nb - t) /
+            static_cast<long double>(k + 1);
+        if (capacity >= remaining) {
+            const long double span =
+                remaining * static_cast<long double>(k + 1);
+            return t + static_cast<cycle_t>(std::ceil(span));
+        }
+        remaining -= capacity;
+        t = nb;
+    }
+    if (remaining <= 0.0L)
+        return t;
+    // Past the last boundary the channel is uncontended.
+    return t + static_cast<cycle_t>(std::ceil(remaining));
+}
+
+SharedDramArbiter::Grant
+SharedDramArbiter::request(index_t core, cycle_t start, count_t bytes,
+                           cycle_t accounted)
+{
+    panicIf(core < 0 || core >= cores_,
+            "shared DRAM request from an out-of-range core");
+    Grant g;
+    if (bytes == 0) {
+        g.completion = start + accounted;
+        return g;
+    }
+
+    const cycle_t work = nominalCycles(bytes);
+    const index_t ch = channelOf(core);
+    cycle_t completion = completionOn(ch, core, start, work);
+    if (completion < start + accounted)
+        completion = start + accounted;
+    ledger_[static_cast<std::size_t>(ch)].push_back(
+        Interval{start, completion, core});
+
+    g.completion = completion;
+    const cycle_t dur = completion - start;
+    g.contention = dur > accounted ? dur - accounted : 0;
+
+    const auto c = static_cast<std::size_t>(core);
+    stalls_[c] += g.contention;
+    grants_[c] += 1;
+    bytes_[c] += bytes;
+    return g;
+}
+
+void
+SharedDramArbiter::saveState(ArchiveWriter &ar) const
+{
+    ar.putI64(cores_);
+    ar.putI64(channels_);
+    ar.putU64(ledger_.size());
+    for (const auto &channel : ledger_) {
+        ar.putU64(channel.size());
+        for (const Interval &iv : channel) {
+            ar.putU64(iv.s);
+            ar.putU64(iv.e);
+            ar.putI64(iv.core);
+        }
+    }
+    ar.putCounts(stalls_);
+    ar.putCounts(grants_);
+    ar.putCounts(bytes_);
+}
+
+void
+SharedDramArbiter::loadState(ArchiveReader &ar)
+{
+    const auto cores = static_cast<index_t>(ar.getI64());
+    const auto channels = static_cast<index_t>(ar.getI64());
+    if (cores != cores_ || channels != channels_)
+        ar.fail("shared DRAM snapshot belongs to a different "
+                "core/channel composition");
+    const std::uint64_t n_ch = ar.getU64();
+    if (n_ch != ledger_.size())
+        ar.fail("shared DRAM snapshot channel-ledger count mismatch");
+    for (auto &channel : ledger_) {
+        channel.clear();
+        const std::uint64_t n = ar.getU64();
+        channel.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Interval iv;
+            iv.s = ar.getU64();
+            iv.e = ar.getU64();
+            iv.core = static_cast<index_t>(ar.getI64());
+            channel.push_back(iv);
+        }
+    }
+    stalls_ = ar.getCounts();
+    grants_ = ar.getCounts();
+    bytes_ = ar.getCounts();
+    if (stalls_.size() != static_cast<std::size_t>(cores_) ||
+        grants_.size() != static_cast<std::size_t>(cores_) ||
+        bytes_.size() != static_cast<std::size_t>(cores_))
+        ar.fail("shared DRAM snapshot per-core counter size mismatch");
+}
+
+} // namespace stonne

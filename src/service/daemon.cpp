@@ -9,6 +9,8 @@
 #include "common/logging.hpp"
 #include "dse/tuner.hpp"
 #include "engine/output_module.hpp"
+#include "frontend/model_loader.hpp"
+#include "multicore/multicore_runner.hpp"
 #include "service/envelope.hpp"
 
 namespace stonne::service {
@@ -170,6 +172,7 @@ ServiceDaemon::handleLine(const std::string &line)
       }
       case RequestType::Run:
       case RequestType::Tune:
+      case RequestType::RunModel:
         break;
     }
 
@@ -192,6 +195,23 @@ ServiceDaemon::handleLine(const std::string &line)
         emitError(req.id, e.code(), e.what(), /*rejected_job=*/true);
         return !shutdownRequested();
     }
+    // Single-layer run/tune jobs drive one accelerator instance; a
+    // multi-core composition must go through run_model, which owns the
+    // cross-core scheduling and the shared-DRAM arbitration.
+    if (req.type != RequestType::RunModel && cfg.cores > 1) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.rejected;
+        }
+        emitError(req.id, kErrBadConfig,
+                  "a " + std::string(req.type == RequestType::Tune
+                                         ? "tune"
+                                         : "run") +
+                      " job targets one accelerator; use run_model for "
+                      "a cores > 1 composition",
+                  /*rejected_job=*/true);
+        return !shutdownRequested();
+    }
     // Per-request envelope overrides land in the job's config, where
     // the engine (cycle budget) and the envelope (wall/retries) read
     // them.
@@ -202,8 +222,15 @@ ServiceDaemon::handleLine(const std::string &line)
     if (req.retries)
         cfg.job_retries = *req.retries;
 
-    // Admission control: duplicate ids and the bounded queue, checked
-    // and claimed under one lock.
+    // Admission control: the draining flag, duplicate ids, the bounded
+    // queue AND the hand-off to the worker pool, all under one lock.
+    // The pool hand-off must not slip outside: finish() sets shutdown_
+    // under mu_ before it stops the pool, so committing the submission
+    // while still holding mu_ guarantees that every job admitted here
+    // reaches the pool before pool_.shutdown() can run — a concurrent
+    // shutdown is seen as `shutting_down` here, never as a lost job or
+    // a spurious `queue_full`.
+    const Clock::time_point admitted_at = Clock::now();
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (shutdown_) {
@@ -232,19 +259,22 @@ ServiceDaemon::handleLine(const std::string &line)
         active_ids_.insert(req.id);
         ++queued_;
         ++counters_.admitted;
-    }
-    emitStatus(req.id, "admitted");
 
-    const Clock::time_point admitted_at = Clock::now();
-    const JobRequest job = req;
-    if (req.type == RequestType::Run)
-        pool_.submit([this, job, cfg, admitted_at] {
-            runJob(job, cfg, admitted_at);
-        });
-    else
-        pool_.submit([this, job, cfg, admitted_at] {
-            runTune(job, cfg, admitted_at);
-        });
+        emitStatus(req.id, "admitted");
+        const JobRequest job = req;
+        if (req.type == RequestType::Run)
+            pool_.submit([this, job, cfg, admitted_at] {
+                runJob(job, cfg, admitted_at);
+            });
+        else if (req.type == RequestType::Tune)
+            pool_.submit([this, job, cfg, admitted_at] {
+                runTune(job, cfg, admitted_at);
+            });
+        else
+            pool_.submit([this, job, cfg, admitted_at] {
+                runModel(job, cfg, admitted_at);
+            });
+    }
     return !shutdownRequested();
 }
 
@@ -401,6 +431,75 @@ ServiceDaemon::runTune(const JobRequest &req, const HardwareConfig &cfg,
         else
             ++counters_.failed;
         counters_.cache_hits += hit_count;
+    }
+    finishJob(req.id);
+    emit(r);
+}
+
+void
+ServiceDaemon::runModel(const JobRequest &req, const HardwareConfig &cfg,
+                        Clock::time_point admitted_at)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+    }
+    const double queue_wait_ms = msSince(admitted_at);
+    emitStatus(req.id, "running");
+
+    JsonValue r = JsonValue::makeObject();
+    r.set("type", "result");
+    r.set("id", req.id);
+    bool ok = false;
+    try {
+        const DnnModel model = loadModelFromFile(req.model_path, req.seed);
+        fatalIf(model.layers.empty(), "model '" + req.model_path +
+                                          "' has no layers");
+
+        // One deterministic input per sample: the batch streams the
+        // same network over `batch` independently drawn activations.
+        const DnnLayer &first = model.layers.front();
+        Rng rng(req.seed);
+        std::vector<Tensor> inputs;
+        for (index_t b = 0; b < req.batch; ++b) {
+            Tensor in;
+            if (first.op == OpType::Conv2d ||
+                first.op == OpType::MaxPool2d) {
+                const Conv2dShape &c = first.spec.conv;
+                in = Tensor({c.N, c.C, c.X, c.Y});
+            } else {
+                const GemmDims g = first.spec.gemm;
+                in = Tensor({g.n, g.k});
+            }
+            in.fillUniform(rng, 0.0f, 1.0f);
+            inputs.push_back(std::move(in));
+        }
+
+        MulticoreRunner runner(model, cfg);
+        runner.runBatch(std::move(inputs));
+        r.set("status", "done");
+        r["summary"] = runner.reportJson();
+        ok = true;
+    } catch (const std::exception &e) {
+        r.set("status", "failed");
+        r.set("error", e.what());
+    }
+
+    JsonValue svc = JsonValue::makeObject();
+    svc.set("attempts", static_cast<std::int64_t>(1));
+    svc.set("degraded", false);
+    svc.set("cache_hit", false);
+    svc.set("batch", static_cast<std::int64_t>(req.batch));
+    svc.set("queue_wait_ms", queue_wait_ms);
+    svc.set("wall_ms", msSince(admitted_at) - queue_wait_ms);
+    r["service"] = std::move(svc);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (ok)
+            ++counters_.done;
+        else
+            ++counters_.failed;
     }
     finishJob(req.id);
     emit(r);

@@ -203,6 +203,8 @@ parseRequest(const std::string &line)
         req.type = RequestType::Run;
     else if (t == "tune")
         req.type = RequestType::Tune;
+    else if (t == "run_model")
+        req.type = RequestType::RunModel;
     else
         throw ProtocolError(kErrUnknownType,
                             "unknown request type '" + t + "'");
@@ -213,13 +215,20 @@ parseRequest(const std::string &line)
         return req;
     }
 
-    rejectUnknownMembers(
-        root,
-        {"type", "id", "config", "config_text", "preset", "ms", "bw",
-         "overrides", "layer", "tile", "seed", "sparsity", "repeat",
-         "use_cache", "budget_cycles", "budget_wall_ms", "retries",
-         "top_k"},
-        "a " + t + " request");
+    if (req.type == RequestType::RunModel)
+        rejectUnknownMembers(root,
+                             {"type", "id", "config", "config_text",
+                              "preset", "ms", "bw", "overrides", "model",
+                              "batch", "seed"},
+                             "a run_model request");
+    else
+        rejectUnknownMembers(
+            root,
+            {"type", "id", "config", "config_text", "preset", "ms", "bw",
+             "overrides", "layer", "tile", "seed", "sparsity", "repeat",
+             "use_cache", "budget_cycles", "budget_wall_ms", "retries",
+             "top_k"},
+            "a " + t + " request");
 
     const JsonValue &id = requireMember(root, "id");
     if (!id.isString() || id.asString().empty())
@@ -251,6 +260,21 @@ parseRequest(const std::string &line)
         for (const auto &[key, value] : v->members())
             req.overrides.emplace_back(lowercase(key),
                                        overrideValueText(value, key));
+    }
+
+    if (req.type == RequestType::RunModel) {
+        const JsonValue &m = requireMember(root, "model");
+        if (!m.isString() || m.asString().empty())
+            badRequest("'model' must be a non-empty file path");
+        req.model_path = m.asString();
+        if (const JsonValue *v = root.find("batch"))
+            req.batch = asIndex(*v, "batch", 1);
+        if (const JsonValue *v = root.find("seed")) {
+            if (!v->isNumber() || v->kind() == JsonValue::Kind::Double)
+                badRequest("'seed' must be an integer");
+            req.seed = v->asUint64();
+        }
+        return req;
     }
 
     req.has_layer = root.find("layer") != nullptr;

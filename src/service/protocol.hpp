@@ -8,11 +8,19 @@
  *
  *   {"type":"run", "id":"j1", ...}    simulate one layer
  *   {"type":"tune", "id":"t1", ...}   auto-tune one layer's mapping
+ *   {"type":"run_model", "id":"m1", "model":"path.model", "batch":4}
+ *                                     full-model inference, including
+ *                                     multi-core compositions
  *   {"type":"ping"}                   liveness probe -> {"type":"pong"}
  *   {"type":"stats"}                  daemon counters snapshot
  *   {"type":"shutdown"}               graceful drain + exit
  *
- * run/tune requests select a hardware configuration (first present
+ * run and tune target one accelerator instance; a configuration with
+ * `cores > 1` rejects them at admission (`bad_config`) — multi-core
+ * compositions are driven through run_model, whose result carries the
+ * per-core cycle and shared-DRAM stall counters.
+ *
+ * run/tune/run_model requests select a hardware configuration (first present
  * wins): `config_text` (inline stonne_hw.cfg text), `config` (a file
  * path), `preset` ("tpu"|"maeri"|"sigma"|"snapea", with optional
  * `ms`/`bw`), or the daemon's base configuration. An optional
@@ -74,7 +82,7 @@ class ProtocolError : public std::runtime_error
 };
 
 /** Kinds of requests the daemon accepts. */
-enum class RequestType { Run, Tune, Ping, Stats, Shutdown };
+enum class RequestType { Run, Tune, RunModel, Ping, Stats, Shutdown };
 
 /** One parsed request line. */
 struct JobRequest {
@@ -97,6 +105,12 @@ struct JobRequest {
     bool has_layer = false;
     LayerSpec layer;
     std::optional<Tile> tile;
+
+    /** Model description file (run_model only). */
+    std::string model_path;
+
+    /** Independent samples streamed through the run (run_model only). */
+    index_t batch = 1;
 
     std::uint64_t seed = 42;
     double sparsity = 0.0;

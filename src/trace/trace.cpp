@@ -248,10 +248,16 @@ Tracer::instant(const std::string &name, count_t value)
 }
 
 void
-Tracer::flush()
+Tracer::finalizeRecording()
 {
     setPhase("idle");
     emitSample(now_, stats_.snapshot());
+}
+
+void
+Tracer::flush()
+{
+    finalizeRecording();
 
     const std::string text = toJson().dump() + "\n";
     std::ofstream out(path_);
@@ -260,40 +266,55 @@ Tracer::flush()
     fatalIf(!out.good(), "error writing trace file '", path_, "'");
 }
 
+namespace {
+
+/** Shared root envelope of single-core and merged trace files. */
 JsonValue
-Tracer::toJson() const
+makeTraceRoot(JsonValue list, cycle_t sample_cycles)
 {
     JsonValue root = JsonValue::makeObject();
-    JsonValue list = JsonValue::makeArray();
+    root["traceEvents"] = list;
+    root.set("displayTimeUnit", "ns");
+    JsonValue other = JsonValue::makeObject();
+    other.set("tool", "stonne");
+    other.set("clock_unit", "cycle");
+    other.set("sample_cycles", static_cast<std::uint64_t>(sample_cycles));
+    root["otherData"] = other;
+    return root;
+}
 
-    auto meta = [&list](index_t tid, const char *label) {
+} // namespace
+
+void
+Tracer::appendThreadMetasTo(JsonValue &list, index_t tid_base,
+                            const std::string &label_prefix) const
+{
+    auto meta = [&list, tid_base, &label_prefix](index_t tid,
+                                                 const char *label) {
         JsonValue m = JsonValue::makeObject();
         m.set("name", "thread_name");
         m.set("ph", "M");
         m.set("pid", std::int64_t{0});
-        m.set("tid", static_cast<std::int64_t>(tid));
+        m.set("tid", static_cast<std::int64_t>(tid_base + tid));
         JsonValue args = JsonValue::makeObject();
-        args.set("name", label);
+        args.set("name", label_prefix + label);
         m["args"] = args;
         list.append(std::move(m));
     };
-    {
-        JsonValue m = JsonValue::makeObject();
-        m.set("name", "process_name");
-        m.set("ph", "M");
-        m.set("pid", std::int64_t{0});
-        JsonValue args = JsonValue::makeObject();
-        args.set("name", process_name_);
-        m["args"] = args;
-        list.append(std::move(m));
-    }
     meta(kPhaseTrack, "controller phases");
     meta(kFastForwardTrack, "fast-forward regions");
     meta(kEventTrack, "faults & watchdog");
+}
 
+void
+Tracer::appendEventsTo(JsonValue &list, index_t tid_base,
+                       const std::string &counter_prefix) const
+{
     for (const TraceEvent &ev : events_) {
         JsonValue e = JsonValue::makeObject();
-        e.set("name", ev.name);
+        const bool named_series = ev.kind == TraceEvent::Kind::Counter ||
+            ev.kind == TraceEvent::Kind::Gauge;
+        e.set("name", named_series ? counter_prefix + ev.name : ev.name);
         e.set("pid", std::int64_t{0});
         e.set("ts", static_cast<std::uint64_t>(ev.ts));
         switch (ev.kind) {
@@ -301,7 +322,7 @@ Tracer::toJson() const
             e.set("ph", "X");
             e.set("cat", ev.track == kFastForwardTrack
                              ? "fastforward" : "phase");
-            e.set("tid", static_cast<std::int64_t>(ev.track));
+            e.set("tid", static_cast<std::int64_t>(tid_base + ev.track));
             e.set("dur", static_cast<std::uint64_t>(ev.dur));
             if (!ev.args.empty()) {
                 JsonValue args = JsonValue::makeObject();
@@ -330,7 +351,7 @@ Tracer::toJson() const
           case TraceEvent::Kind::Instant: {
             e.set("ph", "i");
             e.set("cat", "event");
-            e.set("tid", static_cast<std::int64_t>(ev.track));
+            e.set("tid", static_cast<std::int64_t>(tid_base + ev.track));
             e.set("s", "g");
             JsonValue args = JsonValue::makeObject();
             args.set("value", static_cast<std::uint64_t>(ev.value));
@@ -340,15 +361,67 @@ Tracer::toJson() const
         }
         list.append(std::move(e));
     }
+}
 
-    root["traceEvents"] = list;
-    root.set("displayTimeUnit", "ns");
-    JsonValue other = JsonValue::makeObject();
-    other.set("tool", "stonne");
-    other.set("clock_unit", "cycle");
-    other.set("sample_cycles", static_cast<std::uint64_t>(sample_cycles_));
-    root["otherData"] = other;
-    return root;
+JsonValue
+Tracer::toJson() const
+{
+    JsonValue list = JsonValue::makeArray();
+    {
+        JsonValue m = JsonValue::makeObject();
+        m.set("name", "process_name");
+        m.set("ph", "M");
+        m.set("pid", std::int64_t{0});
+        JsonValue args = JsonValue::makeObject();
+        args.set("name", process_name_);
+        m["args"] = args;
+        list.append(std::move(m));
+    }
+    appendThreadMetasTo(list, 0, "");
+    appendEventsTo(list, 0, "");
+    return makeTraceRoot(std::move(list), sample_cycles_);
+}
+
+void
+Tracer::writeMerged(const std::vector<Tracer *> &cores,
+                    const std::string &path)
+{
+    fatalIf(cores.empty(), "merged trace needs at least one core");
+    for (Tracer *t : cores)
+        t->finalizeRecording();
+
+    JsonValue list = JsonValue::makeArray();
+    {
+        JsonValue m = JsonValue::makeObject();
+        m.set("name", "process_name");
+        m.set("ph", "M");
+        m.set("pid", std::int64_t{0});
+        JsonValue args = JsonValue::makeObject();
+        std::string pname = cores[0]->process_name_;
+        if (cores.size() > 1)
+            pname += " x" + std::to_string(cores.size());
+        args.set("name", pname);
+        m["args"] = args;
+        list.append(std::move(m));
+    }
+    // tid namespace: 16 ids per core keeps the per-core track constants
+    // intact (track + core * 16) with room for future tracks.
+    for (std::size_t c = 0; c < cores.size(); ++c)
+        cores[c]->appendThreadMetasTo(
+            list, static_cast<index_t>(c) * 16,
+            cores.size() > 1 ? "core" + std::to_string(c) + " " : "");
+    for (std::size_t c = 0; c < cores.size(); ++c)
+        cores[c]->appendEventsTo(
+            list, static_cast<index_t>(c) * 16,
+            cores.size() > 1 ? "core" + std::to_string(c) + "." : "");
+
+    const std::string text =
+        makeTraceRoot(std::move(list), cores[0]->sample_cycles_).dump() +
+        "\n";
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open trace file '", path, "'");
+    out << text;
+    fatalIf(!out.good(), "error writing trace file '", path, "'");
 }
 
 void

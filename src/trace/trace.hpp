@@ -155,6 +155,19 @@ class Tracer : public Checkpointable
     void flush();
 
     /**
+     * Write the timelines of several cores' tracers into one Chrome
+     * trace file at `path`: core c's tracks render as tids
+     * [c*16 + 1, c*16 + 3] with "core<c> ..." thread names, and its
+     * counter/gauge series are prefixed "core<c>." (counter events
+     * carry no tid, so the name is the only namespace). Each tracer is
+     * finalized (tail sample, open phase closed) exactly like flush().
+     * With one core the event stream matches that core's own flush()
+     * output byte for byte, except the file path.
+     */
+    static void writeMerged(const std::vector<Tracer *> &cores,
+                            const std::string &path);
+
+    /**
      * Serialize the full recording state: the monotone clock, the
      * sample window (so the next sample lands on the same cycle it
      * would have without the interruption), the open phase span, the
@@ -169,6 +182,14 @@ class Tracer : public Checkpointable
     void emitSample(cycle_t ts, const std::vector<count_t> &values);
     void interpolateSamples(const std::vector<count_t> &post,
                             cycle_t cycles);
+    /** Emit the tail sample and close the open phase span (flush(),
+     *  minus the file write — writeMerged() finalizes cores the same
+     *  way before serializing them into one file). */
+    void finalizeRecording();
+    void appendThreadMetasTo(JsonValue &list, index_t tid_base,
+                             const std::string &label_prefix) const;
+    void appendEventsTo(JsonValue &list, index_t tid_base,
+                        const std::string &counter_prefix) const;
     JsonValue toJson() const;
 
     const StatsRegistry &stats_;

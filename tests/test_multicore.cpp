@@ -1,0 +1,588 @@
+/**
+ * @file
+ * Multi-accelerator composition tests (src/multicore): the shared-DRAM
+ * arbiter's fairness/determinism/self-exclusion properties, the model
+ * partitioners, and — the core invariant — a cores = 1 MulticoreRunner
+ * reproduces the legacy ModelRunner bit-identically (cycles, records,
+ * outputs, trace bytes, zero stalls) on every shipped configs/*.cfg,
+ * while a cores = 2 composition stays functionally exact against the
+ * native reference, checkpoints/restores bit-identically mid-run, and
+ * reports per-core DRAM stall counters in strict JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "checkpoint/archive.hpp"
+#include "common/config.hpp"
+#include "common/json_writer.hpp"
+#include "common/rng.hpp"
+#include "engine/output_module.hpp"
+#include "frontend/model_loader.hpp"
+#include "frontend/model_zoo.hpp"
+#include "frontend/runner.hpp"
+#include "multicore/multicore_runner.hpp"
+#include "multicore/partition.hpp"
+#include "multicore/shared_dram.hpp"
+
+namespace stonne {
+namespace {
+
+/** Self-deleting scratch file (covers the .tmp sibling too). */
+struct TempFile {
+    std::string path;
+
+    explicit TempFile(std::string p) : path(std::move(p)) { clean(); }
+    ~TempFile() { clean(); }
+
+    void clean()
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        std::filesystem::remove(path + ".tmp", ec);
+        // Per-core raw traces written next to a merged trace file.
+        for (int c = 0; c < 4; ++c)
+            std::filesystem::remove(path + ".core" + std::to_string(c),
+                                    ec);
+    }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(is)) << path;
+    return std::string((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+}
+
+std::vector<std::string>
+configFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator("configs"))
+        if (entry.path().extension() == ".cfg")
+            files.push_back(entry.path().string());
+    std::sort(files.begin(), files.end());
+    EXPECT_FALSE(files.empty());
+    return files;
+}
+
+/** Deterministic input matching the model's first layer. */
+Tensor
+modelInput(const DnnModel &model, std::uint64_t seed = 11)
+{
+    const DnnLayer &first = model.layers.front();
+    Rng rng(seed);
+    Tensor input;
+    if (first.op == OpType::Conv2d || first.op == OpType::MaxPool2d) {
+        const Conv2dShape &c = first.spec.conv;
+        input = Tensor({c.N, c.C, c.X, c.Y});
+    } else {
+        const GemmDims g = first.spec.gemm;
+        input = Tensor({g.n, g.k});
+    }
+    input.fillUniform(rng, 0.0f, 1.0f);
+    return input;
+}
+
+// --- shared-DRAM arbiter ----------------------------------------------
+
+TEST(SharedDramArbiter, NominalCyclesCeilOfChannelShare)
+{
+    // 2 channels split 64 B/cycle into 32 B/cycle each.
+    SharedDramArbiter a(2, 2, 64.0);
+    EXPECT_EQ(a.nominalCycles(0), 0u);
+    EXPECT_EQ(a.nominalCycles(1), 1u);
+    EXPECT_EQ(a.nominalCycles(32), 1u);
+    EXPECT_EQ(a.nominalCycles(33), 2u);
+    EXPECT_EQ(a.nominalCycles(320), 10u);
+}
+
+TEST(SharedDramArbiter, SingleCoreSerialTrafficNeverStalls)
+{
+    SharedDramArbiter a(1, 1, 64.0);
+    cycle_t t = 0;
+    for (int i = 0; i < 50; ++i) {
+        const count_t bytes = static_cast<count_t>(64 * (i + 1));
+        const cycle_t nominal = a.nominalCycles(bytes);
+        const SharedDramArbiter::Grant g = a.request(0, t, bytes, nominal);
+        EXPECT_EQ(g.contention, 0u);
+        EXPECT_EQ(g.completion, t + nominal);
+        t = g.completion;
+    }
+    EXPECT_EQ(a.stallCycles(0), 0u);
+    EXPECT_EQ(a.grantCount(0), 50u);
+}
+
+TEST(SharedDramArbiter, OwnCommittedTransfersAreExcluded)
+{
+    // Two requests by the same core at the same start cycle do not
+    // contend with each other (a core's timeline is serial — overlap
+    // can only be an artifact of charging order, never real).
+    SharedDramArbiter a(2, 1, 64.0);
+    const cycle_t n = a.nominalCycles(640);
+    EXPECT_EQ(a.request(0, 100, 640, n).contention, 0u);
+    EXPECT_EQ(a.request(0, 100, 640, n).contention, 0u);
+    EXPECT_EQ(a.stallCycles(0), 0u);
+}
+
+TEST(SharedDramArbiter, OverlappingCoresShareTheChannelFairly)
+{
+    SharedDramArbiter a(2, 1, 64.0);
+    const count_t bytes = 6400;
+    const cycle_t n = a.nominalCycles(bytes); // 100 cycles alone
+    ASSERT_EQ(n, 100u);
+
+    const SharedDramArbiter::Grant g0 = a.request(0, 0, bytes, n);
+    EXPECT_EQ(g0.completion, 100u); // empty ledger: nominal speed
+    EXPECT_EQ(g0.contention, 0u);
+
+    // Core 1 fully overlaps core 0's committed transfer: half
+    // bandwidth for the first 100 cycles, full speed after.
+    const SharedDramArbiter::Grant g1 = a.request(1, 0, bytes, n);
+    EXPECT_EQ(g1.completion, 150u);
+    EXPECT_EQ(g1.contention, 50u);
+    EXPECT_EQ(a.stallCycles(1), 50u);
+
+    // Determinism: an identical fresh arbiter replays identically.
+    SharedDramArbiter b(2, 1, 64.0);
+    EXPECT_EQ(b.request(0, 0, bytes, n).completion, g0.completion);
+    EXPECT_EQ(b.request(1, 0, bytes, n).completion, g1.completion);
+}
+
+TEST(SharedDramArbiter, SeparateChannelsDoNotInterfere)
+{
+    // Cores stripe core % channels, so with 2 channels the two cores
+    // own private channels and identical overlapping traffic is free.
+    SharedDramArbiter a(2, 2, 128.0);
+    const count_t bytes = 6400;
+    const cycle_t n = a.nominalCycles(bytes);
+    EXPECT_EQ(a.channelOf(0), 0);
+    EXPECT_EQ(a.channelOf(1), 1);
+    EXPECT_EQ(a.request(0, 0, bytes, n).contention, 0u);
+    EXPECT_EQ(a.request(1, 0, bytes, n).contention, 0u);
+    EXPECT_EQ(a.stallCycles(0), 0u);
+    EXPECT_EQ(a.stallCycles(1), 0u);
+}
+
+TEST(SharedDramArbiter, StateRoundTripsThroughTheArchive)
+{
+    TempFile f("test_arbiter_state.ckpt");
+    SharedDramArbiter a(2, 1, 64.0);
+    a.request(0, 0, 6400, a.nominalCycles(6400));
+    a.request(1, 30, 1280, a.nominalCycles(1280));
+
+    ArchiveWriter w;
+    w.beginSection("arbiter");
+    a.saveState(w);
+    w.endSection();
+    w.writeFile(f.path);
+
+    SharedDramArbiter b(2, 1, 64.0);
+    ArchiveReader r(f.path);
+    r.enterSection("arbiter");
+    b.loadState(r);
+    r.leaveSection();
+
+    EXPECT_EQ(b.stallCycles(0), a.stallCycles(0));
+    EXPECT_EQ(b.stallCycles(1), a.stallCycles(1));
+    EXPECT_EQ(b.grantCount(0), a.grantCount(0));
+    EXPECT_EQ(b.bytesRequested(1), a.bytesRequested(1));
+
+    // The restored ledger arbitrates future requests identically.
+    const SharedDramArbiter::Grant ga =
+        a.request(0, 50, 3200, a.nominalCycles(3200));
+    const SharedDramArbiter::Grant gb =
+        b.request(0, 50, 3200, b.nominalCycles(3200));
+    EXPECT_EQ(gb.completion, ga.completion);
+    EXPECT_EQ(gb.contention, ga.contention);
+}
+
+// --- partitioners ------------------------------------------------------
+
+TEST(Partition, SplitOutputChannelsCoversAndBalances)
+{
+    const auto shards = splitOutputChannels(10, 4);
+    ASSERT_EQ(shards.size(), 4u);
+    index_t covered = 0;
+    for (std::size_t c = 0; c < shards.size(); ++c) {
+        EXPECT_EQ(shards[c].first, covered);
+        covered += shards[c].second;
+    }
+    EXPECT_EQ(covered, 10);
+    // Remainder spreads over the leading shards: 3,3,2,2.
+    EXPECT_EQ(shards[0].second, 3);
+    EXPECT_EQ(shards[1].second, 3);
+    EXPECT_EQ(shards[2].second, 2);
+    EXPECT_EQ(shards[3].second, 2);
+
+    // k < cores leaves trailing length-0 shards, never negative ones.
+    const auto tiny = splitOutputChannels(2, 4);
+    EXPECT_EQ(tiny[0].second, 1);
+    EXPECT_EQ(tiny[1].second, 1);
+    EXPECT_EQ(tiny[2].second, 0);
+    EXPECT_EQ(tiny[3].second, 0);
+}
+
+TEST(Partition, PipelineStagesAreContiguousAndCoverTheModel)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    for (index_t cores : {1, 2, 3, 4}) {
+        const PipelinePartition p = assignPipelineStages(model, cores);
+        ASSERT_EQ(p.stage_of_layer.size(), model.layers.size());
+        EXPECT_LE(p.stages(), cores);
+        EXPECT_GE(p.stages(), 1);
+        // Stage ids are non-decreasing and every stage non-empty.
+        index_t prev = 0;
+        for (const index_t s : p.stage_of_layer) {
+            EXPECT_GE(s, prev);
+            EXPECT_LE(s, prev + 1);
+            prev = s;
+        }
+        std::size_t covered = 0;
+        for (index_t s = 0; s < p.stages(); ++s) {
+            const auto [first, last] =
+                p.stage_bounds[static_cast<std::size_t>(s)];
+            EXPECT_EQ(first, covered);
+            EXPECT_LT(first, last);
+            covered = last;
+        }
+        EXPECT_EQ(covered, model.layers.size());
+    }
+}
+
+TEST(Partition, ShardabilityFollowsTheLayerKind)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    for (const DnnLayer &l : model.layers) {
+        if (l.op == OpType::Conv2d || l.op == OpType::Linear)
+            EXPECT_TRUE(kSplitShardable(l)) << l.name;
+        if (l.op == OpType::ReLU || l.op == OpType::AddResidual)
+            EXPECT_FALSE(kSplitShardable(l)) << l.name;
+    }
+}
+
+// --- 1-core composition == legacy path, on every shipped config -------
+
+TEST(MulticoreRunner, OneCoreIsBitIdenticalToModelRunnerOnEveryConfig)
+{
+    const DnnModel model = loadModelFromFile("models/fire_mini.model");
+    const Tensor input = modelInput(model);
+
+    for (const std::string &path : configFiles()) {
+        SCOPED_TRACE(path);
+        HardwareConfig cfg = HardwareConfig::parseFile(path);
+        cfg.cores = 1;
+        cfg.dram_channels = 1;
+        TempFile trace("test_multicore_parity_trace.json");
+        TempFile ckpt("test_multicore_parity.ckpt");
+        if (cfg.trace)
+            cfg.trace_file = trace.path;
+        if (cfg.checkpoint)
+            cfg.checkpoint_file = ckpt.path;
+
+        ModelRunner legacy(model, cfg);
+        const Tensor ref_out = legacy.run(input);
+        const SimulationResult ref_total = legacy.total();
+        const std::string ref_trace = cfg.trace ? slurp(trace.path) : "";
+        trace.clean();
+
+        MulticoreRunner mc(model, cfg);
+        const Tensor out = mc.run(input);
+        const SimulationResult total = mc.total();
+
+        EXPECT_TRUE(out.equals(ref_out));
+        EXPECT_EQ(total.cycles, ref_total.cycles);
+        EXPECT_EQ(total.macs, ref_total.macs);
+        EXPECT_EQ(total.skipped_macs, ref_total.skipped_macs);
+        EXPECT_EQ(total.mem_accesses, ref_total.mem_accesses);
+        EXPECT_EQ(mc.core(0).totalCycles(),
+                  legacy.stonne().totalCycles());
+
+        // The composed timeline adds nothing with one core: the
+        // arbiter never charges a stall.
+        EXPECT_EQ(mc.arbiter().stallCycles(0), 0u);
+
+        const auto &ref_recs = legacy.records();
+        const auto &recs = mc.coreRecords(0);
+        ASSERT_EQ(recs.size(), ref_recs.size());
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+            EXPECT_EQ(recs[i].name, ref_recs[i].name);
+            EXPECT_EQ(recs[i].offloaded, ref_recs[i].offloaded);
+            EXPECT_EQ(recs[i].sim.cycles, ref_recs[i].sim.cycles);
+        }
+
+        if (cfg.trace)
+            EXPECT_EQ(slurp(trace.path), ref_trace);
+    }
+}
+
+// --- 2-core compositions ----------------------------------------------
+
+TEST(MulticoreRunner, TwoCorePipelineRunsResnetBlockEndToEnd)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    ASSERT_EQ(cfg.cores, 2);
+    ASSERT_EQ(cfg.partition, PartitionStrategy::Pipeline);
+
+    const Tensor input = modelInput(model);
+    MulticoreRunner runner(model, cfg);
+    const Tensor out = runner.run(input);
+    EXPECT_TRUE(out.equals(runner.runNative(input)));
+
+    // Both stages did real work and the composed makespan covers the
+    // slowest core.
+    EXPECT_EQ(runner.partition().stages(), 2);
+    EXPECT_GT(runner.core(0).totalCycles(), 0u);
+    EXPECT_GT(runner.core(1).totalCycles(), 0u);
+    EXPECT_GE(runner.makespanCycles(),
+              std::max(runner.core(0).totalCycles(),
+                       runner.core(1).totalCycles()));
+
+    // Cross-stage activations moved through the shared DRAM.
+    EXPECT_GT(runner.arbiter().grantCount(0), 0u);
+    EXPECT_GT(runner.arbiter().bytesRequested(1), 0u);
+}
+
+TEST(MulticoreRunner, KSplitMatchesTheNativeReference)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    cfg.partition = PartitionStrategy::KSplit;
+
+    const Tensor input = modelInput(model);
+    MulticoreRunner runner(model, cfg);
+    const Tensor out = runner.run(input);
+    EXPECT_TRUE(out.equals(runner.runNative(input)));
+    EXPECT_GT(runner.core(1).totalCycles(), 0u); // shards really ran
+}
+
+TEST(MulticoreRunner, SharedChannelContendsAndPrivateChannelsDoNot)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    cfg.partition = PartitionStrategy::KSplit; // shards overlap fully
+    const Tensor input = modelInput(model);
+
+    cfg.dram_channels = 1;
+    MulticoreRunner shared(model, cfg);
+    shared.run(input);
+    const count_t stalls_shared = shared.arbiter().stallCycles(0) +
+                                  shared.arbiter().stallCycles(1);
+
+    cfg.dram_channels = 2;
+    MulticoreRunner split(model, cfg);
+    split.run(input);
+    const count_t stalls_split = split.arbiter().stallCycles(0) +
+                                 split.arbiter().stallCycles(1);
+
+    // One channel: concurrent shards time-share it, so interference
+    // shows up as stalls. Two channels: each core owns one — none.
+    EXPECT_GT(stalls_shared, 0u);
+    EXPECT_EQ(stalls_split, 0u);
+    EXPECT_GE(stalls_shared, stalls_split);
+}
+
+TEST(MulticoreRunner, MergedTraceCarriesOneTidGroupPerCore)
+{
+    TempFile trace("test_multicore_trace.json");
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    cfg.trace = true;
+    cfg.trace_file = trace.path;
+
+    MulticoreRunner runner(model, cfg);
+    runner.run(modelInput(model));
+
+    const std::string text = slurp(trace.path);
+    const JsonValue doc = JsonValue::parse(text); // strict: valid JSON
+    EXPECT_TRUE(doc.isObject());
+    EXPECT_NE(text.find("core0"), std::string::npos);
+    EXPECT_NE(text.find("core1"), std::string::npos);
+}
+
+TEST(MulticoreRunner, ReportJsonIsStrictAndCarriesPerCoreCounters)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    MulticoreRunner runner(model, cfg);
+    runner.run(modelInput(model));
+
+    const JsonValue report =
+        JsonValue::parse(runner.reportJson().dump());
+    ASSERT_NE(report.find("per_core"), nullptr);
+    const auto &cores = report.find("per_core")->items();
+    ASSERT_EQ(cores.size(), 2u);
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        const JsonValue &entry = cores[c];
+        EXPECT_EQ(entry.find("core")->asUint64(), c);
+        ASSERT_NE(entry.find("cycles"), nullptr);
+        ASSERT_NE(entry.find("dram_channel"), nullptr);
+        ASSERT_NE(entry.find("dram_stall_cycles"), nullptr);
+        ASSERT_NE(entry.find("dram_grants"), nullptr);
+        ASSERT_NE(entry.find("dram_bytes"), nullptr);
+        EXPECT_GT(entry.find("cycles")->asUint64(), 0u);
+    }
+    EXPECT_EQ(report.find("cores")->asUint64(), 2u);
+    EXPECT_EQ(report.find("partition")->asString(),
+              std::string(partitionStrategyName(cfg.partition)));
+    EXPECT_GT(report.find("makespan_cycles")->asUint64(), 0u);
+}
+
+TEST(MulticoreRunner, MidRunCheckpointRestoresBitIdentically)
+{
+    TempFile ckpt("test_multicore_resume.ckpt");
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    std::vector<Tensor> inputs = {modelInput(model, 21),
+                                  modelInput(model, 22)};
+
+    // Probe the batch's total simulated work (checkpointing is
+    // timing-neutral, so the probe run is the reference run too), then
+    // pick an interval that fires exactly once, at a stage boundary
+    // strictly inside the run: ~60% of the total crosses mid-batch and
+    // the <= 40% left can never re-trigger, so the snapshot on disk is
+    // guaranteed to be a mid-run one.
+    MulticoreRunner straight(model, cfg);
+    const std::vector<Tensor> ref_outs = straight.runBatch(inputs);
+    const cycle_t sum =
+        straight.core(0).totalCycles() + straight.core(1).totalCycles();
+    ASSERT_GT(sum, 0u);
+
+    cfg.checkpoint = true;
+    cfg.checkpoint_file = ckpt.path;
+    cfg.checkpoint_interval_cycles =
+        static_cast<index_t>(sum * 6 / 10);
+    MulticoreRunner snapped(model, cfg);
+    const std::vector<Tensor> snap_outs = snapped.runBatch(inputs);
+    ASSERT_FALSE(snapped.lastCheckpointPath().empty());
+    ASSERT_TRUE(std::filesystem::exists(ckpt.path));
+    ASSERT_EQ(snap_outs.size(), ref_outs.size());
+    for (std::size_t b = 0; b < ref_outs.size(); ++b)
+        EXPECT_TRUE(snap_outs[b].equals(ref_outs[b]));
+    EXPECT_EQ(snapped.makespanCycles(), straight.makespanCycles());
+
+    // Restore the mid-run snapshot into a fresh composition and
+    // complete: outputs, per-core cycle counts, arbiter counters and
+    // the composed makespan must all match the uninterrupted run.
+    MulticoreRunner resumed(model, cfg);
+    const std::vector<Tensor> outs = resumed.resumeBatch(ckpt.path);
+    ASSERT_EQ(outs.size(), ref_outs.size());
+    for (std::size_t b = 0; b < ref_outs.size(); ++b)
+        EXPECT_TRUE(outs[b].equals(ref_outs[b]));
+    EXPECT_EQ(resumed.makespanCycles(), straight.makespanCycles());
+    for (index_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(resumed.core(c).totalCycles(),
+                  straight.core(c).totalCycles());
+        EXPECT_EQ(resumed.arbiter().stallCycles(c),
+                  straight.arbiter().stallCycles(c));
+        EXPECT_EQ(resumed.arbiter().grantCount(c),
+                  straight.arbiter().grantCount(c));
+        EXPECT_EQ(resumed.arbiter().bytesRequested(c),
+                  straight.arbiter().bytesRequested(c));
+    }
+    const auto ref_recs = straight.allRecords();
+    const auto recs = resumed.allRecords();
+    ASSERT_EQ(recs.size(), ref_recs.size());
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(recs[i].name, ref_recs[i].name);
+        EXPECT_EQ(recs[i].sim.cycles, ref_recs[i].sim.cycles);
+    }
+}
+
+TEST(MulticoreRunner, PipelinedBatchOverlapsStagesAndStaysExact)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    MulticoreRunner runner(model, cfg);
+
+    std::vector<Tensor> inputs;
+    for (std::uint64_t s = 0; s < 4; ++s)
+        inputs.push_back(modelInput(model, 100 + s));
+    const std::vector<Tensor> outs = runner.runBatch(inputs);
+    ASSERT_EQ(outs.size(), 4u);
+    for (std::size_t b = 0; b < outs.size(); ++b)
+        EXPECT_TRUE(outs[b].equals(runner.runNative(inputs[b])));
+
+    // Pipelining overlaps samples: the batch makespan is shorter than
+    // four serial makespans would be (each core ran 4 samples' worth
+    // of its stage, and the composed timeline interleaves them).
+    EXPECT_GE(runner.makespanCycles(),
+              std::max(runner.core(0).totalCycles(),
+                       runner.core(1).totalCycles()));
+}
+
+// --- batched inference through the zoo (the N > 1 loader fix) ---------
+
+TEST(BatchInference, ZooModelWithBatchFourMatchesNative)
+{
+    const DnnModel model =
+        buildModel(ModelId::SqueezeNet, ModelScale::Tiny, 7, 4);
+    const Tensor input =
+        makeModelInput(ModelId::SqueezeNet, ModelScale::Tiny, 11, 4);
+    ASSERT_EQ(input.dim(0), 4);
+
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_256.cfg");
+    ModelRunner runner(model, cfg);
+    const Tensor out = runner.run(input);
+    EXPECT_TRUE(out.equals(runner.runNative(input)));
+    EXPECT_EQ(out.dim(0), 4);
+}
+
+// --- wall-clock fields in the JSON summary (regression) ---------------
+
+TEST(OutputJson, WallClockFieldsAreFiniteAndSurviveStrictParse)
+{
+    const DnnModel model = loadModelFromFile("models/fire_mini.model");
+    const HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_256.cfg");
+    ModelRunner runner(model, cfg);
+    runner.run(modelInput(model));
+
+    const JsonValue summary =
+        OutputModule::summary(cfg, runner.total());
+    // The dump must be valid RFC 8259 JSON (a NaN/Inf wall-clock rate
+    // would not be) and the wall-clock fields finite and sane.
+    const JsonValue parsed = JsonValue::parse(summary.dump());
+    const JsonValue *perf = parsed.find("performance");
+    ASSERT_NE(perf, nullptr);
+    ASSERT_NE(perf->find("wall_seconds"), nullptr);
+    ASSERT_NE(perf->find("sim_cycles_per_second"), nullptr);
+    const double wall = perf->find("wall_seconds")->asDouble();
+    const double rate =
+        perf->find("sim_cycles_per_second")->asDouble();
+    EXPECT_TRUE(std::isfinite(wall));
+    EXPECT_GE(wall, 0.0);
+    EXPECT_TRUE(std::isfinite(rate));
+    EXPECT_GE(rate, 0.0);
+}
+
+} // namespace
+} // namespace stonne

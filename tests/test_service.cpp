@@ -21,6 +21,7 @@
 #include <sstream>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "checkpoint/archive.hpp"
@@ -739,6 +740,132 @@ TEST(ServiceDaemon, TuneJobWarmsTheCacheForRunJobs)
     ASSERT_NE(warm, nullptr);
     EXPECT_EQ(warm->find("status")->asString(), "done");
     EXPECT_TRUE(warm->find("service")->find("cache_hit")->asBool());
+}
+
+// --- shutdown vs. submit ordering -------------------------------------
+
+TEST(ServiceDaemon, ShutdownBeatsConcurrentSubmitDeterministically)
+{
+    // The admission checks (shutdown, duplicate id, queue space) and
+    // the pool hand-off sit under one lock, so a submission racing a
+    // shutdown resolves to exactly one outcome: `shutting_down` — even
+    // when the queue is also full, which used to win the race and
+    // misreport `queue_full`.
+    std::ostringstream out;
+    ServiceOptions opts;
+    opts.base = HardwareConfig::maeriLike(64, 16);
+    opts.base.service_queue_depth = 1;
+    opts.base.service_workers = 1;
+    opts.start_workers = false; // "a" stays queued: the queue is full
+    ServiceDaemon daemon(opts, out);
+
+    const std::string tail = R"(,"layer":)" + convJson() + "}";
+    EXPECT_TRUE(daemon.handleLine(R"({"type":"run","id":"a")" + tail));
+
+    std::thread shutter([&daemon] { daemon.requestShutdown(); });
+    shutter.join(); // deterministic interleaving: shutdown first
+    EXPECT_TRUE(daemon.shutdownRequested());
+
+    // handleLine signals the serve loop to stop (false), but the
+    // submission itself still gets a structured rejection.
+    EXPECT_FALSE(daemon.handleLine(R"({"type":"run","id":"b")" + tail));
+    daemon.finish(); // the paused pool spins up and drains "a"
+
+    const auto responses = parseLines(out.str());
+    const JsonValue *a = findResult(responses, "a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->find("status")->asString(), "done");
+
+    const JsonValue *b = findResult(responses, "b");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->find("status")->asString(), "rejected");
+    EXPECT_EQ(b->find("code")->asString(), kErrShuttingDown);
+}
+
+// --- run_model: full-model (multi-core) jobs --------------------------
+
+TEST(ServiceProtocol, RunModelRequestsParseStrictly)
+{
+    const JobRequest req = parseRequest(
+        R"({"type":"run_model","id":"m1",)"
+        R"("config":"configs/maeri_128_x2.cfg",)"
+        R"("model":"models/resnet_block.model","batch":3,"seed":9})");
+    EXPECT_EQ(req.type, RequestType::RunModel);
+    EXPECT_EQ(req.model_path, "models/resnet_block.model");
+    EXPECT_EQ(req.batch, 3);
+    EXPECT_EQ(req.seed, 9u);
+
+    // `model` is required, `batch` must be >= 1, and run-only members
+    // (layer, tile) are unknown in a run_model request.
+    EXPECT_EQ(protoCode(R"({"type":"run_model","id":"m2"})"),
+              kErrBadRequest);
+    EXPECT_EQ(protoCode(R"({"type":"run_model","id":"m3",)"
+                        R"("model":"m.model","batch":0})"),
+              kErrBadRequest);
+    EXPECT_EQ(protoCode(R"({"type":"run_model","id":"m4",)"
+                        R"("model":"m.model","layer":)" +
+                        convJson() + "}"),
+              kErrBadRequest);
+}
+
+TEST(ServiceDaemon, RunModelJobReportsPerCoreDramCounters)
+{
+    std::ostringstream out;
+    ServiceOptions opts;
+    opts.base = HardwareConfig::maeriLike(64, 16);
+    opts.base.service_workers = 1;
+    ServiceDaemon daemon(opts, out);
+
+    EXPECT_TRUE(daemon.handleLine(
+        R"({"type":"run_model","id":"mc",)"
+        R"("config":"configs/maeri_128_x2.cfg",)"
+        R"("model":"models/resnet_block.model","batch":2})"));
+    daemon.finish();
+
+    const auto responses = parseLines(out.str());
+    const JsonValue *mc = findResult(responses, "mc");
+    ASSERT_NE(mc, nullptr);
+    ASSERT_EQ(mc->find("status")->asString(), "done");
+    const JsonValue *summary = mc->find("summary");
+    ASSERT_NE(summary, nullptr);
+    ASSERT_NE(summary->find("per_core"), nullptr);
+    const auto &cores = summary->find("per_core")->items();
+    ASSERT_EQ(cores.size(), 2u);
+    for (const JsonValue &core : cores) {
+        ASSERT_NE(core.find("dram_stall_cycles"), nullptr);
+        EXPECT_GT(core.find("cycles")->asUint64(), 0u);
+    }
+    EXPECT_EQ(mc->find("service")->find("batch")->asInt64(), 2);
+}
+
+TEST(ServiceDaemon, SingleAcceleratorJobsRejectMultiCoreConfigs)
+{
+    std::ostringstream out;
+    ServiceOptions opts;
+    opts.base = HardwareConfig::maeriLike(64, 16);
+    opts.base.service_workers = 1;
+    ServiceDaemon daemon(opts, out);
+
+    // run and tune target exactly one accelerator; a cores > 1 config
+    // must be turned away at admission, pointing at run_model.
+    EXPECT_TRUE(daemon.handleLine(
+        R"({"type":"run","id":"r2",)"
+        R"("config":"configs/maeri_128_x2.cfg","layer":)" +
+        convJson() + "}"));
+    EXPECT_TRUE(daemon.handleLine(
+        R"({"type":"tune","id":"t2",)"
+        R"("config":"configs/maeri_128_x2.cfg","layer":)" +
+        convJson() + "}"));
+    daemon.finish();
+
+    const auto responses = parseLines(out.str());
+    for (const char *id : {"r2", "t2"}) {
+        const JsonValue *r = findResult(responses, id);
+        ASSERT_NE(r, nullptr) << id;
+        EXPECT_EQ(r->find("status")->asString(), "rejected") << id;
+        EXPECT_EQ(r->find("code")->asString(), kErrBadConfig) << id;
+    }
+    EXPECT_EQ(daemon.counters().rejected, 2u);
 }
 
 } // namespace
