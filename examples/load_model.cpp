@@ -60,10 +60,10 @@ main(int argc, char **argv)
         MulticoreRunner runner(model, cfg);
         const Tensor out = runner.run(input);
         const SimulationResult total = runner.total();
-        std::printf("%-10s %12s %14s %10s %12s\n", "core", "cycles",
-                    "dram stalls", "grants", "bytes");
+        std::printf("%-10s %12s %14s %10s %12s %12s\n", "core", "cycles",
+                    "dram stalls", "grants", "bytes", "state");
         for (index_t c = 0; c < runner.coreCount(); ++c)
-            std::printf("%-10lld %12llu %14llu %10llu %12llu\n",
+            std::printf("%-10lld %12llu %14llu %10llu %12llu %12s\n",
                         static_cast<long long>(c),
                         static_cast<unsigned long long>(
                             runner.core(c).totalCycles()),
@@ -72,7 +72,9 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             runner.arbiter().grantCount(c)),
                         static_cast<unsigned long long>(
-                            runner.arbiter().bytesRequested(c)));
+                            runner.arbiter().bytesRequested(c)),
+                        runner.isQuarantined(c) ? "QUARANTINED"
+                                                : "healthy");
         std::printf("\n%s over %lld cores: makespan %llu cycles, sum "
                     "%llu cycles, %.2f uJ, functional match: %s\n",
                     partitionStrategyName(cfg.partition),
@@ -82,6 +84,14 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(total.cycles),
                     total.energy.total(),
                     out.equals(runner.runNative(input)) ? "exact" : "NO");
+        if (runner.migrations() > 0)
+            std::printf("fault tolerance: %llu migration(s), %zu core(s) "
+                        "quarantined, resumed at cycle %llu\n",
+                        static_cast<unsigned long long>(
+                            runner.migrations()),
+                        runner.quarantinedCores().size(),
+                        static_cast<unsigned long long>(
+                            runner.resumeCycle()));
         return 0;
     }
 

@@ -388,4 +388,13 @@ ArchiveReader::leaveSection()
     open_sections_.pop_back();
 }
 
+void
+ArchiveReader::abandonSection()
+{
+    if (open_sections_.empty())
+        fail("abandonSection() with no open section");
+    pos_ = open_sections_.back().second;
+    open_sections_.pop_back();
+}
+
 } // namespace stonne

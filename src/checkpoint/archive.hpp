@@ -54,9 +54,11 @@ class ArchiveWriter
   public:
     /** Archive format version emitted by this writer. Version 2 added
      *  the accelerator's "engine" section (event-engine wakeup
-     *  bookkeeping); older archives are rejected with a version
-     *  diagnostic rather than misparsed. */
-    static constexpr std::uint32_t kVersion = 2;
+     *  bookkeeping); version 3 added the multi-core run's quarantine
+     *  cursor (layers_done / migrations / benched set) and the per-core
+     *  section liveness flag. Older archives are rejected with a
+     *  version diagnostic rather than misparsed. */
+    static constexpr std::uint32_t kVersion = 3;
 
     void putU8(std::uint8_t v);
     void putU32(std::uint32_t v);
@@ -134,6 +136,20 @@ class ArchiveReader
      * just garbage data — fail loudly).
      */
     void leaveSection();
+
+    /**
+     * Abandon the innermost section after a failed restore: skip the
+     * read cursor to the section's end and pop it without the byte-
+     * consumption check, so the caller can keep reading the sections
+     * that follow. The section framing (name + length prefix) makes
+     * this safe even when the abandoned payload is garbage.
+     */
+    void abandonSection();
+
+    /** Number of sections currently open (see abandonSection: a
+     *  failed nested restore leaves inner sections open; the caller
+     *  unwinds to its own recorded depth). */
+    std::size_t sectionDepth() const { return open_sections_.size(); }
 
     /** Whether the whole payload has been consumed. */
     bool atEnd() const { return pos_ >= buf_.size(); }

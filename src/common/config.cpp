@@ -189,6 +189,10 @@ HardwareConfig::validate() const
             "config '", name, "': autotune tunes the dense controller's "
             "tile; it requires controller = DENSE");
     faults.validate();
+    fatalIf(faults.core >= cores, "config '", name,
+            "': fault_core = ", faults.core,
+            " targets a core outside the composition (cores = ", cores,
+            ")");
 
     // Controller / substrate compatibility (Section IV-B: "the configured
     // memory controller must always be compatible with the hardware
@@ -488,6 +492,8 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.faults.flit_corrupt_rate = as_double();
         } else if (key == "FAULT_DRAM_BITFLIP_RATE") {
             c.faults.dram_bitflip_rate = as_double();
+        } else if (key == "FAULT_CORE") {
+            c.faults.core = static_cast<int>(as_int());
         } else {
             fatal(origin, ":", lineno, ": unknown config key '", key, "'");
         }

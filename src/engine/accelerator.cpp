@@ -21,7 +21,12 @@ Accelerator::Accelerator(const HardwareConfig &cfg)
     // robustness envelope; 0 (the default) leaves runs unbounded.
     watchdog_->setCycleBudget(
         static_cast<cycle_t>(cfg_.job_budget_cycles));
-    if (cfg_.faults.enabled)
+    // A standalone accelerator is core 0 of a one-core composition:
+    // when fault_core routes the injector to some other core, this
+    // instance stays injector-free (MulticoreRunner clears faults.core
+    // in the per-core configs it builds, so routing happens exactly
+    // once, at whichever layer owns the composition).
+    if (cfg_.faults.enabled && cfg_.faults.core <= 0)
         faults_ = std::make_unique<FaultInjector>(cfg_.faults,
                                                   cfg_.ms_size, stats_);
     if (cfg_.trace)

@@ -111,6 +111,20 @@ class EventEngine : public Checkpointable
     void setSkipInhibit(const bool *flag) { skip_inhibit_ = flag; }
 
     /**
+     * Permanently drop this engine out of the composition's all-cores-
+     * busy check: detaches the skip-inhibit gate (a quarantined core
+     * never runs again, so its siblings must not step exactly on its
+     * account) and marks the engine so the runner's reports can tell a
+     * benched core from an idle one.
+     */
+    void quarantine()
+    {
+        skip_inhibit_ = nullptr;
+        quarantined_ = true;
+    }
+    bool quarantined() const { return quarantined_; }
+
+    /**
      * Cycles stepped exactly because the inhibit gate was closed.
      * Observability only: not serialized, not a StatCounter.
      */
@@ -169,6 +183,7 @@ class EventEngine : public Checkpointable
     Tracer *trace_;
 
     const bool *skip_inhibit_ = nullptr;
+    bool quarantined_ = false;
     cycle_t gated_cycles_ = 0;
 
     cycle_t now_ = 0;

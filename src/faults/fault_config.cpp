@@ -30,6 +30,8 @@ FaultConfig::validate() const
     fatalIf(dram_bitflip_rate < 0.0 || dram_bitflip_rate >= 1.0,
             "fault_dram_bitflip_rate must lie in [0, 1), got ",
             dram_bitflip_rate);
+    fatalIf(core < -1, "fault_core must be -1 (all cores) or a core "
+            "index >= 0, got ", core);
 }
 
 std::string
@@ -47,6 +49,8 @@ FaultConfig::toConfigText() const
         os << "fault_flit_corrupt_rate = " << flit_corrupt_rate << "\n";
     if (dram_bitflip_rate > 0.0)
         os << "fault_dram_bitflip_rate = " << dram_bitflip_rate << "\n";
+    if (core >= 0)
+        os << "fault_core = " << core << "\n";
     return os.str();
 }
 

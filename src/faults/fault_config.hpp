@@ -46,6 +46,15 @@ struct FaultConfig {
     /** Per-element probability of a bit flip during staging, in [0, 1). */
     double dram_bitflip_rate = 0.0;
 
+    /**
+     * Core the injector targets in a multi-core composition: -1 (the
+     * default) injects into every core; `k` >= 0 restricts injection
+     * to core k, leaving its siblings fault-free. A standalone
+     * accelerator counts as core 0, so `k` >= 1 leaves it
+     * injector-free. Configured with `fault_core = <k>`.
+     */
+    int core = -1;
+
     /** Whether any fault class has a non-zero rate. */
     bool anyRate() const;
 

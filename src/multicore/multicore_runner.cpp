@@ -1,11 +1,13 @@
 #include "multicore/multicore_runner.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 #include <utility>
 
 #include "checkpoint/checkpoint.hpp"
 #include "common/logging.hpp"
+#include "common/watchdog.hpp"
 #include "engine/output_module.hpp"
 #include "tensor/reference.hpp"
 
@@ -91,28 +93,41 @@ loadOptTensor(ArchiveReader &ar)
 
 } // namespace
 
+HardwareConfig
+MulticoreRunner::makeCoreConfig(index_t c) const
+{
+    HardwareConfig cc = cfg_;
+    cc.cores = 1;
+    cc.dram_channels = 1;
+    // A core's private DRAM model sees its channel's share of the
+    // aggregate bandwidth, so its own simulated cycles already
+    // carry the nominal transfer cost; the arbiter adds only the
+    // interference of cores sharing a channel. With one core and
+    // one channel this leaves the configuration untouched — the
+    // composition is the legacy single-accelerator instance.
+    cc.dram_bandwidth_gbps =
+        cfg_.dram_bandwidth_gbps / static_cast<double>(cfg_.dram_channels);
+    if (cfg_.cores > 1 && cfg_.trace)
+        cc.trace_file = cfg_.trace_file + ".core" + std::to_string(c);
+    // fault_core routing: a targeted injector arms only its core; the
+    // siblings run fault-free (and keep fast-forward, faults disable
+    // it per instance).
+    if (cfg_.faults.enabled && cfg_.faults.core >= 0)
+        cc.faults.enabled = cfg_.faults.core == static_cast<int>(c);
+    cc.faults.core = -1;
+    return cc;
+}
+
 MulticoreRunner::MulticoreRunner(const DnnModel &model,
                                  const HardwareConfig &cfg)
     : model_(model), cfg_(validated(cfg)),
       arbiter_(cfg_.cores, cfg_.dram_channels,
                cfg_.dram_bandwidth_gbps / cfg_.clock_ghz),
-      part_(assignPipelineStages(model, cfg_.cores))
+      part_(assignPipelineStages(model, cfg_.cores)),
+      quarantined_(static_cast<std::size_t>(cfg_.cores), 0)
 {
     for (index_t c = 0; c < cfg_.cores; ++c) {
-        HardwareConfig cc = cfg_;
-        cc.cores = 1;
-        cc.dram_channels = 1;
-        // A core's private DRAM model sees its channel's share of the
-        // aggregate bandwidth, so its own simulated cycles already
-        // carry the nominal transfer cost; the arbiter adds only the
-        // interference of cores sharing a channel. With one core and
-        // one channel this leaves the configuration untouched — the
-        // composition is the legacy single-accelerator instance.
-        cc.dram_bandwidth_gbps =
-            cfg_.dram_bandwidth_gbps / static_cast<double>(cfg_.dram_channels);
-        if (cfg_.cores > 1 && cfg_.trace)
-            cc.trace_file = cfg_.trace_file + ".core" + std::to_string(c);
-        cores_.push_back(std::make_unique<Stonne>(cc));
+        cores_.push_back(std::make_unique<Stonne>(makeCoreConfig(c)));
         // The runner writes its own composition-level snapshots; the
         // engine's per-operation auto-checkpoint would race them.
         cores_.back()->setAutoCheckpoint(false);
@@ -139,6 +154,57 @@ MulticoreRunner::MulticoreRunner(const DnnModel &model,
                 .setSkipInhibit(&contended_[c]);
         }
     }
+}
+
+void
+MulticoreRunner::rebuildCore(index_t c)
+{
+    const auto i = static_cast<std::size_t>(c);
+    cores_[i] = std::make_unique<Stonne>(makeCoreConfig(c));
+    cores_[i]->setAutoCheckpoint(false);
+    if (contended_) {
+        contended_[i] = false;
+        cores_[i]->accelerator().engine().setSkipInhibit(&contended_[i]);
+    }
+    if (quarantined_[i])
+        cores_[i]->accelerator().engine().quarantine();
+    cores_[i]->accelerator().watchdog().setWallDeadline(wall_deadline_);
+}
+
+void
+MulticoreRunner::setWallDeadline(
+    std::optional<std::chrono::steady_clock::time_point> deadline)
+{
+    wall_deadline_ = deadline;
+    for (const auto &core : cores_)
+        core->accelerator().watchdog().setWallDeadline(deadline);
+}
+
+std::vector<index_t>
+MulticoreRunner::quarantinedCores() const
+{
+    std::vector<index_t> q;
+    for (index_t c = 0; c < coreCount(); ++c)
+        if (quarantined_[static_cast<std::size_t>(c)])
+            q.push_back(c);
+    return q;
+}
+
+std::vector<index_t>
+MulticoreRunner::healthyCores() const
+{
+    std::vector<index_t> h;
+    for (index_t c = 0; c < coreCount(); ++c)
+        if (!quarantined_[static_cast<std::size_t>(c)])
+            h.push_back(c);
+    return h;
+}
+
+bool
+MulticoreRunner::canQuarantine() const
+{
+    return fault_tolerant_ &&
+        healthyCores().size() >= 2;
 }
 
 Tensor
@@ -203,10 +269,17 @@ MulticoreRunner::resetRunState(std::vector<Tensor> inputs)
     next_b_ = 0;
     next_s_ = 0;
     next_layer_ = 0;
+    layers_done_.assign(samples_.size(), 0);
+    // Quarantine is sticky for the runner's lifetime (a benched core's
+    // engine aborted mid-operation and must not be driven again), so
+    // every run schedules over the current healthy set.
+    part_ = assignPipelineStages(model_, healthyCores());
     stage_free_.assign(part_.stage_bounds.size(), 0);
     ready_.assign(samples_.size(), 0);
     ksplit_t_ = 0;
     makespan_ = 0;
+    migrations_ = 0;
+    resume_cycle_ = 0;
     arbiter_ = SharedDramArbiter(cfg_.cores, cfg_.dram_channels,
                                  cfg_.dram_bandwidth_gbps / cfg_.clock_ghz);
 
@@ -218,10 +291,13 @@ MulticoreRunner::resetRunState(std::vector<Tensor> inputs)
 }
 
 bool
-MulticoreRunner::siblingBusyPast(index_t self, cycle_t at) const
+MulticoreRunner::siblingBusyPast(std::size_t self, cycle_t at) const
 {
+    // Stages map one-to-one onto healthy cores, so "another stage is
+    // busy" is "another (healthy) core is busy"; quarantined cores own
+    // no stage and therefore never hold a sibling's gate closed.
     for (std::size_t s = 0; s < stage_free_.size(); ++s)
-        if (static_cast<index_t>(s) != self && stage_free_[s] > at)
+        if (s != self && stage_free_[s] > at)
             return true;
     return false;
 }
@@ -259,12 +335,16 @@ MulticoreRunner::resolveRef(const SampleState &st, int idx) const
 void
 MulticoreRunner::runPipeline()
 {
-    const std::size_t S = part_.stage_bounds.size();
     const std::size_t B = samples_.size();
     while (next_b_ < B) {
-        runPipelineStage(next_b_, next_s_);
+        try {
+            runPipelineStage(next_b_, next_s_);
+        } catch (const CoreFault &f) {
+            quarantinePipeline(f);
+            continue; // re-dispatch the in-flight sample's stage
+        }
         ++next_s_;
-        if (next_s_ == S) {
+        if (next_s_ == part_.stage_bounds.size()) {
             next_s_ = 0;
             ++next_b_;
         }
@@ -277,9 +357,13 @@ MulticoreRunner::runPipelineStage(std::size_t b, std::size_t s)
 {
     SampleState &st = samples_[b];
     const auto [first, last] = part_.stage_bounds[s];
-    const auto core_idx = static_cast<index_t>(s);
-    Stonne &core = *cores_[s];
+    const index_t core_idx = part_.core_of_stage[s];
+    Stonne &core = *cores_[static_cast<std::size_t>(core_idx)];
     const index_t bpe = bytesPerElement(cfg_.data_type);
+    // After a migration the sample re-enters its new stage at the last
+    // committed layer boundary; layers it already ran are not redone.
+    const std::size_t first_l =
+        std::max(first, static_cast<std::size_t>(layers_done_[b]));
 
     cycle_t t = std::max(stage_free_[s], ready_[b]);
 
@@ -288,7 +372,7 @@ MulticoreRunner::runPipelineStage(std::size_t b, std::size_t s)
     // input, resident in DRAM, for any stage but the first) must be
     // fetched through the shared memory system before the stage runs.
     std::set<int> cross_refs;
-    for (std::size_t i = first; i < last; ++i) {
+    for (std::size_t i = first_l; i < last; ++i) {
         const DnnLayer &l = model_.layers[i];
         for (const int idx : {l.input_from, l.operand_from}) {
             if (idx == -1)
@@ -297,7 +381,7 @@ MulticoreRunner::runPipelineStage(std::size_t b, std::size_t s)
                 cross_refs.insert(idx);
             if (idx >= 0 &&
                 part_.stage_of_layer[static_cast<std::size_t>(idx)] !=
-                    core_idx)
+                    static_cast<index_t>(s))
                 cross_refs.insert(idx);
         }
     }
@@ -310,21 +394,35 @@ MulticoreRunner::runPipelineStage(std::size_t b, std::size_t s)
     }
 
     if (contended_)
-        contended_[core_idx] = siblingBusyPast(core_idx, t);
+        contended_[core_idx] = siblingBusyPast(s, t);
 
     LayerExecOptions opts;
     opts.simulate = true;
     opts.snapea_early_exit = snapea_early_exit_;
     opts.offload_pooling = offload_pooling_;
     LayerExecutor exec(model_, core, tuner_.get(), opts,
-                       &core_records_[s]);
+                       &core_records_[static_cast<std::size_t>(core_idx)]);
 
-    for (std::size_t i = first; i < last; ++i) {
+    for (std::size_t i = first_l; i < last; ++i) {
         const cycle_t op_start = t;
         const cycle_t cyc0 = core.totalCycles();
         const count_t bytes0 = dramBytes(core_idx);
 
-        st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
+        try {
+            st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
+        } catch (const DeadlockError &e) {
+            if (canQuarantine())
+                throw CoreFault{core_idx, i, e.what()};
+            throw;
+        } catch (const BudgetExceededError &e) {
+            // A per-core cycle-budget blowout is a core fault; the
+            // whole-job wall deadline stays terminal.
+            if (e.budgetKind() == BudgetExceededError::Kind::Cycles &&
+                canQuarantine())
+                throw CoreFault{core_idx, i, e.what()};
+            throw;
+        }
+        layers_done_[b] = i + 1;
         if (model_.layers[i].save_output)
             st.saved[static_cast<int>(i)] = st.cur;
 
@@ -352,12 +450,104 @@ MulticoreRunner::runPipelineStage(std::size_t b, std::size_t s)
 }
 
 void
+MulticoreRunner::applyQuarantine(const CoreFault &f)
+{
+    const auto i = static_cast<std::size_t>(f.core);
+    panicIf(quarantined_[i] != 0, "core quarantined twice");
+    quarantined_[i] = 1;
+    ++migrations_;
+
+    // The migration point on the global timeline: nothing the
+    // survivors do next can start before the last committed event.
+    cycle_t at = ksplit_t_;
+    for (const cycle_t t : stage_free_)
+        at = std::max(at, t);
+    for (const cycle_t t : ready_)
+        at = std::max(at, t);
+    at = std::max(at, makespan_);
+    resume_cycle_ = at;
+
+    // Bench the core: its engine leaves the all-cores-busy check and
+    // its phantom future DRAM traffic stops contending.
+    cores_[i]->accelerator().engine().quarantine();
+    if (contended_)
+        contended_[i] = false;
+    arbiter_.retireCore(f.core, at);
+
+    // Re-run the MAC-balanced partitioner over the healthy survivors.
+    // All new stages open at the migration point: a quarantine
+    // serializes the pipeline once, then it refills.
+    part_ = assignPipelineStages(model_, healthyCores());
+    stage_free_.assign(part_.stage_bounds.size(), resume_cycle_);
+
+    if (observer_)
+        observer_(f.core, f.cause, migrations_, resume_cycle_);
+}
+
+void
+MulticoreRunner::quarantinePipeline(const CoreFault &f)
+{
+    applyQuarantine(f);
+
+    // The in-flight sample resumes at its last completed layer
+    // boundary. Its activation was produced on the sick core, so the
+    // stage's new owner first fetches it through the shared DRAM.
+    SampleState &st = samples_[next_b_];
+    const auto resume_layer = static_cast<std::size_t>(
+        layers_done_[next_b_]);
+    panicIf(resume_layer >= model_.layers.size(),
+            "pipeline fault past the last layer");
+    const auto s_new = static_cast<std::size_t>(
+        part_.stage_of_layer[resume_layer]);
+    const index_t owner = part_.core_of_stage[s_new];
+    const count_t bytes = static_cast<count_t>(st.cur.size()) *
+        bytesPerElement(cfg_.data_type);
+    const SharedDramArbiter::Grant g = arbiter_.request(
+        owner, resume_cycle_, bytes, arbiter_.nominalCycles(bytes));
+    ready_[next_b_] = g.completion;
+    next_s_ = s_new;
+
+    quarantineSnapshot();
+}
+
+void
+MulticoreRunner::quarantineKSplit(const CoreFault &f)
+{
+    applyQuarantine(f);
+    // The faulting layer re-runs whole, re-sharded over the healthy
+    // cores, from its input boundary (st.cur is only committed at
+    // concatenation, so it still holds the previous layer's output).
+    ksplit_t_ = resume_cycle_;
+    quarantineSnapshot();
+}
+
+void
+MulticoreRunner::quarantineSnapshot()
+{
+    if (!cfg_.checkpoint)
+        return;
+    // Unconditional (interval ignored): a crash between here and the
+    // next periodic snapshot must resume with the quarantine state.
+    writeSnapshot();
+    last_checkpoint_path_ = cfg_.checkpoint_file;
+    cycle_t sum = 0;
+    for (const auto &core : cores_)
+        sum += core->totalCycles();
+    last_ckpt_cycles_ = sum;
+}
+
+void
 MulticoreRunner::runKSplit()
 {
     const std::size_t B = samples_.size();
     const std::size_t L = model_.layers.size();
     while (next_b_ < B) {
-        runKSplitLayer(next_b_, next_layer_);
+        try {
+            runKSplitLayer(next_b_, next_layer_);
+        } catch (const CoreFault &f) {
+            quarantineKSplit(f);
+            continue; // re-run the layer over the survivors
+        }
         ++next_layer_;
         if (next_layer_ == L) {
             outputs_[next_b_] = samples_[next_b_].cur;
@@ -375,32 +565,45 @@ MulticoreRunner::runKSplitLayer(std::size_t b, std::size_t i)
     SampleState &st = samples_[b];
     const DnnLayer &l = model_.layers[i];
     const index_t bpe = bytesPerElement(cfg_.data_type);
-    const index_t n_cores = coreCount();
+    const std::vector<index_t> healthy = healthyCores();
+    const auto n_healthy = static_cast<index_t>(healthy.size());
 
-    const bool shard = n_cores > 1 && kSplitShardable(l) &&
+    const bool shard = n_healthy > 1 && kSplitShardable(l) &&
         (l.op == OpType::Conv2d || l.op == OpType::Linear);
 
     if (!shard) {
-        // Whole layer on core 0 (grouped convs, attention, pooling and
-        // every native host op), exactly as the single-core path runs
-        // it.
+        // Whole layer on the first healthy core (grouped convs,
+        // attention, pooling and every native host op), exactly as the
+        // single-core path runs it.
+        const index_t c0 = healthy.front();
         if (contended_)
-            contended_[0] = false;
-        Stonne &core = *cores_.front();
+            contended_[c0] = false;
+        Stonne &core = *cores_[static_cast<std::size_t>(c0)];
         LayerExecOptions opts;
         opts.simulate = true;
         opts.snapea_early_exit = snapea_early_exit_;
         opts.offload_pooling = offload_pooling_;
         LayerExecutor exec(model_, core, tuner_.get(), opts,
-                           &core_records_.front());
+                           &core_records_[static_cast<std::size_t>(c0)]);
         const cycle_t cyc0 = core.totalCycles();
-        const count_t bytes0 = dramBytes(0);
-        st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
+        const count_t bytes0 = dramBytes(c0);
+        try {
+            st.cur = exec.runLayer(i, st.cur, st.input, st.saved);
+        } catch (const DeadlockError &e) {
+            if (canQuarantine())
+                throw CoreFault{c0, i, e.what()};
+            throw;
+        } catch (const BudgetExceededError &e) {
+            if (e.budgetKind() == BudgetExceededError::Kind::Cycles &&
+                canQuarantine())
+                throw CoreFault{c0, i, e.what()};
+            throw;
+        }
         const cycle_t d = core.totalCycles() - cyc0;
-        const count_t nb = dramBytes(0) - bytes0;
+        const count_t nb = dramBytes(c0) - bytes0;
         if (d != 0 || nb != 0) {
             const SharedDramArbiter::Grant g = arbiter_.request(
-                0, ksplit_t_, nb, internalNominal(0, nb));
+                c0, ksplit_t_, nb, internalNominal(c0, nb));
             ksplit_t_ += d + g.contention;
         }
     } else {
@@ -410,27 +613,28 @@ MulticoreRunner::runKSplitLayer(std::size_t b, std::size_t i)
         const index_t k_total = l.op == OpType::Conv2d
             ? l.spec.conv.K
             : l.weights.dim(0);
-        const auto shards = splitOutputChannels(k_total, n_cores);
+        const auto shards = splitOutputChannels(k_total, n_healthy);
 
         index_t active = 0;
         for (const auto &[k0, len] : shards)
             if (len > 0)
                 ++active;
         if (contended_)
-            for (index_t c = 0; c < n_cores; ++c)
-                contended_[c] = active > 1;
+            for (index_t c = 0; c < coreCount(); ++c)
+                contended_[c] = !isQuarantined(c) && active > 1;
 
         const cycle_t start = ksplit_t_;
         cycle_t finish_max = start;
         std::vector<Tensor> parts;
-        for (index_t c = 0; c < n_cores; ++c) {
-            const auto [k0, len] = shards[static_cast<std::size_t>(c)];
+        for (index_t j = 0; j < n_healthy; ++j) {
+            const auto [k0, len] = shards[static_cast<std::size_t>(j)];
             if (len == 0)
                 continue;
+            const index_t c = healthy[static_cast<std::size_t>(j)];
             Stonne &core = *cores_[static_cast<std::size_t>(c)];
 
             LayerSpec spec = l.spec;
-            spec.name = l.name + ".k" + std::to_string(c);
+            spec.name = l.name + ".k" + std::to_string(j);
             Tensor w = sliceOuterDim(l.weights, k0, len);
             Tensor bias = l.bias.empty()
                 ? Tensor()
@@ -452,14 +656,28 @@ MulticoreRunner::runKSplitLayer(std::size_t b, std::size_t i)
 
             const cycle_t cyc0 = core.totalCycles();
             const count_t bytes0 = dramBytes(c);
-            if (l.op == OpType::Conv2d) {
-                core.setSnapeaEarlyExit(snapea_early_exit_ && relu_next);
-                core.configureConv(spec, tile);
-            } else {
-                core.configureLinear(spec, tile);
+            SimulationResult sim;
+            try {
+                if (l.op == OpType::Conv2d) {
+                    core.setSnapeaEarlyExit(snapea_early_exit_ &&
+                                            relu_next);
+                    core.configureConv(spec, tile);
+                } else {
+                    core.configureLinear(spec, tile);
+                }
+                core.configureData(in, std::move(w), std::move(bias));
+                sim = core.runOperation();
+            } catch (const DeadlockError &e) {
+                if (canQuarantine())
+                    throw CoreFault{c, i, e.what()};
+                throw;
+            } catch (const BudgetExceededError &e) {
+                if (e.budgetKind() ==
+                        BudgetExceededError::Kind::Cycles &&
+                    canQuarantine())
+                    throw CoreFault{c, i, e.what()};
+                throw;
             }
-            core.configureData(in, std::move(w), std::move(bias));
-            SimulationResult sim = core.runOperation();
             if (dse)
                 sim.dse = *dse;
 
@@ -490,7 +708,7 @@ MulticoreRunner::runKSplitLayer(std::size_t b, std::size_t i)
             parts.push_back(core.output());
         }
         if (contended_)
-            for (index_t c = 0; c < n_cores; ++c)
+            for (index_t c = 0; c < coreCount(); ++c)
                 contended_[c] = false;
 
         ksplit_t_ = finish_max;
@@ -553,6 +771,13 @@ MulticoreRunner::writeSnapshot()
     ar.putU64(makespan_);
     ar.putCounts(stage_free_);
     ar.putCounts(ready_);
+    ar.putCounts(layers_done_);
+    // Quarantine state: the resumed runner rebuilds the survivor
+    // partition deterministically from the benched set.
+    ar.putU64(migrations_);
+    ar.putU64(resume_cycle_);
+    ar.putCounts(std::vector<count_t>(quarantined_.begin(),
+                                      quarantined_.end()));
     for (const SampleState &st : samples_) {
         saveOptTensor(ar, st.input);
         saveOptTensor(ar, st.cur);
@@ -578,8 +803,14 @@ MulticoreRunner::writeSnapshot()
 
     for (index_t c = 0; c < coreCount(); ++c) {
         ar.beginSection("core" + std::to_string(c));
-        cores_[static_cast<std::size_t>(c)]->saveCheckpointTo(
-            ar, kCheckpointKindEngine);
+        // A quarantined core's engine aborted mid-operation: its state
+        // is not at a serializable boundary, and it never runs again —
+        // the section records only the liveness flag.
+        const bool live = !isQuarantined(c);
+        ar.putBool(live);
+        if (live)
+            cores_[static_cast<std::size_t>(c)]->saveCheckpointTo(
+                ar, kCheckpointKindEngine);
         ar.endSection();
     }
 
@@ -624,10 +855,26 @@ MulticoreRunner::resumeBatch(const std::string &path)
     makespan_ = ar.getU64();
     stage_free_ = ar.getCounts();
     ready_ = ar.getCounts();
+    layers_done_ = ar.getCounts();
+    migrations_ = ar.getU64();
+    resume_cycle_ = ar.getU64();
+    const std::vector<count_t> benched = ar.getCounts();
+    if (benched.size() != static_cast<std::size_t>(cfg_.cores))
+        ar.fail("snapshot quarantine-flag count mismatch");
+    for (std::size_t c = 0; c < benched.size(); ++c) {
+        quarantined_[c] = benched[c] != 0;
+        if (quarantined_[c]) {
+            cores_[c]->accelerator().engine().quarantine();
+            if (contended_)
+                contended_[c] = false;
+        }
+    }
+    // The survivor partition is a pure function of the benched set.
+    part_ = assignPipelineStages(model_, healthyCores());
     if (stage_free_.size() != part_.stage_bounds.size())
         ar.fail("snapshot stage count does not match the partition");
-    if (ready_.size() != n_samples)
-        ar.fail("snapshot sample-readiness size mismatch");
+    if (ready_.size() != n_samples || layers_done_.size() != n_samples)
+        ar.fail("snapshot sample-cursor size mismatch");
     samples_.clear();
     samples_.reserve(static_cast<std::size_t>(n_samples));
     for (std::uint64_t i = 0; i < n_samples; ++i) {
@@ -663,15 +910,41 @@ MulticoreRunner::resumeBatch(const std::string &path)
     }
     ar.leaveSection();
 
+    bool damaged = false;
     for (index_t c = 0; c < coreCount(); ++c) {
         ar.enterSection("core" + std::to_string(c));
-        cores_[static_cast<std::size_t>(c)]->loadCheckpointFrom(ar);
-        ar.leaveSection();
+        const std::size_t depth = ar.sectionDepth();
+        try {
+            if (ar.getBool())
+                cores_[static_cast<std::size_t>(c)]->loadCheckpointFrom(
+                    ar);
+            ar.leaveSection();
+        } catch (const CheckpointError &) {
+            // A truncated or corrupt per-core engine section must not
+            // abort the whole restore: skip it (the section framing
+            // bounds the damage), replace the half-restored core with
+            // a fresh instance, and let it restart clean at its next
+            // layer boundary. The timeline composition only ever uses
+            // per-operation counter deltas, so the reset cumulative
+            // counters do not perturb the schedule.
+            while (ar.sectionDepth() >= depth)
+                ar.abandonSection();
+            rebuildCore(c);
+            ++restore_fallbacks_;
+            damaged = true;
+        }
     }
 
     ar.enterSection("arbiter");
     arbiter_.loadState(ar);
     ar.leaveSection();
+
+    if (damaged) {
+        // The snapshot is known-bad; drop it so nothing resumes from
+        // it again (the next periodic snapshot rewrites the file).
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
 
     last_checkpoint_path_ = path;
     cycle_t sum = 0;
@@ -729,6 +1002,14 @@ MulticoreRunner::reportJson() const
     root.set("dram_channels", static_cast<std::int64_t>(cfg_.dram_channels));
     root.set("partition", partitionStrategyName(cfg_.partition));
     root.set("makespan_cycles", static_cast<std::uint64_t>(makespan_));
+    root.set("migrations", static_cast<std::uint64_t>(migrations_));
+    root.set("resume_cycle", static_cast<std::uint64_t>(resume_cycle_));
+    root.set("restore_fallbacks",
+             static_cast<std::uint64_t>(restore_fallbacks_));
+    JsonValue degraded = JsonValue::makeArray();
+    for (const index_t c : quarantinedCores())
+        degraded.append(JsonValue::makeInt(static_cast<std::int64_t>(c)));
+    root["degraded_cores"] = std::move(degraded);
     JsonValue per_core = JsonValue::makeArray();
     for (index_t c = 0; c < coreCount(); ++c) {
         JsonValue entry = JsonValue::makeObject();
@@ -736,6 +1017,7 @@ MulticoreRunner::reportJson() const
         entry.set("cycles", static_cast<std::uint64_t>(
                                 cores_[static_cast<std::size_t>(c)]
                                     ->totalCycles()));
+        entry.set("quarantined", isQuarantined(c));
         entry.set("dram_channel",
                   static_cast<std::int64_t>(arbiter_.channelOf(c)));
         entry.set("dram_stall_cycles",

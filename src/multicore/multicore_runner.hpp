@@ -26,13 +26,32 @@
  *  start cycle, the operation's core runs with the event engine's
  *  skip-inhibit gate closed, so idle stretches are only skipped when
  *  every core is in steady state (the gate is timing-neutral).
+ *
+ * Fault tolerance (core quarantine + work migration): when a core hits
+ * a terminal fault mid-composition — a watchdog DeadlockError (e.g.
+ * from an injected stuck unit) or a per-core cycle-budget blowout —
+ * and at least one healthy sibling remains, the runner quarantines the
+ * sick core instead of aborting the job: its event engine drops out of
+ * the all-cores-busy check, its outstanding shared-DRAM ledger entries
+ * are retired, the MAC-balanced partitioner re-runs over the healthy
+ * survivors, and execution resumes from the last completed layer
+ * boundary (the in-flight activation is re-fetched through the shared
+ * DRAM by its new owner). Because layers are only ever committed at
+ * their boundaries, the final outputs are bit-identical to a healthy
+ * run whenever the injected faults are timing-only — the job completes
+ * at degraded throughput rather than failing. With `checkpoint = ON` a
+ * snapshot is written at the quarantine point, so a crash mid-
+ * migration resumes with the quarantine state intact.
  */
 
 #ifndef STONNE_MULTICORE_MULTICORE_RUNNER_HPP
 #define STONNE_MULTICORE_MULTICORE_RUNNER_HPP
 
+#include <chrono>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +68,14 @@ namespace stonne {
 class MulticoreRunner
 {
   public:
+    /**
+     * Notification of one quarantine event: (sick core, fault cause,
+     * cumulative migrations, global resume cycle). Called from inside
+     * the run, before execution resumes on the survivors.
+     */
+    using QuarantineObserver = std::function<void(
+        index_t, const std::string &, count_t, cycle_t)>;
+
     /**
      * @param model the network (must outlive the runner)
      * @param cfg hardware configuration; `cores`, `dram_channels` and
@@ -71,6 +98,10 @@ class MulticoreRunner
      * Resume a batch from a MulticoreRunner snapshot (one archive
      * section per core plus the arbiter ledger and the schedule
      * cursor); completes bit-identically to the uninterrupted run.
+     * A truncated or corrupt per-core engine section does not abort
+     * the restore: the damaged core restarts clean at the next layer
+     * boundary (functional outputs stay exact; only its cumulative
+     * cycle counter resets) and the snapshot file is deleted.
      */
     std::vector<Tensor> resumeBatch(const std::string &path);
 
@@ -112,7 +143,8 @@ class MulticoreRunner
     /**
      * JSON report of the composition: the aggregate summary plus one
      * entry per core with its cycles and shared-DRAM stall/grant/byte
-     * counters, and the global makespan.
+     * counters, the global makespan, and the quarantine state
+     * (degraded_cores / migrations / resume_cycle).
      */
     JsonValue reportJson() const;
 
@@ -125,6 +157,49 @@ class MulticoreRunner
     void setSnapeaEarlyExit(bool enabled) { snapea_early_exit_ = enabled; }
     void setOffloadPooling(bool enabled) { offload_pooling_ = enabled; }
 
+    // --- fault tolerance ---------------------------------------------
+
+    /**
+     * Whether a terminal per-core fault quarantines the core and
+     * migrates its work (the default) or propagates as on a single
+     * accelerator. The service envelope disables this on its final
+     * degraded attempt so a systematically sick composition still
+     * surfaces its root cause.
+     */
+    void setFaultTolerant(bool enabled) { fault_tolerant_ = enabled; }
+    bool faultTolerant() const { return fault_tolerant_; }
+
+    void setQuarantineObserver(QuarantineObserver obs)
+    {
+        observer_ = std::move(obs);
+    }
+
+    /** Arm/disarm a host wall-clock deadline on every core's watchdog
+     *  (the whole-job budget of the service envelope). */
+    void setWallDeadline(
+        std::optional<std::chrono::steady_clock::time_point> deadline);
+
+    bool isQuarantined(index_t c) const
+    {
+        return quarantined_[static_cast<std::size_t>(c)] != 0;
+    }
+
+    /** Quarantined core ids, ascending ("degraded cores"). */
+    std::vector<index_t> quarantinedCores() const;
+
+    /** Healthy core ids, ascending (the cores that finish the job). */
+    std::vector<index_t> healthyCores() const;
+
+    /** Work-migration events performed (one per quarantined core). */
+    count_t migrations() const { return migrations_; }
+
+    /** Global cycle the last migration resumed at (0 = none). */
+    cycle_t resumeCycle() const { return resume_cycle_; }
+
+    /** Per-core engine sections dropped during resumeBatch() because
+     *  they were truncated or corrupt (clean-start fallbacks). */
+    index_t restoreFallbacks() const { return restore_fallbacks_; }
+
   private:
     /** Per-sample forward-pass state (pipeline keeps one per sample
      *  in flight; ksplit one at a time). */
@@ -134,6 +209,26 @@ class MulticoreRunner
         std::map<int, Tensor> saved;
     };
 
+    /** Internal signal: a core died mid-layer and can be quarantined.
+     *  Thrown by the stage/layer executors, caught by the run loops. */
+    struct CoreFault {
+        index_t core = 0;
+        std::size_t layer = 0;
+        std::string cause;
+    };
+
+    /** The per-core single-accelerator configuration (fault routing
+     *  honours `fault_core`). Deterministic in (cfg_, c). */
+    HardwareConfig makeCoreConfig(index_t c) const;
+
+    /** Replace core c with a fresh instance (restore fallback),
+     *  re-wiring auto-checkpoint, skip-inhibit, quarantine state and
+     *  the wall deadline. */
+    void rebuildCore(index_t c);
+
+    /** Whether a fault on one more core can still be absorbed. */
+    bool canQuarantine() const;
+
     void resetRunState(std::vector<Tensor> inputs);
     void runPipeline();
     void runPipelineStage(std::size_t b, std::size_t s);
@@ -141,8 +236,16 @@ class MulticoreRunner
     void runKSplitLayer(std::size_t b, std::size_t i);
     void finishRun();
 
-    /** Whether any core other than `self` is busy past `at`. */
-    bool siblingBusyPast(index_t self, cycle_t at) const;
+    /** Quarantine bookkeeping shared by both partitions: bench the
+     *  core, retire its DRAM ledger, repartition the survivors. */
+    void applyQuarantine(const CoreFault &f);
+    void quarantinePipeline(const CoreFault &f);
+    void quarantineKSplit(const CoreFault &f);
+    /** Snapshot at the quarantine point (checkpoint = ON only). */
+    void quarantineSnapshot();
+
+    /** Whether any stage other than `self` is busy past `at`. */
+    bool siblingBusyPast(std::size_t self, cycle_t at) const;
 
     count_t dramBytes(index_t core) const;
     /** Core-internal nominal cycles of `bytes` of its own traffic. */
@@ -168,6 +271,16 @@ class MulticoreRunner
     bool snapea_early_exit_ = true;
     bool offload_pooling_ = true;
 
+    // --- fault-tolerance state (sticky across runs: a benched core
+    // --- stays benched for the runner's lifetime) --------------------
+    std::vector<char> quarantined_;
+    bool fault_tolerant_ = true;
+    count_t migrations_ = 0;
+    cycle_t resume_cycle_ = 0;
+    index_t restore_fallbacks_ = 0;
+    QuarantineObserver observer_;
+    std::optional<std::chrono::steady_clock::time_point> wall_deadline_;
+
     // --- last-run state (also the checkpoint cursor) -----------------
     std::vector<SampleState> samples_;
     std::vector<Tensor> outputs_;
@@ -175,6 +288,9 @@ class MulticoreRunner
     std::size_t next_b_ = 0;
     std::size_t next_s_ = 0;     //!< pipeline stage cursor
     std::size_t next_layer_ = 0; //!< ksplit layer cursor
+    /** Layers committed per sample; a migrated sample re-enters its
+     *  new stage at max(stage first, layers_done_). */
+    std::vector<count_t> layers_done_;
     std::vector<cycle_t> stage_free_;
     std::vector<cycle_t> ready_;
     cycle_t ksplit_t_ = 0;

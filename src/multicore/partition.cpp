@@ -83,6 +83,22 @@ assignPipelineStages(const DnnModel &model, index_t cores)
         first = last;
     }
     panicIf(first != n, "pipeline partition did not cover every layer");
+    part.core_of_stage.resize(part.stage_bounds.size());
+    for (std::size_t s = 0; s < part.core_of_stage.size(); ++s)
+        part.core_of_stage[s] = static_cast<index_t>(s);
+    return part;
+}
+
+PipelinePartition
+assignPipelineStages(const DnnModel &model,
+                     const std::vector<index_t> &cores)
+{
+    fatalIf(cores.empty(),
+            "pipeline partitioning needs at least one healthy core");
+    PipelinePartition part =
+        assignPipelineStages(model, static_cast<index_t>(cores.size()));
+    for (std::size_t s = 0; s < part.core_of_stage.size(); ++s)
+        part.core_of_stage[s] = cores[s];
     return part;
 }
 

@@ -23,16 +23,25 @@ namespace stonne {
 
 /** Contiguous layer-range assignment of a pipeline-parallel run. */
 struct PipelinePartition {
-    /** Stage (= core) index of every layer. */
+    /** Stage index of every layer. */
     std::vector<index_t> stage_of_layer;
     /** [first, last) layer range of every stage; size() is the stage
      *  count, at most the core count and never more than the layer
      *  count. */
     std::vector<std::pair<std::size_t, std::size_t>> stage_bounds;
+    /** Physical core running each stage. The identity mapping on a
+     *  healthy composition; after a quarantine the surviving cores are
+     *  renumbered onto the stages in ascending order. */
+    std::vector<index_t> core_of_stage;
 
     index_t stages() const
     {
         return static_cast<index_t>(stage_bounds.size());
+    }
+
+    index_t coreOf(std::size_t stage) const
+    {
+        return core_of_stage[stage];
     }
 };
 
@@ -51,6 +60,15 @@ count_t layerMacCost(const DnnLayer &l);
  */
 PipelinePartition assignPipelineStages(const DnnModel &model,
                                        index_t cores);
+
+/**
+ * Pipeline stages over an explicit set of physical cores (the healthy
+ * survivors after a quarantine): the same MAC-balanced cut over
+ * `cores.size()` stages, with `core_of_stage` binding stage s to
+ * cores[s]. The core list must be non-empty and sorted ascending.
+ */
+PipelinePartition assignPipelineStages(const DnnModel &model,
+                                       const std::vector<index_t> &cores);
 
 /**
  * Contiguous (first, length) shard ranges splitting `k` output

@@ -120,6 +120,23 @@ SharedDramArbiter::request(index_t core, cycle_t start, count_t bytes,
 }
 
 void
+SharedDramArbiter::retireCore(index_t core, cycle_t at)
+{
+    panicIf(core < 0 || core >= cores_,
+            "cannot retire an out-of-range core");
+    for (auto &channel : ledger_) {
+        for (Interval &iv : channel)
+            if (iv.core == core && iv.e > at)
+                iv.e = std::max(iv.s, at);
+        channel.erase(std::remove_if(channel.begin(), channel.end(),
+                                     [](const Interval &iv) {
+                                         return iv.s >= iv.e;
+                                     }),
+                      channel.end());
+    }
+}
+
+void
 SharedDramArbiter::saveState(ArchiveWriter &ar) const
 {
     ar.putI64(cores_);

@@ -85,6 +85,16 @@ class SharedDramArbiter
     /** Bytes `core` moved through the shared DRAM so far. */
     count_t bytesRequested(index_t core) const { return bytes_[core]; }
 
+    /**
+     * Rebind the ledger after `core` is quarantined at global cycle
+     * `at`: its committed transfers are truncated to `at` (a dead core
+     * moves no more data), so surviving cores arbitrating at or past
+     * the quarantine point no longer contend with its phantom traffic.
+     * History before `at` is preserved — grants already handed out
+     * stay exactly as they were replayed.
+     */
+    void retireCore(index_t core, cycle_t at);
+
     /** Serialize the ledger and counters (checkpoint section). */
     void saveState(ArchiveWriter &ar) const;
     void loadState(ArchiveReader &ar);

@@ -159,6 +159,7 @@ ServiceDaemon::handleLine(const std::string &line)
         r.set("timeout", c.timeout);
         r.set("retries", c.retries);
         r.set("cache_hits", c.cache_hits);
+        r.set("quarantines", c.quarantines);
         r.set("cache_size", static_cast<std::uint64_t>(cache_.size()));
         emit(r);
         return !shutdownRequested();
@@ -204,11 +205,13 @@ ServiceDaemon::handleLine(const std::string &line)
             ++counters_.rejected;
         }
         emitError(req.id, kErrBadConfig,
-                  "a " + std::string(req.type == RequestType::Tune
-                                         ? "tune"
-                                         : "run") +
-                      " job targets one accelerator; use run_model for "
-                      "a cores > 1 composition",
+                  "config key 'cores' = " + std::to_string(cfg.cores) +
+                      " selects a multi-core composition, but a " +
+                      std::string(req.type == RequestType::Tune ? "tune"
+                                                                : "run") +
+                      " job targets one accelerator; submit run_model "
+                      "(which owns the cross-core scheduling) or set "
+                      "cores = 1",
                   /*rejected_job=*/true);
         return !shutdownRequested();
     }
@@ -450,9 +453,12 @@ ServiceDaemon::runModel(const JobRequest &req, const HardwareConfig &cfg,
     JsonValue r = JsonValue::makeObject();
     r.set("type", "result");
     r.set("id", req.id);
-    bool ok = false;
+
+    DnnModel model;
+    std::vector<Tensor> inputs;
+    bool loaded = false;
     try {
-        const DnnModel model = loadModelFromFile(req.model_path, req.seed);
+        model = loadModelFromFile(req.model_path, req.seed);
         fatalIf(model.layers.empty(), "model '" + req.model_path +
                                           "' has no layers");
 
@@ -460,7 +466,6 @@ ServiceDaemon::runModel(const JobRequest &req, const HardwareConfig &cfg,
         // same network over `batch` independently drawn activations.
         const DnnLayer &first = model.layers.front();
         Rng rng(req.seed);
-        std::vector<Tensor> inputs;
         for (index_t b = 0; b < req.batch; ++b) {
             Tensor in;
             if (first.op == OpType::Conv2d ||
@@ -474,30 +479,105 @@ ServiceDaemon::runModel(const JobRequest &req, const HardwareConfig &cfg,
             in.fillUniform(rng, 0.0f, 1.0f);
             inputs.push_back(std::move(in));
         }
-
-        MulticoreRunner runner(model, cfg);
-        runner.runBatch(std::move(inputs));
-        r.set("status", "done");
-        r["summary"] = runner.reportJson();
-        ok = true;
+        loaded = true;
     } catch (const std::exception &e) {
         r.set("status", "failed");
         r.set("error", e.what());
     }
 
+    ModelJobOutcome out;
+    if (loaded) {
+        ModelEnvelopeOptions eo;
+        eo.max_attempts = static_cast<int>(cfg.job_retries) + 1;
+        eo.backoff_base = opts_.backoff_base;
+        eo.budget_wall_ms = cfg.job_budget_wall_ms;
+        eo.snapshot_path = snapshotPathFor(req.id);
+        eo.on_retry = [this, &req](int next_attempt,
+                                   const std::string &cause,
+                                   bool degraded) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.retries;
+            }
+            JsonValue s = JsonValue::makeObject();
+            s.set("type", "status");
+            s.set("id", req.id);
+            s.set("state", "retrying");
+            s.set("attempt", static_cast<std::int64_t>(next_attempt));
+            s.set("degraded", degraded);
+            s.set("cause", cause);
+            emit(s);
+        };
+        // Quarantine-then-migrate is the first rung of the ladder; the
+        // status stream surfaces each transition as it happens so a
+        // client watching the job sees the degradation live.
+        eo.on_quarantine = [this, &req](index_t core,
+                                        const std::string &cause,
+                                        count_t migrations,
+                                        cycle_t resume_cycle) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.quarantines;
+            }
+            JsonValue s = JsonValue::makeObject();
+            s.set("type", "status");
+            s.set("id", req.id);
+            s.set("state", "quarantined");
+            s.set("core", static_cast<std::int64_t>(core));
+            s.set("cause", cause);
+            s.set("migrations", static_cast<std::uint64_t>(migrations));
+            s.set("resume_cycle",
+                  static_cast<std::uint64_t>(resume_cycle));
+            emit(s);
+        };
+
+        out = runModelJobEnvelope(model, cfg, inputs, eo);
+        r.set("status", out.status);
+        if (out.status == "done")
+            r["summary"] = std::move(out.report);
+        else
+            r.set("error", out.error);
+    }
+
     JsonValue svc = JsonValue::makeObject();
-    svc.set("attempts", static_cast<std::int64_t>(1));
-    svc.set("degraded", false);
+    svc.set("attempts",
+            static_cast<std::int64_t>(loaded ? out.attempts : 1));
+    svc.set("degraded", out.degraded);
     svc.set("cache_hit", false);
     svc.set("batch", static_cast<std::int64_t>(req.batch));
+    JsonValue degraded_cores = JsonValue::makeArray();
+    for (const index_t c : out.degraded_cores)
+        degraded_cores.append(
+            JsonValue::makeInt(static_cast<std::int64_t>(c)));
+    svc["degraded_cores"] = std::move(degraded_cores);
+    svc.set("migrations", static_cast<std::uint64_t>(out.migrations));
+    svc.set("resume_cycle", static_cast<std::uint64_t>(out.resume_cycle));
+    svc.set("restore_fallbacks",
+            static_cast<std::uint64_t>(out.restore_fallbacks));
+    JsonValue finished = JsonValue::makeArray();
+    for (const index_t c : out.cores_finished)
+        finished.append(JsonValue::makeInt(static_cast<std::int64_t>(c)));
+    svc["cores_finished"] = std::move(finished);
+    svc.set("output_crc32", static_cast<std::uint64_t>(out.output_crc32));
     svc.set("queue_wait_ms", queue_wait_ms);
     svc.set("wall_ms", msSince(admitted_at) - queue_wait_ms);
+    JsonValue failures = JsonValue::makeArray();
+    for (const AttemptFailure &f : out.failures) {
+        JsonValue fj = JsonValue::makeObject();
+        fj.set("attempt", static_cast<std::int64_t>(f.attempt));
+        fj.set("cause", f.cause);
+        failures.append(std::move(fj));
+    }
+    svc["failures"] = std::move(failures);
     r["service"] = std::move(svc);
 
+    const bool ok = loaded && out.status == "done";
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (ok)
             ++counters_.done;
+        else if (loaded && out.status == "timeout")
+            ++counters_.timeout;
         else
             ++counters_.failed;
     }

@@ -84,6 +84,7 @@ struct ServiceCounters {
     std::uint64_t timeout = 0;
     std::uint64_t retries = 0;    //!< extra attempts across all jobs
     std::uint64_t cache_hits = 0;
+    std::uint64_t quarantines = 0; //!< cores benched across run_model jobs
 };
 
 /** The resilient simulation service. */

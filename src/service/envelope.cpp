@@ -236,4 +236,142 @@ runJobEnvelope(const HardwareConfig &cfg, const LayerSpec &layer,
     return out; // unreachable: every path above returns
 }
 
+ModelJobOutcome
+runModelJobEnvelope(const DnnModel &model, const HardwareConfig &cfg,
+                    const std::vector<Tensor> &inputs,
+                    const ModelEnvelopeOptions &opts)
+{
+    ModelJobOutcome out;
+    const int max_attempts = std::max(1, opts.max_attempts);
+
+    std::optional<Clock::time_point> deadline;
+    if (opts.budget_wall_ms > 0)
+        deadline = Clock::now() +
+                   std::chrono::milliseconds(opts.budget_wall_ms);
+
+    HardwareConfig job_cfg = cfg;
+    job_cfg.trace = false;
+    job_cfg.autotune = false;
+    if (!opts.snapshot_path.empty()) {
+        job_cfg.checkpoint = true;
+        job_cfg.checkpoint_file = opts.snapshot_path;
+    } else {
+        job_cfg.checkpoint = false;
+    }
+
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        out.attempts = attempt;
+        const bool degraded = max_attempts > 1 && attempt == max_attempts;
+        out.degraded = degraded;
+        HardwareConfig acfg = job_cfg;
+        if (degraded) {
+            acfg.fast_forward = false;
+            acfg.watchdog_cycles *= 4;
+        }
+        try {
+            if (deadline && Clock::now() > *deadline)
+                throw BudgetExceededError(
+                    BudgetExceededError::Kind::WallClock,
+                    "wall-clock budget exhausted before attempt " +
+                        std::to_string(attempt));
+
+            MulticoreRunner runner(model, acfg);
+            // Rung 1 of the ladder: in-run quarantine + migration. The
+            // final degraded attempt disables it so a systematically
+            // sick composition surfaces its root cause instead of
+            // benching every core.
+            runner.setFaultTolerant(!degraded);
+            runner.setWallDeadline(deadline);
+            if (opts.on_quarantine)
+                runner.setQuarantineObserver(opts.on_quarantine);
+
+            std::vector<Tensor> outputs;
+            const bool snapshot_exists =
+                !opts.snapshot_path.empty() &&
+                std::filesystem::exists(opts.snapshot_path);
+            if (snapshot_exists) {
+                try {
+                    outputs = runner.resumeBatch(opts.snapshot_path);
+                } catch (const CheckpointError &) {
+                    // A corrupt frame (the runner already absorbs
+                    // damaged per-core sections): discard the snapshot
+                    // and restart the attempt clean.
+                    removeSnapshot(opts.snapshot_path);
+                    throw;
+                }
+            } else {
+                outputs = runner.runBatch(inputs);
+            }
+
+            out.status = "done";
+            out.degraded_cores = runner.quarantinedCores();
+            out.migrations = runner.migrations();
+            out.resume_cycle = runner.resumeCycle();
+            out.restore_fallbacks = runner.restoreFallbacks();
+            out.cores_finished = runner.healthyCores();
+            out.makespan_cycles = runner.makespanCycles();
+            out.report = runner.reportJson();
+
+            std::vector<std::uint8_t> bytes;
+            for (const Tensor &t : outputs)
+                bytes.insert(
+                    bytes.end(),
+                    reinterpret_cast<const std::uint8_t *>(t.data()),
+                    reinterpret_cast<const std::uint8_t *>(t.data()) +
+                        static_cast<std::size_t>(t.size()) *
+                            sizeof(float));
+            out.output_crc32 = crc32(bytes.data(), bytes.size());
+
+            if (!opts.snapshot_path.empty())
+                removeSnapshot(opts.snapshot_path);
+            return out;
+        } catch (const BudgetExceededError &e) {
+            // Terminal: a cycle-budget blowout reaching the envelope
+            // means quarantine could not absorb it (last healthy core
+            // or fault tolerance off) and the wall budget is shared by
+            // all attempts anyway.
+            out.failures.push_back({attempt, e.what()});
+            out.status = "timeout";
+            out.error = e.what();
+            return out;
+        } catch (const DeadlockError &e) {
+            out.failures.push_back({attempt, e.what()});
+            if (attempt == max_attempts) {
+                out.error = e.what();
+                return out;
+            }
+        } catch (const CheckpointError &e) {
+            out.failures.push_back({attempt, e.what()});
+            if (attempt == max_attempts) {
+                out.error = e.what();
+                return out;
+            }
+        } catch (const std::exception &e) {
+            out.failures.push_back({attempt, e.what()});
+            out.error = e.what();
+            return out;
+        }
+
+        const bool next_degraded =
+            max_attempts > 1 && attempt + 1 == max_attempts;
+        if (opts.on_retry)
+            opts.on_retry(attempt + 1, out.failures.back().cause,
+                          next_degraded);
+        if (opts.backoff_base.count() > 0) {
+            auto delay = opts.backoff_base * (1 << std::min(attempt - 1,
+                                                            10));
+            delay = std::min<std::chrono::milliseconds>(delay,
+                                                        opts.backoff_cap);
+            if (deadline && Clock::now() + delay > *deadline) {
+                out.status = "timeout";
+                out.error = "wall-clock budget exhausted during retry "
+                            "backoff";
+                return out;
+            }
+            std::this_thread::sleep_for(delay);
+        }
+    }
+    return out; // unreachable: every path above returns
+}
+
 } // namespace stonne::service

@@ -46,10 +46,12 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/json_writer.hpp"
 #include "controller/layer.hpp"
 #include "controller/tile.hpp"
 #include "dse/cache.hpp"
 #include "engine/stonne_api.hpp"
+#include "multicore/multicore_runner.hpp"
 
 namespace stonne::service {
 
@@ -118,6 +120,86 @@ JobOutcome runJobEnvelope(const HardwareConfig &cfg, const LayerSpec &layer,
                           const std::optional<Tile> &tile,
                           std::uint64_t seed, double sparsity,
                           index_t repeat, const EnvelopeOptions &opts);
+
+/** Envelope policy for one `run_model` job (multi-core composition). */
+struct ModelEnvelopeOptions {
+    /** Total attempts (first try + retries); >= 1. */
+    int max_attempts = 3;
+
+    /** Backoff base; attempt n sleeps base * 2^(n-1). 0 = no sleep. */
+    std::chrono::milliseconds backoff_base{50};
+
+    /** Backoff ceiling. */
+    std::chrono::milliseconds backoff_cap{2000};
+
+    /** Whole-job wall-clock budget in ms (0 = unbounded). */
+    index_t budget_wall_ms = 0;
+
+    /** Snapshot file for resume-instead-of-restart ("" disables). */
+    std::string snapshot_path;
+
+    /** Called before each retry: (next_attempt, cause, degraded). */
+    std::function<void(int, const std::string &, bool)> on_retry;
+
+    /** Called on each in-run quarantine event: (sick core, cause,
+     *  cumulative migrations, global resume cycle). */
+    std::function<void(index_t, const std::string &, count_t, cycle_t)>
+        on_quarantine;
+};
+
+/** What happened to one `run_model` job. */
+struct ModelJobOutcome {
+    /** done | failed | timeout */
+    std::string status = "failed";
+
+    int attempts = 0;
+    bool degraded = false; //!< the final attempt ran degraded
+
+    /** Cores quarantined during the completing attempt. */
+    std::vector<index_t> degraded_cores;
+    /** Work-migration events of the completing attempt. */
+    count_t migrations = 0;
+    /** Global cycle the last migration resumed at (0 = none). */
+    cycle_t resume_cycle = 0;
+    /** Corrupt per-core snapshot sections replaced by clean cores. */
+    index_t restore_fallbacks = 0;
+    /** Cores that actually finished the job (the healthy set). */
+    std::vector<index_t> cores_finished;
+
+    std::vector<AttemptFailure> failures;
+
+    /** Terminal error text (failed / timeout). */
+    std::string error;
+
+    /** The runner's full JSON report when status == "done". */
+    JsonValue report;
+
+    cycle_t makespan_cycles = 0;
+
+    /** CRC-32 over the concatenated batch output tensors. */
+    std::uint32_t output_crc32 = 0;
+};
+
+/**
+ * Run one `run_model` job — a whole-network inference on a (possibly
+ * multi-core) composition — under the service retry ladder:
+ *
+ *  1. in-run core quarantine + work migration (fault-tolerant runner):
+ *     a per-core terminal fault benches the core and the survivors
+ *     finish the job at degraded throughput — no restart at all;
+ *  2. retry with backoff, resuming from the job snapshot when one
+ *     exists (a corrupt snapshot is deleted and the attempt restarts
+ *     clean);
+ *  3. final degraded restart: fast-forward OFF, watchdog window x4,
+ *     fault tolerance OFF so a systematically sick composition still
+ *     surfaces its root cause instead of quarantining every core.
+ *
+ * Never throws: every failure mode lands in the returned outcome.
+ */
+ModelJobOutcome runModelJobEnvelope(const DnnModel &model,
+                                    const HardwareConfig &cfg,
+                                    const std::vector<Tensor> &inputs,
+                                    const ModelEnvelopeOptions &opts);
 
 } // namespace stonne::service
 

@@ -219,7 +219,8 @@ parseRequest(const std::string &line)
         rejectUnknownMembers(root,
                              {"type", "id", "config", "config_text",
                               "preset", "ms", "bw", "overrides", "model",
-                              "batch", "seed"},
+                              "batch", "seed", "budget_cycles",
+                              "budget_wall_ms", "retries"},
                              "a run_model request");
     else
         rejectUnknownMembers(
@@ -274,6 +275,14 @@ parseRequest(const std::string &line)
                 badRequest("'seed' must be an integer");
             req.seed = v->asUint64();
         }
+        // The envelope knobs apply to run_model jobs too: the retry
+        // ladder and the wall budget wrap the whole composition.
+        if (const JsonValue *v = root.find("budget_cycles"))
+            req.budget_cycles = asIndex(*v, "budget_cycles", 0);
+        if (const JsonValue *v = root.find("budget_wall_ms"))
+            req.budget_wall_ms = asIndex(*v, "budget_wall_ms", 0);
+        if (const JsonValue *v = root.find("retries"))
+            req.retries = asIndex(*v, "retries", 0);
         return req;
     }
 

@@ -222,6 +222,51 @@ TEST(Archive, EnforcesSectionDiscipline)
     EXPECT_FALSE(std::filesystem::exists(f.path + ".tmp"));
 }
 
+TEST(Archive, AbandonSectionSkipsDamageAndKeepsTheRestReadable)
+{
+    // A payload of three sections, the middle one nested two deep —
+    // the shape a multi-core snapshot's per-core engine blocks have.
+    ArchiveWriter w;
+    w.beginSection("head");
+    w.putU64(7);
+    w.endSection();
+    w.beginSection("sick");
+    w.putU64(11);
+    w.beginSection("inner");
+    w.putString("payload");
+    w.endSection();
+    w.endSection();
+    w.beginSection("tail");
+    w.putU64(9);
+    w.endSection();
+
+    // A reader that gave up mid-way through the nested section (the
+    // restore-fallback path) unwinds to the recorded depth and finds
+    // the following section exactly where the framing promised it.
+    ArchiveReader r(w.payload(), "<mem>");
+    r.enterSection("head");
+    r.getU64();
+    r.leaveSection();
+    r.enterSection("sick");
+    const std::size_t depth = r.sectionDepth();
+    EXPECT_EQ(depth, 1u);
+    r.getU64();
+    r.enterSection("inner"); // damage discovered somewhere below here
+    EXPECT_EQ(r.sectionDepth(), 2u);
+    while (r.sectionDepth() >= depth)
+        r.abandonSection();
+    EXPECT_EQ(r.sectionDepth(), 0u);
+    r.enterSection("tail");
+    EXPECT_EQ(r.getU64(), 9u);
+    r.leaveSection();
+
+    // Unlike leaveSection, abandoning never complains about unread
+    // bytes — but with nothing open it is still a framing error.
+    ArchiveReader empty(w.payload(), "<mem>");
+    expectThrowsWith([&] { empty.abandonSection(); },
+                     "abandonSection() with no open section");
+}
+
 // --- per-unit state round trips ----------------------------------------
 
 TEST(UnitState, StatsRegistryRestoresValuesAndOrder)

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -23,6 +24,7 @@
 #include "checkpoint/archive.hpp"
 #include "common/config.hpp"
 #include "common/json_writer.hpp"
+#include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "engine/output_module.hpp"
 #include "frontend/model_loader.hpp"
@@ -285,6 +287,13 @@ TEST(MulticoreRunner, OneCoreIsBitIdenticalToModelRunnerOnEveryConfig)
         HardwareConfig cfg = HardwareConfig::parseFile(path);
         cfg.cores = 1;
         cfg.dram_channels = 1;
+        // Collapsing to one core removes the core that fault_core
+        // routed the injector to; its sickness (and the tight watchdog
+        // calibrated against it) has no one-core analogue.
+        if (cfg.faults.core > 0) {
+            cfg.faults = FaultConfig{};
+            cfg.watchdog_cycles = HardwareConfig{}.watchdog_cycles;
+        }
         TempFile trace("test_multicore_parity_trace.json");
         TempFile ckpt("test_multicore_parity.ckpt");
         if (cfg.trace)
@@ -536,6 +545,266 @@ TEST(MulticoreRunner, PipelinedBatchOverlapsStagesAndStaysExact)
     EXPECT_GE(runner.makespanCycles(),
               std::max(runner.core(0).totalCycles(),
                        runner.core(1).totalCycles()));
+}
+
+// --- fault tolerance: quarantine + checkpointed work migration --------
+
+/**
+ * The shipped faulty composition: core 1 carries a calibrated
+ * timing-only fault load (single-flit links + seeded flit drops) that
+ * trips the watchdog, core 0 stays injector-free via fault_core.
+ */
+HardwareConfig
+faultyComposition()
+{
+    HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2_faulty.cfg");
+    EXPECT_EQ(cfg.cores, 2);
+    EXPECT_EQ(cfg.faults.core, 1);
+    return cfg;
+}
+
+/** The same composition with the injector removed (the reference). */
+HardwareConfig
+healthyTwin(HardwareConfig cfg)
+{
+    cfg.faults = FaultConfig{};
+    return cfg;
+}
+
+void
+expectBitIdentical(const Tensor &a, const Tensor &b)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<std::size_t>(a.size()) *
+                              sizeof(float)),
+              0);
+}
+
+TEST(PipelinePartition, HealthySubsetBindsStagesToSurvivors)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+
+    // The full-set overload is the identity binding of the classic cut.
+    const PipelinePartition full = assignPipelineStages(model, 2);
+    const PipelinePartition both =
+        assignPipelineStages(model, std::vector<index_t>{0, 1});
+    ASSERT_EQ(both.stage_bounds, full.stage_bounds);
+    ASSERT_EQ(both.stage_of_layer, full.stage_of_layer);
+    ASSERT_EQ(both.core_of_stage, (std::vector<index_t>{0, 1}));
+
+    // A survivor set binds every stage to the surviving core: one
+    // stage spanning the whole model, owned by physical core 1.
+    const PipelinePartition solo =
+        assignPipelineStages(model, std::vector<index_t>{1});
+    ASSERT_EQ(solo.stages(), 1);
+    EXPECT_EQ(solo.stage_bounds.front().first, 0u);
+    EXPECT_EQ(solo.stage_bounds.front().second, model.layers.size());
+    EXPECT_EQ(solo.coreOf(0), 1);
+}
+
+TEST(MulticoreQuarantine, SickCoreIsBenchedAndOutputsStayBitIdentical)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    const Tensor input = modelInput(model);
+
+    // The acceptance bar: in BOTH engine modes, the faulty run must
+    // complete through quarantine + migration with outputs bitwise
+    // equal to the fault-free composition (drops are retransmitted, so
+    // the injector is timing-only).
+    for (const bool fast_forward : {false, true}) {
+        SCOPED_TRACE(fast_forward ? "fast-forward" : "exact");
+        HardwareConfig cfg = faultyComposition();
+        cfg.fast_forward = fast_forward;
+
+        MulticoreRunner ref(model, healthyTwin(cfg));
+        const Tensor ref_out = ref.run(input);
+        EXPECT_EQ(ref.migrations(), 0u);
+        EXPECT_TRUE(ref.quarantinedCores().empty());
+
+        MulticoreRunner runner(model, cfg);
+        const Tensor out = runner.run(input);
+        expectBitIdentical(out, ref_out);
+        EXPECT_TRUE(out.equals(runner.runNative(input)));
+
+        EXPECT_EQ(runner.migrations(), 1u);
+        EXPECT_TRUE(runner.isQuarantined(1));
+        EXPECT_FALSE(runner.isQuarantined(0));
+        ASSERT_EQ(runner.quarantinedCores(),
+                  (std::vector<index_t>{1}));
+        ASSERT_EQ(runner.healthyCores(), (std::vector<index_t>{0}));
+        EXPECT_GT(runner.resumeCycle(), 0u);
+        EXPECT_GT(runner.makespanCycles(), 0u);
+    }
+}
+
+TEST(MulticoreQuarantine, KSplitReshardsTheFaultingLayerOverSurvivors)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    const Tensor input = modelInput(model);
+
+    HardwareConfig cfg = faultyComposition();
+    cfg.partition = PartitionStrategy::KSplit;
+
+    MulticoreRunner ref(model, healthyTwin(cfg));
+    const Tensor ref_out = ref.run(input);
+
+    MulticoreRunner runner(model, cfg);
+    const Tensor out = runner.run(input);
+    expectBitIdentical(out, ref_out);
+    EXPECT_EQ(runner.migrations(), 1u);
+    ASSERT_EQ(runner.quarantinedCores(), (std::vector<index_t>{1}));
+    // Core 1 faults on its very first shard, before any committed
+    // work: resuming from cycle 0 is the correct answer here.
+}
+
+TEST(MulticoreQuarantine, QuarantineSnapshotResumesToTheSameOutputs)
+{
+    TempFile ckpt("test_multicore_quarantine.ckpt");
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    const Tensor input = modelInput(model);
+
+    HardwareConfig cfg = faultyComposition();
+    cfg.checkpoint = true;
+    cfg.checkpoint_file = ckpt.path;
+    // Periodic snapshots can never fire; the only snapshot on disk is
+    // the one the quarantine itself writes at the migration point.
+    cfg.checkpoint_interval_cycles = static_cast<index_t>(1) << 60;
+
+    MulticoreRunner snapped(model, cfg);
+    const Tensor full_out = snapped.run(input);
+    ASSERT_EQ(snapped.migrations(), 1u);
+    ASSERT_TRUE(std::filesystem::exists(ckpt.path));
+
+    // A fresh composition resuming the mid-migration snapshot (the
+    // SIGKILL-after-quarantine story) must land on the same outputs,
+    // the same makespan, and remember the benched core.
+    MulticoreRunner resumed(model, cfg);
+    const std::vector<Tensor> outs = resumed.resumeBatch(ckpt.path);
+    ASSERT_EQ(outs.size(), 1u);
+    expectBitIdentical(outs.front(), full_out);
+    EXPECT_EQ(resumed.makespanCycles(), snapped.makespanCycles());
+    EXPECT_EQ(resumed.migrations(), 1u);
+    EXPECT_TRUE(resumed.isQuarantined(1));
+    ASSERT_EQ(resumed.healthyCores(), (std::vector<index_t>{0}));
+}
+
+TEST(MulticoreQuarantine, CorruptPerCoreSectionFallsBackToACleanCore)
+{
+    TempFile ckpt("test_multicore_fallback.ckpt");
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    HardwareConfig cfg =
+        HardwareConfig::parseFile("configs/maeri_128_x2.cfg");
+    std::vector<Tensor> inputs = {modelInput(model, 21),
+                                  modelInput(model, 22)};
+
+    // Reference run + a guaranteed mid-run snapshot (the probe-then-
+    // interval recipe of MidRunCheckpointRestoresBitIdentically).
+    MulticoreRunner straight(model, cfg);
+    const std::vector<Tensor> ref_outs = straight.runBatch(inputs);
+    const cycle_t sum =
+        straight.core(0).totalCycles() + straight.core(1).totalCycles();
+    cfg.checkpoint = true;
+    cfg.checkpoint_file = ckpt.path;
+    cfg.checkpoint_interval_cycles = static_cast<index_t>(sum * 6 / 10);
+    MulticoreRunner snapped(model, cfg);
+    snapped.runBatch(inputs);
+    ASSERT_TRUE(std::filesystem::exists(ckpt.path));
+
+    // Corrupt core 1's engine section from the outside: flip the
+    // first byte of the nested "meta" section name so the per-core
+    // restore throws mid-section, then re-seal the file CRC so the
+    // damage models a bad write, not a truncated download.
+    std::string raw = slurp(ckpt.path);
+    const std::string marker("\x05\x00\x00\x00\x00\x00\x00\x00"
+                             "core1",
+                             13);
+    const std::size_t at = raw.find(marker);
+    ASSERT_NE(at, std::string::npos);
+    // [name]["core1" section len u64][live bool u8][strlen u64]"meta"
+    const std::size_t target = at + marker.size() + 8 + 1 + 8;
+    ASSERT_LT(target, raw.size());
+    ASSERT_EQ(raw[target], 'm');
+    raw[target] = 'Q';
+    const std::size_t header = 8 + 4 + 8;
+    std::uint64_t payload_size = 0;
+    for (int i = 0; i < 8; ++i)
+        payload_size |=
+            static_cast<std::uint64_t>(
+                static_cast<std::uint8_t>(raw[8 + 4 + i]))
+            << (8 * i);
+    ASSERT_EQ(raw.size(), header + payload_size + 4);
+    const std::uint32_t crc = crc32(
+        reinterpret_cast<const std::uint8_t *>(raw.data()) + header,
+        static_cast<std::size_t>(payload_size));
+    for (int i = 0; i < 4; ++i)
+        raw[header + static_cast<std::size_t>(payload_size) +
+            static_cast<std::size_t>(i)] =
+            static_cast<char>(crc >> (8 * i));
+    {
+        std::ofstream os(ckpt.path,
+                         std::ios::binary | std::ios::trunc);
+        os.write(raw.data(),
+                 static_cast<std::streamsize>(raw.size()));
+        ASSERT_TRUE(static_cast<bool>(os));
+    }
+
+    // The restore must shrug: skip the damaged section, rebuild core 1
+    // fresh, finish the batch bit-identically (the composed timeline
+    // only ever consumes per-operation deltas), and delete the
+    // known-bad snapshot so nothing resumes from it again.
+    MulticoreRunner resumed(model, cfg);
+    const std::vector<Tensor> outs = resumed.resumeBatch(ckpt.path);
+    EXPECT_EQ(resumed.restoreFallbacks(), 1u);
+    EXPECT_FALSE(std::filesystem::exists(ckpt.path));
+    ASSERT_EQ(outs.size(), ref_outs.size());
+    for (std::size_t b = 0; b < ref_outs.size(); ++b)
+        expectBitIdentical(outs[b], ref_outs[b]);
+    EXPECT_EQ(resumed.makespanCycles(), straight.makespanCycles());
+}
+
+TEST(MulticoreQuarantine, ReportJsonRecordsTheDegradedRun)
+{
+    const DnnModel model =
+        loadModelFromFile("models/resnet_block.model");
+    MulticoreRunner runner(model, faultyComposition());
+    runner.run(modelInput(model));
+
+    const JsonValue report =
+        JsonValue::parse(runner.reportJson().dump());
+    EXPECT_EQ(report.find("migrations")->asUint64(), 1u);
+    EXPECT_GT(report.find("resume_cycle")->asUint64(), 0u);
+    EXPECT_EQ(report.find("restore_fallbacks")->asUint64(), 0u);
+    const auto &degraded = report.find("degraded_cores")->items();
+    ASSERT_EQ(degraded.size(), 1u);
+    EXPECT_EQ(degraded.front().asInt64(), 1);
+    const auto &cores = report.find("per_core")->items();
+    ASSERT_EQ(cores.size(), 2u);
+    EXPECT_FALSE(cores[0].find("quarantined")->asBool());
+    EXPECT_TRUE(cores[1].find("quarantined")->asBool());
+}
+
+TEST(FaultCoreKey, ParsesValidatesAndRoundTrips)
+{
+    HardwareConfig cfg = faultyComposition();
+    EXPECT_EQ(cfg.faults.core, 1);
+    // toConfigText() must carry the key (snapshots embed that text).
+    EXPECT_NE(cfg.toConfigText().find("fault_core = 1"),
+              std::string::npos);
+    const HardwareConfig reparsed =
+        HardwareConfig::parse(cfg.toConfigText(), "<roundtrip>");
+    EXPECT_EQ(reparsed.faults.core, 1);
+
+    // fault_core must name an existing core.
+    HardwareConfig bad = cfg;
+    bad.faults.core = 2;
+    EXPECT_THROW(bad.validate(), FatalError);
 }
 
 // --- batched inference through the zoo (the N > 1 loader fix) ---------

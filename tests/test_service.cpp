@@ -15,8 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <csignal>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -864,8 +867,88 @@ TEST(ServiceDaemon, SingleAcceleratorJobsRejectMultiCoreConfigs)
         ASSERT_NE(r, nullptr) << id;
         EXPECT_EQ(r->find("status")->asString(), "rejected") << id;
         EXPECT_EQ(r->find("code")->asString(), kErrBadConfig) << id;
+        // The rejection is actionable: it names the offending key and
+        // the job type that does own multi-core compositions.
+        const std::string msg = r->find("message")->asString();
+        EXPECT_NE(msg.find("'cores'"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("run_model"), std::string::npos) << msg;
     }
     EXPECT_EQ(daemon.counters().rejected, 2u);
+}
+
+TEST(ServiceDaemon, RunModelQuarantinesTheSickCoreAndMatchesHealthyCrc)
+{
+    // The healthy twin of the shipped faulty composition, written next
+    // to it so the daemon resolves both through the same loader.
+    TempFile healthy_cfg("test_service_healthy_x2.cfg");
+    {
+        std::ifstream is("configs/maeri_128_x2_faulty.cfg");
+        std::string text((std::istreambuf_iterator<char>(is)),
+                         std::istreambuf_iterator<char>());
+        ASSERT_FALSE(text.empty());
+        const std::size_t at = text.find("faults = ON");
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, std::strlen("faults = ON"), "faults = OFF");
+        std::ofstream os(healthy_cfg.path, std::ios::trunc);
+        os << text;
+        ASSERT_TRUE(static_cast<bool>(os));
+    }
+
+    std::ostringstream out;
+    ServiceOptions opts;
+    opts.base = HardwareConfig::maeriLike(64, 16);
+    opts.base.service_workers = 1;
+    opts.backoff_base = std::chrono::milliseconds(0);
+    ServiceDaemon daemon(opts, out);
+
+    EXPECT_TRUE(daemon.handleLine(
+        R"({"type":"run_model","id":"fq",)"
+        R"("config":"configs/maeri_128_x2_faulty.cfg",)"
+        R"("model":"models/resnet_block.model"})"));
+    EXPECT_TRUE(daemon.handleLine(
+        R"({"type":"run_model","id":"fh",)"
+        R"("config":")" + healthy_cfg.path + R"(",)"
+        R"("model":"models/resnet_block.model"})"));
+    EXPECT_TRUE(daemon.handleLine(R"({"type":"stats"})"));
+    daemon.finish();
+
+    const auto responses = parseLines(out.str());
+
+    // The sick composition completes degraded: core 1 benched inside
+    // the first attempt (no retry consumed), core 0 finishing alone.
+    const JsonValue *fq = findResult(responses, "fq");
+    ASSERT_NE(fq, nullptr);
+    ASSERT_EQ(fq->find("status")->asString(), "done");
+    const JsonValue *svc = fq->find("service");
+    ASSERT_NE(svc, nullptr);
+    EXPECT_EQ(svc->find("attempts")->asInt64(), 1);
+    EXPECT_EQ(svc->find("migrations")->asUint64(), 1u);
+    const auto &degraded = svc->find("degraded_cores")->items();
+    ASSERT_EQ(degraded.size(), 1u);
+    EXPECT_EQ(degraded.front().asInt64(), 1);
+    const auto &finished = svc->find("cores_finished")->items();
+    ASSERT_EQ(finished.size(), 1u);
+    EXPECT_EQ(finished.front().asInt64(), 0);
+
+    // The quarantine streamed as its own status event.
+    const auto states = statusStates(responses, "fq");
+    EXPECT_NE(std::find(states.begin(), states.end(), "quarantined"),
+              states.end());
+
+    // Degraded-mode completion is not approximate completion: the
+    // output CRC matches the fault-free twin bit for bit.
+    const JsonValue *fh = findResult(responses, "fh");
+    ASSERT_NE(fh, nullptr);
+    ASSERT_EQ(fh->find("status")->asString(), "done");
+    EXPECT_EQ(svc->find("output_crc32")->asUint64(),
+              fh->find("service")->find("output_crc32")->asUint64());
+    EXPECT_EQ(fh->find("service")->find("migrations")->asUint64(), 0u);
+
+    // The lifetime counters saw the bench.
+    EXPECT_GE(daemon.counters().quarantines, 1u);
+    for (const JsonValue &r : responses)
+        if (r.find("type") && r.find("type")->asString() == "stats")
+            ASSERT_NE(r.find("quarantines"), nullptr);
 }
 
 } // namespace
