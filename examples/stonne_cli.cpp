@@ -23,6 +23,7 @@
 #include "common/logging.hpp"
 #include "common/watchdog.hpp"
 #include "dse/tuner.hpp"
+#include "explore/explorer.hpp"
 #include "engine/output_module.hpp"
 #include "engine/stonne_api.hpp"
 #include "engine/workload.hpp"
@@ -84,6 +85,12 @@ printHelp()
         "                                  tile space (analytical pre-\n"
         "                                  filter + cycle-level top-K);\n"
         "                                  the winner becomes the tile\n"
+        "  explore [top_k]                 co-search hardware x mapping\n"
+        "                                  (explore_axes): analytical\n"
+        "                                  Pareto prune, cycle-simulate\n"
+        "                                  the predicted frontier, print\n"
+        "                                  the exact one; writes\n"
+        "                                  stonne_explore.json\n"
         "  sparsity <ratio>                prune weights to the ratio\n"
         "  policy <NS|RDM|LFF>             sparse filter scheduling\n"
         "  seed <n>                        RNG seed for random tensors\n"
@@ -357,6 +364,51 @@ handle(CliState &st, const std::string &line)
                 st.tile = rep.best;
                 std::printf("tile set to the chosen mapping; 'run' uses "
                             "it\n");
+            }
+        } else if (cmd == "explore") {
+            if (!st.stonne) {
+                std::printf("error: no instance; use 'create' first\n");
+            } else if (!st.layer_set) {
+                std::printf("error: no layer configured\n");
+            } else {
+                const HardwareConfig &cfg = st.stonne->config();
+                explore::ExploreOptions opts;
+                opts.top_k = cfg.explore_top_k;
+                opts.axes = cfg.explore_axes;
+                opts.cache_file = cfg.dse_cache_file;
+                opts.sparsity = st.sparsity;
+                opts.seed = st.seed;
+                index_t k = 0;
+                if (in >> k) {
+                    fatalIf(k <= 0, "explore top_k must be positive");
+                    opts.top_k = k;
+                }
+                explore::Explorer explorer(cfg, opts);
+                const explore::ExploreReport rep =
+                    explorer.exploreLayer(st.layer);
+                std::printf("%-44s %12s %12s %14s  %s\n", "variant",
+                            "cycles", "energy_uj", "area_um2", "source");
+                for (const std::size_t i : rep.frontier) {
+                    const explore::ExplorePoint &p = rep.points[i];
+                    std::printf(
+                        "%-44s %12llu %12.3f %14.0f  %s\n",
+                        p.label.c_str(),
+                        static_cast<unsigned long long>(
+                            p.simulated_cycles),
+                        p.energy_uj, p.area_um2,
+                        p.from_cache ? "cache" : "simulated");
+                }
+                std::printf(
+                    "explore: variants %zu space %zu evaluated %zu "
+                    "cache_hits %zu simulations %zu frontier %zu\n",
+                    rep.variants, rep.space_size, rep.points.size(),
+                    rep.cache_hits, rep.simulations_run,
+                    rep.frontier.size());
+                OutputModule::writeFile("stonne_explore.json",
+                                        rep.json().dump() + "\n");
+                std::printf("frontier written to stonne_explore.json "
+                            "(each point carries a runnable "
+                            "config_text)\n");
             }
         } else if (cmd == "counters") {
             if (st.stonne)

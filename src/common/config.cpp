@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.hpp"
+#include "explore/axes.hpp"
 
 namespace stonne {
 
@@ -188,6 +189,23 @@ HardwareConfig::validate() const
     fatalIf(autotune && controller_type != ControllerType::Dense,
             "config '", name, "': autotune tunes the dense controller's "
             "tile; it requires controller = DENSE");
+    fatalIf(explore_top_k <= 0, "explore_top_k must be positive, got ",
+            explore_top_k);
+    // The co-search enumerates the dense controller's tile space as
+    // its mapping dimension (the fabric axis *derives* sparse variants
+    // from a dense base; a sparse or SNAPEA base has no tile space to
+    // cross with the hardware axes).
+    fatalIf(explore && controller_type != ControllerType::Dense,
+            "config '", name, "': explore crosses hardware axes with "
+            "the dense controller's tile space; it requires controller "
+            "= DENSE");
+    fatalIf(explore && cores > 1,
+            "config '", name, "': explore evaluates single-accelerator "
+            "variants; it requires cores = 1");
+    // The axes string is validated wherever the config comes from
+    // (file keys get a file:line diagnostic at parse; programmatic
+    // configs are caught here).
+    explore::parseAxesSpec(explore_axes, "config '" + name + "'", 0);
     faults.validate();
     fatalIf(faults.core >= cores, "config '", name,
             "': fault_core = ", faults.core,
@@ -470,6 +488,15 @@ HardwareConfig::parse(const std::string &text, const std::string &origin)
             c.dse_top_k = as_int();
         } else if (key == "DSE_CACHE_FILE") {
             c.dse_cache_file = val;
+        } else if (key == "EXPLORE") {
+            c.explore = as_flag();
+        } else if (key == "EXPLORE_AXES") {
+            // Full syntax check at the defining line, so a malformed
+            // axis list names its file:line, not a later explore run.
+            explore::parseAxesSpec(val, origin, lineno);
+            c.explore_axes = val;
+        } else if (key == "EXPLORE_TOP_K") {
+            c.explore_top_k = as_int();
         } else if (key == "SERVICE_QUEUE_DEPTH") {
             c.service_queue_depth = as_int();
         } else if (key == "SERVICE_WORKERS") {
@@ -557,6 +584,11 @@ HardwareConfig::toConfigText() const
         if (!dse_cache_file.empty())
             os << "dse_cache_file = " << dse_cache_file << "\n";
     }
+    if (explore) {
+        os << "explore = ON\n"
+           << "explore_axes = " << explore_axes << "\n"
+           << "explore_top_k = " << explore_top_k << "\n";
+    }
     // Multi-core composition keys are structural but emitted only when
     // they differ from the single-core defaults, keeping pre-existing
     // config texts (and the snapshots and cache keys embedding them)
@@ -601,6 +633,9 @@ HardwareConfig::structuralText() const
     c.dse_top_k = 1;
     c.dse_cache_file.clear();
     const HardwareConfig defaults;
+    c.explore = false;
+    c.explore_axes = defaults.explore_axes;
+    c.explore_top_k = defaults.explore_top_k;
     c.service_queue_depth = defaults.service_queue_depth;
     c.service_workers = defaults.service_workers;
     c.job_budget_cycles = defaults.job_budget_cycles;

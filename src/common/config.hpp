@@ -243,6 +243,34 @@ struct HardwareConfig {
     std::string dse_cache_file = "stonne_dse.cache";
 
     /**
+     * Hardware x mapping co-search (src/explore): marks a saved
+     * config as an exploration setup, so toConfigText() round-trips
+     * the search (the `explore` CLI command / service request sweeps
+     * the structural axes in `explore_axes` crossed with the mapping
+     * tile space, ranks the full space with the analytical
+     * cycle/energy/area models, and cycle-simulates only the
+     * predicted Pareto frontier — top `explore_top_k` per objective
+     * plus the predicted non-dominated set). All three keys are
+     * execution policy, normalized away by structuralText() — the
+     * result cache keys each *variant's* own structural text, never
+     * the search knobs.
+     */
+    bool explore = false;
+
+    /**
+     * Comma-separated structural axes of the co-search. Each axis is a
+     * name (`ms_size`, `dn_bandwidth`, `rn_bandwidth`,
+     * `accumulator_size`, `fabric`) with an optional power-of-two
+     * range `name=lo:hi`; `fabric` toggles the dense tree fabric
+     * against the SIGMA-style sparse one and takes no range.
+     */
+    std::string explore_axes =
+        "ms_size,dn_bandwidth,rn_bandwidth,accumulator_size";
+
+    /** Variants simulated cycle-level per objective (>= 1). */
+    index_t explore_top_k = 4;
+
+    /**
      * Simulation-service knobs (src/service). These configure the
      * daemon wrapped around the simulator, not the simulated hardware:
      * all of them are execution policy, normalized away by

@@ -95,7 +95,9 @@ ResultCache::load()
         return;
     try {
         ArchiveReader ar(path_);
-        ar.enterSection("dse_cache");
+        // v2 added the area field to each record; a v1 ("dse_cache")
+        // file fails the section-name check below and is rebuilt.
+        ar.enterSection("dse_cache_v2");
         const std::uint64_t n = ar.getU64();
         std::map<std::uint64_t, Entry> loaded;
         for (std::uint64_t i = 0; i < n; ++i) {
@@ -103,6 +105,7 @@ ResultCache::load()
             e.key_text = ar.getString();
             e.outcome.cycles = ar.getU64();
             e.outcome.energy_uj = ar.getDouble();
+            e.outcome.area_um2 = ar.getDouble();
             e.outcome.ms_utilization = ar.getDouble();
             loaded.emplace(hashKey(e.key_text), std::move(e));
         }
@@ -134,13 +137,14 @@ ResultCache::save() const
         snapshot = entries_;
     }
     ArchiveWriter ar;
-    ar.beginSection("dse_cache");
+    ar.beginSection("dse_cache_v2");
     ar.putU64(snapshot.size());
     for (const auto &[hash, e] : snapshot) {
         (void)hash;
         ar.putString(e.key_text);
         ar.putU64(e.outcome.cycles);
         ar.putDouble(e.outcome.energy_uj);
+        ar.putDouble(e.outcome.area_um2);
         ar.putDouble(e.outcome.ms_utilization);
     }
     ar.endSection();

@@ -38,6 +38,7 @@ namespace stonne::dse {
 struct CachedOutcome {
     cycle_t cycles = 0;
     double energy_uj = 0.0;
+    double area_um2 = 0.0;
     double ms_utilization = 0.0;
 };
 

@@ -186,6 +186,7 @@ AutoTuner::tuneLayer(const LayerSpec &layer)
         if (const auto hit = cache_->lookup(s.key)) {
             s.et.simulated_cycles = hit->cycles;
             s.et.energy_uj = hit->energy_uj;
+            s.et.area_um2 = hit->area_um2;
             s.et.ms_utilization = hit->ms_utilization;
             s.et.from_cache = true;
         } else {
@@ -207,6 +208,7 @@ AutoTuner::tuneLayer(const LayerSpec &layer)
                     runLayer(st, layer, data, slots[i].et.tile);
                 slots[i].et.simulated_cycles = r.cycles;
                 slots[i].et.energy_uj = r.energy.total();
+                slots[i].et.area_um2 = r.area.total();
                 slots[i].et.ms_utilization = r.ms_utilization;
             });
         SweepRunner(opts_.threads).run(work);
@@ -214,6 +216,7 @@ AutoTuner::tuneLayer(const LayerSpec &layer)
             cache_->insert(slots[i].key,
                            CachedOutcome{slots[i].et.simulated_cycles,
                                          slots[i].et.energy_uj,
+                                         slots[i].et.area_um2,
                                          slots[i].et.ms_utilization});
         // A shared cache is persisted by its owner (the service saves
         // once at shutdown), not after every layer.

@@ -58,6 +58,7 @@ struct EvaluatedTile {
     cycle_t analytical_cycles = 0;
     cycle_t simulated_cycles = 0;
     double energy_uj = 0.0;
+    double area_um2 = 0.0;
     double ms_utilization = 0.0;
     bool from_cache = false;
 };

@@ -104,6 +104,7 @@ OutputModule::modelReport(const std::string &model_name,
             l.set("macs", static_cast<std::uint64_t>(r.sim.macs));
             l.set("ms_utilization", r.sim.ms_utilization);
             l.set("energy_uj", r.sim.energy.total());
+            l.set("area_um2", r.sim.area.total());
         }
         layers.append(std::move(l));
     }

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Axis grammar of the hardware co-search (`explore_axes` config key).
+ *
+ * An axes spec is a comma-separated list of structural axes, each a
+ * name with an optional explicit power-of-two range:
+ *
+ *   ms_size,dn_bandwidth=32:128,fabric
+ *
+ * Known axes: ms_size, dn_bandwidth, rn_bandwidth, accumulator_size
+ * (integer axes, range allowed) and fabric (dense vs. SIGMA-style
+ * sparse substrate, no range). Kept in its own tiny header so the
+ * strict config parser can validate the key at its defining file:line
+ * without pulling in the whole exploration subsystem.
+ */
+
+#ifndef STONNE_EXPLORE_AXES_HPP
+#define STONNE_EXPLORE_AXES_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace stonne::explore {
+
+/** One parsed axis of an `explore_axes` spec. */
+struct AxisSpec {
+    std::string name;
+    bool has_range = false;
+    index_t lo = 0; //!< inclusive power-of-two lower bound
+    index_t hi = 0; //!< inclusive power-of-two upper bound
+};
+
+/**
+ * Parse and validate an axes spec. Throws FatalError on an empty
+ * list, an unknown or duplicate axis name, a range on `fabric`, or a
+ * malformed range (non-integer bounds, bounds that are not powers of
+ * two, lo > hi). Diagnostics are prefixed `origin:lineno:` when
+ * lineno > 0 (the config parser's contract), else `origin:`.
+ */
+std::vector<AxisSpec> parseAxesSpec(const std::string &spec,
+                                    const std::string &origin = "<axes>",
+                                    int lineno = 0);
+
+} // namespace stonne::explore
+
+#endif // STONNE_EXPLORE_AXES_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Structural hardware design space of the co-search.
+ *
+ * DesignSpace expands a base accelerator into every structural
+ * variant reachable along the requested axes: multiplier-switch
+ * count, DN/RN global-buffer bandwidth, accumulation-buffer depth,
+ * and the fabric axis that swaps the whole dense substrate for the
+ * SIGMA-style sparse one (Benes DN, no MN forwarding, FAN RN, sparse
+ * controller). Every variant is a complete, validated HardwareConfig
+ * — anything the explorer ranks can also be run directly.
+ */
+
+#ifndef STONNE_EXPLORE_DESIGN_SPACE_HPP
+#define STONNE_EXPLORE_DESIGN_SPACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "explore/axes.hpp"
+
+namespace stonne::explore {
+
+/** One structural hardware variant of the enumerated space. */
+struct DesignPoint {
+    HardwareConfig cfg;
+    /** Human-readable axis assignment, e.g. "fabric=dense ms=256 ...". */
+    std::string label;
+};
+
+/**
+ * Enumerates the cross product of the axis value sets around a base
+ * configuration.
+ */
+class DesignSpace
+{
+  public:
+    /**
+     * Expand `base` along `axes_spec` (see axes.hpp for the grammar).
+     * Axes without an explicit range sweep power-of-two values around
+     * the base's setting; the fabric axis emits a dense and a sparse
+     * variant of every sizing. Variants whose bandwidth would exceed
+     * their ms_size are skipped (they would fail validate()).
+     * Enumeration order is deterministic: dense before sparse, then
+     * ascending ms_size / dn_bandwidth / rn_bandwidth /
+     * accumulator_size.
+     */
+    static std::vector<DesignPoint> enumerate(const HardwareConfig &base,
+                                              const std::string &axes_spec);
+};
+
+} // namespace stonne::explore
+
+#endif // STONNE_EXPLORE_DESIGN_SPACE_HPP

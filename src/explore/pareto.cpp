@@ -1,0 +1,54 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+
+namespace stonne::explore {
+
+bool
+dominates(const Objectives &a, const Objectives &b)
+{
+    const bool no_worse = a.cycles <= b.cycles &&
+                          a.energy_uj <= b.energy_uj &&
+                          a.area_um2 <= b.area_um2;
+    const bool better = a.cycles < b.cycles || a.energy_uj < b.energy_uj ||
+                        a.area_um2 < b.area_um2;
+    return no_worse && better;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<Objectives> &points)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool keep = true;
+        for (std::size_t j = 0; j < points.size() && keep; ++j) {
+            if (j == i)
+                continue;
+            if (dominates(points[j], points[i]))
+                keep = false;
+            // Duplicate objective vectors: only the first occurrence
+            // survives, so the frontier stays a set.
+            if (j < i && points[j].cycles == points[i].cycles &&
+                points[j].energy_uj == points[i].energy_uj &&
+                points[j].area_um2 == points[i].area_um2)
+                keep = false;
+        }
+        if (keep)
+            front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const Objectives &pa = points[a];
+                  const Objectives &pb = points[b];
+                  if (pa.cycles != pb.cycles)
+                      return pa.cycles < pb.cycles;
+                  if (pa.energy_uj != pb.energy_uj)
+                      return pa.energy_uj < pb.energy_uj;
+                  if (pa.area_um2 != pb.area_um2)
+                      return pa.area_um2 < pb.area_um2;
+                  return a < b;
+              });
+    return front;
+}
+
+} // namespace stonne::explore

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pareto dominance over the co-search's three objectives.
+ *
+ * The explorer minimizes (cycles, energy, area) jointly; a design
+ * point is worth keeping exactly when no other point is at least as
+ * good on every objective and strictly better on one. The helpers
+ * here are pure functions over objective vectors so the dominance
+ * semantics (ties, duplicates, single-objective collapse) are unit-
+ * testable without running any model.
+ */
+
+#ifndef STONNE_EXPLORE_PARETO_HPP
+#define STONNE_EXPLORE_PARETO_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace stonne::explore {
+
+/** One point in objective space; every objective is minimized. */
+struct Objectives {
+    double cycles = 0.0;
+    double energy_uj = 0.0;
+    double area_um2 = 0.0;
+};
+
+/**
+ * Strict Pareto dominance: a is at least as good as b on every
+ * objective and strictly better on at least one. Equal points do not
+ * dominate each other.
+ */
+bool dominates(const Objectives &a, const Objectives &b);
+
+/**
+ * Indices of the mutually non-dominated points of `points`. Exact
+ * duplicates collapse to their first occurrence (the frontier never
+ * lists the same objective vector twice). Deterministic: the result
+ * is sorted by (cycles, energy, area, original index).
+ */
+std::vector<std::size_t> paretoFront(const std::vector<Objectives> &points);
+
+} // namespace stonne::explore
+
+#endif // STONNE_EXPLORE_PARETO_HPP

@@ -4,10 +4,14 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "checkpoint/archive.hpp"
 #include "common/logging.hpp"
+#include "common/watchdog.hpp"
 #include "dse/tuner.hpp"
+#include "explore/explorer.hpp"
 #include "engine/output_module.hpp"
 #include "frontend/model_loader.hpp"
 #include "multicore/multicore_runner.hpp"
@@ -173,6 +177,7 @@ ServiceDaemon::handleLine(const std::string &line)
       }
       case RequestType::Run:
       case RequestType::Tune:
+      case RequestType::Explore:
       case RequestType::RunModel:
         break;
     }
@@ -208,7 +213,9 @@ ServiceDaemon::handleLine(const std::string &line)
                   "config key 'cores' = " + std::to_string(cfg.cores) +
                       " selects a multi-core composition, but a " +
                       std::string(req.type == RequestType::Tune ? "tune"
-                                                                : "run") +
+                                  : req.type == RequestType::Explore
+                                      ? "explore"
+                                      : "run") +
                       " job targets one accelerator; submit run_model "
                       "(which owns the cross-core scheduling) or set "
                       "cores = 1",
@@ -273,6 +280,10 @@ ServiceDaemon::handleLine(const std::string &line)
             pool_.submit([this, job, cfg, admitted_at] {
                 runTune(job, cfg, admitted_at);
             });
+        else if (req.type == RequestType::Explore)
+            pool_.submit([this, job, cfg, admitted_at] {
+                runExplore(job, cfg, admitted_at);
+            });
         else
             pool_.submit([this, job, cfg, admitted_at] {
                 runModel(job, cfg, admitted_at);
@@ -329,6 +340,7 @@ ServiceDaemon::runJob(const JobRequest &req, const HardwareConfig &cfg,
             JsonValue s = JsonValue::makeObject();
             s.set("cycles", static_cast<std::uint64_t>(out.cached->cycles));
             s.set("energy_uj", out.cached->energy_uj);
+            s.set("area_um2", out.cached->area_um2);
             s.set("ms_utilization", out.cached->ms_utilization);
             r["summary"] = std::move(s);
         } else {
@@ -431,6 +443,109 @@ ServiceDaemon::runTune(const JobRequest &req, const HardwareConfig &cfg,
         std::lock_guard<std::mutex> lock(mu_);
         if (ok)
             ++counters_.done;
+        else
+            ++counters_.failed;
+        counters_.cache_hits += hit_count;
+    }
+    finishJob(req.id);
+    emit(r);
+}
+
+void
+ServiceDaemon::runExplore(const JobRequest &req, const HardwareConfig &cfg,
+                          Clock::time_point admitted_at)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        --queued_;
+    }
+    const double queue_wait_ms = msSince(admitted_at);
+    emitStatus(req.id, "running");
+
+    JsonValue r = JsonValue::makeObject();
+    r.set("type", "result");
+    r.set("id", req.id);
+    std::uint64_t hit_count = 0;
+    int attempts = 0;
+    bool ok = false;
+    bool degraded = false;
+    bool timed_out = false;
+    const int max_attempts = static_cast<int>(cfg.job_retries) + 1;
+    while (attempts < max_attempts && !ok && !timed_out) {
+        ++attempts;
+        HardwareConfig attempt_cfg = cfg;
+        if (attempts == max_attempts && max_attempts > 1) {
+            // Last rung of the ladder: trade speed for robustness, as
+            // the run envelope does (exact engine path, patient
+            // watchdog).
+            attempt_cfg.fast_forward = false;
+            attempt_cfg.watchdog_cycles = cfg.watchdog_cycles * 4;
+            degraded = true;
+        }
+        try {
+            explore::ExploreOptions eopts;
+            eopts.top_k = req.top_k ? *req.top_k : cfg.explore_top_k;
+            eopts.axes = req.axes.empty() ? cfg.explore_axes : req.axes;
+            // The daemon's workers are the parallelism; a nested
+            // candidate pool per explore job would oversubscribe the
+            // host.
+            eopts.threads = 1;
+            eopts.sparsity = req.sparsity;
+            eopts.seed = req.seed;
+            explore::Explorer explorer(attempt_cfg, eopts, cache_);
+            const explore::ExploreReport rep =
+                explorer.exploreLayer(req.layer);
+            hit_count = rep.cache_hits;
+            ok = true;
+            r.set("status", "done");
+            r["summary"] = rep.json();
+        } catch (const BudgetExceededError &e) {
+            timed_out = true;
+            r.set("status", "timeout");
+            r.set("error", e.what());
+        } catch (const std::exception &e) {
+            const bool retryable =
+                dynamic_cast<const DeadlockError *>(&e) != nullptr ||
+                dynamic_cast<const CheckpointError *>(&e) != nullptr;
+            if (retryable && attempts < max_attempts) {
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    ++counters_.retries;
+                }
+                JsonValue s = JsonValue::makeObject();
+                s.set("type", "status");
+                s.set("id", req.id);
+                s.set("state", "retrying");
+                s.set("attempt",
+                      static_cast<std::int64_t>(attempts + 1));
+                s.set("degraded", attempts + 1 == max_attempts);
+                s.set("cause", std::string(e.what()));
+                emit(s);
+                if (opts_.backoff_base.count() > 0)
+                    std::this_thread::sleep_for(opts_.backoff_base *
+                                                attempts);
+                continue;
+            }
+            r.set("status", "failed");
+            r.set("error", e.what());
+            break;
+        }
+    }
+
+    JsonValue svc = JsonValue::makeObject();
+    svc.set("attempts", static_cast<std::int64_t>(attempts));
+    svc.set("degraded", degraded);
+    svc.set("cache_hit", hit_count > 0);
+    svc.set("queue_wait_ms", queue_wait_ms);
+    svc.set("wall_ms", msSince(admitted_at) - queue_wait_ms);
+    r["service"] = std::move(svc);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (ok)
+            ++counters_.done;
+        else if (timed_out)
+            ++counters_.timeout;
         else
             ++counters_.failed;
         counters_.cache_hits += hit_count;

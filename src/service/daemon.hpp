@@ -144,6 +144,8 @@ class ServiceDaemon
                 std::chrono::steady_clock::time_point admitted_at);
     void runTune(const JobRequest &req, const HardwareConfig &cfg,
                  std::chrono::steady_clock::time_point admitted_at);
+    void runExplore(const JobRequest &req, const HardwareConfig &cfg,
+                    std::chrono::steady_clock::time_point admitted_at);
     void runModel(const JobRequest &req, const HardwareConfig &cfg,
                   std::chrono::steady_clock::time_point admitted_at);
     void finishJob(const std::string &id);

@@ -184,6 +184,7 @@ runJobEnvelope(const HardwareConfig &cfg, const LayerSpec &layer,
                     cache_key,
                     dse::CachedOutcome{merged.cycles,
                                        merged.energy.total(),
+                                       merged.area.total(),
                                        merged.ms_utilization});
             return out;
         } catch (const BudgetExceededError &e) {

@@ -203,6 +203,8 @@ parseRequest(const std::string &line)
         req.type = RequestType::Run;
     else if (t == "tune")
         req.type = RequestType::Tune;
+    else if (t == "explore")
+        req.type = RequestType::Explore;
     else if (t == "run_model")
         req.type = RequestType::RunModel;
     else
@@ -228,7 +230,7 @@ parseRequest(const std::string &line)
             {"type", "id", "config", "config_text", "preset", "ms", "bw",
              "overrides", "layer", "tile", "seed", "sparsity", "repeat",
              "use_cache", "budget_cycles", "budget_wall_ms", "retries",
-             "top_k"},
+             "top_k", "axes"},
             "a " + t + " request");
 
     const JsonValue &id = requireMember(root, "id");
@@ -322,15 +324,26 @@ parseRequest(const std::string &line)
     if (const JsonValue *v = root.find("retries"))
         req.retries = asIndex(*v, "retries", 0);
     if (const JsonValue *v = root.find("top_k")) {
-        if (req.type != RequestType::Tune)
-            badRequest("'top_k' only applies to tune requests");
+        if (req.type != RequestType::Tune &&
+            req.type != RequestType::Explore)
+            badRequest("'top_k' only applies to tune and explore "
+                       "requests");
         req.top_k = asIndex(*v, "top_k", 1);
     }
+    if (const JsonValue *v = root.find("axes")) {
+        if (req.type != RequestType::Explore)
+            badRequest("'axes' only applies to explore requests");
+        if (!v->isString() || v->asString().empty())
+            badRequest("'axes' must be a non-empty string");
+        req.axes = v->asString();
+    }
 
-    if (req.type == RequestType::Tune && req.layer.kind != LayerKind::Gemm &&
+    if ((req.type == RequestType::Tune ||
+         req.type == RequestType::Explore) &&
+        req.layer.kind != LayerKind::Gemm &&
         req.layer.kind != LayerKind::Linear &&
         req.layer.kind != LayerKind::Convolution)
-        badRequest("tune supports conv|gemm|linear layers");
+        badRequest(t + " supports conv|gemm|linear layers");
 
     return req;
 }

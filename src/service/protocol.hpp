@@ -8,6 +8,9 @@
  *
  *   {"type":"run", "id":"j1", ...}    simulate one layer
  *   {"type":"tune", "id":"t1", ...}   auto-tune one layer's mapping
+ *   {"type":"explore", "id":"e1", ...} hardware x mapping co-search:
+ *                                     cycle-exact Pareto frontier over
+ *                                     cycles / energy / area
  *   {"type":"run_model", "id":"m1", "model":"path.model", "batch":4}
  *                                     full-model inference, including
  *                                     multi-core compositions
@@ -82,7 +85,7 @@ class ProtocolError : public std::runtime_error
 };
 
 /** Kinds of requests the daemon accepts. */
-enum class RequestType { Run, Tune, RunModel, Ping, Stats, Shutdown };
+enum class RequestType { Run, Tune, Explore, RunModel, Ping, Stats, Shutdown };
 
 /** One parsed request line. */
 struct JobRequest {
@@ -121,7 +124,10 @@ struct JobRequest {
     std::optional<index_t> budget_cycles;
     std::optional<index_t> budget_wall_ms;
     std::optional<index_t> retries;
-    std::optional<index_t> top_k; //!< tune only
+    std::optional<index_t> top_k; //!< tune / explore only
+
+    /** Design-space axes spec (explore only; "" = config's axes). */
+    std::string axes;
 };
 
 /**

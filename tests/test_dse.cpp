@@ -151,13 +151,13 @@ TEST(TileSpace, RejectsKindsWithoutATileSpace)
 TEST(ResultCache, LookupDemandsExactKeyText)
 {
     ResultCache cache; // in-memory
-    cache.insert("key-a", CachedOutcome{123, 4.5, 0.75});
+    cache.insert("key-a", CachedOutcome{123, 4.5, 9.0, 0.75});
     ASSERT_TRUE(cache.lookup("key-a").has_value());
     EXPECT_EQ(cache.lookup("key-a")->cycles, 123u);
     EXPECT_FALSE(cache.lookup("key-b").has_value());
     EXPECT_EQ(cache.size(), 1u);
 
-    cache.insert("key-a", CachedOutcome{99, 1.0, 0.5});
+    cache.insert("key-a", CachedOutcome{99, 1.0, 2.0, 0.5});
     EXPECT_EQ(cache.lookup("key-a")->cycles, 99u); // overwrite
     EXPECT_EQ(cache.size(), 1u);
 }
@@ -168,8 +168,8 @@ TEST(ResultCache, RoundTripsThroughTheArchiveFile)
     {
         ResultCache cache(f.path);
         EXPECT_EQ(cache.size(), 0u); // missing file starts empty
-        cache.insert("point-1", CachedOutcome{1000, 2.0, 0.5});
-        cache.insert("point-2", CachedOutcome{2000, 4.0, 0.25});
+        cache.insert("point-1", CachedOutcome{1000, 2.0, 300.0, 0.5});
+        cache.insert("point-2", CachedOutcome{2000, 4.0, 600.0, 0.25});
         cache.save();
     }
     ResultCache reloaded(f.path);
@@ -193,7 +193,7 @@ TEST(ResultCache, CorruptFileIsDiscardedNotFatal)
     EXPECT_EQ(cache.size(), 0u);
 
     // The next save replaces the damaged file with a valid one.
-    cache.insert("fresh", CachedOutcome{7, 0.0, 0.0});
+    cache.insert("fresh", CachedOutcome{7, 0.0, 0.0, 0.0});
     cache.save();
     ResultCache reloaded(f.path);
     EXPECT_FALSE(reloaded.loadFailed());
